@@ -1,0 +1,61 @@
+// E2 (Table 2): comparison classification micro-benchmark.
+//
+// Table 2 defines the SI / LSI / RSI / CQAC-SI vocabulary; the library's
+// classifier drives algorithm dispatch (single-mapping fast path vs the
+// general Theorem 2.1 test vs the Section 5 Datalog route), so its cost must
+// be negligible. Measures Classify() / IsCqacSi() / SiFormOf() on random
+// queries of growing comparison count.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/containment/si_reduction.h"
+#include "src/gen/generators.h"
+
+namespace cqac {
+namespace {
+
+Query Draw(int acs, gen::AcMode mode) {
+  Rng rng(acs * 7 + static_cast<int>(mode));
+  gen::QuerySpec spec;
+  spec.num_subgoals = 4;
+  spec.num_vars = 6;
+  spec.ac_density = static_cast<double>(acs) / spec.num_subgoals;
+  spec.ac_mode = mode;
+  spec.boolean_head = true;
+  return gen::RandomQuery(rng, spec);
+}
+
+void BM_Classify(benchmark::State& state) {
+  Query q = Draw(static_cast<int>(state.range(0)), gen::AcMode::kSi);
+  for (auto _ : state) {
+    AcClass c = q.Classify();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["acs"] = static_cast<double>(q.comparisons().size());
+}
+BENCHMARK(BM_Classify)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_IsCqacSi(benchmark::State& state) {
+  Query q = Draw(static_cast<int>(state.range(0)), gen::AcMode::kCqacSi);
+  for (auto _ : state) {
+    bool b = q.IsCqacSi();
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_IsCqacSi)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SiFormExtraction(benchmark::State& state) {
+  Query q = Draw(static_cast<int>(state.range(0)), gen::AcMode::kSi);
+  for (auto _ : state) {
+    for (const Comparison& c : q.comparisons()) {
+      SiForm f = SiFormOf(c);
+      benchmark::DoNotOptimize(f);
+    }
+  }
+}
+BENCHMARK(BM_SiFormExtraction)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace cqac
+
+BENCHMARK_MAIN();

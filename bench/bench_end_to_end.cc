@@ -1,0 +1,97 @@
+// E14: end-to-end certain-answer pipeline throughput.
+//
+// Full pipeline on a realistic integration workload: rewrite once, then
+// per database instance materialize the views and evaluate the MCR,
+// checking soundness (answers subset of the direct evaluation) as the
+// database grows from 10^2 to 10^5 tuples.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/eval/evaluate.h"
+#include "src/gen/generators.h"
+#include "src/ir/parser.h"
+#include "src/rewriting/rewrite_lsi.h"
+
+namespace cqac {
+namespace {
+
+const char* kQuery =
+    "q(C) :- car(C, D), loc(D, irvine), price(C, P), P < 30";
+const char* kViews =
+    "dealers_web(C, L) :- car(C, D), loc(D, L).\n"
+    "budget_cars(C) :- price(C, P), P < 25.\n"
+    "pricing_api(C, P) :- price(C, P).";
+
+Database WorldOfSize(size_t tuples, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  const int64_t cars = static_cast<int64_t>(tuples);
+  for (int64_t c = 0; c < cars; ++c) {
+    int64_t dealer = rng.Uniform(0, cars / 4 + 1);
+    Status st = db.Insert("car", {Value(Rational(c)),
+                                  Value(Rational(dealer))});
+    if (st.ok())
+      st = db.Insert("price",
+                     {Value(Rational(c)), Value(Rational(rng.Uniform(5, 60)))});
+    if (!st.ok()) std::abort();
+  }
+  for (int64_t d = 0; d <= cars / 4 + 1; ++d) {
+    Value place = rng.Chance(0.4) ? Value(std::string("irvine"))
+                                  : Value(std::string("tustin"));
+    Status st = db.Insert("loc", {Value(Rational(d)), place});
+    if (!st.ok()) std::abort();
+  }
+  return db;
+}
+
+void BM_EndToEndCertainAnswers(benchmark::State& state) {
+  Query q = MustParseQuery(kQuery);
+  ViewSet views(MustParseRules(kViews));
+  auto mcr = RewriteLsiQuery(q, views);
+  if (!mcr.ok() || mcr.value().empty()) {
+    state.SkipWithError("rewriting failed");
+    return;
+  }
+  Database world = WorldOfSize(static_cast<size_t>(state.range(0)), 5);
+
+  size_t answers = 0;
+  for (auto _ : state) {
+    Database vdb = MaterializeViews(views, world).value();
+    auto ans = EvaluateUnion(mcr.value(), vdb);
+    if (!ans.ok()) state.SkipWithError(ans.status().ToString().c_str());
+    answers = ans.ValueOr(Relation{}).size();
+    benchmark::DoNotOptimize(answers);
+  }
+  // Soundness check outside the timed region.
+  Relation truth = EvaluateQuery(q, world).value();
+  Database vdb = MaterializeViews(views, world).value();
+  Relation certain = EvaluateUnion(mcr.value(), vdb).value();
+  for (const Tuple& t : certain)
+    if (!truth.count(t)) state.SkipWithError("unsound certain answer");
+
+  state.counters["base_tuples"] = static_cast<double>(world.TotalTuples());
+  state.counters["certain_answers"] = static_cast<double>(answers);
+  state.counters["true_answers"] = static_cast<double>(truth.size());
+}
+BENCHMARK(BM_EndToEndCertainAnswers)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RewriteOnly(benchmark::State& state) {
+  Query q = MustParseQuery(kQuery);
+  ViewSet views(MustParseRules(kViews));
+  for (auto _ : state) {
+    auto mcr = RewriteLsiQuery(q, views);
+    if (!mcr.ok()) state.SkipWithError(mcr.status().ToString().c_str());
+    benchmark::DoNotOptimize(mcr);
+  }
+}
+BENCHMARK(BM_RewriteOnly);
+
+}  // namespace
+}  // namespace cqac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E9 (Example 4.1 / Figure 3): exportable-variable analysis cost.
+//
+// Section 4.6 claims lex/geq-set computation is cheap (path analysis on the
+// view's inequality graph) while least-restrictive head-homomorphism
+// enumeration can degenerate. The bench sweeps the number of view variables
+// on sandwich-shaped graphs (the worst case for choice multiplicity:
+// many distinguished variables above and below one hidden variable).
+#include <benchmark/benchmark.h>
+
+#include "src/base/strings.h"
+#include "src/ir/parser.h"
+#include "src/rewriting/export_analysis.h"
+
+namespace cqac {
+namespace {
+
+// v(L1..Lm, U1..Um) :- r(X), s(L1..Um), Li <= X, X <= Ui: X is exportable
+// m*m ways.
+Query SandwichView(int m) {
+  std::vector<std::string> head;
+  std::vector<std::string> items;
+  std::vector<std::string> svars;
+  for (int i = 0; i < m; ++i) {
+    head.push_back(StrCat("L", i));
+    svars.push_back(StrCat("L", i));
+  }
+  for (int i = 0; i < m; ++i) {
+    head.push_back(StrCat("U", i));
+    svars.push_back(StrCat("U", i));
+  }
+  items.push_back("r(X)");
+  items.push_back(StrCat("s(", Join(svars, ", "), ")"));
+  for (int i = 0; i < m; ++i) items.push_back(StrCat("L", i, " <= X"));
+  for (int i = 0; i < m; ++i) items.push_back(StrCat("X <= U", i));
+  return MustParseQuery(
+      StrCat("v(", Join(head, ", "), ") :- ", Join(items, ", ")));
+}
+
+void BM_LexGeqSets(benchmark::State& state) {
+  Query v = SandwichView(static_cast<int>(state.range(0)));
+  ExportAnalysis analysis(v);
+  int x = v.FindVariable("X");
+  for (auto _ : state) {
+    auto leq = analysis.LeqSet(x);
+    auto geq = analysis.GeqSet(x);
+    benchmark::DoNotOptimize(leq);
+    benchmark::DoNotOptimize(geq);
+  }
+  state.counters["vars"] = static_cast<double>(v.num_vars());
+}
+BENCHMARK(BM_LexGeqSets)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExportHomomorphisms(benchmark::State& state) {
+  Query v = SandwichView(static_cast<int>(state.range(0)));
+  ExportAnalysis analysis(v);
+  int x = v.FindVariable("X");
+  size_t choices = 0;
+  for (auto _ : state) {
+    auto homs = analysis.ExportHomomorphisms(x);
+    choices = homs.size();
+    benchmark::DoNotOptimize(homs);
+  }
+  // Quadratic in the sandwich width, as Section 4.6 predicts.
+  state.counters["choices"] = static_cast<double>(choices);
+}
+BENCHMARK(BM_ExportHomomorphisms)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Example41Analysis(benchmark::State& state) {
+  Query v = MustParseQuery(
+      "v(X1, X3, X4, X5, X7, X8) :- r(X2, X6), s(X1, X3, X4, X5, X7, X8), "
+      "X1 <= X2, X2 <= X3, X4 <= X5, X5 <= X6, X6 <= X7, X8 <= X6");
+  for (auto _ : state) {
+    ExportAnalysis analysis(v);
+    bool e2 = analysis.IsExportable(v.FindVariable("X2"));
+    bool e6 = analysis.IsExportable(v.FindVariable("X6"));
+    if (!e2 || !e6) state.SkipWithError("Figure 3 analysis regressed");
+    benchmark::DoNotOptimize(analysis);
+  }
+}
+BENCHMARK(BM_Example41Analysis);
+
+}  // namespace
+}  // namespace cqac
+
+BENCHMARK_MAIN();

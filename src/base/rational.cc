@@ -1,0 +1,105 @@
+#include "src/base/rational.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace cqac {
+namespace {
+
+// Checked narrowing from __int128 to int64_t.
+int64_t Narrow(__int128 v) {
+  assert(v <= INT64_MAX && v >= INT64_MIN && "rational overflow");
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  assert(den != 0 && "rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g == 0) g = 1;
+  num_ = num / g;
+  den_ = den / g;
+}
+
+Result<Rational> Rational::Parse(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty numeric literal");
+  // Fraction form "a/b".
+  size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    char* end = nullptr;
+    long long num = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash)
+      return Status::InvalidArgument("bad numerator in '" + text + "'");
+    long long den = std::strtoll(text.c_str() + slash + 1, &end, 10);
+    if (*end != '\0' || den == 0)
+      return Status::InvalidArgument("bad denominator in '" + text + "'");
+    return Rational(num, den);
+  }
+  // Decimal form "a.b".
+  size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    bool neg = text[0] == '-';
+    std::string digits = text;
+    digits.erase(dot, 1);
+    char* end = nullptr;
+    long long mantissa = std::strtoll(digits.c_str(), &end, 10);
+    if (*end != '\0')
+      return Status::InvalidArgument("bad decimal literal '" + text + "'");
+    size_t frac_digits = text.size() - dot - 1;
+    if (frac_digits == 0 || frac_digits > 15)
+      return Status::InvalidArgument("bad decimal literal '" + text + "'");
+    int64_t den = 1;
+    for (size_t i = 0; i < frac_digits; ++i) den *= 10;
+    (void)neg;
+    return Rational(mantissa, den);
+  }
+  // Integer form.
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (*end != '\0')
+    return Status::InvalidArgument("bad integer literal '" + text + "'");
+  return Rational(v);
+}
+
+Rational Rational::Midpoint(const Rational& a, const Rational& b) {
+  return (a + b) * Rational(1, 2);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  __int128 num =
+      static_cast<__int128>(num_) * o.den_ + static_cast<__int128>(o.num_) * den_;
+  __int128 den = static_cast<__int128>(den_) * o.den_;
+  return Rational(Narrow(num), Narrow(den));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  __int128 num = static_cast<__int128>(num_) * o.num_;
+  __int128 den = static_cast<__int128>(den_) * o.den_;
+  return Rational(Narrow(num), Narrow(den));
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+size_t Rational::Hash() const {
+  size_t h = std::hash<int64_t>()(num_);
+  h ^= std::hash<int64_t>()(den_) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace cqac

@@ -1,0 +1,91 @@
+// Exact rational arithmetic over 64-bit numerator/denominator.
+//
+// The paper's queries range over a *dense* total order (e.g. the rationals).
+// Constraint implication and consistency tests must be exact, so the library
+// never uses floating point for comparison constants. Overflow is checked;
+// overflowing operations saturate the process with an assertion in debug
+// builds and report failure via TryAdd/TryMul in release paths that care.
+#ifndef CQAC_BASE_RATIONAL_H_
+#define CQAC_BASE_RATIONAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace cqac {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+///
+/// Rationals are the canonical dense order used for all comparison constants.
+/// All relational operators perform exact cross-multiplication in 128-bit
+/// intermediates, so they never overflow for any representable value.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// An integer value.
+  constexpr /*implicit*/ Rational(int64_t n) : num_(n), den_(1) {}
+
+  /// num/den, normalized. `den` must be nonzero.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+
+  /// Parses "123", "-4", "3.25" or "7/2". Rejects anything else.
+  static Result<Rational> Parse(const std::string& text);
+
+  /// Exact midpoint (a+b)/2 — always representable denseness witness
+  /// provided intermediates do not overflow (asserted).
+  static Rational Midpoint(const Rational& a, const Rational& b);
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// Renders as "n" for integers, "n/d" otherwise.
+  std::string ToString() const;
+
+  /// Approximate double value (for reporting only, never for decisions).
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Stable hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace cqac
+
+namespace std {
+template <>
+struct hash<cqac::Rational> {
+  size_t operator()(const cqac::Rational& r) const { return r.Hash(); }
+};
+}  // namespace std
+
+#endif  // CQAC_BASE_RATIONAL_H_

@@ -1,0 +1,44 @@
+// Deterministic random number generation for workload generators and
+// property tests. All randomness in the library flows through Rng so that
+// every experiment is reproducible from a single seed.
+#ifndef CQAC_BASE_RNG_H_
+#define CQAC_BASE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cqac {
+
+/// A seeded 64-bit Mersenne-Twister wrapper with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Uniform pick from a nonempty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, items.size() - 1))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_BASE_RNG_H_

@@ -1,0 +1,132 @@
+// Lightweight Status / Result error-handling primitives, in the style used by
+// Arrow and RocksDB: fallible operations return a Status (or a Result<T>
+// carrying a value), never throw.
+#ifndef CQAC_BASE_STATUS_H_
+#define CQAC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cqac {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (e.g. parse errors, bad arity)
+  kInconsistent,      // arithmetic comparisons are unsatisfiable
+  kNotFound,          // requested entity does not exist
+  kUnsupported,       // input outside the fragment an algorithm handles
+  kResourceExhausted, // overflow / limits exceeded
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK statuses carry no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-Status union. Accessing the value of an errored Result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cqac
+
+/// Propagates a non-OK Status from the current function.
+#define CQAC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::cqac::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a Result expression, assigning the value or propagating the
+/// error. Usage: CQAC_ASSIGN_OR_RETURN(auto q, ParseQuery(text));
+#define CQAC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define CQAC_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  CQAC_ASSIGN_OR_RETURN_IMPL(                                              \
+      CQAC_STATUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define CQAC_STATUS_CONCAT_INNER(a, b) a##b
+#define CQAC_STATUS_CONCAT(a, b) CQAC_STATUS_CONCAT_INNER(a, b)
+
+#endif  // CQAC_BASE_STATUS_H_

@@ -1,0 +1,31 @@
+// Small string utilities shared across the library.
+#ifndef CQAC_BASE_STRINGS_H_
+#define CQAC_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cqac {
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Strip(const std::string& text);
+
+/// printf-lite: concatenates the string forms of all arguments.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace cqac
+
+#endif  // CQAC_BASE_STRINGS_H_

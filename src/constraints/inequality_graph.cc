@@ -1,0 +1,144 @@
+#include "src/constraints/inequality_graph.h"
+
+#include <cassert>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+int InequalityGraph::NodeFor(const Term& t) {
+  int found = FindNode(t);
+  if (found >= 0) return found;
+  nodes_.push_back(t);
+  closed_ = false;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int InequalityGraph::FindNode(const Term& t) const {
+  for (size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i] == t) return static_cast<int>(i);
+  return -1;
+}
+
+Status InequalityGraph::AddComparison(const Comparison& c) {
+  for (const Term* t : {&c.lhs, &c.rhs}) {
+    if (t->is_const() && t->value().is_symbol() && c.op != CompOp::kEq)
+      return Status::InvalidArgument(
+          StrCat("ordered comparison over symbol '", t->value().symbol(),
+                 "'"));
+  }
+  int a = NodeFor(c.lhs);
+  int b = NodeFor(c.rhs);
+  switch (c.op) {
+    case CompOp::kLt:
+      edges_.push_back({a, b, Rel::kLt});
+      break;
+    case CompOp::kLe:
+      edges_.push_back({a, b, Rel::kLe});
+      break;
+    case CompOp::kEq:
+      edges_.push_back({a, b, Rel::kLe});
+      edges_.push_back({b, a, Rel::kLe});
+      break;
+  }
+  closed_ = false;
+  return Status::OK();
+}
+
+void InequalityGraph::Close() {
+  const int n = num_nodes();
+  closure_.assign(n, std::vector<Rel>(n, Rel::kNone));
+  // Reflexive <=.
+  for (int i = 0; i < n; ++i) closure_[i][i] = Rel::kLe;
+  // Explicit edges.
+  for (const Edge& e : edges_)
+    closure_[e.from][e.to] = StrongerRel(closure_[e.from][e.to], e.rel);
+  // Implicit total order on numeric constants. (Distinct symbols and
+  // number/symbol pairs carry no order edge; forced equality between them is
+  // detected below.)
+  for (int i = 0; i < n; ++i) {
+    if (!nodes_[i].is_const() || !nodes_[i].value().is_number()) continue;
+    for (int j = 0; j < n; ++j) {
+      if (i == j || !nodes_[j].is_const() || !nodes_[j].value().is_number())
+        continue;
+      if (nodes_[i].value().number() < nodes_[j].value().number())
+        closure_[i][j] = StrongerRel(closure_[i][j], Rel::kLt);
+    }
+  }
+  // Floyd-Warshall closure with strictness propagation.
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      if (closure_[i][k] == Rel::kNone) continue;
+      for (int j = 0; j < n; ++j)
+        closure_[i][j] = StrongerRel(closure_[i][j],
+                                     ComposeRel(closure_[i][k], closure_[k][j]));
+    }
+  // Consistency: a `<` self-loop is a contradiction; so is equality between
+  // distinct constants (numeric pairs would already self-loop through their
+  // order edge, but symbols need the direct check).
+  consistent_ = true;
+  for (int i = 0; i < n && consistent_; ++i)
+    if (closure_[i][i] == Rel::kLt) consistent_ = false;
+  for (int i = 0; i < n && consistent_; ++i) {
+    if (!nodes_[i].is_const()) continue;
+    for (int j = i + 1; j < n && consistent_; ++j) {
+      if (!nodes_[j].is_const()) continue;
+      if (AreEqual(i, j)) consistent_ = false;
+    }
+  }
+  closed_ = true;
+}
+
+bool InequalityGraph::Implies(const Comparison& c) const {
+  assert(closed_ && "call Close() first");
+  // An inconsistent premise implies everything.
+  if (!consistent_) return true;
+  int a = FindNode(c.lhs);
+  int b = FindNode(c.rhs);
+  // Trivial cases not requiring graph membership.
+  if (c.lhs == c.rhs) return c.op != CompOp::kLt;
+  if (c.lhs.is_const() && c.rhs.is_const()) {
+    const Value& va = c.lhs.value();
+    const Value& vb = c.rhs.value();
+    if (c.op == CompOp::kEq) return va == vb;
+    if (va.is_number() && vb.is_number()) {
+      return c.op == CompOp::kLt ? va.number() < vb.number()
+                                 : va.number() <= vb.number();
+    }
+    return false;  // symbols are unordered
+  }
+  if (a < 0 || b < 0) return false;  // an unconstrained term
+  switch (c.op) {
+    case CompOp::kLt:
+      return closure_[a][b] == Rel::kLt;
+    case CompOp::kLe:
+      return closure_[a][b] != Rel::kNone;
+    case CompOp::kEq:
+      return AreEqual(a, b);
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> InequalityGraph::EqualityClasses() const {
+  assert(closed_ && "call Close() first");
+  const int n = num_nodes();
+  std::vector<int> cls(n, -1);
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n; ++i) {
+    if (cls[i] >= 0) continue;
+    std::vector<int> group{i};
+    for (int j = i + 1; j < n; ++j) {
+      if (cls[j] < 0 && AreEqual(i, j)) {
+        cls[j] = static_cast<int>(out.size());
+        group.push_back(j);
+      }
+    }
+    if (group.size() > 1) {
+      cls[i] = static_cast<int>(out.size());
+      out.push_back(std::move(group));
+    }
+  }
+  return out;
+}
+
+}  // namespace cqac

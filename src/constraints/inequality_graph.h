@@ -1,0 +1,105 @@
+// The inequality graph of a set of arithmetic comparisons (Section 4.3 and
+// [Klug88]): nodes are terms (variables and constants), edges are <= or <
+// relations. The transitive closure answers implication and consistency
+// queries; the raw edge set supports the path analyses of Definition 4.2
+// (lex-sets / geq-sets for exportable variables).
+#ifndef CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_
+#define CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/atom.h"
+
+namespace cqac {
+
+/// Strength of the derived relation between two nodes.
+enum class Rel : uint8_t {
+  kNone = 0,  // nothing derivable
+  kLe = 1,    // a <= b
+  kLt = 2,    // a <  b
+};
+
+/// Combines two path segments: the composite is < iff any segment is <.
+inline Rel ComposeRel(Rel a, Rel b) {
+  if (a == Rel::kNone || b == Rel::kNone) return Rel::kNone;
+  return (a == Rel::kLt || b == Rel::kLt) ? Rel::kLt : Rel::kLe;
+}
+
+/// The stronger of two parallel derivations.
+inline Rel StrongerRel(Rel a, Rel b) {
+  return static_cast<Rel>(std::max(static_cast<uint8_t>(a),
+                                   static_cast<uint8_t>(b)));
+}
+
+/// Inequality graph over terms with exact-constant ordering built in.
+///
+/// Usage: add comparisons (and any extra terms whose relations will be
+/// queried), call Close(), then query Implies/RelationOf/AreEqual.
+/// `=` comparisons become a pair of <= edges.
+class InequalityGraph {
+ public:
+  InequalityGraph() = default;
+
+  /// Interns `t` as a node and returns its index.
+  int NodeFor(const Term& t);
+
+  /// Returns the node index of `t`, or -1 if not interned.
+  int FindNode(const Term& t) const;
+
+  const Term& NodeTerm(int node) const { return nodes_[node]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Adds the edge(s) for one comparison. Symbolic constants are permitted
+  /// in `=` comparisons only.
+  Status AddComparison(const Comparison& c);
+
+  /// An explicit directed edge `from (rel) to`.
+  struct Edge {
+    int from;
+    int to;
+    Rel rel;  // kLe or kLt
+  };
+
+  /// The raw (pre-closure) edges, including those from `=` comparisons but
+  /// excluding the implicit constant-order edges.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Computes the transitive closure, adding the implicit total order on
+  /// numeric constants first. Idempotent; must be re-called after adding
+  /// more comparisons.
+  void Close();
+
+  /// Valid after Close(): false iff a `<` self-loop exists or two distinct
+  /// constants were forced equal.
+  bool IsConsistent() const { return consistent_; }
+
+  /// Valid after Close(): the derived relation from node `a` to node `b`.
+  Rel RelationOf(int a, int b) const { return closure_[a][b]; }
+
+  /// Valid after Close(): nodes derived equal (a<=b and b<=a).
+  bool AreEqual(int a, int b) const {
+    if (a == b) return true;
+    return closure_[a][b] != Rel::kNone && closure_[a][b] != Rel::kLt &&
+           closure_[b][a] != Rel::kNone && closure_[b][a] != Rel::kLt;
+  }
+
+  /// Valid after Close(): does the closed edge set entail `c`?
+  /// Terms of `c` must already be interned (intern before Close()).
+  bool Implies(const Comparison& c) const;
+
+  /// Valid after Close(): groups of node indices forced pairwise equal
+  /// (singletons omitted).
+  std::vector<std::vector<int>> EqualityClasses() const;
+
+ private:
+  std::vector<Term> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Rel>> closure_;
+  bool closed_ = false;
+  bool consistent_ = true;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_

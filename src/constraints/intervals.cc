@@ -1,0 +1,75 @@
+#include "src/constraints/intervals.h"
+
+#include "src/base/strings.h"
+#include "src/constraints/inequality_graph.h"
+
+namespace cqac {
+
+bool VarInterval::Empty() const {
+  if (!lower.has_value() || !upper.has_value()) return false;
+  if (*lower < *upper) return false;
+  if (*lower == *upper) return lower_strict || upper_strict;
+  return true;
+}
+
+std::string VarInterval::ToString() const {
+  std::string lo = lower.has_value()
+                       ? StrCat(lower_strict ? "(" : "[", lower->ToString())
+                       : "(-inf";
+  std::string hi = upper.has_value()
+                       ? StrCat(upper->ToString(), upper_strict ? ")" : "]")
+                       : "+inf)";
+  return StrCat(lo, ", ", hi);
+}
+
+Result<std::map<int, VarInterval>> DeriveIntervals(const Query& q) {
+  InequalityGraph g;
+  for (const Comparison& c : q.comparisons())
+    CQAC_RETURN_IF_ERROR(g.AddComparison(c));
+  // Intern every body variable so unconstrained ones get entries too.
+  std::set<int> vars = q.BodyVars();
+  for (int v : vars) g.NodeFor(Term::Var(v));
+  g.Close();
+  if (!g.IsConsistent())
+    return Status::Inconsistent("comparisons are unsatisfiable");
+
+  // Collect the constant nodes once.
+  std::vector<std::pair<int, Rational>> constants;
+  for (int n = 0; n < g.num_nodes(); ++n) {
+    const Term& t = g.NodeTerm(n);
+    if (t.is_const() && t.value().is_number())
+      constants.emplace_back(n, t.value().number());
+  }
+
+  std::map<int, VarInterval> out;
+  for (int v : vars) {
+    VarInterval iv;
+    int node = g.FindNode(Term::Var(v));
+    for (const auto& [cnode, cval] : constants) {
+      // Lower bounds: constant <= / < variable.
+      Rel up = g.RelationOf(cnode, node);
+      if (up != Rel::kNone) {
+        bool strict = (up == Rel::kLt);
+        if (!iv.lower.has_value() || *iv.lower < cval ||
+            (*iv.lower == cval && strict && !iv.lower_strict)) {
+          iv.lower = cval;
+          iv.lower_strict = strict;
+        }
+      }
+      // Upper bounds: variable <= / < constant.
+      Rel down = g.RelationOf(node, cnode);
+      if (down != Rel::kNone) {
+        bool strict = (down == Rel::kLt);
+        if (!iv.upper.has_value() || cval < *iv.upper ||
+            (*iv.upper == cval && strict && !iv.upper_strict)) {
+          iv.upper = cval;
+          iv.upper_strict = strict;
+        }
+      }
+    }
+    out.emplace(v, iv);
+  }
+  return out;
+}
+
+}  // namespace cqac

@@ -1,0 +1,45 @@
+// Consolidating a query's comparisons into per-variable intervals.
+//
+// The inequality closure derives, for every variable, the tightest lower
+// and upper bounds implied by the whole comparison set — including bounds
+// that only arise transitively through other variables (X <= Y, Y < 3 gives
+// X < 3). Useful for presenting rewritings and for the shell's `intervals`
+// command; also a natural consumer API for optimizers that want range
+// predicates per column.
+#ifndef CQAC_CONSTRAINTS_INTERVALS_H_
+#define CQAC_CONSTRAINTS_INTERVALS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// The tightest implied interval for one variable.
+struct VarInterval {
+  std::optional<Rational> lower;
+  bool lower_strict = false;  // lower < X vs lower <= X
+  std::optional<Rational> upper;
+  bool upper_strict = false;  // X < upper vs X <= upper
+
+  bool Unbounded() const { return !lower.has_value() && !upper.has_value(); }
+
+  /// True iff the interval contains no rational (possible only for
+  /// inconsistent inputs, which DeriveIntervals rejects first).
+  bool Empty() const;
+
+  /// Renders "(2, 7]", "(-inf, 3)", "[5, +inf)".
+  std::string ToString() const;
+};
+
+/// Computes each variable's tightest implied interval. Returns
+/// kInconsistent when the comparisons are unsatisfiable. Variables with no
+/// implied numeric bound map to an unbounded interval.
+Result<std::map<int, VarInterval>> DeriveIntervals(const Query& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_INTERVALS_H_

@@ -1,0 +1,133 @@
+#include "src/constraints/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/strings.h"
+#include "src/constraints/implication.h"
+#include "src/constraints/inequality_graph.h"
+#include "src/ir/substitution.h"
+
+namespace cqac {
+
+Query CompactVariables(const Query& q) {
+  // Collect used variable ids in order of first occurrence across head,
+  // body, comparisons.
+  std::vector<int> order;
+  std::vector<int> remap(q.num_vars(), -1);
+  auto visit = [&](const Term& t) {
+    if (t.is_var() && remap[t.var()] < 0) {
+      remap[t.var()] = static_cast<int>(order.size());
+      order.push_back(t.var());
+    }
+  };
+  for (const Term& t : q.head().args) visit(t);
+  for (const Atom& a : q.body())
+    for (const Term& t : a.args) visit(t);
+  for (const Comparison& c : q.comparisons()) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+
+  Query out;
+  out.head().predicate = q.head().predicate;
+  for (int old_id : order) out.FindOrAddVariable(q.VarName(old_id));
+  auto translate = [&remap](const Term& t) {
+    return t.is_var() ? Term::Var(remap[t.var()]) : t;
+  };
+  for (const Term& t : q.head().args) out.head().args.push_back(translate(t));
+  for (const Atom& a : q.body()) {
+    Atom na;
+    na.predicate = a.predicate;
+    for (const Term& t : a.args) na.args.push_back(translate(t));
+    out.AddBodyAtom(std::move(na));
+  }
+  for (const Comparison& c : q.comparisons())
+    out.AddComparison(Comparison(translate(c.lhs), c.op, translate(c.rhs)));
+  return out;
+}
+
+Result<Query> Preprocess(const Query& q) {
+  InequalityGraph g;
+  for (const Comparison& c : q.comparisons())
+    CQAC_RETURN_IF_ERROR(g.AddComparison(c));
+  g.Close();
+  if (!g.IsConsistent())
+    return Status::Inconsistent(
+        StrCat("comparisons of '", q.head().predicate,
+               "' are unsatisfiable"));
+
+  // Build the collapsing substitution from equality classes.
+  VarMap subst(q.num_vars());
+  for (const std::vector<int>& cls : g.EqualityClasses()) {
+    // Pick the representative: a constant if present, else the variable with
+    // the smallest id.
+    const Term* rep = nullptr;
+    for (int node : cls) {
+      const Term& t = g.NodeTerm(node);
+      if (t.is_const()) {
+        // Two distinct constants in one class would be inconsistent, which
+        // was already rejected.
+        rep = &t;
+        break;
+      }
+    }
+    if (rep == nullptr) {
+      int min_var = -1;
+      for (int node : cls) {
+        const Term& t = g.NodeTerm(node);
+        if (t.is_var() && (min_var < 0 || t.var() < min_var)) min_var = t.var();
+      }
+      assert(min_var >= 0);
+      for (int node : cls) {
+        const Term& t = g.NodeTerm(node);
+        if (t.is_var() && t.var() != min_var)
+          subst.ForceBind(t.var(), Term::Var(min_var));
+      }
+      continue;
+    }
+    for (int node : cls) {
+      const Term& t = g.NodeTerm(node);
+      if (t.is_var()) subst.ForceBind(t.var(), *rep);
+    }
+  }
+
+  Query out;
+  out.head().predicate = q.head().predicate;
+  for (const std::string& name : q.var_names()) out.FindOrAddVariable(name);
+  for (const Term& t : q.head().args) out.head().args.push_back(subst.Apply(t));
+  for (const Atom& a : q.body()) out.AddBodyAtom(subst.ApplyToAtom(a));
+
+  for (const Comparison& c : q.comparisons()) {
+    Comparison nc = subst.ApplyToComparison(c);
+    if (nc.op == CompOp::kEq) continue;  // collapsed away
+    if (nc.lhs == nc.rhs) continue;      // X <= X
+    if (nc.lhs.is_const() && nc.rhs.is_const()) continue;  // true by closure
+    if (std::find(out.comparisons().begin(), out.comparisons().end(), nc) ==
+        out.comparisons().end())
+      out.AddComparison(nc);
+  }
+  return CompactVariables(out);
+}
+
+Query RemoveRedundantComparisons(const Query& q) {
+  Query out = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < out.comparisons().size(); ++i) {
+      std::vector<Comparison> rest;
+      for (size_t j = 0; j < out.comparisons().size(); ++j)
+        if (j != i) rest.push_back(out.comparisons()[j]);
+      Result<bool> implied = ImpliesConjunction(rest, {out.comparisons()[i]});
+      if (implied.ok() && implied.value()) {
+        out.comparisons().erase(out.comparisons().begin() + i);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cqac

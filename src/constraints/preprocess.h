@@ -1,0 +1,41 @@
+// The preprocessing step of Section 2: detect variables forced equal by the
+// comparisons, collapse them (replacing by one representative or by a
+// constant), drop trivial comparisons, and report unsatisfiable queries.
+//
+// Example (from the paper):
+//   q(X, Z) :- e(X, Y), e(Y, Z), X <= Y, Y <= X
+// preprocesses to
+//   q(X, Z) :- e(X, X), e(X, Z)
+//
+// All containment and rewriting algorithms in the library assume their
+// inputs are preprocessed ("the ACs do not imply = restrictions").
+#ifndef CQAC_CONSTRAINTS_PREPROCESS_H_
+#define CQAC_CONSTRAINTS_PREPROCESS_H_
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// Returns the preprocessed equivalent of `q`:
+///  * variables forced equal are merged (a constant in the class wins);
+///  * `=` comparisons are eliminated;
+///  * trivially-true comparisons are dropped, duplicates removed;
+///  * unused variables are renumbered away.
+///
+/// Returns StatusCode::kInconsistent when the comparisons are unsatisfiable
+/// (the query denotes the empty relation on every database).
+Result<Query> Preprocess(const Query& q);
+
+/// Renumbers variables so that exactly the used ones remain, preserving
+/// order of first use. Head, body and comparisons are rewritten.
+Query CompactVariables(const Query& q);
+
+/// Removes comparisons implied by the remaining ones (greedy, deterministic).
+/// Keeps the query logically equivalent; used to present minimal rewritings
+/// (Section 4.4 "optionally, we might remove the AC A > 3").
+Query RemoveRedundantComparisons(const Query& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_PREPROCESS_H_

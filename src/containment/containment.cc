@@ -1,0 +1,360 @@
+#include "src/containment/containment.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/constraints/implication.h"
+#include "src/constraints/preprocess.h"
+#include "src/containment/homomorphism.h"
+#include "src/eval/evaluate.h"
+
+namespace cqac {
+namespace {
+
+/// Preprocesses `q`; sets *inconsistent instead of failing when the
+/// comparisons are unsatisfiable.
+Result<Query> PreprocessOrFlag(const Query& q, bool* inconsistent) {
+  *inconsistent = false;
+  Result<Query> r = Preprocess(q);
+  if (!r.ok() && r.status().code() == StatusCode::kInconsistent) {
+    *inconsistent = true;
+    return q;  // placeholder; caller must check the flag
+  }
+  return r;
+}
+
+/// Simplifies one disjunct (an image mu_i(beta1) over q2's terms):
+///  * constant-constant comparisons evaluate away (false kills the disjunct);
+///  * an ordered comparison touching a symbolic constant kills the disjunct
+///    (symbols are unordered, so it is unsatisfiable).
+/// Returns false iff the disjunct is dead.
+bool SanitizeImage(std::vector<Comparison>* cs) {
+  std::vector<Comparison> kept;
+  for (const Comparison& c : *cs) {
+    bool lhs_sym = c.lhs.is_const() && c.lhs.value().is_symbol();
+    bool rhs_sym = c.rhs.is_const() && c.rhs.value().is_symbol();
+    if (c.op == CompOp::kEq) {
+      if (c.lhs == c.rhs) continue;
+      if (c.lhs.is_const() && c.rhs.is_const()) {
+        if (c.lhs.value() == c.rhs.value()) continue;
+        return false;
+      }
+      kept.push_back(c);
+      continue;
+    }
+    if (lhs_sym || rhs_sym) return false;
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      if (!EvaluateGroundComparison(c.lhs.value(), c.op, c.rhs.value()))
+        return false;
+      continue;
+    }
+    if (c.lhs == c.rhs) {
+      if (c.op == CompOp::kLt) return false;
+      continue;  // X <= X
+    }
+    kept.push_back(c);
+  }
+  *cs = std::move(kept);
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsContained(const Query& q2, const Query& q1,
+                         const ContainmentOptions& options) {
+  if (q2.head().args.size() != q1.head().args.size())
+    return Status::InvalidArgument(
+        "containment between queries of different head arity");
+
+  bool q2_inconsistent = false, q1_inconsistent = false;
+  CQAC_ASSIGN_OR_RETURN(Query q2p, PreprocessOrFlag(q2, &q2_inconsistent));
+  if (q2_inconsistent) return true;  // the empty query is contained anywhere
+  CQAC_ASSIGN_OR_RETURN(Query q1p, PreprocessOrFlag(q1, &q1_inconsistent));
+  if (q1_inconsistent) return false;  // nothing nonempty fits in the empty one
+
+  HomomorphismOptions hopts;
+  hopts.max_results = options.max_homomorphisms;
+
+  AcClass q1_class = q1p.Classify();
+  bool fast_path = options.use_single_mapping_fast_path &&
+                   (q1_class == AcClass::kNone || q1_class == AcClass::kLsi ||
+                    q1_class == AcClass::kRsi);
+
+  if (fast_path) {
+    // Theorem 2.3 (and its RSI mirror): Q2 contained in Q1 iff some single
+    // containment mapping mu has beta2 => mu(beta1).
+    bool found = false;
+    Status inner = Status::OK();
+    ForEachHomomorphism(q1p, q2p, hopts, [&](const VarMap& mu) {
+      std::vector<Comparison> image = mu.ApplyToComparisons(q1p.comparisons());
+      if (!SanitizeImage(&image)) return true;  // dead disjunct, keep looking
+      Result<bool> implied = ImpliesConjunction(q2p.comparisons(), image);
+      if (!implied.ok()) {
+        inner = implied.status();
+        return false;
+      }
+      if (implied.value()) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    CQAC_RETURN_IF_ERROR(inner);
+    return found;
+  }
+
+  // General path (Theorem 2.1): collect every containment mapping's image
+  // and test the disjunction implication.
+  std::vector<std::vector<Comparison>> disjuncts;
+  bool trivially_contained = false;
+  bool completed = ForEachHomomorphism(q1p, q2p, hopts, [&](const VarMap& mu) {
+    std::vector<Comparison> image = mu.ApplyToComparisons(q1p.comparisons());
+    if (!SanitizeImage(&image)) return true;
+    if (image.empty()) {
+      trivially_contained = true;  // some mapping needs no comparisons at all
+      return false;
+    }
+    if (std::find(disjuncts.begin(), disjuncts.end(), image) ==
+        disjuncts.end())
+      disjuncts.push_back(std::move(image));
+    return true;
+  });
+  if (trivially_contained) return true;
+  if (!completed)
+    return Status::ResourceExhausted(
+        "containment-mapping enumeration exceeded max_homomorphisms");
+  if (disjuncts.empty()) return false;
+  return ImpliesDisjunction(q2p.comparisons(), disjuncts);
+}
+
+Result<bool> IsEquivalent(const Query& q1, const Query& q2,
+                          const ContainmentOptions& options) {
+  CQAC_ASSIGN_OR_RETURN(bool a, IsContained(q1, q2, options));
+  if (!a) return false;
+  return IsContained(q2, q1, options);
+}
+
+namespace {
+
+/// Assigns an exact rational value to every rank of a preorder such that the
+/// values are strictly increasing and every rank containing a numeric
+/// constant gets that constant's value.
+std::vector<Rational> RankValues(const PreorderView& view) {
+  const int n = view.num_ranks();
+  std::vector<std::optional<Rational>> fixed(n);
+  for (int r = 0; r < n; ++r)
+    for (const Term& t : view.GroupAt(r))
+      if (t.is_const() && t.value().is_number())
+        fixed[r] = t.value().number();
+
+  std::vector<Rational> vals(n, Rational(0));
+  int i = 0;
+  while (i < n) {
+    if (fixed[i].has_value()) {
+      vals[i] = *fixed[i];
+      ++i;
+      continue;
+    }
+    // Run [i, j) of unfixed ranks; bounded by fixed values on either side
+    // (if any).
+    int j = i;
+    while (j < n && !fixed[j].has_value()) ++j;
+    const int k = j - i;
+    if (i == 0 && j == n) {
+      for (int t = 0; t < k; ++t) vals[i + t] = Rational(t);
+    } else if (i == 0) {
+      for (int t = 0; t < k; ++t)
+        vals[i + t] = *fixed[j] - Rational(k - t);
+    } else if (j == n) {
+      for (int t = 0; t < k; ++t)
+        vals[i + t] = vals[i - 1] + Rational(t + 1);
+    } else {
+      const Rational lo = vals[i - 1];
+      const Rational hi = *fixed[j];
+      for (int t = 0; t < k; ++t)
+        vals[i + t] = lo + (hi - lo) * Rational(t + 1, k + 1);
+    }
+    i = j;
+  }
+  return vals;
+}
+
+/// Builds the canonical database of `q` under the preorder: every variable
+/// is assigned its rank value, and each body atom becomes a fact. Returns
+/// the assigned head tuple through *head.
+Result<Database> CanonicalDatabase(const Query& q, const PreorderView& view,
+                                   const std::vector<Rational>& vals,
+                                   Tuple* head) {
+  auto assign = [&](const Term& t) -> Value {
+    if (t.is_const()) return t.value();
+    int r = view.RankOf(t);
+    // Variables outside any comparison were still enumerated (callers pass
+    // every variable of q), so r >= 0 always.
+    return Value(vals[r]);
+  };
+  Database db;
+  for (const Atom& a : q.body()) {
+    Tuple t;
+    for (const Term& arg : a.args) t.push_back(assign(arg));
+    CQAC_RETURN_IF_ERROR(db.Insert(a.predicate, std::move(t)));
+  }
+  head->clear();
+  for (const Term& arg : q.head().args) head->push_back(assign(arg));
+  return db;
+}
+
+/// Shared engine for the canonical-database procedures: enumerates q2's
+/// consistent preorders and requires `accept(db, head)` on each.
+Result<bool> ForAllCanonicalDatabases(
+    const Query& q2, const std::vector<Rational>& extra_constants,
+    const std::function<Result<bool>(const Database&, const Tuple&)>& accept) {
+  bool inconsistent = false;
+  CQAC_ASSIGN_OR_RETURN(Query q2p, PreprocessOrFlag(q2, &inconsistent));
+  if (inconsistent) return true;
+  CQAC_RETURN_IF_ERROR(q2p.Validate());
+
+  std::set<int> vars = q2p.BodyVars();
+  std::vector<Rational> constants = q2p.ComparisonConstants();
+  for (const Rational& c : extra_constants)
+    if (std::find(constants.begin(), constants.end(), c) == constants.end())
+      constants.push_back(c);
+  // Numeric constants inside ordinary subgoals also participate in the
+  // order (they may join/compare in q1).
+  for (const Atom& a : q2p.body())
+    for (const Term& t : a.args)
+      if (t.is_const() && t.value().is_number() &&
+          std::find(constants.begin(), constants.end(),
+                    t.value().number()) == constants.end())
+        constants.push_back(t.value().number());
+
+  Status inner = Status::OK();
+  bool all_ok = ForEachConsistentPreorder(
+      vars, constants, q2p.comparisons(), [&](const PreorderView& view) {
+        std::vector<Rational> vals = RankValues(view);
+        Tuple head;
+        Result<Database> db = CanonicalDatabase(q2p, view, vals, &head);
+        if (!db.ok()) {
+          inner = db.status();
+          return false;
+        }
+        Result<bool> ok = accept(db.value(), head);
+        if (!ok.ok()) {
+          inner = ok.status();
+          return false;
+        }
+        return ok.value();  // a failing database aborts: not contained
+      });
+  CQAC_RETURN_IF_ERROR(inner);
+  return all_ok;
+}
+
+/// Numeric constants from both comparisons and ordinary subgoals: a body
+/// constant of the containing query joins against canonical values, so it
+/// must be a possible rank.
+std::vector<Rational> AllNumericConstants(const Query& q) {
+  std::vector<Rational> out = q.ComparisonConstants();
+  for (const Atom& a : q.body())
+    for (const Term& t : a.args)
+      if (t.is_const() && t.value().is_number() &&
+          std::find(out.begin(), out.end(), t.value().number()) == out.end())
+        out.push_back(t.value().number());
+  return out;
+}
+
+}  // namespace
+
+Result<bool> IsContainedByCanonicalDatabases(const Query& q2,
+                                             const Query& q1) {
+  if (q2.head().args.size() != q1.head().args.size())
+    return Status::InvalidArgument(
+        "containment between queries of different head arity");
+  bool q1_inconsistent = false;
+  CQAC_ASSIGN_OR_RETURN(Query q1p, PreprocessOrFlag(q1, &q1_inconsistent));
+  std::vector<Rational> q1_constants =
+      q1_inconsistent ? std::vector<Rational>{} : AllNumericConstants(q1p);
+
+  return ForAllCanonicalDatabases(
+      q2, q1_constants,
+      [&](const Database& db, const Tuple& head) -> Result<bool> {
+        if (q1_inconsistent) return false;
+        CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(q1p, db));
+        return r.count(head) > 0;
+      });
+}
+
+Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
+  // Sagiv-Yannakakis fast path: for comparison-free inputs, containment in
+  // a union holds iff containment in some single disjunct. (False once
+  // comparisons are present — see the X<3 / X>1 example in the tests.)
+  bool all_cq = q.IsConjunctiveOnly();
+  for (const Query& d : u.disjuncts)
+    if (!d.IsConjunctiveOnly()) all_cq = false;
+  if (all_cq) {
+    for (const Query& d : u.disjuncts) {
+      if (d.head().args.size() != q.head().args.size())
+        return Status::InvalidArgument(
+            "union containment between queries of different head arity");
+      CQAC_ASSIGN_OR_RETURN(bool c, IsContained(q, d));
+      if (c) return true;
+    }
+    return false;
+  }
+
+  std::vector<Rational> constants;
+  std::vector<Query> prepped;
+  for (const Query& d : u.disjuncts) {
+    if (d.head().args.size() != q.head().args.size())
+      return Status::InvalidArgument(
+          "union containment between queries of different head arity");
+    bool inconsistent = false;
+    CQAC_ASSIGN_OR_RETURN(Query dp, PreprocessOrFlag(d, &inconsistent));
+    if (inconsistent) continue;
+    for (const Rational& c : AllNumericConstants(dp)) constants.push_back(c);
+    prepped.push_back(std::move(dp));
+  }
+
+  return ForAllCanonicalDatabases(
+      q, constants,
+      [&](const Database& db, const Tuple& head) -> Result<bool> {
+        for (const Query& d : prepped) {
+          CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(d, db));
+          if (r.count(head) > 0) return true;
+        }
+        return false;
+      });
+}
+
+Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
+                              const ContainmentOptions& options) {
+  for (const Query& d : u.disjuncts) {
+    CQAC_ASSIGN_OR_RETURN(bool c, IsContained(d, q1, options));
+    if (!c) return false;
+  }
+  return true;
+}
+
+Result<UnionQuery> MinimizeUnion(const UnionQuery& u) {
+  // Greedy: repeatedly try to drop one disjunct; a disjunct is droppable
+  // when it is contained in the union of the remaining ones.
+  std::vector<Query> kept = u.disjuncts;
+  bool changed = true;
+  while (changed && kept.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      UnionQuery rest;
+      for (size_t j = 0; j < kept.size(); ++j)
+        if (j != i) rest.disjuncts.push_back(kept[j]);
+      CQAC_ASSIGN_OR_RETURN(bool covered, IsContainedInUnion(kept[i], rest));
+      if (covered) {
+        kept.erase(kept.begin() + i);
+        changed = true;
+        break;
+      }
+    }
+  }
+  UnionQuery out;
+  out.disjuncts = std::move(kept);
+  return out;
+}
+
+}  // namespace cqac

@@ -1,0 +1,64 @@
+// Containment and equivalence of CQAC queries.
+//
+// Three procedures:
+//  * IsContained          — the production test: Theorem 2.3's single-mapping
+//    fast path when the containing query is CQ/LSI/RSI, otherwise the general
+//    Theorem 2.1 test (all containment mappings + disjunction implication);
+//  * IsContainedByCanonicalDatabases — an independent, first-principles
+//    decision procedure enumerating canonical databases (one per total
+//    preorder of the contained query's variables). Used to cross-validate
+//    the production test and to decide union containment;
+//  * IsContainedInUnion   — containment in a finite union of CQACs (needed
+//    for MCR verification, Sections 3-4).
+//
+// All procedures preprocess their inputs first (Section 2), so callers may
+// pass queries whose comparisons imply equalities.
+#ifndef CQAC_CONTAINMENT_CONTAINMENT_H_
+#define CQAC_CONTAINMENT_CONTAINMENT_H_
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+struct ContainmentOptions {
+  /// Use the Theorem 2.3 single-mapping test when the containing query is
+  /// CQ-only, LSI, or RSI. Disable to force the general Theorem 2.1 path
+  /// (for benchmarking the difference).
+  bool use_single_mapping_fast_path = true;
+  /// Cap on enumerated containment mappings.
+  size_t max_homomorphisms = 1 << 20;
+};
+
+/// True iff `q2` is contained in `q1` (every database's q2-answers are
+/// q1-answers). Head arities must match.
+Result<bool> IsContained(const Query& q2, const Query& q1,
+                         const ContainmentOptions& options = {});
+
+/// True iff `q1` and `q2` are equivalent.
+Result<bool> IsEquivalent(const Query& q1, const Query& q2,
+                          const ContainmentOptions& options = {});
+
+/// Independent decision procedure: enumerates every total preorder of q2's
+/// variables consistent with beta2, builds the canonical database, and
+/// evaluates q1 on it. Exponential; intended for validation and small inputs.
+Result<bool> IsContainedByCanonicalDatabases(const Query& q2, const Query& q1);
+
+/// True iff `q` is contained in the union `u` (canonical-database method:
+/// every consistent preorder's canonical database must satisfy some
+/// disjunct).
+Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u);
+
+/// True iff every disjunct of `u` is contained in `q1`.
+Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
+                              const ContainmentOptions& options = {});
+
+/// Removes disjuncts contained in the union of the remaining ones (greedy,
+/// deterministic). The resulting union is equivalent to `u`. Note that with
+/// comparisons a disjunct can be redundant without being contained in any
+/// single other disjunct, so the per-disjunct test uses IsContainedInUnion.
+Result<UnionQuery> MinimizeUnion(const UnionQuery& u);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONTAINMENT_CONTAINMENT_H_

@@ -1,0 +1,91 @@
+#include "src/containment/homomorphism.h"
+
+namespace cqac {
+namespace {
+
+/// Backtracking search over `from`'s body atoms.
+class HomSearch {
+ public:
+  HomSearch(const Query& from, const Query& to,
+            const HomomorphismOptions& options,
+            const std::function<bool(const VarMap&)>& cb)
+      : from_(from), to_(to), options_(options), cb_(cb),
+        map_(from.num_vars()) {}
+
+  // Returns true iff enumeration completed (no abort, no cap).
+  bool Run() {
+    if (options_.match_heads) {
+      if (from_.head().args.size() != to_.head().args.size()) return true;
+      for (size_t i = 0; i < from_.head().args.size(); ++i)
+        if (!UnifyTerm(from_.head().args[i], to_.head().args[i]))
+          return true;  // heads cannot match: zero mappings, completed
+    }
+    return Match(0);
+  }
+
+ private:
+  // Maps `from` term `ft` onto `to` term `tt`; returns false on conflict.
+  // Does not record an undo trail — callers snapshot map_ instead.
+  bool UnifyTerm(const Term& ft, const Term& tt) {
+    if (ft.is_const()) {
+      // Constants map to themselves only.
+      return tt.is_const() && ft.value() == tt.value();
+    }
+    return map_.Bind(ft.var(), tt);
+  }
+
+  bool Match(size_t atom_idx) {
+    if (atom_idx == from_.body().size()) {
+      ++found_;
+      if (found_ > options_.max_results) return false;
+      return cb_(map_);
+    }
+    const Atom& fa = from_.body()[atom_idx];
+    for (const Atom& ta : to_.body()) {
+      if (ta.predicate != fa.predicate || ta.args.size() != fa.args.size())
+        continue;
+      VarMap saved = map_;
+      bool ok = true;
+      for (size_t i = 0; i < fa.args.size() && ok; ++i)
+        ok = UnifyTerm(fa.args[i], ta.args[i]);
+      if (ok && !Match(atom_idx + 1)) return false;
+      map_ = std::move(saved);
+    }
+    return true;
+  }
+
+  const Query& from_;
+  const Query& to_;
+  const HomomorphismOptions& options_;
+  const std::function<bool(const VarMap&)>& cb_;
+  VarMap map_;
+  size_t found_ = 0;
+};
+
+}  // namespace
+
+bool ForEachHomomorphism(const Query& from, const Query& to,
+                         const HomomorphismOptions& options,
+                         const std::function<bool(const VarMap&)>& cb) {
+  HomSearch search(from, to, options, cb);
+  return search.Run();
+}
+
+std::vector<VarMap> FindHomomorphisms(const Query& from, const Query& to,
+                                      const HomomorphismOptions& options) {
+  std::vector<VarMap> out;
+  ForEachHomomorphism(from, to, options, [&out](const VarMap& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+bool HomomorphismExists(const Query& from, const Query& to,
+                        const HomomorphismOptions& options) {
+  bool completed = ForEachHomomorphism(from, to, options,
+                                       [](const VarMap&) { return false; });
+  return !completed;  // aborted == found one
+}
+
+}  // namespace cqac

@@ -1,0 +1,47 @@
+// Containment-mapping (homomorphism) enumeration between the ordinary
+// subgoals of two queries [Chandra-Merlin 1977].
+//
+// A containment mapping from Q1 to Q2 sends each variable of Q1 to a term of
+// Q2 such that (a) the head of Q1 maps onto the head of Q2 and (b) every
+// ordinary subgoal of Q1 maps onto some ordinary subgoal of Q2. Comparisons
+// are NOT considered here; the containment module layers Theorem 2.1 / 2.3
+// implication checks on top.
+#ifndef CQAC_CONTAINMENT_HOMOMORPHISM_H_
+#define CQAC_CONTAINMENT_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+#include "src/ir/substitution.h"
+
+namespace cqac {
+
+struct HomomorphismOptions {
+  /// Require mu(head(from)) == head(to) (position-wise). Disable to search
+  /// body-only mappings (used by rewriting internals).
+  bool match_heads = true;
+  /// Safety cap on enumerated mappings.
+  size_t max_results = 1 << 20;
+};
+
+/// Invokes `cb` for every containment mapping from `from` into `to`.
+/// `cb` returns true to continue. Returns true iff the enumeration completed
+/// without aborting and without hitting max_results.
+bool ForEachHomomorphism(const Query& from, const Query& to,
+                         const HomomorphismOptions& options,
+                         const std::function<bool(const VarMap&)>& cb);
+
+/// Collects all containment mappings (bounded by options.max_results).
+std::vector<VarMap> FindHomomorphisms(const Query& from, const Query& to,
+                                      const HomomorphismOptions& options = {});
+
+/// True iff at least one containment mapping exists — the Chandra-Merlin
+/// containment test for pure CQs (`to` contained in `from`).
+bool HomomorphismExists(const Query& from, const Query& to,
+                        const HomomorphismOptions& options = {});
+
+}  // namespace cqac
+
+#endif  // CQAC_CONTAINMENT_HOMOMORPHISM_H_

@@ -1,0 +1,24 @@
+// CQAC minimization: removing redundant ordinary subgoals.
+//
+// The Chandra-Merlin minimization (fold the query onto a core) extended to
+// comparisons: a subgoal can be dropped iff the smaller query is still
+// equivalent, which we verify with the full CQAC containment test rather
+// than a bare homomorphism (comparisons can make an otherwise-foldable atom
+// load-bearing). Used to present small rewritings and as the preprocessing
+// the Theorem 3.1 search relies on.
+#ifndef CQAC_CONTAINMENT_MINIMIZE_H_
+#define CQAC_CONTAINMENT_MINIMIZE_H_
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// Returns an equivalent query with a minimal set of ordinary subgoals
+/// (greedy, deterministic: tries dropping subgoals in order, keeping the
+/// query equivalent at every step) and with redundant comparisons removed.
+Result<Query> MinimizeQuery(const Query& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONTAINMENT_MINIMIZE_H_

@@ -1,0 +1,210 @@
+#include "src/datalog/engine.h"
+
+#include <set>
+
+#include "src/base/strings.h"
+#include "src/eval/evaluate.h"
+
+namespace cqac {
+namespace datalog {
+
+bool IsSkolemValue(const Value& v) {
+  return v.is_symbol() && v.symbol().rfind("sk", 0) == 0 &&
+         v.symbol().find('(') != std::string::npos;
+}
+
+std::string EngineRule::ToString() const {
+  if (skolems.empty()) return rule.ToString();
+  // Render head args, substituting Skolem specs.
+  std::vector<std::string> head_args;
+  for (const Term& t : rule.head().args) {
+    if (t.is_var() && skolems.count(t.var())) {
+      const SkolemSpec& s = skolems.at(t.var());
+      std::vector<std::string> args;
+      for (int v : s.arg_vars) args.push_back(rule.VarName(v));
+      head_args.push_back(StrCat("f", s.fn_id, "(", Join(args, ", "), ")"));
+    } else {
+      head_args.push_back(rule.TermToString(t));
+    }
+  }
+  std::vector<std::string> items;
+  for (const Atom& a : rule.body()) {
+    std::vector<std::string> args;
+    for (const Term& t : a.args) args.push_back(rule.TermToString(t));
+    items.push_back(a.predicate + "(" + Join(args, ", ") + ")");
+  }
+  for (const Comparison& c : rule.comparisons())
+    items.push_back(StrCat(rule.TermToString(c.lhs), " ", CompOpName(c.op),
+                           " ", rule.TermToString(c.rhs)));
+  return StrCat(rule.head().predicate, "(", Join(head_args, ", "), ") :- ",
+                Join(items, ", "));
+}
+
+Engine::Engine(const Program& program)
+    : query_predicate_(program.query_predicate()) {
+  rules_.reserve(program.rules().size());
+  for (const Rule& r : program.rules()) rules_.push_back(EngineRule{r, {}});
+}
+
+Engine::Engine(std::vector<EngineRule> rules, std::string query_predicate)
+    : rules_(std::move(rules)), query_predicate_(std::move(query_predicate)) {}
+
+Status Engine::ValidateRules() const {
+  for (const EngineRule& er : rules_) {
+    const Rule& r = er.rule;
+    std::set<int> body_vars = r.BodyVars();
+    for (const Term& t : r.head().args) {
+      if (!t.is_var()) continue;
+      if (body_vars.count(t.var())) continue;
+      auto it = er.skolems.find(t.var());
+      if (it == er.skolems.end())
+        return Status::InvalidArgument(
+            StrCat("unsafe rule head variable '", r.VarName(t.var()), "' in ",
+                   er.ToString()));
+      for (int arg : it->second.arg_vars)
+        if (!body_vars.count(arg))
+          return Status::InvalidArgument(
+              StrCat("skolem argument '", r.VarName(arg),
+                     "' not bound by the body in ", er.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Database> Engine::Evaluate(const Database& edb,
+                                  const EvalOptions& options) const {
+  CQAC_RETURN_IF_ERROR(ValidateRules());
+
+  std::set<std::string> idb;
+  for (const EngineRule& er : rules_) idb.insert(er.rule.head().predicate);
+
+  // full/delta relations per IDB predicate.
+  std::map<std::string, Relation> full;
+  std::map<std::string, Relation> delta;
+  for (const std::string& p : idb) {
+    full[p];
+    delta[p];
+  }
+  size_t total = 0;
+
+  // Instantiates the head of `er` for one satisfying body assignment and
+  // inserts a new tuple into `out` if unseen in `full`.
+  auto fire = [&](const EngineRule& er,
+                  const std::vector<std::optional<Value>>& binding,
+                  std::map<std::string, Relation>* out) -> Status {
+    Tuple head;
+    head.reserve(er.rule.head().args.size());
+    for (const Term& t : er.rule.head().args) {
+      if (t.is_const()) {
+        head.push_back(t.value());
+        continue;
+      }
+      auto sk = er.skolems.find(t.var());
+      if (sk != er.skolems.end()) {
+        std::vector<std::string> parts;
+        for (int arg : sk->second.arg_vars) {
+          if (!binding[arg].has_value())
+            return Status::Internal("unbound skolem argument");
+          parts.push_back(binding[arg]->ToString());
+        }
+        head.push_back(Value(
+            StrCat("sk", sk->second.fn_id, "(", Join(parts, ","), ")")));
+        continue;
+      }
+      if (!binding[t.var()].has_value())
+        return Status::Internal("unbound head variable");
+      head.push_back(*binding[t.var()]);
+    }
+    const std::string& pred = er.rule.head().predicate;
+    if (!full[pred].count(head) && (*out)[pred].insert(std::move(head)).second)
+      ++total;
+    return Status::OK();
+  };
+
+  // Relation selector: IDB reads `full` (or delta when flagged), EDB reads
+  // the input database.
+  auto relation_for = [&](const Atom& a,
+                          const Relation* delta_override) -> const Relation* {
+    if (delta_override != nullptr) return delta_override;
+    if (idb.count(a.predicate)) return &full[a.predicate];
+    return &edb.Get(a.predicate);
+  };
+
+  Status fire_status = Status::OK();
+
+  // Round 0: every rule evaluated with IDB relations empty contributes only
+  // if it has no IDB body atoms.
+  for (const EngineRule& er : rules_) {
+    bool has_idb = false;
+    for (const Atom& a : er.rule.body())
+      if (idb.count(a.predicate)) has_idb = true;
+    if (has_idb) continue;
+    std::vector<const Relation*> rels;
+    for (const Atom& a : er.rule.body()) rels.push_back(relation_for(a, nullptr));
+    JoinBody(er.rule, rels,
+             [&](const std::vector<std::optional<Value>>& binding) {
+               if (fire_status.ok()) fire_status = fire(er, binding, &delta);
+             });
+    CQAC_RETURN_IF_ERROR(fire_status);
+  }
+  for (const std::string& p : idb)
+    full[p].insert(delta[p].begin(), delta[p].end());
+
+  // Semi-naive rounds.
+  size_t iterations = 0;
+  while (true) {
+    size_t delta_size = 0;
+    for (const std::string& p : idb) delta_size += delta[p].size();
+    if (delta_size == 0) break;
+    if (++iterations > options.max_iterations)
+      return Status::ResourceExhausted("datalog evaluation iteration limit");
+    if (total > options.max_tuples)
+      return Status::ResourceExhausted("datalog evaluation tuple limit");
+
+    std::map<std::string, Relation> next;
+    for (const std::string& p : idb) next[p];
+
+    for (const EngineRule& er : rules_) {
+      // For each IDB body position, evaluate with that atom bound to delta.
+      for (size_t i = 0; i < er.rule.body().size(); ++i) {
+        const Atom& pivot = er.rule.body()[i];
+        if (!idb.count(pivot.predicate)) continue;
+        if (delta[pivot.predicate].empty()) continue;
+        std::vector<const Relation*> rels;
+        for (size_t j = 0; j < er.rule.body().size(); ++j)
+          rels.push_back(relation_for(
+              er.rule.body()[j],
+              j == i ? &delta[er.rule.body()[j].predicate] : nullptr));
+        JoinBody(er.rule, rels,
+                 [&](const std::vector<std::optional<Value>>& binding) {
+                   if (fire_status.ok()) fire_status = fire(er, binding, &next);
+                 });
+        CQAC_RETURN_IF_ERROR(fire_status);
+      }
+    }
+    for (const std::string& p : idb)
+      full[p].insert(next[p].begin(), next[p].end());
+    delta = std::move(next);
+  }
+
+  Database out;
+  for (const std::string& p : idb)
+    for (const Tuple& t : full[p]) CQAC_RETURN_IF_ERROR(out.Insert(p, t));
+  return out;
+}
+
+Result<Relation> Engine::Query(const Database& edb,
+                               const EvalOptions& options) const {
+  CQAC_ASSIGN_OR_RETURN(Database idb, Evaluate(edb, options));
+  Relation out;
+  for (const Tuple& t : idb.Get(query_predicate_)) {
+    bool has_skolem = false;
+    for (const Value& v : t)
+      if (IsSkolemValue(v)) has_skolem = true;
+    if (!has_skolem) out.insert(t);
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace cqac

@@ -1,0 +1,71 @@
+#include "src/eval/database.h"
+
+#include "src/base/strings.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+
+const Relation Database::kEmpty;
+
+Status Database::Insert(const std::string& predicate, Tuple tuple) {
+  auto it = relations_.find(predicate);
+  if (it != relations_.end() && !it->second.empty() &&
+      it->second.begin()->size() != tuple.size())
+    return Status::InvalidArgument(
+        StrCat("arity mismatch inserting into '", predicate, "': got ",
+               tuple.size(), ", relation has ", it->second.begin()->size()));
+  relations_[predicate].insert(std::move(tuple));
+  return Status::OK();
+}
+
+const Relation& Database::Get(const std::string& predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? kEmpty : it->second;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+Status Database::Merge(const Database& other) {
+  for (const auto& [name, rel] : other.relations_)
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(Insert(name, t));
+  return Status::OK();
+}
+
+Result<Database> Database::FromFacts(const std::string& text) {
+  CQAC_ASSIGN_OR_RETURN(std::vector<Query> facts, ParseRules(text));
+  Database db;
+  for (const Query& f : facts) {
+    if (!f.body().empty() || !f.comparisons().empty())
+      return Status::InvalidArgument(
+          StrCat("'", f.ToString(), "' is a rule, not a fact"));
+    Tuple t;
+    for (const Term& arg : f.head().args) {
+      if (arg.is_var())
+        return Status::InvalidArgument(
+            StrCat("fact '", f.head().predicate, "' contains a variable"));
+      t.push_back(arg.value());
+    }
+    CQAC_RETURN_IF_ERROR(db.Insert(f.head().predicate, std::move(t)));
+  }
+  return db;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::vector<std::string> parts;
+  parts.reserve(t.size());
+  for (const Value& v : t) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& [name, rel] : relations_)
+    for (const Tuple& t : rel) lines.push_back(name + TupleToString(t) + ".");
+  return Join(lines, "\n");
+}
+
+}  // namespace cqac

@@ -1,0 +1,66 @@
+// The database substrate: named relations of constant tuples.
+//
+// Used to (a) materialize views, (b) evaluate queries / rewritings / Datalog
+// programs, and (c) empirically validate containment results produced by the
+// symbolic algorithms (every contained rewriting must satisfy
+// eval(P, V(D)) subset-of eval(Q, D) on every database D).
+#ifndef CQAC_EVAL_DATABASE_H_
+#define CQAC_EVAL_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/term.h"
+
+namespace cqac {
+
+/// A database tuple of constants.
+using Tuple = std::vector<Value>;
+
+/// A relation instance: a set of same-arity tuples (set semantics, as in the
+/// paper).
+using Relation = std::set<Tuple>;
+
+/// A database instance: predicate name -> relation.
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts `tuple` into relation `predicate`; enforces consistent arity.
+  Status Insert(const std::string& predicate, Tuple tuple);
+
+  /// Returns the relation for `predicate` (empty relation if absent).
+  const Relation& Get(const std::string& predicate) const;
+
+  bool Has(const std::string& predicate) const {
+    return relations_.count(predicate) > 0;
+  }
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  size_t TotalTuples() const;
+
+  /// Merges all tuples of `other` into this database.
+  Status Merge(const Database& other);
+
+  /// Parses newline/period-separated facts like `r(1, 2). s(2, red).`
+  static Result<Database> FromFacts(const std::string& text);
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+  static const Relation kEmpty;
+};
+
+/// Renders a tuple as "(a, b, c)".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace cqac
+
+#endif  // CQAC_EVAL_DATABASE_H_

@@ -1,0 +1,167 @@
+#include "src/eval/evaluate.h"
+
+#include <unordered_map>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs) {
+  if (op == CompOp::kEq) return lhs == rhs;
+  if (!lhs.is_number() || !rhs.is_number()) return false;
+  return op == CompOp::kLt ? lhs.number() < rhs.number()
+                           : lhs.number() <= rhs.number();
+}
+
+namespace {
+
+/// Lazy single-column hash indexes over the relations of one join. Built on
+/// first probe of a (atom, column) pair, amortized across the whole
+/// backtracking search — this is what turns chain joins from quadratic scans
+/// into hash lookups.
+class JoinIndexes {
+ public:
+  explicit JoinIndexes(const std::vector<const Relation*>& relations)
+      : relations_(relations), per_atom_(relations.size()) {}
+
+  const std::vector<const Tuple*>& Probe(size_t atom, size_t col,
+                                         const Value& v) {
+    auto& cols = per_atom_[atom];
+    auto it = cols.find(col);
+    if (it == cols.end()) {
+      ColumnIndex index;
+      for (const Tuple& t : *relations_[atom])
+        if (col < t.size()) index[t[col]].push_back(&t);
+      it = cols.emplace(col, std::move(index)).first;
+    }
+    auto hit = it->second.find(v);
+    return hit == it->second.end() ? kEmpty : hit->second;
+  }
+
+ private:
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<const Tuple*>>;
+  static const std::vector<const Tuple*> kEmpty;
+
+  const std::vector<const Relation*>& relations_;
+  std::vector<std::unordered_map<size_t, ColumnIndex>> per_atom_;
+};
+
+const std::vector<const Tuple*> JoinIndexes::kEmpty;
+
+}  // namespace
+
+void JoinBody(
+    const Query& q, const std::vector<const Relation*>& relations,
+    const std::function<void(const std::vector<std::optional<Value>>&)>& cb) {
+  std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
+  JoinIndexes indexes(relations);
+
+  auto term_value = [&binding](const Term& t, Value* out) {
+    if (t.is_const()) {
+      *out = t.value();
+      return true;
+    }
+    if (binding[t.var()].has_value()) {
+      *out = *binding[t.var()];
+      return true;
+    }
+    return false;
+  };
+  auto comparisons_hold = [&]() {
+    for (const Comparison& c : q.comparisons()) {
+      Value a{0}, b{0};
+      if (!term_value(c.lhs, &a) || !term_value(c.rhs, &b)) continue;
+      if (!EvaluateGroundComparison(a, c.op, b)) return false;
+    }
+    return true;
+  };
+
+  // Attempts to unify atom `atom_idx` with `tuple`; on success recurses and
+  // always restores the binding.
+  std::function<void(size_t)> extend = [&](size_t atom_idx) {
+    if (atom_idx == q.body().size()) {
+      if (comparisons_hold()) cb(binding);
+      return;
+    }
+    const Atom& atom = q.body()[atom_idx];
+
+    auto try_tuple = [&](const Tuple& tuple) {
+      if (tuple.size() != atom.args.size()) return;
+      std::vector<int> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < tuple.size() && ok; ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_const()) {
+          ok = (t.value() == tuple[i]);
+        } else if (binding[t.var()].has_value()) {
+          ok = (*binding[t.var()] == tuple[i]);
+        } else {
+          binding[t.var()] = tuple[i];
+          bound_here.push_back(t.var());
+        }
+      }
+      if (ok && comparisons_hold()) extend(atom_idx + 1);
+      for (int v : bound_here) binding[v] = std::nullopt;
+    };
+
+    // Prefer an index probe on the first argument whose value is already
+    // determined; fall back to a full scan.
+    Value probe{0};
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (term_value(atom.args[i], &probe)) {
+        for (const Tuple* t : indexes.Probe(atom_idx, i, probe))
+          try_tuple(*t);
+        return;
+      }
+    }
+    for (const Tuple& tuple : *relations[atom_idx]) try_tuple(tuple);
+  };
+  extend(0);
+}
+
+Result<Relation> EvaluateQuery(const Query& q, const Database& db) {
+  CQAC_RETURN_IF_ERROR(q.Validate());
+  std::vector<const Relation*> relations;
+  relations.reserve(q.body().size());
+  for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));
+
+  Relation results;
+  JoinBody(q, relations,
+           [&](const std::vector<std::optional<Value>>& binding) {
+             Tuple head;
+             head.reserve(q.head().args.size());
+             for (const Term& t : q.head().args) {
+               if (t.is_const()) {
+                 head.push_back(t.value());
+               } else if (binding[t.var()].has_value()) {
+                 head.push_back(*binding[t.var()]);
+               } else {
+                 return;  // unsafe head variable: no tuple
+               }
+             }
+             results.insert(std::move(head));
+           });
+  return results;
+}
+
+Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db) {
+  Relation out;
+  for (const Query& q : u.disjuncts) {
+    CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(q, db));
+    out.insert(r.begin(), r.end());
+  }
+  return out;
+}
+
+Result<Database> MaterializeViews(const ViewSet& views, const Database& db) {
+  Database out;
+  for (const Query& v : views.views()) {
+    CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(v, db));
+    for (const Tuple& t : r)
+      CQAC_RETURN_IF_ERROR(out.Insert(v.head().predicate, t));
+  }
+  return out;
+}
+
+}  // namespace cqac

@@ -1,0 +1,45 @@
+// Evaluation of CQAC queries and unions over a Database.
+//
+// A straightforward backtracking join with eager comparison filtering —
+// adequate for validation and for the paper-scale benchmark workloads.
+#ifndef CQAC_EVAL_EVALUATE_H_
+#define CQAC_EVAL_EVALUATE_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/base/status.h"
+#include "src/eval/database.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+
+/// Evaluates a ground comparison over constants: numbers compare by value;
+/// symbols support only (dis)equality; number-vs-symbol ordered comparisons
+/// are false.
+bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs);
+
+/// Returns the set of head tuples of `q` on `db`.
+Result<Relation> EvaluateQuery(const Query& q, const Database& db);
+
+/// Evaluates each disjunct and unions the results (all head arities must
+/// agree).
+Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db);
+
+/// Materializes every view in `views` over `db`, producing the view
+/// database {v_i -> v_i(db)} the rewriting is evaluated against.
+Result<Database> MaterializeViews(const ViewSet& views, const Database& db);
+
+/// Low-level join used by the Datalog engine: evaluates `q`'s body where
+/// body atom i reads tuples from *relations[i] (so callers can point
+/// different atoms at full/delta relations). Comparisons of `q` filter
+/// eagerly. Invokes `cb` once per satisfying assignment with the per-variable
+/// binding (index = variable id; unbound variables stay nullopt).
+void JoinBody(
+    const Query& q, const std::vector<const Relation*>& relations,
+    const std::function<void(const std::vector<std::optional<Value>>&)>& cb);
+
+}  // namespace cqac
+
+#endif  // CQAC_EVAL_EVALUATE_H_

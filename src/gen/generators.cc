@@ -1,0 +1,198 @@
+#include "src/gen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace gen {
+namespace {
+
+/// Draws one comparison on variable `var` honoring the mode; `lsi_used`
+/// tracks the CQAC-SI single-LSI budget.
+Comparison DrawComparison(Rng& rng, int var, AcMode mode, int64_t cmin,
+                          int64_t cmax, bool* lsi_used) {
+  Rational c(rng.Uniform(cmin, cmax));
+  CompOp op = rng.Chance(0.5) ? CompOp::kLt : CompOp::kLe;
+  bool upper;  // X op c (LSI) vs c op X (RSI)
+  switch (mode) {
+    case AcMode::kLsi:
+      upper = true;
+      break;
+    case AcMode::kRsi:
+      upper = false;
+      break;
+    case AcMode::kCqacSi:
+      if (*lsi_used) {
+        upper = false;
+      } else {
+        upper = rng.Chance(0.4);
+        if (upper) *lsi_used = true;
+      }
+      break;
+    case AcMode::kSi:
+    case AcMode::kGeneral:
+    default:
+      upper = rng.Chance(0.5);
+      break;
+  }
+  if (upper) return Comparison(Term::Var(var), op, Term::Const(Value(c)));
+  return Comparison(Term::Const(Value(c)), op, Term::Var(var));
+}
+
+}  // namespace
+
+Query RandomQuery(Rng& rng, const QuerySpec& spec, const std::string& name) {
+  Query q(name);
+  std::vector<int> vars;
+  for (int i = 0; i < spec.num_vars; ++i)
+    vars.push_back(q.AddVariable(StrCat("X", i)));
+
+  // Body: random atoms; reuse variables so joins happen. A light chain bias
+  // keeps the queries connected: the first argument of subgoal i tends to be
+  // the last argument of subgoal i-1.
+  int prev_last = -1;
+  for (int g = 0; g < spec.num_subgoals; ++g) {
+    Atom a;
+    a.predicate = StrCat("p", rng.Uniform(0, spec.num_predicates - 1));
+    for (int j = 0; j < spec.arity; ++j) {
+      int v;
+      if (j == 0 && prev_last >= 0 && rng.Chance(0.7))
+        v = prev_last;
+      else
+        v = rng.Pick(vars);
+      a.args.push_back(Term::Var(v));
+    }
+    prev_last = a.args.back().is_var() ? a.args.back().var() : -1;
+    q.AddBodyAtom(std::move(a));
+  }
+
+  // Head: variables that occur in the body.
+  std::set<int> body_vars = q.BodyVars();
+  std::vector<int> usable(body_vars.begin(), body_vars.end());
+  if (!spec.boolean_head) {
+    for (int j = 0; j < spec.head_arity; ++j)
+      q.head().args.push_back(Term::Var(rng.Pick(usable)));
+  }
+
+  // Comparisons.
+  if (spec.ac_mode != AcMode::kNone) {
+    bool lsi_used = false;
+    int target = static_cast<int>(spec.ac_density * spec.num_subgoals + 0.5);
+    for (int i = 0; i < target; ++i) {
+      int var = rng.Pick(usable);
+      if (spec.ac_mode == AcMode::kGeneral && rng.Chance(0.3) &&
+          usable.size() >= 2) {
+        int other = rng.Pick(usable);
+        if (other != var) {
+          q.AddComparison(Comparison(Term::Var(var),
+                                     rng.Chance(0.5) ? CompOp::kLt
+                                                     : CompOp::kLe,
+                                     Term::Var(other)));
+          continue;
+        }
+      }
+      q.AddComparison(DrawComparison(rng, var, spec.ac_mode, spec.const_min,
+                                     spec.const_max, &lsi_used));
+    }
+  }
+  return q;
+}
+
+ViewSet RandomViewsForQuery(Rng& rng, const Query& q, const ViewSpec& spec) {
+  ViewSet out;
+  for (int vi = 0; vi < spec.num_views; ++vi) {
+    Query v(StrCat("v", vi));
+    // Sample a contiguous run of the query's subgoals.
+    int want = static_cast<int>(
+        rng.Uniform(spec.min_subgoals,
+                    std::min<int64_t>(spec.max_subgoals,
+                                      static_cast<int64_t>(q.body().size()))));
+    int start = static_cast<int>(
+        rng.Uniform(0, static_cast<int64_t>(q.body().size()) - want));
+
+    // Fresh variables mirroring the query's.
+    std::vector<int> translate(q.num_vars(), -1);
+    auto xlate = [&](const Term& t) -> Term {
+      if (t.is_const()) return t;
+      if (translate[t.var()] < 0)
+        translate[t.var()] = v.FindOrAddVariable(StrCat("Y", t.var()));
+      return Term::Var(translate[t.var()]);
+    };
+    for (int g = start; g < start + want; ++g) {
+      Atom a;
+      a.predicate = q.body()[g].predicate;
+      for (const Term& t : q.body()[g].args) a.args.push_back(xlate(t));
+      v.AddBodyAtom(std::move(a));
+    }
+    // Distinguished variables.
+    std::set<int> body_vars = v.BodyVars();
+    std::vector<int> head_vars;
+    for (int var : body_vars)
+      if (rng.Chance(spec.distinguished_prob)) head_vars.push_back(var);
+    if (head_vars.empty() && !body_vars.empty())
+      head_vars.push_back(*body_vars.begin());
+    for (int var : head_vars) v.head().args.push_back(Term::Var(var));
+
+    // Comparisons.
+    if (spec.ac_mode != AcMode::kNone && !body_vars.empty()) {
+      bool lsi_used = false;
+      std::vector<int> usable(body_vars.begin(), body_vars.end());
+      int target = static_cast<int>(spec.ac_density * want + 0.5);
+      for (int i = 0; i < target; ++i) {
+        int var = rng.Pick(usable);
+        v.AddComparison(DrawComparison(rng, var, spec.ac_mode, spec.const_min,
+                                       spec.const_max, &lsi_used));
+      }
+    }
+    Status st = out.Add(std::move(v));
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+std::map<std::string, int> SchemaOf(const Query& q) {
+  std::map<std::string, int> out;
+  for (const Atom& a : q.body()) {
+    auto [it, inserted] = out.emplace(a.predicate, a.args.size());
+    assert(it->second == static_cast<int>(a.args.size()));
+    (void)it;
+    (void)inserted;
+  }
+  return out;
+}
+
+std::map<std::string, int> SchemaOf(const ViewSet& views) {
+  std::map<std::string, int> out;
+  for (const Query& v : views.views()) {
+    for (const auto& [pred, arity] : SchemaOf(v)) {
+      auto [it, inserted] = out.emplace(pred, arity);
+      assert(it->second == arity);
+      (void)it;
+      (void)inserted;
+    }
+  }
+  return out;
+}
+
+Database RandomDatabase(Rng& rng, const std::map<std::string, int>& schema,
+                        const DatabaseSpec& spec) {
+  Database db;
+  for (const auto& [pred, arity] : schema) {
+    for (size_t i = 0; i < spec.tuples_per_relation; ++i) {
+      Tuple t;
+      for (int j = 0; j < arity; ++j)
+        t.push_back(Value(Rational(rng.Uniform(spec.value_min,
+                                               spec.value_max))));
+      Status st = db.Insert(pred, std::move(t));
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return db;
+}
+
+}  // namespace gen
+}  // namespace cqac

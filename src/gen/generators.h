@@ -1,0 +1,88 @@
+// Random workload generators for property tests and benchmarks.
+//
+// The paper has no empirical evaluation, so the benchmark workloads are
+// synthetic families exercising exactly the constructs each theorem
+// quantifies over: chain/star CQACs with controlled comparison class and
+// density, view sets derived from query fragments (guaranteeing predicate
+// overlap), and random dense-order databases. Everything is deterministic
+// given the Rng seed.
+#ifndef CQAC_GEN_GENERATORS_H_
+#define CQAC_GEN_GENERATORS_H_
+
+#include <map>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/eval/database.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+namespace gen {
+
+/// Comparison classes a generator can be asked for.
+enum class AcMode {
+  kNone,     // pure CQ
+  kLsi,      // upper bounds only
+  kRsi,      // lower bounds only
+  kSi,       // mixed semi-interval
+  kCqacSi,   // SI with at most one LSI (Section 5's query class)
+  kGeneral,  // includes variable-variable comparisons
+};
+
+struct QuerySpec {
+  int num_subgoals = 3;
+  int num_predicates = 2;  // predicate names p0, p1, ...
+  int arity = 2;
+  int num_vars = 4;
+  double ac_density = 0.5;  // expected comparisons per subgoal
+  AcMode ac_mode = AcMode::kLsi;
+  int64_t const_min = 0;
+  int64_t const_max = 20;
+  bool boolean_head = false;
+  int head_arity = 2;  // ignored when boolean_head
+};
+
+/// A random safe CQAC query named `name`.
+Query RandomQuery(Rng& rng, const QuerySpec& spec,
+                  const std::string& name = "q");
+
+struct ViewSpec {
+  int num_views = 4;
+  /// Subgoals per view, sampled from the query body (with fresh variables).
+  int min_subgoals = 1;
+  int max_subgoals = 2;
+  /// Probability that a view variable is distinguished.
+  double distinguished_prob = 0.7;
+  /// Expected comparisons added per view.
+  double ac_density = 0.5;
+  AcMode ac_mode = AcMode::kSi;
+  int64_t const_min = 0;
+  int64_t const_max = 20;
+};
+
+/// Views built from fragments of `q`'s body (fresh variables, random
+/// projections, random comparisons) so that rewritings plausibly exist.
+ViewSet RandomViewsForQuery(Rng& rng, const Query& q, const ViewSpec& spec);
+
+/// The predicate -> arity schema referenced by a query (body atoms only).
+std::map<std::string, int> SchemaOf(const Query& q);
+
+/// Merges schemas of several queries; conflicting arities abort.
+std::map<std::string, int> SchemaOf(const ViewSet& views);
+
+struct DatabaseSpec {
+  size_t tuples_per_relation = 50;
+  int64_t value_min = 0;
+  int64_t value_max = 20;
+};
+
+/// A random database over `schema` with integer values (as rationals).
+Database RandomDatabase(Rng& rng, const std::map<std::string, int>& schema,
+                        const DatabaseSpec& spec);
+
+}  // namespace gen
+}  // namespace cqac
+
+#endif  // CQAC_GEN_GENERATORS_H_

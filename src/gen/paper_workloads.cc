@@ -1,0 +1,129 @@
+#include "src/gen/paper_workloads.h"
+
+#include "src/base/strings.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace workloads {
+
+Query Example11Query() { return MustParseQuery("q1(A) :- r(A), A < 4"); }
+
+ViewSet Example11Views() {
+  return ViewSet(MustParseRules(
+      "v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.\n"
+      "v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z."));
+}
+
+Query Example11Rewriting() {
+  return MustParseQuery("p(A) :- v1(A, A), A < 4");
+}
+
+// NOTE on Example 1.2: the source text of the paper is OCR-garbled at the
+// P_k listing and at the recursive program. We reconstruct the example from
+// the machinery it illustrates (Section 5 / Example 5.1): the query is the
+// Example 5.1 two-edge path with one RSI and one LSI comparison; the views
+// hide the constrained endpoint behind a one-step composition, so a
+// contained rewriting must thread an even-length chain of plain-edge views
+// between them, coupling at every hidden interior node. The P_k family below
+// grows without bound and no finite union of CQACs contains every member
+// (Proposition 5.1), while the Figure-4 Datalog MCR covers them all.
+Query Example12Query() {
+  return MustParseQuery("q2() :- e(X, Y), e(Y, Z), X > 5, Z < 8");
+}
+
+ViewSet Example12Views() {
+  // The view constants 6 and 4 are chosen so that they do NOT couple with
+  // each other ((X > 6) v (X < 4) is not a tautology) — otherwise longer
+  // P_k chains would collapse into shorter ones. Only the query's own
+  // constants (5 < 8) provide the interior coupling.
+  return ViewSet(MustParseRules(
+      "v1(B) :- e(A, B), A > 6.\n"
+      "v2(A) :- e(A, B), B < 4.\n"
+      "v3(A, B) :- e(A, B)."));
+}
+
+Query Example12Pk(int k) {
+  // P_k() :- v1(W0), v3(W0, W1), ..., v3(W_{2k-1}, W_{2k}), v2(W_{2k}).
+  // Expansion: an even-length edge chain whose first tail is > 6 and whose
+  // last head is < 7.
+  std::vector<std::string> items;
+  items.push_back("v1(W0)");
+  for (int i = 0; i < 2 * k; ++i)
+    items.push_back(StrCat("v3(W", i, ", W", i + 1, ")"));
+  items.push_back(StrCat("v2(W", 2 * k, ")"));
+  return MustParseQuery(StrCat("p", k, "() :- ", Join(items, ", ")));
+}
+
+Query CarDealerQuery() {
+  return MustParseQuery(
+      "q(C, L) :- car(C, A), loc(A, L), color(C, red)");
+}
+
+ViewSet CarDealerViews() {
+  return ViewSet(MustParseRules(
+      "v1(X, Y) :- car(X, D), loc(D, Y).\n"
+      "v2(W, Z) :- color(W, Z)."));
+}
+
+Query Example41View() {
+  // Figure 3: X2 and X6 are nondistinguished; the comparisons place
+  // X1 <= X2 <= X3 and X4 <= X5 <= X6 <= X7, X8 <= X6.
+  return MustParseQuery(
+      "v(X1, X3, X4, X5, X7, X8) :- r(X2, X6), s(X1, X3, X4, X5, X7, X8), "
+      "X1 <= X2, X2 <= X3, X4 <= X5, X5 <= X6, X6 <= X7, X8 <= X6");
+}
+
+Query Sec44CaseQuery() { return MustParseQuery("q(A) :- p(A), A < 3"); }
+
+Query Sec44CaseBooleanQuery() {
+  return MustParseQuery("q() :- p(A), A < 3");
+}
+
+ViewSet Sec44CaseViews() {
+  // v1: case (1) — the view's comparison X1 < 2 already implies X1 < 3, but
+  //     X1 is hidden, so only the guarantee matters (usable, nothing added).
+  // v2: case (2) — X1 distinguished; add X1 < 3 to the rewriting.
+  // v3: case (3) — X1 hidden but X1 <= X3 with X3 distinguished; add X3 < 3.
+  // v4: failure — X1 hidden and only bounded from below by distinguished
+  //     variables; no way to enforce an upper bound.
+  return ViewSet(MustParseRules(
+      "v1(X2) :- p(X1), s(X2), X1 < 2.\n"
+      "v2(X1) :- p(X1).\n"
+      "v3(X2, X3) :- p(X1), r(X2, X3, X4), X1 <= X3.\n"
+      "v4(X2, X3) :- p(X1), r(X2, X3, X4), X2 <= X1, X3 <= X1."));
+}
+
+Query Sec44FullQuery() {
+  return MustParseQuery("q(A) :- p(A, B), r(C), A > 5, B > 3");
+}
+
+ViewSet Sec44FullViews() {
+  // v1 hides X and Y; X is exportable two ways (equate X1 or X2 with X3,
+  // both of which sandwich X), and B > 3 is satisfiable through X3 <= Y
+  // (bounding X3 from below bounds Y from below).
+  return ViewSet(MustParseRules(
+      "v1(X1, X2, X3) :- p(X, Y), s(X1, X2, X3), "
+      "X3 <= X, X <= X1, X <= X2, X3 <= Y.\n"
+      "v2(U) :- r(U)."));
+}
+
+Query Example51Q1() {
+  return MustParseQuery("q1() :- e(X, Y), e(Y, Z), X > 5, Z < 8");
+}
+
+Query Example51Q2() {
+  return MustParseQuery(
+      "q2() :- e(A, B), e(B, C), e(C, D), e(D, E), A > 6, E < 7");
+}
+
+Query Example51Chain(int n, const Rational& low, const Rational& high) {
+  std::vector<std::string> items;
+  for (int i = 0; i < n; ++i)
+    items.push_back(StrCat("e(C", i, ", C", i + 1, ")"));
+  items.push_back(StrCat("C0 > ", low.ToString()));
+  items.push_back(StrCat("C", n, " < ", high.ToString()));
+  return MustParseQuery(StrCat("chain", n, "() :- ", Join(items, ", ")));
+}
+
+}  // namespace workloads
+}  // namespace cqac

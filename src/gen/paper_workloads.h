@@ -1,0 +1,81 @@
+// The paper's worked examples as reusable workloads.
+//
+// Every example in the paper is materialized here once and shared by the
+// test suite, the benchmark harness, and the example programs:
+//   Example 1.1      — exportable-variable rewriting (v1 usable, v2 not);
+//   Example 1.2      — the P_k chains with no finite-union MCR (Prop. 5.1);
+//   Section 2        — the equivalent-queries decomposition (Figure 1);
+//   Section 4.1      — the car-dealer schema and MS-algorithm example;
+//   Example 4.1      — the lex-set/geq-set view (Figure 3);
+//   Section 4.4      — the comparison-satisfaction example (v1..v4) and the
+//                      full-algorithm example (p/s/r views);
+//   Example 5.1      — the path queries Q1/Q2 with two containment mappings.
+#ifndef CQAC_GEN_PAPER_WORKLOADS_H_
+#define CQAC_GEN_PAPER_WORKLOADS_H_
+
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+namespace workloads {
+
+// ---- Example 1.1 ----------------------------------------------------------
+/// Q1(A) :- r(A), A < 4.
+Query Example11Query();
+/// v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z   (usable: X exportable)
+/// v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z    (unusable)
+ViewSet Example11Views();
+/// The paper's contained rewriting P(A) :- v1(A, A), A < 4.
+Query Example11Rewriting();
+
+// ---- Example 1.2 ----------------------------------------------------------
+/// Q2() :- r(X, Z), s(Z, Y), X > 5, Y < 7.
+Query Example12Query();
+/// v1(X, Y) :- r(X, Z), s(Z, Y), Z > 5
+/// v2(X, Y) :- r(X, Z), s(Z, Y), Z < 7
+/// v3(X, Y) :- r(X, Z), s(Z, Y)
+ViewSet Example12Views();
+/// The contained rewriting P_k: a chain v1, v3^{k-1}, v2 of length k+1
+/// (k >= 1), whose expansion threads the comparisons through shared hidden
+/// variables.
+Query Example12Pk(int k);
+
+// ---- Section 4.1 (car dealer) ----------------------------------------------
+/// q(C, L) :- car(C, A), loc(A, L), color(C, red).
+Query CarDealerQuery();
+/// v1(X, Y) :- car(X, D), loc(D, Y);  v2(W, Z) :- color(W, Z).
+ViewSet CarDealerViews();
+
+// ---- Example 4.1 (Figure 3) -------------------------------------------------
+/// The 8-variable view whose inequality graph yields
+/// S<=(v,X2) = {X1}, S>=(v,X2) = {X3}, S<=(v,X6) = {X5, X8}, S>=(v,X6) = {X7}.
+Query Example41View();
+
+// ---- Section 4.4 ------------------------------------------------------------
+/// Q(A) :- p(A), A < 3 with the four single-subgoal views v1..v4
+/// illustrating satisfaction cases (1), (2), (3) and failure.
+Query Sec44CaseQuery();
+/// The boolean variant q() :- p(A), A < 3: with A nondistinguished, views
+/// v1 and v3 (which hide their p-variable) become usable, exercising
+/// satisfaction cases (1) and (3) end to end.
+Query Sec44CaseBooleanQuery();
+ViewSet Sec44CaseViews();
+
+/// The full-algorithm example: Q(A) :- p(A, B), r(C), A > 5, B > 3 with
+/// v1(X1, X2, X3) :- p(X, Y), s(X1, X2, X3), X <= X1, X <= X2, X3 <= X,
+///                   Y <= X3  and v2(U) :- r(U).
+Query Sec44FullQuery();
+ViewSet Sec44FullViews();
+
+// ---- Example 5.1 -------------------------------------------------------------
+/// Q1() :- e(X, Y), e(Y, Z), X > 5, Z < 8.
+Query Example51Q1();
+/// Q2() :- e(A,B), e(B,C), e(C,D), e(D,E), A > 6, E < 7.
+Query Example51Q2();
+/// A longer even-length chain with the same end comparisons (n edges).
+Query Example51Chain(int n, const Rational& low, const Rational& high);
+
+}  // namespace workloads
+}  // namespace cqac
+
+#endif  // CQAC_GEN_PAPER_WORKLOADS_H_

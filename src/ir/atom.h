@@ -1,0 +1,100 @@
+// Ordinary subgoals (Atom) and arithmetic comparisons (Comparison).
+#ifndef CQAC_IR_ATOM_H_
+#define CQAC_IR_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/term.h"
+
+namespace cqac {
+
+/// An ordinary subgoal `p(t1, ..., tk)`. Arity 0 is allowed (boolean heads).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(std::string pred, std::vector<Term> arguments)
+      : predicate(std::move(pred)), args(std::move(arguments)) {}
+
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+
+  size_t Hash() const {
+    size_t h = std::hash<std::string>()(predicate);
+    for (const Term& t : args)
+      h = h * 1000003u + t.Hash();
+    return h;
+  }
+};
+
+/// Comparison operators. Parsing normalizes `>` / `>=` by swapping sides, so
+/// stored comparisons only ever use kLt, kLe, or kEq.
+enum class CompOp {
+  kLt,  // <
+  kLe,  // <=
+  kEq,  // =  (eliminated by preprocessing, see constraints::Preprocess)
+};
+
+/// Returns "<", "<=" or "=".
+inline const char* CompOpName(CompOp op) {
+  switch (op) {
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+/// An arithmetic comparison `lhs op rhs` over a dense order.
+///
+/// Classification helpers follow Table 2 of the paper:
+///  * SI  (semi-interval):      `X op c` or `c op X`, c a number;
+///  * LSI (left semi-interval): upper bound on a variable (`X < c`, `X <= c`);
+///  * RSI (right semi-interval): lower bound on a variable (`c < X`, `c <= X`).
+struct Comparison {
+  Term lhs;
+  CompOp op;
+  Term rhs;
+
+  Comparison(Term l, CompOp o, Term r)
+      : lhs(std::move(l)), op(o), rhs(std::move(r)) {}
+
+  bool operator==(const Comparison& o) const {
+    return lhs == o.lhs && op == o.op && rhs == o.rhs;
+  }
+
+  /// True when exactly one side is a variable and the other side a number.
+  bool IsSemiInterval() const {
+    if (op == CompOp::kEq) return false;
+    if (lhs.is_var() && rhs.is_const() && rhs.value().is_number()) return true;
+    if (rhs.is_var() && lhs.is_const() && lhs.value().is_number()) return true;
+    return false;
+  }
+
+  /// True for `X < c` / `X <= c` (an upper bound on X).
+  bool IsLsi() const {
+    return IsSemiInterval() && lhs.is_var();
+  }
+
+  /// True for `c < X` / `c <= X` (a lower bound on X).
+  bool IsRsi() const {
+    return IsSemiInterval() && rhs.is_var();
+  }
+
+  /// True when both sides are variables.
+  bool IsVarVar() const { return lhs.is_var() && rhs.is_var(); }
+
+  size_t Hash() const {
+    return lhs.Hash() * 31 + static_cast<size_t>(op) * 7 + rhs.Hash();
+  }
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_ATOM_H_

@@ -1,0 +1,35 @@
+// View expansion (Definition 2.1 of the paper).
+//
+// The expansion P^exp of a rewriting P over views V replaces every view
+// subgoal by the view's body, with nondistinguished view variables renamed to
+// fresh variables. Repeated head variables and head constants generate
+// explicit `=` comparisons, which the constraints module later collapses.
+#ifndef CQAC_IR_EXPANSION_H_
+#define CQAC_IR_EXPANSION_H_
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+
+/// Options for ExpandRewriting.
+struct ExpansionOptions {
+  /// When true, body atoms whose predicate is not a view name are kept as
+  /// base-relation atoms instead of causing an error. Rewritings in the
+  /// paper's sense use only view atoms, so the default is strict.
+  bool allow_base_atoms = false;
+};
+
+/// Computes P^exp for rewriting `p` over `views`.
+///
+/// The result keeps `p`'s head and variables; view bodies are inlined with
+/// fresh variables for nondistinguished view variables. Comparisons of `p`
+/// and of the inlined views are concatenated. Returns InvalidArgument for
+/// unknown predicates (unless allow_base_atoms) or arity mismatches.
+Result<Query> ExpandRewriting(const Query& p, const ViewSet& views,
+                              const ExpansionOptions& options = {});
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_EXPANSION_H_

@@ -1,0 +1,41 @@
+// JSON serialization of the IR (writer).
+//
+// Machine-readable output for tooling: rewritings, programs, and explain
+// results can be consumed by external optimizers and dashboards without
+// parsing the Datalog syntax. Hand-rolled writer, no external dependency;
+// strings are escaped per RFC 8259. Import is intentionally out of scope —
+// the textual Datalog syntax (src/ir/parser.h) is the interchange format
+// for inputs.
+#ifndef CQAC_IR_JSON_H_
+#define CQAC_IR_JSON_H_
+
+#include <string>
+
+#include "src/ir/program.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+
+/// Escapes and quotes a string for JSON.
+std::string JsonQuote(const std::string& s);
+
+/// {"kind":"var","name":"X"} | {"kind":"number","value":"7/2"} |
+/// {"kind":"symbol","value":"red"}
+std::string TermToJson(const Query& owner, const Term& t);
+
+/// {"head":{...},"body":[...],"comparisons":[...]}
+std::string QueryToJson(const Query& q);
+
+/// {"disjuncts":[...]}
+std::string UnionQueryToJson(const UnionQuery& u);
+
+/// {"query_predicate":"q","rules":[...]}
+std::string ProgramToJson(const Program& p);
+
+/// {"views":[...]}
+std::string ViewSetToJson(const ViewSet& v);
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_JSON_H_

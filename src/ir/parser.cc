@@ -1,0 +1,340 @@
+#include "src/ir/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace {
+
+enum class TokKind {
+  kIdent,    // identifier (variable, symbol or predicate)
+  kNumber,   // numeric literal
+  kLParen,
+  kRParen,
+  kComma,
+  kArrow,    // :-
+  kDot,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%') {  // comment to end of line
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '_'))
+          ++i;
+        out->push_back({TokKind::kIdent, text_.substr(start, i - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        ++i;  // sign or first digit
+        while (i < n && std::isdigit(static_cast<unsigned char>(text_[i]))) ++i;
+        // Decimal point followed by a digit belongs to the number; a bare
+        // '.' is a rule terminator.
+        if (i + 1 < n && text_[i] == '.' &&
+            std::isdigit(static_cast<unsigned char>(text_[i + 1]))) {
+          ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text_[i])))
+            ++i;
+        } else if (i + 1 < n && text_[i] == '/' &&
+                   std::isdigit(static_cast<unsigned char>(text_[i + 1]))) {
+          ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text_[i])))
+            ++i;
+        }
+        out->push_back(
+            {TokKind::kNumber, text_.substr(start, i - start), start});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          out->push_back({TokKind::kLParen, "(", start});
+          ++i;
+          continue;
+        case ')':
+          out->push_back({TokKind::kRParen, ")", start});
+          ++i;
+          continue;
+        case ',':
+          out->push_back({TokKind::kComma, ",", start});
+          ++i;
+          continue;
+        case '.':
+          out->push_back({TokKind::kDot, ".", start});
+          ++i;
+          continue;
+        case ':':
+          if (i + 1 < n && text_[i + 1] == '-') {
+            out->push_back({TokKind::kArrow, ":-", start});
+            i += 2;
+            continue;
+          }
+          return Err(start, "expected ':-'");
+        case '<':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kLe, "<=", start});
+            i += 2;
+          } else {
+            out->push_back({TokKind::kLt, "<", start});
+            ++i;
+          }
+          continue;
+        case '>':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kGe, ">=", start});
+            i += 2;
+          } else {
+            out->push_back({TokKind::kGt, ">", start});
+            ++i;
+          }
+          continue;
+        case '=':
+          out->push_back({TokKind::kEq, "=", start});
+          ++i;
+          continue;
+        case '!':
+          return Err(start,
+                     "'!=' comparisons are outside the CQAC fragment "
+                     "(the paper's theta is in {<, <=, >, >=})");
+        default:
+          return Err(start, StrCat("unexpected character '", c, "'"));
+      }
+    }
+    out->push_back({TokKind::kEnd, "", n});
+    return Status::OK();
+  }
+
+ private:
+  Status Err(size_t pos, const std::string& msg) {
+    return Status::InvalidArgument(
+        StrCat("at offset ", pos, ": ", msg));
+  }
+  const std::string& text_;
+};
+
+bool IsVariableName(const std::string& ident) {
+  return !ident.empty() &&
+         (std::isupper(static_cast<unsigned char>(ident[0])) ||
+          ident[0] == '_');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<std::vector<Query>> ParseProgram() {
+    std::vector<Query> rules;
+    while (!At(TokKind::kEnd)) {
+      Query q;
+      CQAC_RETURN_IF_ERROR(ParseRuleInto(&q));
+      rules.push_back(std::move(q));
+      if (At(TokKind::kDot)) ++i_;
+    }
+    return rules;
+  }
+
+  Result<Query> ParseSingle() {
+    Query q;
+    CQAC_RETURN_IF_ERROR(ParseRuleInto(&q));
+    if (At(TokKind::kDot)) ++i_;
+    if (!At(TokKind::kEnd))
+      return Status::InvalidArgument(
+          StrCat("trailing input after rule at offset ", Cur().pos));
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[i_]; }
+  bool At(TokKind k) const { return Cur().kind == k; }
+
+  Status Expect(TokKind k, const char* what) {
+    if (!At(k))
+      return Status::InvalidArgument(
+          StrCat("at offset ", Cur().pos, ": expected ", what, ", got '",
+                 Cur().text, "'"));
+    ++i_;
+    return Status::OK();
+  }
+
+  Status ParseRuleInto(Query* q) {
+    CQAC_RETURN_IF_ERROR(ParseAtom(q, &q->head()));
+    if (At(TokKind::kDot) || At(TokKind::kEnd)) return Status::OK();  // fact
+    CQAC_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-'"));
+    while (true) {
+      CQAC_RETURN_IF_ERROR(ParseItem(q));
+      if (At(TokKind::kComma)) {
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  // An item is an atom or a comparison; both can begin with an identifier,
+  // so we look ahead: IDENT '(' starts an atom.
+  Status ParseItem(Query* q) {
+    if (At(TokKind::kIdent) && i_ + 1 < toks_.size() &&
+        toks_[i_ + 1].kind == TokKind::kLParen) {
+      Atom a;
+      CQAC_RETURN_IF_ERROR(ParseAtom(q, &a));
+      q->AddBodyAtom(std::move(a));
+      return Status::OK();
+    }
+    return ParseComparison(q);
+  }
+
+  Status ParseAtom(Query* q, Atom* out) {
+    if (!At(TokKind::kIdent))
+      return Status::InvalidArgument(
+          StrCat("at offset ", Cur().pos, ": expected predicate name"));
+    out->predicate = Cur().text;
+    ++i_;
+    CQAC_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    out->args.clear();
+    if (At(TokKind::kRParen)) {
+      ++i_;
+      return Status::OK();
+    }
+    while (true) {
+      Term t = Term::Const(Value(std::string("?")));
+      CQAC_RETURN_IF_ERROR(ParseTerm(q, &t));
+      out->args.push_back(t);
+      if (At(TokKind::kComma)) {
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    return Expect(TokKind::kRParen, "')'");
+  }
+
+  Status ParseTerm(Query* q, Term* out) {
+    if (At(TokKind::kIdent)) {
+      const std::string& name = Cur().text;
+      if (IsVariableName(name)) {
+        *out = Term::Var(q->FindOrAddVariable(name));
+      } else {
+        *out = Term::Const(Value(name));
+      }
+      ++i_;
+      return Status::OK();
+    }
+    if (At(TokKind::kNumber)) {
+      Result<Rational> r = Rational::Parse(Cur().text);
+      if (!r.ok()) return r.status();
+      *out = Term::Const(Value(std::move(r).value()));
+      ++i_;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        StrCat("at offset ", Cur().pos, ": expected term, got '", Cur().text,
+               "'"));
+  }
+
+  Status ParseComparison(Query* q) {
+    Term lhs = Term::Const(Value(std::string("?")));
+    CQAC_RETURN_IF_ERROR(ParseTerm(q, &lhs));
+    TokKind op = Cur().kind;
+    if (op != TokKind::kLt && op != TokKind::kLe && op != TokKind::kGt &&
+        op != TokKind::kGe && op != TokKind::kEq)
+      return Status::InvalidArgument(
+          StrCat("at offset ", Cur().pos, ": expected comparison operator"));
+    ++i_;
+    Term rhs = Term::Const(Value(std::string("?")));
+    CQAC_RETURN_IF_ERROR(ParseTerm(q, &rhs));
+    // Normalize > and >= by swapping sides.
+    switch (op) {
+      case TokKind::kLt:
+        q->AddComparison(Comparison(lhs, CompOp::kLt, rhs));
+        break;
+      case TokKind::kLe:
+        q->AddComparison(Comparison(lhs, CompOp::kLe, rhs));
+        break;
+      case TokKind::kGt:
+        q->AddComparison(Comparison(rhs, CompOp::kLt, lhs));
+        break;
+      case TokKind::kGe:
+        q->AddComparison(Comparison(rhs, CompOp::kLe, lhs));
+        break;
+      case TokKind::kEq:
+        q->AddComparison(Comparison(lhs, CompOp::kEq, rhs));
+        break;
+      default:
+        return Status::Internal("unreachable comparison op");
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  std::vector<Token> toks;
+  Status st = Lexer(text).Tokenize(&toks);
+  if (!st.ok()) return st;
+  return Parser(std::move(toks)).ParseSingle();
+}
+
+Result<std::vector<Query>> ParseRules(const std::string& text) {
+  std::vector<Token> toks;
+  Status st = Lexer(text).Tokenize(&toks);
+  if (!st.ok()) return st;
+  return Parser(std::move(toks)).ParseProgram();
+}
+
+Query MustParseQuery(const std::string& text) {
+  Result<Query> r = ParseQuery(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseQuery(\"%s\"): %s\n", text.c_str(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+std::vector<Query> MustParseRules(const std::string& text) {
+  Result<std::vector<Query>> r = ParseRules(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseRules: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace cqac

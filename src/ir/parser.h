@@ -1,0 +1,44 @@
+// Parser for the textual Datalog-with-comparisons syntax.
+//
+// Grammar (one rule):
+//   rule       := atom ":-" item ("," item)* "."?
+//   item       := atom | comparison
+//   atom       := IDENT "(" [ term ("," term)* ] ")"
+//   comparison := term OP term          OP in { <, <=, >, >=, = }
+//   term       := VARIABLE | NUMBER | SYMBOL
+//
+// Conventions: identifiers beginning with an upper-case letter or '_' are
+// variables; lower-case identifiers are symbolic constants (inside atoms) or
+// predicate names (in atom position). Numbers may be integers, decimals
+// ("3.25") or fractions ("7/2"); all are parsed as exact rationals.
+// `>` and `>=` are normalized by swapping sides, so parsed queries only
+// contain <, <= and = comparisons.
+//
+// A fact is a rule with no body: `r(1, 2).`
+#ifndef CQAC_IR_PARSER_H_
+#define CQAC_IR_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// Parses a single rule/query. Fails on trailing input beyond one rule.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a sequence of '.'-terminated rules (the final '.' may be omitted).
+/// Blank lines and `%`-to-end-of-line comments are ignored.
+Result<std::vector<Query>> ParseRules(const std::string& text);
+
+/// Convenience for tests: parses or aborts with the parse error message.
+Query MustParseQuery(const std::string& text);
+
+/// Convenience for tests: parses rules or aborts with the error message.
+std::vector<Query> MustParseRules(const std::string& text);
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_PARSER_H_

@@ -1,0 +1,65 @@
+#include "src/ir/program.h"
+
+#include <map>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+std::set<std::string> Program::IdbPredicates() const {
+  std::set<std::string> out;
+  for (const Rule& r : rules_) out.insert(r.head().predicate);
+  return out;
+}
+
+std::set<std::string> Program::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::set<std::string> out;
+  for (const Rule& r : rules_)
+    for (const Atom& a : r.body())
+      if (!idb.count(a.predicate)) out.insert(a.predicate);
+  return out;
+}
+
+bool Program::IsRecursive() const {
+  // Dependency graph on IDB predicates; recursion == a cycle reachable via
+  // rule bodies. Simple DFS over adjacency.
+  std::set<std::string> idb = IdbPredicates();
+  std::map<std::string, std::set<std::string>> deps;
+  for (const Rule& r : rules_)
+    for (const Atom& a : r.body())
+      if (idb.count(a.predicate)) deps[r.head().predicate].insert(a.predicate);
+
+  for (const std::string& start : idb) {
+    // Is `start` reachable from itself?
+    std::set<std::string> seen;
+    std::vector<std::string> stack(deps[start].begin(), deps[start].end());
+    while (!stack.empty()) {
+      std::string cur = stack.back();
+      stack.pop_back();
+      if (cur == start) return true;
+      if (!seen.insert(cur).second) continue;
+      for (const std::string& next : deps[cur]) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status Program::Validate() const {
+  if (rules_.empty()) return Status::InvalidArgument("empty program");
+  for (const Rule& r : rules_) CQAC_RETURN_IF_ERROR(r.Validate());
+  if (!IdbPredicates().count(query_predicate_))
+    return Status::InvalidArgument(
+        StrCat("query predicate '", query_predicate_,
+               "' is not defined by any rule"));
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(rules_.size());
+  for (const Rule& r : rules_) lines.push_back(r.ToString() + ".");
+  return Join(lines, "\n");
+}
+
+}  // namespace cqac

@@ -1,0 +1,58 @@
+// Datalog programs with arithmetic comparisons.
+//
+// A rule is structurally a Query (head :- atoms, comparisons); a Program is a
+// finite set of rules plus the designated query predicate. Programs are the
+// rewriting language of Section 5, where maximally-contained rewritings can
+// be inherently recursive (Example 1.2 / Proposition 5.1).
+#ifndef CQAC_IR_PROGRAM_H_
+#define CQAC_IR_PROGRAM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// A Datalog rule is structurally identical to a CQAC query.
+using Rule = Query;
+
+/// A Datalog program with comparisons: rules plus the query predicate.
+class Program {
+ public:
+  Program() = default;
+  Program(std::string query_predicate, std::vector<Rule> rules)
+      : query_predicate_(std::move(query_predicate)),
+        rules_(std::move(rules)) {}
+
+  const std::string& query_predicate() const { return query_predicate_; }
+  void set_query_predicate(std::string p) { query_predicate_ = std::move(p); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& rules() { return rules_; }
+  void AddRule(Rule r) { rules_.push_back(std::move(r)); }
+
+  /// Predicates defined by some rule head (intensional).
+  std::set<std::string> IdbPredicates() const;
+
+  /// Predicates that occur only in rule bodies (extensional).
+  std::set<std::string> EdbPredicates() const;
+
+  /// True iff some IDB predicate (transitively) depends on itself.
+  bool IsRecursive() const;
+
+  /// Checks rule safety and that the query predicate is defined.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string query_predicate_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_PROGRAM_H_

@@ -1,0 +1,206 @@
+#include "src/ir/query.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+const char* AcClassName(AcClass c) {
+  switch (c) {
+    case AcClass::kNone:
+      return "CQ";
+    case AcClass::kLsi:
+      return "LSI";
+    case AcClass::kRsi:
+      return "RSI";
+    case AcClass::kSi:
+      return "SI";
+    case AcClass::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+int Query::AddVariable(const std::string& name) {
+  assert(FindVariable(name) < 0 && "duplicate variable name");
+  var_names_.push_back(name);
+  return static_cast<int>(var_names_.size()) - 1;
+}
+
+int Query::FindOrAddVariable(const std::string& name) {
+  int id = FindVariable(name);
+  if (id >= 0) return id;
+  var_names_.push_back(name);
+  return static_cast<int>(var_names_.size()) - 1;
+}
+
+int Query::FindVariable(const std::string& name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i)
+    if (var_names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Query::AddFreshVariable(const std::string& base) {
+  if (FindVariable(base) < 0) return AddVariable(base);
+  for (int i = 0;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (FindVariable(candidate) < 0) return AddVariable(candidate);
+  }
+}
+
+std::vector<int> Query::HeadVars() const {
+  std::vector<int> out;
+  for (const Term& t : head_.args) {
+    if (!t.is_var()) continue;
+    if (std::find(out.begin(), out.end(), t.var()) == out.end())
+      out.push_back(t.var());
+  }
+  return out;
+}
+
+std::vector<bool> Query::DistinguishedMask() const {
+  std::vector<bool> mask(var_names_.size(), false);
+  for (const Term& t : head_.args)
+    if (t.is_var()) mask[t.var()] = true;
+  return mask;
+}
+
+std::set<int> Query::BodyVars() const {
+  std::set<int> out;
+  for (const Atom& a : body_)
+    for (const Term& t : a.args)
+      if (t.is_var()) out.insert(t.var());
+  return out;
+}
+
+std::set<int> Query::ComparisonVars() const {
+  std::set<int> out;
+  for (const Comparison& c : comparisons_) {
+    if (c.lhs.is_var()) out.insert(c.lhs.var());
+    if (c.rhs.is_var()) out.insert(c.rhs.var());
+  }
+  return out;
+}
+
+std::vector<Rational> Query::ComparisonConstants() const {
+  std::vector<Rational> out;
+  auto add = [&out](const Term& t) {
+    if (t.is_const() && t.value().is_number()) {
+      const Rational& r = t.value().number();
+      if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+    }
+  };
+  for (const Comparison& c : comparisons_) {
+    add(c.lhs);
+    add(c.rhs);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+AcClass Query::Classify() const {
+  if (comparisons_.empty()) return AcClass::kNone;
+  bool all_si = true, all_lsi = true, all_rsi = true;
+  for (const Comparison& c : comparisons_) {
+    if (!c.IsSemiInterval()) {
+      all_si = false;
+      all_lsi = false;
+      all_rsi = false;
+      break;
+    }
+    if (!c.IsLsi()) all_lsi = false;
+    if (!c.IsRsi()) all_rsi = false;
+  }
+  if (all_lsi) return AcClass::kLsi;
+  if (all_rsi) return AcClass::kRsi;
+  if (all_si) return AcClass::kSi;
+  return AcClass::kGeneral;
+}
+
+bool Query::IsSiOnly() const {
+  for (const Comparison& c : comparisons_)
+    if (!c.IsSemiInterval()) return false;
+  return true;
+}
+
+bool Query::IsCqacSi() const {
+  if (!IsSiOnly()) return false;
+  int lsi = 0, rsi = 0;
+  for (const Comparison& c : comparisons_) {
+    if (c.IsLsi()) ++lsi;
+    if (c.IsRsi()) ++rsi;
+  }
+  return lsi <= 1 || rsi <= 1;
+}
+
+Status Query::Validate() const {
+  auto check_term = [this](const Term& t, const char* where) -> Status {
+    if (t.is_var() && (t.var() < 0 || t.var() >= num_vars()))
+      return Status::Internal(StrCat("dangling variable id in ", where));
+    return Status::OK();
+  };
+  for (const Term& t : head_.args) CQAC_RETURN_IF_ERROR(check_term(t, "head"));
+  for (const Atom& a : body_) {
+    if (a.predicate.empty())
+      return Status::InvalidArgument("body atom with empty predicate");
+    for (const Term& t : a.args) CQAC_RETURN_IF_ERROR(check_term(t, "body"));
+  }
+  std::set<int> body_vars = BodyVars();
+  for (const Term& t : head_.args) {
+    if (t.is_var() && !body_vars.count(t.var()))
+      return Status::InvalidArgument(
+          StrCat("unsafe head variable ", VarName(t.var()),
+                 " does not appear in the body"));
+  }
+  for (const Comparison& c : comparisons_) {
+    CQAC_RETURN_IF_ERROR(check_term(c.lhs, "comparison"));
+    CQAC_RETURN_IF_ERROR(check_term(c.rhs, "comparison"));
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      // Symbolic constants can be *equated* (view expansion emits such
+      // equalities) but never ordered.
+      if (t->is_const() && t->value().is_symbol() && c.op != CompOp::kEq)
+        return Status::InvalidArgument(
+            StrCat("ordered comparison over symbolic constant '",
+                   t->value().symbol(), "'"));
+      if (t->is_var() && !body_vars.count(t->var()))
+        return Status::InvalidArgument(
+            StrCat("comparison variable ", VarName(t->var()),
+                   " does not appear in any ordinary subgoal"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Query::TermToString(const Term& t) const {
+  if (t.is_var()) return VarName(t.var());
+  return t.value().ToString();
+}
+
+namespace {
+std::string AtomToString(const Query& q, const Atom& a) {
+  std::vector<std::string> args;
+  args.reserve(a.args.size());
+  for (const Term& t : a.args) args.push_back(q.TermToString(t));
+  return a.predicate + "(" + Join(args, ", ") + ")";
+}
+}  // namespace
+
+std::string Query::ToString() const {
+  std::vector<std::string> items;
+  for (const Atom& a : body_) items.push_back(AtomToString(*this, a));
+  for (const Comparison& c : comparisons_)
+    items.push_back(StrCat(TermToString(c.lhs), " ", CompOpName(c.op), " ",
+                           TermToString(c.rhs)));
+  return AtomToString(*this, head_) + " :- " + Join(items, ", ");
+}
+
+std::string UnionQuery::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(disjuncts.size());
+  for (const Query& q : disjuncts) lines.push_back(q.ToString());
+  return Join(lines, "\n");
+}
+
+}  // namespace cqac

@@ -1,0 +1,136 @@
+// Conjunctive queries with arithmetic comparisons (CQACs), the central IR.
+//
+// A Query is
+//     h(X⃗) :- g1(X⃗1), ..., gn(X⃗n), C1, ..., Cm
+// where the gi are ordinary subgoals and the Cj arithmetic comparisons over a
+// dense order (Section 2 of the paper). The same structure doubles as a
+// Datalog rule (src/ir/program.h) and as a view definition (src/ir/view.h).
+//
+// Variables are integer ids owned by the query; the query maps ids to names.
+#ifndef CQAC_IR_QUERY_H_
+#define CQAC_IR_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/atom.h"
+
+namespace cqac {
+
+/// Classification of a query's comparison set, following Table 2.
+enum class AcClass {
+  kNone,    // pure conjunctive query, no comparisons
+  kLsi,     // all comparisons are LSI (upper bounds `X θ c`)
+  kRsi,     // all comparisons are RSI (lower bounds `c θ X`)
+  kSi,      // all comparisons semi-interval, mixed directions
+  kGeneral, // at least one variable-variable or non-SI comparison
+};
+
+/// Returns a printable name for `c`.
+const char* AcClassName(AcClass c);
+
+/// A CQAC query / Datalog rule / view definition.
+class Query {
+ public:
+  Query() = default;
+
+  /// Creates a query with head predicate `head_predicate` and no head args.
+  explicit Query(std::string head_predicate) {
+    head_.predicate = std::move(head_predicate);
+  }
+
+  // ---- Variable table -----------------------------------------------------
+
+  /// Adds a variable named `name` (must be unused) and returns its id.
+  int AddVariable(const std::string& name);
+
+  /// Returns the id of `name`, adding it if absent.
+  int FindOrAddVariable(const std::string& name);
+
+  /// Returns the id of `name`, or -1 if absent.
+  int FindVariable(const std::string& name) const;
+
+  /// Adds a variable with a fresh name derived from `base` and returns its id.
+  int AddFreshVariable(const std::string& base);
+
+  const std::string& VarName(int id) const { return var_names_.at(id); }
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  // ---- Structure ----------------------------------------------------------
+
+  Atom& head() { return head_; }
+  const Atom& head() const { return head_; }
+
+  std::vector<Atom>& body() { return body_; }
+  const std::vector<Atom>& body() const { return body_; }
+
+  std::vector<Comparison>& comparisons() { return comparisons_; }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+  void AddBodyAtom(Atom atom) { body_.push_back(std::move(atom)); }
+  void AddComparison(Comparison c) { comparisons_.push_back(std::move(c)); }
+
+  // ---- Derived info -------------------------------------------------------
+
+  /// Ids of variables appearing in the head, in order of first occurrence.
+  std::vector<int> HeadVars() const;
+
+  /// distinguished[id] == true iff variable `id` appears in the head.
+  std::vector<bool> DistinguishedMask() const;
+
+  /// Ids of variables appearing in ordinary subgoals.
+  std::set<int> BodyVars() const;
+
+  /// Ids of variables appearing in comparisons.
+  std::set<int> ComparisonVars() const;
+
+  /// All numeric constants appearing in comparisons (deduplicated, sorted).
+  std::vector<Rational> ComparisonConstants() const;
+
+  /// True iff the query has no comparisons at all.
+  bool IsConjunctiveOnly() const { return comparisons_.empty(); }
+
+  /// Classifies the comparison set per Table 2 (see AcClass).
+  AcClass Classify() const;
+
+  /// True iff every comparison is semi-interval (SI views of Section 5).
+  bool IsSiOnly() const;
+
+  /// True iff the query is a "CQAC-SI query" in the sense of Section 5:
+  /// all comparisons SI, and either at most one LSI (rest RSI) or at most
+  /// one RSI (rest LSI).
+  bool IsCqacSi() const;
+
+  /// Checks structural sanity: every variable referenced by an atom or
+  /// comparison exists; head variables appear in the body (safety); numeric
+  /// comparisons do not mention symbolic constants.
+  Status Validate() const;
+
+  /// Renders the query in parseable form, e.g.
+  /// `q(X) :- r(X,Y), s(Y,Z), X < 4`.
+  std::string ToString() const;
+
+  /// Renders a term of this query (variable name or constant).
+  std::string TermToString(const Term& t) const;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+  std::vector<Comparison> comparisons_;
+  std::vector<std::string> var_names_;
+};
+
+/// A finite union of CQACs, the rewriting language of Sections 3-4.
+struct UnionQuery {
+  std::vector<Query> disjuncts;
+
+  bool empty() const { return disjuncts.empty(); }
+  std::string ToString() const;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_QUERY_H_

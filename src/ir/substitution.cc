@@ -1,0 +1,64 @@
+#include "src/ir/substitution.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+VarMap ImportVariables(const Query& src, const std::string& prefix,
+                       Query* dst) {
+  VarMap map(src.num_vars());
+  for (int v = 0; v < src.num_vars(); ++v) {
+    int nv = dst->AddFreshVariable(prefix + src.VarName(v));
+    map.ForceBind(v, Term::Var(nv));
+  }
+  return map;
+}
+
+bool UnifyBodyAtoms(const Query& q, size_t i, size_t j, Query* out) {
+  const Atom& a = q.body()[i];
+  const Atom& b = q.body()[j];
+  if (a.predicate != b.predicate || a.args.size() != b.args.size())
+    return false;
+  VarMap subst(q.num_vars());
+  auto resolve = [&subst](Term t) {
+    // Chase bindings to a fixed point (chains are short).
+    while (t.is_var() && subst.IsBound(t.var()) && !(subst.Get(t.var()) == t))
+      t = subst.Get(t.var());
+    return t;
+  };
+  for (size_t p = 0; p < a.args.size(); ++p) {
+    Term x = resolve(a.args[p]);
+    Term y = resolve(b.args[p]);
+    if (x == y) continue;
+    if (x.is_const() && y.is_const()) return false;
+    if (x.is_const()) std::swap(x, y);
+    subst.ForceBind(x.var(), y);
+  }
+  *out = Query();
+  out->head().predicate = q.head().predicate;
+  for (const std::string& name : q.var_names()) out->FindOrAddVariable(name);
+  for (const Term& t : q.head().args) out->head().args.push_back(resolve(t));
+  for (size_t g = 0; g < q.body().size(); ++g) {
+    if (g == j) continue;
+    Atom na;
+    na.predicate = q.body()[g].predicate;
+    for (const Term& t : q.body()[g].args) na.args.push_back(resolve(t));
+    out->AddBodyAtom(std::move(na));
+  }
+  for (const Comparison& c : q.comparisons())
+    out->AddComparison(Comparison(resolve(c.lhs), c.op, resolve(c.rhs)));
+  return true;
+}
+
+std::string VarMapToString(const VarMap& map, const Query& source,
+                           const Query& target) {
+  std::vector<std::string> parts;
+  for (int v = 0; v < map.num_source_vars(); ++v) {
+    if (!map.IsBound(v)) continue;
+    parts.push_back(
+        StrCat(source.VarName(v), " -> ", target.TermToString(map.Get(v))));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace cqac

@@ -1,0 +1,99 @@
+// Variable substitutions (the mappings mu of containment proofs).
+//
+// A VarMap sends variable ids of a *source* query to terms of a *target*
+// query. It is the representation of containment mappings (Chandra-Merlin
+// homomorphisms extended with constants) used throughout src/containment and
+// src/rewriting.
+#ifndef CQAC_IR_SUBSTITUTION_H_
+#define CQAC_IR_SUBSTITUTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/ir/atom.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// A partial map from source-variable ids to target terms.
+class VarMap {
+ public:
+  explicit VarMap(int num_source_vars)
+      : bindings_(num_source_vars, std::nullopt) {}
+
+  int num_source_vars() const { return static_cast<int>(bindings_.size()); }
+
+  bool IsBound(int var) const { return bindings_[var].has_value(); }
+
+  const Term& Get(int var) const { return *bindings_[var]; }
+
+  /// Binds `var` to `t`; returns false on a conflicting existing binding.
+  bool Bind(int var, const Term& t) {
+    if (bindings_[var].has_value()) return *bindings_[var] == t;
+    bindings_[var] = t;
+    return true;
+  }
+
+  /// Overwrites any existing binding.
+  void ForceBind(int var, const Term& t) { bindings_[var] = t; }
+
+  bool IsTotal() const {
+    for (const auto& b : bindings_)
+      if (!b.has_value()) return false;
+    return true;
+  }
+
+  /// Applies the map to a term. Unmapped variables are returned unchanged
+  /// (useful for partial mappings); constants map to themselves.
+  Term Apply(const Term& t) const {
+    if (t.is_var() && bindings_[t.var()].has_value())
+      return *bindings_[t.var()];
+    return t;
+  }
+
+  Atom ApplyToAtom(const Atom& a) const {
+    Atom out;
+    out.predicate = a.predicate;
+    out.args.reserve(a.args.size());
+    for (const Term& t : a.args) out.args.push_back(Apply(t));
+    return out;
+  }
+
+  Comparison ApplyToComparison(const Comparison& c) const {
+    return Comparison(Apply(c.lhs), c.op, Apply(c.rhs));
+  }
+
+  /// Applies to a whole list of comparisons.
+  std::vector<Comparison> ApplyToComparisons(
+      const std::vector<Comparison>& cs) const {
+    std::vector<Comparison> out;
+    out.reserve(cs.size());
+    for (const Comparison& c : cs) out.push_back(ApplyToComparison(c));
+    return out;
+  }
+
+  bool operator==(const VarMap& o) const { return bindings_ == o.bindings_; }
+
+ private:
+  std::vector<std::optional<Term>> bindings_;
+};
+
+/// Copies all variables of `src` into `dst` under fresh names prefixed with
+/// `prefix`, returning the (total) translation map from src vars to dst vars.
+VarMap ImportVariables(const Query& src, const std::string& prefix,
+                       Query* dst);
+
+/// Renders a VarMap for debugging: "{X -> A, Y -> 3}".
+std::string VarMapToString(const VarMap& map, const Query& source,
+                           const Query& target);
+
+/// Attempts to unify body atoms i and j of `q` (same predicate and arity),
+/// merging them into one atom by equating their arguments position-wise and
+/// applying the substitution to the whole query (atom j is dropped).
+/// Returns false when two distinct constants clash. Used by query
+/// minimization (folding) and by the bucket algorithm's equation step.
+bool UnifyBodyAtoms(const Query& q, size_t i, size_t j, Query* out);
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_SUBSTITUTION_H_

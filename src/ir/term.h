@@ -1,0 +1,118 @@
+// Terms of the query language: variables and constants.
+//
+// Variables are integers local to an enclosing Query/Rule, which owns the
+// id -> name table. Constants are either exact rationals (the dense order the
+// paper's comparisons range over) or opaque symbols (e.g. `red` in the
+// car-dealer example of Section 4.1), which can be joined on but never
+// compared with < / <=.
+#ifndef CQAC_IR_TERM_H_
+#define CQAC_IR_TERM_H_
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "src/base/rational.h"
+
+namespace cqac {
+
+/// A constant of the domain: a rational number or an opaque symbol.
+class Value {
+ public:
+  /*implicit*/ Value(Rational r) : rep_(std::move(r)) {}
+  /*implicit*/ Value(int64_t n) : rep_(Rational(n)) {}
+  /*implicit*/ Value(std::string symbol) : rep_(std::move(symbol)) {}
+
+  bool is_number() const { return std::holds_alternative<Rational>(rep_); }
+  bool is_symbol() const { return !is_number(); }
+
+  const Rational& number() const {
+    assert(is_number());
+    return std::get<Rational>(rep_);
+  }
+  const std::string& symbol() const {
+    assert(is_symbol());
+    return std::get<std::string>(rep_);
+  }
+
+  bool operator==(const Value& o) const { return rep_ == o.rep_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order used for canonical forms and containers: numbers before
+  /// symbols, numbers by value, symbols lexicographically.
+  bool operator<(const Value& o) const {
+    if (is_number() != o.is_number()) return is_number();
+    if (is_number()) return number() < o.number();
+    return symbol() < o.symbol();
+  }
+
+  std::string ToString() const {
+    return is_number() ? number().ToString() : symbol();
+  }
+
+  size_t Hash() const {
+    if (is_number()) return number().Hash();
+    return std::hash<std::string>()(symbol()) * 1315423911ULL;
+  }
+
+ private:
+  std::variant<Rational, std::string> rep_;
+};
+
+/// A term: either a variable (id into the owning query's table) or a Value.
+class Term {
+ public:
+  /// Makes a variable term.
+  static Term Var(int id) { return Term(id); }
+  /// Makes a constant term.
+  static Term Const(Value v) { return Term(std::move(v)); }
+
+  bool is_var() const { return var_ >= 0; }
+  bool is_const() const { return var_ < 0; }
+
+  int var() const {
+    assert(is_var());
+    return var_;
+  }
+  const Value& value() const {
+    assert(is_const());
+    return value_;
+  }
+
+  bool operator==(const Term& o) const {
+    if (var_ != o.var_) return false;
+    if (is_var()) return true;
+    return value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  size_t Hash() const {
+    if (is_var()) return std::hash<int>()(var_);
+    return value_.Hash() ^ 0x5bd1e995u;
+  }
+
+ private:
+  explicit Term(int var) : var_(var), value_(std::string()) {
+    assert(var >= 0);
+  }
+  explicit Term(Value v) : var_(-1), value_(std::move(v)) {}
+
+  int var_;      // >= 0 for variables, -1 for constants
+  Value value_;  // meaningful only when var_ < 0
+};
+
+}  // namespace cqac
+
+namespace std {
+template <>
+struct hash<cqac::Term> {
+  size_t operator()(const cqac::Term& t) const { return t.Hash(); }
+};
+template <>
+struct hash<cqac::Value> {
+  size_t operator()(const cqac::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // CQAC_IR_TERM_H_

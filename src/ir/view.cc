@@ -1,0 +1,44 @@
+#include "src/ir/view.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+Status ViewSet::Add(Query view) {
+  if (Find(view.head().predicate) != nullptr)
+    return Status::InvalidArgument(
+        StrCat("duplicate view name '", view.head().predicate, "'"));
+  CQAC_RETURN_IF_ERROR(view.Validate());
+  views_.push_back(std::move(view));
+  return Status::OK();
+}
+
+const Query* ViewSet::Find(const std::string& name) const {
+  for (const Query& v : views_)
+    if (v.head().predicate == name) return &v;
+  return nullptr;
+}
+
+bool ViewSet::AllSiOnly() const {
+  for (const Query& v : views_)
+    if (!v.IsSiOnly()) return false;
+  return true;
+}
+
+bool ViewSet::AllVariablesDistinguished() const {
+  for (const Query& v : views_) {
+    std::vector<bool> mask = v.DistinguishedMask();
+    for (int id : v.BodyVars())
+      if (!mask[id]) return false;
+  }
+  return true;
+}
+
+std::string ViewSet::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(views_.size());
+  for (const Query& v : views_) lines.push_back(v.ToString());
+  return Join(lines, "\n");
+}
+
+}  // namespace cqac

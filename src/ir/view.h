@@ -1,0 +1,50 @@
+// Views: named CQAC definitions over the base schema.
+//
+// A view is just a Query whose head predicate is the view's name; a ViewSet
+// bundles the views available for rewriting and provides name lookup.
+#ifndef CQAC_IR_VIEW_H_
+#define CQAC_IR_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// An ordered collection of view definitions with unique head predicates.
+class ViewSet {
+ public:
+  ViewSet() = default;
+  explicit ViewSet(std::vector<Query> views) : views_(std::move(views)) {}
+
+  /// Appends `view`; its head predicate must not collide with an existing
+  /// view name.
+  Status Add(Query view);
+
+  /// Returns the view named `name`, or nullptr.
+  const Query* Find(const std::string& name) const;
+
+  const std::vector<Query>& views() const { return views_; }
+  size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+  const Query& operator[](size_t i) const { return views_[i]; }
+
+  /// True iff every view's comparisons are semi-interval only (the "CQAC-SI
+  /// views" precondition of Section 5).
+  bool AllSiOnly() const;
+
+  /// True iff in every view all variables are distinguished (Theorem 3.2's
+  /// precondition).
+  bool AllVariablesDistinguished() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Query> views_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_VIEW_H_

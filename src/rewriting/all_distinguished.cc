@@ -1,0 +1,189 @@
+#include "src/rewriting/all_distinguished.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/base/strings.h"
+#include "src/constraints/implication.h"
+#include "src/constraints/preprocess.h"
+#include "src/containment/containment.h"
+#include "src/ir/expansion.h"
+#include "src/ir/substitution.h"
+
+namespace cqac {
+namespace {
+
+struct Choice {
+  int view_index;
+  VarMap phi;  // query var -> view var/const of this subgoal's image
+  std::map<int, Value> const_bindings;  // view var -> query constant
+
+  Choice(int vi, VarMap m) : view_index(vi), phi(std::move(m)) {}
+};
+
+// Maps query subgoal `qa` onto view subgoal `va`; with all view variables
+// distinguished there is nothing to reject beyond unification failure.
+bool TryMap(const Atom& qa, const Atom& va, VarMap* phi,
+            std::map<int, Value>* const_bindings) {
+  if (qa.predicate != va.predicate || qa.args.size() != va.args.size())
+    return false;
+  for (size_t p = 0; p < qa.args.size(); ++p) {
+    const Term& qt = qa.args[p];
+    const Term& vt = va.args[p];
+    if (qt.is_const()) {
+      if (vt.is_const()) {
+        if (!(qt.value() == vt.value())) return false;
+      } else {
+        // Constant meets a distinguished variable: enforceable by placing
+        // the constant at that head position.
+        auto [it, inserted] = const_bindings->emplace(vt.var(), qt.value());
+        if (!inserted && !(it->second == qt.value())) return false;
+      }
+      continue;
+    }
+    if (!phi->Bind(qt.var(), vt)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UnionQuery> RewriteAllDistinguished(
+    const Query& q, const ViewSet& views,
+    const AllDistinguishedOptions& options) {
+  if (!views.AllVariablesDistinguished())
+    return Status::InvalidArgument(
+        "RewriteAllDistinguished requires views whose variables are all "
+        "distinguished");
+
+  Result<Query> qp_result = Preprocess(q);
+  if (!qp_result.ok()) {
+    if (qp_result.status().code() == StatusCode::kInconsistent)
+      return UnionQuery{};
+    return qp_result.status();
+  }
+  Query qp = std::move(qp_result).value();
+  CQAC_RETURN_IF_ERROR(qp.Validate());
+
+  // Per query subgoal, the possible (view, subgoal, mapping) choices.
+  // Theorem 3.2's bound: one choice per subgoal suffices, so rewritings
+  // have exactly |body(q)| view atoms.
+  std::vector<std::vector<Choice>> choices(qp.body().size());
+  for (size_t gi = 0; gi < qp.body().size(); ++gi) {
+    for (size_t vi = 0; vi < views.size(); ++vi) {
+      for (const Atom& va : views[vi].body()) {
+        VarMap phi(qp.num_vars());
+        std::map<int, Value> consts;
+        if (TryMap(qp.body()[gi], va, &phi, &consts)) {
+          Choice c(static_cast<int>(vi), std::move(phi));
+          c.const_bindings = std::move(consts);
+          choices[gi].push_back(std::move(c));
+        }
+      }
+    }
+    if (choices[gi].empty()) return UnionQuery{};
+  }
+
+  UnionQuery result;
+  std::vector<const Choice*> pick(qp.body().size(), nullptr);
+  size_t candidates = 0;
+  Status inner = Status::OK();
+
+  auto emit = [&]() {
+    if (++candidates > options.max_candidates) return false;
+    Query cand;
+    cand.head().predicate = qp.head().predicate;
+
+    // A query variable whose image is a view-body constant is pinned to
+    // that constant; conflicting pins kill the candidate.
+    std::vector<std::optional<Value>> pin(qp.num_vars());
+    for (const Choice* c : pick) {
+      for (int qv = 0; qv < qp.num_vars(); ++qv) {
+        if (!c->phi.IsBound(qv)) continue;
+        const Term& img = c->phi.Get(qv);
+        if (!img.is_const()) continue;
+        if (pin[qv].has_value() && !(*pin[qv] == img.value())) return true;
+        pin[qv] = img.value();
+      }
+    }
+    // Otherwise, with every view variable distinguished, the rewriting term
+    // of a query variable is simply a variable of the same name; view-head
+    // positions not hit by a query variable get fresh variables.
+    auto term_of_qvar = [&cand, &qp, &pin](int qv) {
+      if (pin[qv].has_value()) return Term::Const(*pin[qv]);
+      return Term::Var(cand.FindOrAddVariable(qp.VarName(qv)));
+    };
+    for (size_t gi = 0; gi < pick.size(); ++gi) {
+      const Choice* c = pick[gi];
+      const Query& view = views[c->view_index];
+      Atom atom;
+      atom.predicate = view.head().predicate;
+      for (const Term& ht : view.head().args) {
+        if (ht.is_const()) {
+          atom.args.push_back(ht);
+          continue;
+        }
+        // Which query term reaches this head variable in this choice?
+        std::optional<Term> arg;
+        auto cb = c->const_bindings.find(ht.var());
+        if (cb != c->const_bindings.end()) arg = Term::Const(cb->second);
+        for (int qv = 0; qv < qp.num_vars() && !arg.has_value(); ++qv)
+          if (c->phi.IsBound(qv) && c->phi.Get(qv) == Term::Var(ht.var()))
+            arg = term_of_qvar(qv);
+        if (!arg.has_value())
+          arg = Term::Var(cand.AddFreshVariable(
+              StrCat(view.head().predicate, "_", view.VarName(ht.var()))));
+        atom.args.push_back(*arg);
+      }
+      cand.AddBodyAtom(std::move(atom));
+    }
+    for (const Term& t : qp.head().args) {
+      if (t.is_const())
+        cand.head().args.push_back(t);
+      else
+        cand.head().args.push_back(term_of_qvar(t.var()));
+    }
+    // Every comparison of the query transfers verbatim (every variable is
+    // exposed).
+    for (const Comparison& c : qp.comparisons()) {
+      auto xlate = [&](const Term& t) {
+        return t.is_const() ? t : term_of_qvar(t.var());
+      };
+      cand.AddComparison(Comparison(xlate(c.lhs), c.op, xlate(c.rhs)));
+    }
+    if (!AcsConsistent(cand.comparisons())) return true;
+    if (!cand.Validate().ok()) return true;  // a head var never got exposed
+
+    Result<Query> exp = ExpandRewriting(cand, views);
+    if (!exp.ok()) {
+      inner = exp.status();
+      return false;
+    }
+    Result<bool> contained = IsContained(exp.value(), qp);
+    if (!contained.ok()) {
+      inner = contained.status();
+      return false;
+    }
+    if (!contained.value()) return true;
+    Query compact = CompactVariables(cand);
+    for (const Query& existing : result.disjuncts)
+      if (existing.ToString() == compact.ToString()) return true;
+    result.disjuncts.push_back(std::move(compact));
+    return true;
+  };
+
+  std::function<bool(size_t)> rec = [&](size_t gi) -> bool {
+    if (gi == choices.size()) return emit();
+    for (const Choice& c : choices[gi]) {
+      pick[gi] = &c;
+      if (!rec(gi + 1)) return false;
+    }
+    return true;
+  };
+  rec(0);
+  CQAC_RETURN_IF_ERROR(inner);
+  return result;
+}
+
+}  // namespace cqac

@@ -1,0 +1,66 @@
+#include "src/rewriting/answer.h"
+
+#include "src/eval/evaluate.h"
+#include "src/rewriting/bucket.h"
+#include "src/rewriting/rewrite_lsi.h"
+
+namespace cqac {
+
+Result<Relation> ViewPlan::Answer(const Database& view_instance) const {
+  switch (kind) {
+    case PlanKind::kEmpty:
+      return Relation{};
+    case PlanKind::kFiniteUnion:
+      return EvaluateUnion(union_plan, view_instance);
+    case PlanKind::kDatalog:
+      return datalog->MakeEngine().Query(view_instance);
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+std::string ViewPlan::ToString() const {
+  switch (kind) {
+    case PlanKind::kEmpty:
+      return "<empty plan>";
+    case PlanKind::kFiniteUnion:
+      return union_plan.ToString();
+    case PlanKind::kDatalog:
+      return datalog->ToString();
+  }
+  return "?";
+}
+
+Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views) {
+  ViewPlan plan;
+  AcClass cls = q.Classify();
+  if (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi) {
+    CQAC_ASSIGN_OR_RETURN(UnionQuery u, RewriteLsiQuery(q, views));
+    if (!u.empty()) {
+      plan.kind = PlanKind::kFiniteUnion;
+      plan.union_plan = std::move(u);
+    }
+    return plan;
+  }
+  if (q.IsCqacSi() && views.AllSiOnly()) {
+    CQAC_ASSIGN_OR_RETURN(SiMcr mcr, RewriteSiQueryDatalog(q, views));
+    plan.kind = PlanKind::kDatalog;
+    plan.datalog = std::move(mcr);
+    return plan;
+  }
+  // General fallback: verified bucket candidates (sound, possibly
+  // incomplete — documented in DESIGN.md).
+  CQAC_ASSIGN_OR_RETURN(UnionQuery u, BucketRewrite(q, views));
+  if (!u.empty()) {
+    plan.kind = PlanKind::kFiniteUnion;
+    plan.union_plan = std::move(u);
+  }
+  return plan;
+}
+
+Result<Relation> AnswerUsingViews(const Query& q, const ViewSet& views,
+                                  const Database& view_instance) {
+  CQAC_ASSIGN_OR_RETURN(ViewPlan plan, PlanForQuery(q, views));
+  return plan.Answer(view_instance);
+}
+
+}  // namespace cqac

@@ -1,0 +1,51 @@
+// One-call certain-answer computation.
+//
+// Bundles the full pipeline: classify the query, pick the right rewriting
+// engine (RewriteLSIQuery for CQ/LSI/RSI, the recursive Datalog construction
+// for CQAC-SI with SI views, the verified bucket algorithm otherwise),
+// evaluate the rewriting over a view instance, and return the certain
+// answers. This is the API a mediator or optimizer embeds; the lower-level
+// pieces remain available for callers that cache rewritings across queries.
+#ifndef CQAC_REWRITING_ANSWER_H_
+#define CQAC_REWRITING_ANSWER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/eval/database.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+#include "src/rewriting/si_mcr.h"
+
+namespace cqac {
+
+/// Which engine a plan came from.
+enum class PlanKind {
+  kEmpty,        // no rewriting exists (or the query is unsatisfiable)
+  kFiniteUnion,  // union of CQACs (RewriteLSIQuery / bucket)
+  kDatalog,      // recursive Datalog program (Section 5)
+};
+
+/// A compiled view-based plan for one query.
+struct ViewPlan {
+  PlanKind kind = PlanKind::kEmpty;
+  UnionQuery union_plan;          // set iff kind == kFiniteUnion
+  std::optional<SiMcr> datalog;   // set iff kind == kDatalog
+
+  /// Evaluates the plan over a view instance, returning certain answers.
+  Result<Relation> Answer(const Database& view_instance) const;
+
+  std::string ToString() const;
+};
+
+/// Compiles the best available plan for `q` over `views`.
+Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views);
+
+/// Convenience: compile + evaluate in one call.
+Result<Relation> AnswerUsingViews(const Query& q, const ViewSet& views,
+                                  const Database& view_instance);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_ANSWER_H_

@@ -1,0 +1,65 @@
+#include "src/rewriting/er_search.h"
+
+#include "src/constraints/preprocess.h"
+#include "src/containment/containment.h"
+#include "src/ir/expansion.h"
+#include "src/rewriting/bucket.h"
+#include "src/rewriting/rewrite_lsi.h"
+
+namespace cqac {
+
+Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
+                                         const ErSearchOptions& options) {
+  ErResult result;
+
+  // Gather contained rewritings from the applicable engine.
+  Result<Query> qp = Preprocess(q);
+  if (!qp.ok()) {
+    if (qp.status().code() == StatusCode::kInconsistent) {
+      // The empty query: any inconsistent rewriting is an ER; represent it
+      // as the empty union.
+      result.union_er = UnionQuery{};
+      return result;
+    }
+    return qp.status();
+  }
+
+  AcClass cls = qp.value().Classify();
+  UnionQuery crs;
+  if (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi) {
+    CQAC_ASSIGN_OR_RETURN(crs, RewriteLsiQuery(qp.value(), views));
+  } else {
+    CQAC_ASSIGN_OR_RETURN(crs, BucketRewrite(qp.value(), views));
+  }
+
+  // A single CR whose expansion contains the query is an ER.
+  for (const Query& cr : crs.disjuncts) {
+    CQAC_ASSIGN_OR_RETURN(Query exp, ExpandRewriting(cr, views));
+    Result<bool> back = IsContained(qp.value(), exp);
+    if (!back.ok()) {
+      if (back.status().code() == StatusCode::kResourceExhausted) continue;
+      return back.status();
+    }
+    if (back.value()) {
+      result.single = cr;
+      return result;
+    }
+  }
+
+  if (options.try_union && !crs.disjuncts.empty()) {
+    // Corollary 3.1: an ER may need to be a union. The CRs are contained by
+    // construction; equivalence needs the query contained in the union of
+    // expansions.
+    UnionQuery expansions;
+    for (const Query& cr : crs.disjuncts) {
+      CQAC_ASSIGN_OR_RETURN(Query exp, ExpandRewriting(cr, views));
+      expansions.disjuncts.push_back(std::move(exp));
+    }
+    CQAC_ASSIGN_OR_RETURN(bool covered,
+                          IsContainedInUnion(qp.value(), expansions));
+    if (covered) result.union_er = crs;
+  }
+  return result;
+}
+
+}  // namespace cqac

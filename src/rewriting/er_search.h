@@ -1,0 +1,45 @@
+// Equivalent-rewriting search (Section 3, Theorems 3.1/3.2, Corollary 3.1).
+//
+// Theorem 3.1 shows a doubly-exponential bound on the size of a minimal ER,
+// making the problem decidable; a faithful exhaustive search is intractable,
+// so this module searches the practically relevant space: candidates
+// produced by the rewriting engines (RewriteLSIQuery when applicable, the
+// bucket algorithm otherwise), verified by two-way containment. A returned
+// ER is always correct; a `not found` answer is conclusive only within the
+// searched candidate space (documented in DESIGN.md).
+#ifndef CQAC_REWRITING_ER_SEARCH_H_
+#define CQAC_REWRITING_ER_SEARCH_H_
+
+#include <optional>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+
+struct ErSearchOptions {
+  /// Also test whether the full union of contained rewritings is equivalent
+  /// (Corollary 3.1's language of finite unions). More expensive: uses the
+  /// canonical-database union-containment test.
+  bool try_union = true;
+};
+
+/// The result of an ER search.
+struct ErResult {
+  /// A single-CQAC equivalent rewriting, when one exists in the searched
+  /// space.
+  std::optional<Query> single;
+  /// Otherwise, an equivalent finite union, when one exists.
+  std::optional<UnionQuery> union_er;
+
+  bool found() const { return single.has_value() || union_er.has_value(); }
+};
+
+/// Searches for an equivalent rewriting of `q` using `views`.
+Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
+                                         const ErSearchOptions& options = {});
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_ER_SEARCH_H_

@@ -1,0 +1,124 @@
+// Exportable-variable analysis (Section 4.3).
+//
+// A nondistinguished view variable X is *exportable* when a head
+// homomorphism (a partition of the view's head variables, all members of a
+// class equated) forces X equal to a distinguished variable: one equates
+// some Y1 in the lex-set S_<=(v, X) with some Y2 in the geq-set S_>=(v, X)
+// (Definition 4.2, Lemma 4.1). Exported variables can then be treated as
+// distinguished during MCD construction, which is novelty (1) of the
+// RewriteLSIQuery algorithm.
+#ifndef CQAC_REWRITING_EXPORT_ANALYSIS_H_
+#define CQAC_REWRITING_EXPORT_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// A head homomorphism: a union-find partition over a view's variables.
+/// Only classes that contain at least one distinguished (head) variable are
+/// realizable in a rewriting. The identity homomorphism has every variable
+/// in its own class.
+class HeadHomomorphism {
+ public:
+  explicit HeadHomomorphism(int num_vars);
+
+  int Find(int var) const;
+  /// Merges the classes of a and b.
+  void Union(int a, int b);
+
+  /// True iff a and b are in the same class.
+  bool Same(int a, int b) const { return Find(a) == Find(b); }
+
+  int num_vars() const { return static_cast<int>(parent_.size()); }
+
+  /// True iff every merge of `this` is also present in `other` (i.e. `other`
+  /// is at least as restrictive).
+  bool RefinedBy(const HeadHomomorphism& other) const;
+
+  bool operator==(const HeadHomomorphism& o) const;
+
+  /// Combines two homomorphisms (union of their merges).
+  static HeadHomomorphism Combine(const HeadHomomorphism& a,
+                                  const HeadHomomorphism& b);
+
+  /// Renders as {{X1, X3}, {X5, X7}} listing only non-singleton classes.
+  std::string ToString(const Query& view) const;
+
+ private:
+  mutable std::vector<int> parent_;
+};
+
+/// Path-based analysis of one (preprocessed) view's inequality graph.
+class ExportAnalysis {
+ public:
+  explicit ExportAnalysis(const Query& view);
+
+  const Query& view() const { return view_; }
+
+  /// S_<=(v, X): distinguished variables Y with a path Y -> X whose edges
+  /// are all <=, no path Y -> X carrying <, and no other distinguished
+  /// variable on any path Y -> X (Definition 4.2).
+  std::vector<int> LeqSet(int var) const;
+
+  /// S_>=(v, X): the mirror image (paths X -> Y).
+  std::vector<int> GeqSet(int var) const;
+
+  /// Lemma 4.1: exportable iff both sets are nonempty.
+  bool IsExportable(int var) const;
+
+  /// All minimal head homomorphisms that export `var`: one per pair
+  /// (Y1 in LeqSet, Y2 in GeqSet), each merging exactly {Y1, Y2} (when
+  /// Y1 == Y2 the variable is already pinned to a distinguished variable —
+  /// impossible after preprocessing, since that would be an implied
+  /// equality, so pairs are always distinct).
+  std::vector<HeadHomomorphism> ExportHomomorphisms(int var) const;
+
+  /// True iff `var` is distinguished or exportable.
+  bool Usable(int var) const;
+
+  /// Directed reachability on raw <=/< edges: does a path var -> target
+  /// exist, and if so is some path free of `<` edges? Used by the
+  /// Section 4.4 case-(3) comparison satisfaction.
+  struct PathInfo {
+    bool reachable = false;
+    bool some_path_all_le = false;  // a path using only <= edges exists
+  };
+  PathInfo PathBetween(int from_var, int to_var) const;
+
+  /// Distinguished variables reachable from `var` (for LSI satisfaction:
+  /// mu(X) <= Y) together with whether an all-<= path exists.
+  std::vector<std::pair<int, PathInfo>> DistinguishedAbove(int var) const;
+  /// Distinguished variables that reach `var` (for RSI satisfaction).
+  std::vector<std::pair<int, PathInfo>> DistinguishedBelow(int var) const;
+
+ private:
+  // Adjacency over variable nodes and constant pseudo-nodes.
+  struct Edge {
+    int to;
+    bool strict;
+  };
+
+  // Enumerates all simple paths from `from` to `to`.
+  struct PathScan {
+    bool found = false;
+    bool exists_le_only_path = false;  // some path uses only <= edges
+    bool exists_strict_path = false;   // some path carries a < edge
+    bool exists_path_with_intermediate_dist =
+        false;  // some path passes through another distinguished variable
+  };
+  PathScan ScanPaths(int from, int to) const;
+
+  Query view_;
+  std::vector<bool> distinguished_;
+  int num_nodes_ = 0;                       // vars + constants
+  std::vector<std::vector<Edge>> adj_;      // a <= / < b
+  std::vector<std::vector<Edge>> radj_;     // reverse
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_EXPORT_ANALYSIS_H_

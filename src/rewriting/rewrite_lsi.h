@@ -1,0 +1,61 @@
+// RewriteLSIQuery (Figure 2): maximally-contained rewritings for left- (or
+// right-) semi-interval queries using views with general arithmetic
+// comparisons — the paper's central algorithm (Section 4).
+//
+// Step 1 constructs MCDs with exportable variables (src/rewriting/mcd.h);
+// Step 2 combines disjoint MCDs covering the query exactly, equates the view
+// terms each query variable reaches, and satisfies the query's comparisons
+// by the three cases of Section 4.4:
+//   (1) the view's comparisons already imply the image comparison;
+//   (2) the image variable is distinguished: add the comparison directly;
+//   (3) the image variable reaches a distinguished variable through <=/<
+//       paths: bound that variable instead (weakening `<` to `<=` when the
+//       path is strict).
+// Every emitted contained rewriting is verified (expansion contained in the
+// query, Theorem 2.3) before inclusion; the union of survivors is the MCR
+// (Theorems 4.1, 4.2).
+#ifndef CQAC_REWRITING_REWRITE_LSI_H_
+#define CQAC_REWRITING_REWRITE_LSI_H_
+
+#include "src/base/status.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+#include "src/rewriting/mcd.h"
+
+namespace cqac {
+
+struct RewriteOptions {
+  McdOptions mcd;
+  /// Cap on MCD combinations explored.
+  size_t max_combinations = 1000000;
+  /// Cap on per-combination alternatives for satisfying the query's
+  /// comparisons (cartesian across comparisons).
+  size_t max_ac_alternatives = 256;
+  /// Verify each candidate rewriting (expansion contained in the query)
+  /// before emitting. Cheap for LSI/RSI queries (single-mapping test); keep
+  /// on in production. Off only for baseline experiments that demonstrate
+  /// unsoundness of AC-blind rewriting.
+  bool verify_rewritings = true;
+  /// Drop rewritings contained in another emitted rewriting (cosmetic
+  /// minimization of the union; the MCR is unchanged).
+  bool prune_redundant = false;
+};
+
+/// Statistics of one rewriting run (for the benchmark harness).
+struct RewriteStats {
+  size_t mcds = 0;
+  size_t combinations = 0;
+  size_t candidates = 0;          // candidate CRs before verification
+  size_t verified_rejects = 0;    // candidates the verifier rejected
+};
+
+/// Computes an MCR of the LSI/RSI query `q` using `views` (general CQACs)
+/// as a finite union of CQACs. `q` must classify as CQ-only, LSI, or RSI;
+/// other classes are Unsupported (Section 5's algorithm covers CQAC-SI).
+Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
+                                   const RewriteOptions& options = {},
+                                   RewriteStats* stats = nullptr);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_REWRITE_LSI_H_

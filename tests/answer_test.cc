@@ -1,0 +1,95 @@
+#include "src/rewriting/answer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/evaluate.h"
+#include "src/gen/paper_workloads.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(AnswerTest, LsiQueryDispatchesToFiniteUnion) {
+  Query q = workloads::Example11Query();
+  ViewSet views = workloads::Example11Views();
+  auto plan = PlanForQuery(q, views);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().kind, PlanKind::kFiniteUnion);
+
+  Database db = Database::FromFacts("r(2). s(2, 2).").value();
+  Database vdb = MaterializeViews(views, db).value();
+  auto ans = plan.value().Answer(vdb);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 1u);
+  EXPECT_TRUE(ans.value().count({Value(Rational(2))}));
+}
+
+TEST(AnswerTest, CqacSiDispatchesToDatalog) {
+  Query q = workloads::Example12Query();
+  ViewSet views = workloads::Example12Views();
+  auto plan = PlanForQuery(q, views);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().kind, PlanKind::kDatalog);
+  EXPECT_NE(plan.value().ToString().find(":-"), std::string::npos);
+
+  // One-call convenience agrees with the plan route.
+  Database db = Database::FromFacts("e(9, 2). e(2, 3).").value();
+  Database vdb = MaterializeViews(views, db).value();
+  auto one_call = AnswerUsingViews(q, views, vdb);
+  auto via_plan = plan.value().Answer(vdb);
+  ASSERT_TRUE(one_call.ok());
+  ASSERT_TRUE(via_plan.ok());
+  EXPECT_EQ(one_call.value(), via_plan.value());
+  EXPECT_FALSE(one_call.value().empty());
+}
+
+TEST(AnswerTest, GeneralQueryFallsBackToBucket) {
+  Query q = MustParseQuery("q(X, Y) :- r(X, Y), X < Y");
+  ViewSet views(MustParseRules("v(X, Y) :- r(X, Y)."));
+  auto plan = PlanForQuery(q, views);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().kind, PlanKind::kFiniteUnion);
+  Database db = Database::FromFacts("r(1, 2). r(3, 2).").value();
+  Database vdb = MaterializeViews(views, db).value();
+  auto ans = plan.value().Answer(vdb);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 1u);
+}
+
+TEST(AnswerTest, NoViewsEmptyPlan) {
+  Query q = MustParseQuery("q(X) :- r(X), X < 2");
+  auto plan = PlanForQuery(q, ViewSet());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().kind, PlanKind::kEmpty);
+  auto ans = plan.value().Answer(Database());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_TRUE(ans.value().empty());
+}
+
+TEST(AnswerTest, CertainAnswersAlwaysSound) {
+  // The dispatcher's output is always a subset of the true answers.
+  struct Case {
+    Query q;
+    ViewSet views;
+    std::string facts;
+  };
+  std::vector<Case> cases;
+  cases.push_back({workloads::Example11Query(), workloads::Example11Views(),
+                   "r(2). r(9). s(2, 2). s(3, 3)."});
+  cases.push_back({workloads::Example12Query(), workloads::Example12Views(),
+                   "e(9, 5). e(5, 3). e(1, 2)."});
+  cases.push_back({workloads::CarDealerQuery(), workloads::CarDealerViews(),
+                   "car(1, 10). loc(10, 99). color(1, red). color(2, red)."});
+  for (const Case& c : cases) {
+    Database db = Database::FromFacts(c.facts).value();
+    Database vdb = MaterializeViews(c.views, db).value();
+    auto certain = AnswerUsingViews(c.q, c.views, vdb);
+    ASSERT_TRUE(certain.ok()) << certain.status();
+    Relation truth = EvaluateQuery(c.q, db).value();
+    for (const Tuple& t : certain.value())
+      EXPECT_TRUE(truth.count(t)) << c.q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cqac

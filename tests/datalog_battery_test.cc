@@ -1,0 +1,135 @@
+// A broader battery for the Datalog engine: classic recursive programs,
+// comparison guards inside recursion, and divergence containment.
+#include <gtest/gtest.h>
+
+#include "src/datalog/engine.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+Database Db(const std::string& facts) {
+  return Database::FromFacts(facts).value();
+}
+
+TEST(DatalogBatteryTest, SameGeneration) {
+  Program p("sg", MustParseRules(
+                      "sg(X, X) :- person(X).\n"
+                      "sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP)."));
+  datalog::Engine engine(p);
+  // Siblings 3 and 4 under parent 1; 5 is a child of 3 (one generation
+  // down, with no same-generation peer).
+  Database db = Db(
+      "person(1). person(2). person(3). person(4). person(5).\n"
+      "par(3, 1). par(4, 1). par(5, 3).");
+  auto r = engine.Query(db);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value().count({Value(Rational(3)), Value(Rational(4))}));
+  EXPECT_TRUE(r.value().count({Value(Rational(4)), Value(Rational(3))}));
+  EXPECT_FALSE(r.value().count({Value(Rational(5)), Value(Rational(4))}));
+  EXPECT_EQ(r.value().size(), 7u);  // 5 reflexive pairs + (3,4) + (4,3)
+}
+
+TEST(DatalogBatteryTest, MutualRecursion) {
+  // Even/odd distance from node 0 along edges.
+  Program p("even", MustParseRules(
+                        "even(0) :- start(0).\n"
+                        "odd(Y) :- even(X), e(X, Y).\n"
+                        "even(Y) :- odd(X), e(X, Y)."));
+  datalog::Engine engine(p);
+  Database db = Db("start(0). e(0, 1). e(1, 2). e(2, 3). e(3, 4).");
+  auto all = engine.Evaluate(db);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all.value().Get("even").size(), 3u);  // 0, 2, 4
+  EXPECT_EQ(all.value().Get("odd").size(), 2u);   // 1, 3
+}
+
+TEST(DatalogBatteryTest, ComparisonGuardLimitsRecursionDepth) {
+  // Walk a chain but never past value 5.
+  Program p("reach", MustParseRules(
+                         "reach(X) :- start(X).\n"
+                         "reach(Y) :- reach(X), e(X, Y), Y <= 5."));
+  datalog::Engine engine(p);
+  Database db = Db(
+      "start(1). e(1, 2). e(2, 3). e(3, 6). e(6, 4). e(3, 5). e(5, 4).");
+  auto r = engine.Query(db);
+  ASSERT_TRUE(r.ok());
+  // 6 is blocked, so 4 is reachable only through 5.
+  EXPECT_TRUE(r.value().count({Value(Rational(4))}));
+  EXPECT_FALSE(r.value().count({Value(Rational(6))}));
+  EXPECT_EQ(r.value().size(), 5u);  // 1, 2, 3, 5, 4
+}
+
+TEST(DatalogBatteryTest, DiamondDerivationsDeduplicate) {
+  Program p("t", MustParseRules(
+                     "t(X, Y) :- e(X, Y).\n"
+                     "t(X, Z) :- t(X, Y), t(Y, Z)."));
+  datalog::Engine engine(p);
+  // Diamond: two paths 0->3.
+  Database db = Db("e(0, 1). e(0, 2). e(1, 3). e(2, 3).");
+  auto r = engine.Query(db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 5u);  // 4 edges + (0,3) once
+}
+
+TEST(DatalogBatteryTest, RecursiveSkolemDivergenceIsContained) {
+  // succ(X, f(X)) :- succ(_, X): each round mints a new Skolem term — a
+  // divergent program. The tuple limit must stop it with a clean error.
+  Rule base = MustParseQuery("succ(X, H) :- start(X)");
+  datalog::EngineRule b{base, {}};
+  b.skolems.emplace(base.FindVariable("H"),
+                    datalog::SkolemSpec{0, {base.FindVariable("X")}});
+  Rule step = MustParseQuery("succ(Y, H) :- succ(X, Y)");
+  datalog::EngineRule s{step, {}};
+  s.skolems.emplace(step.FindVariable("H"),
+                    datalog::SkolemSpec{0, {step.FindVariable("Y")}});
+  datalog::Engine engine({b, s}, "succ");
+  datalog::EvalOptions limits;
+  limits.max_tuples = 50;
+  auto r = engine.Query(Db("start(0)."), limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DatalogBatteryTest, IterationLimit) {
+  Program p("t", MustParseRules(
+                     "t(X, Y) :- e(X, Y).\n"
+                     "t(X, Z) :- e(X, Y), t(Y, Z)."));
+  datalog::Engine engine(p);
+  Database db;
+  for (int i = 0; i < 40; ++i)
+    ASSERT_TRUE(
+        db.Insert("e", {Value(Rational(i)), Value(Rational(i + 1))}).ok());
+  datalog::EvalOptions limits;
+  limits.max_iterations = 3;
+  auto r = engine.Query(db, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DatalogBatteryTest, SymbolValuesFlowThroughRecursion) {
+  Program p("path", MustParseRules(
+                        "path(X, Y) :- link(X, Y).\n"
+                        "path(X, Z) :- link(X, Y), path(Y, Z)."));
+  datalog::Engine engine(p);
+  Database db = Db("link(a, b). link(b, c).");
+  auto r = engine.Query(db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+  EXPECT_TRUE(r.value().count(
+      {Value(std::string("a")), Value(std::string("c"))}));
+}
+
+TEST(DatalogBatteryTest, MultipleQueryRulesUnion) {
+  Program p("q", MustParseRules(
+                     "q(X) :- a(X), X < 5.\n"
+                     "q(X) :- b(X), X > 10."));
+  datalog::Engine engine(p);
+  Database db = Db("a(1). a(7). b(12). b(8).");
+  auto r = engine.Query(db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,89 @@
+#include "src/containment/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "src/containment/containment.h"
+#include "src/gen/paper_workloads.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(ExplainTest, SingleMappingCase) {
+  auto e = ExplainContainment(MustParseQuery("q(X) :- r(X), X < 3"),
+                              MustParseQuery("q(X) :- r(X), X < 4"));
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_TRUE(e.value().contained);
+  ASSERT_EQ(e.value().mappings.size(), 1u);
+  EXPECT_TRUE(e.value().mappings[0].directly_implied);
+  EXPECT_NE(e.value().ToString().find("CONTAINED"), std::string::npos);
+}
+
+TEST(ExplainTest, CouplingCaseExample51) {
+  auto e = ExplainContainment(workloads::Example51Q2(),
+                              workloads::Example51Q1());
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_TRUE(e.value().contained);
+  EXPECT_EQ(e.value().mappings.size(), 3u);  // three chain mappings
+  // No mapping suffices alone — the narrative reports the joint argument.
+  for (const MappingEvidence& m : e.value().mappings)
+    EXPECT_FALSE(m.directly_implied);
+  EXPECT_NE(e.value().narrative.find("no single mapping"),
+            std::string::npos)
+      << e.value().narrative;
+}
+
+TEST(ExplainTest, NoMappingCase) {
+  auto e = ExplainContainment(MustParseQuery("q() :- s(X)"),
+                              MustParseQuery("q() :- r(X)"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e.value().contained);
+  EXPECT_NE(e.value().narrative.find("no containment mapping"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, MappingsExistButAcsFail) {
+  auto e = ExplainContainment(MustParseQuery("q(X) :- r(X), X < 5"),
+                              MustParseQuery("q(X) :- r(X), X < 3"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e.value().contained);
+  ASSERT_EQ(e.value().mappings.size(), 1u);
+  EXPECT_FALSE(e.value().mappings[0].directly_implied);
+  EXPECT_NE(e.value().narrative.find("Theorem 2.1 fails"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, InconsistentSides) {
+  auto empty_in = ExplainContainment(
+      MustParseQuery("q(X) :- r(X), X < 1, X > 2"),
+      MustParseQuery("q(X) :- s(X)"));
+  ASSERT_TRUE(empty_in.ok());
+  EXPECT_TRUE(empty_in.value().contained);
+  EXPECT_NE(empty_in.value().narrative.find("unsatisfiable"),
+            std::string::npos);
+
+  auto into_empty = ExplainContainment(
+      MustParseQuery("q(X) :- s(X)"),
+      MustParseQuery("q(X) :- r(X), X < 1, X > 2"));
+  ASSERT_TRUE(into_empty.ok());
+  EXPECT_FALSE(into_empty.value().contained);
+}
+
+TEST(ExplainTest, VerdictAlwaysMatchesIsContained) {
+  std::vector<std::pair<std::string, std::string>> cases = {
+      {"q(X) :- r(X), X < 3", "q(X) :- r(X), X <= 3"},
+      {"q(X) :- r(X), X <= 3", "q(X) :- r(X), X < 3"},
+      {"q() :- e(A, B), e(B, A)", "q() :- e(X, Y), X <= Y"},
+      {"q(X) :- e(X, X)", "q(X) :- e(X, Y)"},
+  };
+  for (const auto& [a, b] : cases) {
+    auto verdict = IsContained(MustParseQuery(a), MustParseQuery(b));
+    auto explained = ExplainContainment(MustParseQuery(a), MustParseQuery(b));
+    ASSERT_TRUE(verdict.ok());
+    ASSERT_TRUE(explained.ok());
+    EXPECT_EQ(verdict.value(), explained.value().contained) << a;
+  }
+}
+
+}  // namespace
+}  // namespace cqac

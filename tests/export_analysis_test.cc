@@ -1,0 +1,151 @@
+#include "src/rewriting/export_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/gen/paper_workloads.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+std::vector<std::string> Names(const Query& v, const std::vector<int>& vars) {
+  std::vector<std::string> out;
+  for (int id : vars) out.push_back(v.VarName(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(HeadHomomorphismTest, UnionFindBasics) {
+  HeadHomomorphism h(5);
+  EXPECT_FALSE(h.Same(0, 1));
+  h.Union(0, 1);
+  EXPECT_TRUE(h.Same(0, 1));
+  h.Union(1, 2);
+  EXPECT_TRUE(h.Same(0, 2));
+  EXPECT_FALSE(h.Same(0, 3));
+}
+
+TEST(HeadHomomorphismTest, RefinementOrder) {
+  HeadHomomorphism a(4), b(4);
+  a.Union(0, 1);
+  b.Union(0, 1);
+  b.Union(2, 3);
+  EXPECT_TRUE(a.RefinedBy(b));   // b is more restrictive
+  EXPECT_FALSE(b.RefinedBy(a));
+  EXPECT_FALSE(a == b);
+  HeadHomomorphism c = HeadHomomorphism::Combine(a, b);
+  EXPECT_TRUE(b == c);
+}
+
+TEST(ExportAnalysisTest, Example41LexAndGeqSets) {
+  // Figure 3: S<=(v, X2) = {X1}, S>=(v, X2) = {X3};
+  //           S<=(v, X6) = {X5, X8}, S>=(v, X6) = {X7}.
+  // X4 is NOT in S<=(v, X6): X5 (distinguished) blocks the path.
+  Query v = workloads::Example41View();
+  ExportAnalysis analysis(v);
+
+  int x2 = v.FindVariable("X2");
+  int x6 = v.FindVariable("X6");
+  EXPECT_EQ(Names(v, analysis.LeqSet(x2)), (std::vector<std::string>{"X1"}));
+  EXPECT_EQ(Names(v, analysis.GeqSet(x2)), (std::vector<std::string>{"X3"}));
+  EXPECT_EQ(Names(v, analysis.LeqSet(x6)),
+            (std::vector<std::string>{"X5", "X8"}));
+  EXPECT_EQ(Names(v, analysis.GeqSet(x6)), (std::vector<std::string>{"X7"}));
+
+  EXPECT_TRUE(analysis.IsExportable(x2));
+  EXPECT_TRUE(analysis.IsExportable(x6));
+}
+
+TEST(ExportAnalysisTest, Example41ExportHomomorphisms) {
+  Query v = workloads::Example41View();
+  ExportAnalysis analysis(v);
+  int x2 = v.FindVariable("X2");
+  int x6 = v.FindVariable("X6");
+  // X2: one choice (X1, X3). X6: two choices (X5,X7) and (X8,X7).
+  EXPECT_EQ(analysis.ExportHomomorphisms(x2).size(), 1u);
+  EXPECT_EQ(analysis.ExportHomomorphisms(x6).size(), 2u);
+}
+
+TEST(ExportAnalysisTest, StrictEdgeBlocksExport) {
+  // Example 1.1: in v1 (Y <= X <= Z) X is exportable; in v2 (Y <= X < Z)
+  // it is not (the strict edge poisons every Y-to-Z sandwich).
+  ViewSet views = workloads::Example11Views();
+  {
+    ExportAnalysis a1(views[0]);
+    int x = views[0].FindVariable("X");
+    EXPECT_TRUE(a1.IsExportable(x));
+  }
+  {
+    ExportAnalysis a2(views[1]);
+    int x = views[1].FindVariable("X");
+    EXPECT_FALSE(a2.IsExportable(x));
+    EXPECT_FALSE(a2.GeqSet(x).empty() && a2.LeqSet(x).empty());
+  }
+}
+
+TEST(ExportAnalysisTest, NoComparisonsNothingExportable) {
+  Query v = MustParseQuery("v(X) :- r(X, Y)");
+  ExportAnalysis a(v);
+  EXPECT_FALSE(a.IsExportable(v.FindVariable("Y")));
+  EXPECT_TRUE(a.Usable(v.FindVariable("X")));
+  EXPECT_FALSE(a.Usable(v.FindVariable("Y")));
+}
+
+TEST(ExportAnalysisTest, Sec44FullViewExportChoices) {
+  // v1 of the Section 4.4 full example: X sandwiched by X3 below and
+  // X1, X2 above -> two export homomorphisms {X1,X3} and {X2,X3}.
+  ViewSet views = workloads::Sec44FullViews();
+  const Query& v1 = views[0];
+  ExportAnalysis a(v1);
+  int x = v1.FindVariable("X");
+  ASSERT_TRUE(a.IsExportable(x));
+  auto homs = a.ExportHomomorphisms(x);
+  EXPECT_EQ(homs.size(), 2u);
+  int x1 = v1.FindVariable("X1");
+  int x2 = v1.FindVariable("X2");
+  int x3 = v1.FindVariable("X3");
+  bool has_13 = false, has_23 = false;
+  for (const HeadHomomorphism& h : homs) {
+    if (h.Same(x1, x3)) has_13 = true;
+    if (h.Same(x2, x3)) has_23 = true;
+    EXPECT_TRUE(h.Same(x, x3));  // X collapses into the merged class
+  }
+  EXPECT_TRUE(has_13);
+  EXPECT_TRUE(has_23);
+}
+
+TEST(ExportAnalysisTest, PathDirectionsForAcSatisfaction) {
+  // v3 of Section 4.4: X1 <= X3 with X3 distinguished: X1 reaches a
+  // distinguished variable above it (case 3 of Section 4.4).
+  ViewSet views = workloads::Sec44CaseViews();
+  const Query& v3 = views[2];
+  ExportAnalysis a(v3);
+  int x1 = v3.FindVariable("X1");
+  auto above = a.DistinguishedAbove(x1);
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_EQ(v3.VarName(above[0].first), "X3");
+  EXPECT_TRUE(above[0].second.some_path_all_le);
+
+  // v4: X1 only has distinguished variables below.
+  const Query& v4 = views[3];
+  ExportAnalysis a4(v4);
+  int x1_v4 = v4.FindVariable("X1");
+  EXPECT_TRUE(a4.DistinguishedAbove(x1_v4).empty());
+  EXPECT_EQ(a4.DistinguishedBelow(x1_v4).size(), 2u);
+}
+
+TEST(ExportAnalysisTest, ConstantsParticipateInPaths) {
+  // Y <= 3 <= X: Y reaches X through the constants' implicit order... but
+  // 3 <= X and Y <= 3 connect through the single node 3.
+  Query v = MustParseQuery("v(X) :- r(X, Y), Y <= 3, 3 <= X");
+  ExportAnalysis a(v);
+  int y = v.FindVariable("Y");
+  auto above = a.DistinguishedAbove(y);
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_EQ(v.VarName(above[0].first), "X");
+}
+
+}  // namespace
+}  // namespace cqac

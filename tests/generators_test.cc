@@ -1,0 +1,116 @@
+#include "src/gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/paper_workloads.h"
+
+namespace cqac {
+namespace {
+
+TEST(GeneratorsTest, RandomQueryRespectsSpec) {
+  Rng rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    gen::QuerySpec spec;
+    spec.num_subgoals = 3;
+    spec.num_predicates = 2;
+    spec.arity = 2;
+    spec.num_vars = 4;
+    spec.ac_density = 1.0;
+    spec.ac_mode = gen::AcMode::kLsi;
+    Query q = gen::RandomQuery(rng, spec);
+    EXPECT_TRUE(q.Validate().ok()) << q.ToString();
+    EXPECT_EQ(q.body().size(), 3u);
+    AcClass cls = q.Classify();
+    EXPECT_TRUE(cls == AcClass::kLsi || cls == AcClass::kNone)
+        << q.ToString();
+  }
+}
+
+TEST(GeneratorsTest, CqacSiModeHonorsSingleLsiBudget) {
+  Rng rng(9);
+  for (int iter = 0; iter < 50; ++iter) {
+    gen::QuerySpec spec;
+    spec.num_subgoals = 4;
+    spec.ac_density = 2.0;
+    spec.ac_mode = gen::AcMode::kCqacSi;
+    spec.boolean_head = true;
+    Query q = gen::RandomQuery(rng, spec);
+    EXPECT_TRUE(q.IsCqacSi()) << q.ToString();
+  }
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  gen::QuerySpec spec;
+  Rng a(123), b(123);
+  EXPECT_EQ(gen::RandomQuery(a, spec).ToString(),
+            gen::RandomQuery(b, spec).ToString());
+}
+
+TEST(GeneratorsTest, ViewsShareQuerySchema) {
+  Rng rng(17);
+  gen::QuerySpec qspec;
+  qspec.num_subgoals = 3;
+  Query q = gen::RandomQuery(rng, qspec);
+  gen::ViewSpec vspec;
+  vspec.num_views = 5;
+  ViewSet views = gen::RandomViewsForQuery(rng, q, vspec);
+  EXPECT_EQ(views.size(), 5u);
+  std::map<std::string, int> qschema = gen::SchemaOf(q);
+  for (const Query& v : views.views()) {
+    EXPECT_TRUE(v.Validate().ok()) << v.ToString();
+    for (const auto& [pred, arity] : gen::SchemaOf(v)) {
+      ASSERT_TRUE(qschema.count(pred)) << pred;
+      EXPECT_EQ(qschema[pred], arity);
+    }
+  }
+}
+
+TEST(GeneratorsTest, DatabaseMatchesSchema) {
+  Rng rng(21);
+  gen::DatabaseSpec spec;
+  spec.tuples_per_relation = 30;
+  Database db = gen::RandomDatabase(rng, {{"r", 2}, {"s", 3}}, spec);
+  EXPECT_LE(db.Get("r").size(), 30u);  // duplicates collapse under sets
+  EXPECT_FALSE(db.Get("s").empty());
+  for (const Tuple& t : db.Get("s")) EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(PaperWorkloadsTest, AllWorkloadsValidate) {
+  EXPECT_TRUE(workloads::Example11Query().Validate().ok());
+  EXPECT_TRUE(workloads::Example11Rewriting().Validate().ok());
+  EXPECT_TRUE(workloads::Example12Query().Validate().ok());
+  EXPECT_TRUE(workloads::CarDealerQuery().Validate().ok());
+  EXPECT_TRUE(workloads::Example41View().Validate().ok());
+  EXPECT_TRUE(workloads::Sec44CaseQuery().Validate().ok());
+  EXPECT_TRUE(workloads::Sec44CaseBooleanQuery().Validate().ok());
+  EXPECT_TRUE(workloads::Sec44FullQuery().Validate().ok());
+  EXPECT_TRUE(workloads::Example51Q1().Validate().ok());
+  EXPECT_TRUE(workloads::Example51Q2().Validate().ok());
+  // Hold the ViewSets in locals: `views()` returns a reference into the
+  // set, so ranging over a temporary would dangle.
+  for (const ViewSet views :
+       {workloads::Example11Views(), workloads::Example12Views(),
+        workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
+        workloads::CarDealerViews()}) {
+    for (const Query& v : views.views())
+      EXPECT_TRUE(v.Validate().ok()) << v.ToString();
+  }
+}
+
+TEST(PaperWorkloadsTest, PkStructure) {
+  Query p0 = workloads::Example12Pk(0);
+  EXPECT_EQ(p0.body().size(), 2u);
+  Query p3 = workloads::Example12Pk(3);
+  EXPECT_EQ(p3.body().size(), 8u);  // v1 + 6x v3 + v2
+  EXPECT_TRUE(p3.Validate().ok());
+}
+
+TEST(PaperWorkloadsTest, ChainClassifiesAsSi) {
+  Query c = workloads::Example51Chain(4, Rational(6), Rational(7));
+  EXPECT_EQ(c.Classify(), AcClass::kSi);
+  EXPECT_TRUE(c.IsCqacSi());
+  EXPECT_EQ(c.body().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cqac

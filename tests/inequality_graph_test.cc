@@ -1,0 +1,166 @@
+#include "src/constraints/inequality_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/implication.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+// Builds a graph from the comparisons of a parsed dummy query.
+InequalityGraph GraphOf(const std::string& body_with_acs) {
+  Query q = MustParseQuery("q() :- " + body_with_acs);
+  InequalityGraph g;
+  for (const Comparison& c : q.comparisons()) {
+    Status st = g.AddComparison(c);
+    EXPECT_TRUE(st.ok()) << st;
+  }
+  g.Close();
+  return g;
+}
+
+Comparison CompOf(const std::string& text) {
+  Query q = MustParseQuery("q() :- r(X, Y, Z, W), " + text);
+  return q.comparisons().back();
+}
+
+std::vector<Comparison> GraphAcs(const std::string& text) {
+  Query q = MustParseQuery("q() :- r(X, Y, Z, W), " + text);
+  return q.comparisons();
+}
+
+TEST(InequalityGraphTest, TransitiveLe) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X <= Y, Y <= Z");
+  EXPECT_TRUE(g.IsConsistent());
+  EXPECT_TRUE(g.Implies(CompOf("X <= Z")));
+  EXPECT_FALSE(g.Implies(CompOf("X < Z")));
+  EXPECT_FALSE(g.Implies(CompOf("Z <= X")));
+}
+
+TEST(InequalityGraphTest, StrictnessPropagates) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X <= Y, Y < Z, Z <= W");
+  EXPECT_TRUE(g.Implies(CompOf("X < W")));
+  EXPECT_TRUE(g.Implies(CompOf("X <= W")));
+}
+
+TEST(InequalityGraphTest, ConstantOrderIsImplicit) {
+  // Conclusions referencing constants absent from the premise must be
+  // interned before Close() (ImpliesConjunction does this for callers).
+  Query q = MustParseQuery("q() :- r(X, Y, Z, W), X <= 3, 5 <= Y");
+  InequalityGraph g;
+  for (const Comparison& c : q.comparisons())
+    ASSERT_TRUE(g.AddComparison(c).ok());
+  Comparison le7 = CompOf("X <= 7");
+  Comparison lt5 = CompOf("X < 5");
+  g.NodeFor(le7.rhs);
+  g.NodeFor(lt5.rhs);
+  g.Close();
+  EXPECT_TRUE(g.Implies(CompOf("X < Y")));
+  EXPECT_TRUE(g.Implies(le7));
+  EXPECT_TRUE(g.Implies(lt5));
+}
+
+TEST(InequalityGraphTest, FractionalConstants) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X < 7/2, Y > 3.5");
+  // 7/2 == 3.5, so X < 7/2 <= ... < Y.
+  EXPECT_TRUE(g.Implies(CompOf("X < Y")));
+}
+
+TEST(InequalityGraphTest, InconsistencyViaCycle) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X < Y, Y <= X");
+  EXPECT_FALSE(g.IsConsistent());
+  // Inconsistent premises imply everything.
+  EXPECT_TRUE(g.Implies(CompOf("Z < W")));
+}
+
+TEST(InequalityGraphTest, InconsistencyViaConstants) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), 5 <= X, X <= 3");
+  EXPECT_FALSE(g.IsConsistent());
+}
+
+TEST(InequalityGraphTest, EqualityDetection) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X <= Y, Y <= X, Z < W");
+  EXPECT_TRUE(g.IsConsistent());
+  EXPECT_TRUE(g.Implies(CompOf("X = Y")));
+  EXPECT_FALSE(g.Implies(CompOf("Z = W")));
+  auto classes = g.EqualityClasses();
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].size(), 2u);
+}
+
+TEST(InequalityGraphTest, EqualityWithConstant) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), 4 <= X, X <= 4");
+  EXPECT_TRUE(g.IsConsistent());
+  EXPECT_TRUE(g.Implies(CompOf("X = 4")));
+  // Constants 5 and 3 are outside the graph; the high-level API handles the
+  // interning.
+  auto lt5 = ImpliesConjunction(GraphAcs("4 <= X, X <= 4"), {CompOf("X < 5")});
+  ASSERT_TRUE(lt5.ok());
+  EXPECT_TRUE(lt5.value());
+  auto gt3 = ImpliesConjunction(GraphAcs("4 <= X, X <= 4"), {CompOf("X > 3")});
+  ASSERT_TRUE(gt3.ok());
+  EXPECT_TRUE(gt3.value());
+}
+
+TEST(InequalityGraphTest, DistinctConstantsForcedEqualIsInconsistent) {
+  // X = 3 and X = 4 simultaneously.
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), 3 <= X, X <= 3, 4 <= X, X <= 4");
+  EXPECT_FALSE(g.IsConsistent());
+}
+
+TEST(InequalityGraphTest, SymbolEqualityConsistentAndInconsistent) {
+  Query q = MustParseQuery("q() :- r(X, Y)");
+  int x = q.FindVariable("X");
+  InequalityGraph ok;
+  ASSERT_TRUE(ok.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                                          Term::Const(Value(std::string(
+                                              "red"))))).ok());
+  ok.Close();
+  EXPECT_TRUE(ok.IsConsistent());
+
+  InequalityGraph bad;
+  ASSERT_TRUE(bad.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                                           Term::Const(Value(std::string(
+                                               "red"))))).ok());
+  ASSERT_TRUE(bad.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                                           Term::Const(Value(std::string(
+                                               "blue"))))).ok());
+  bad.Close();
+  EXPECT_FALSE(bad.IsConsistent());
+
+  // A symbol can never equal a number.
+  InequalityGraph mixed;
+  ASSERT_TRUE(mixed.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                                             Term::Const(Value(std::string(
+                                                 "red"))))).ok());
+  ASSERT_TRUE(mixed.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                                             Term::Const(Value(Rational(3)))))
+                  .ok());
+  mixed.Close();
+  EXPECT_FALSE(mixed.IsConsistent());
+}
+
+TEST(InequalityGraphTest, OrderedSymbolRejected) {
+  InequalityGraph g;
+  Status st = g.AddComparison(Comparison(
+      Term::Const(Value(std::string("red"))), CompOp::kLt,
+      Term::Const(Value(Rational(3)))));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(InequalityGraphTest, ImpliesTrivialities) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X <= Y");
+  EXPECT_TRUE(g.Implies(CompOf("Z <= Z")));   // reflexivity, unconstrained var
+  EXPECT_FALSE(g.Implies(CompOf("Z < Z")));
+  EXPECT_TRUE(g.Implies(CompOf("W = W")));
+}
+
+TEST(InequalityGraphTest, UnconstrainedTermNotImplied) {
+  InequalityGraph g = GraphOf("r(X, Y, Z, W), X <= Y");
+  EXPECT_FALSE(g.Implies(CompOf("Z <= W")));
+  EXPECT_FALSE(g.Implies(CompOf("X <= 3")));
+}
+
+}  // namespace
+}  // namespace cqac

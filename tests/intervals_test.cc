@@ -1,0 +1,78 @@
+#include "src/constraints/intervals.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+VarInterval Of(const std::string& query, const std::string& var) {
+  Query q = MustParseQuery(query);
+  auto r = DeriveIntervals(q);
+  EXPECT_TRUE(r.ok()) << r.status();
+  int id = q.FindVariable(var);
+  EXPECT_GE(id, 0);
+  return r.ValueOr({}).at(id);
+}
+
+TEST(IntervalsTest, DirectBounds) {
+  VarInterval iv = Of("q(X) :- r(X), 2 < X, X <= 7", "X");
+  EXPECT_EQ(iv.ToString(), "(2, 7]");
+  EXPECT_FALSE(iv.Empty());
+}
+
+TEST(IntervalsTest, HalfOpenAndUnbounded) {
+  EXPECT_EQ(Of("q(X) :- r(X), X < 3", "X").ToString(), "(-inf, 3)");
+  EXPECT_EQ(Of("q(X) :- r(X), 5 <= X", "X").ToString(), "[5, +inf)");
+  EXPECT_TRUE(Of("q(X) :- r(X, Y)", "X").Unbounded());
+}
+
+TEST(IntervalsTest, TransitiveTightening) {
+  // X <= Y and Y < 3 implies X < 3 even though no constant touches X.
+  VarInterval iv = Of("q(X) :- r(X, Y), X <= Y, Y < 3", "X");
+  EXPECT_EQ(iv.ToString(), "(-inf, 3)");
+  // Strictness propagates: X < Y <= 3 gives X < 3.
+  VarInterval strict = Of("q(X) :- r(X, Y), X < Y, Y <= 3", "X");
+  EXPECT_EQ(strict.ToString(), "(-inf, 3)");
+}
+
+TEST(IntervalsTest, TightestBoundWins) {
+  VarInterval iv = Of("q(X) :- r(X), X < 9, X < 3, X <= 3", "X");
+  EXPECT_EQ(iv.ToString(), "(-inf, 3)");
+  VarInterval lo = Of("q(X) :- r(X), 1 <= X, 4 < X", "X");
+  EXPECT_EQ(lo.ToString(), "(4, +inf)");
+}
+
+TEST(IntervalsTest, PointInterval) {
+  VarInterval iv = Of("q(X) :- r(X), 4 <= X, X <= 4", "X");
+  EXPECT_EQ(iv.ToString(), "[4, 4]");
+  EXPECT_FALSE(iv.Empty());
+}
+
+TEST(IntervalsTest, InconsistentRejected) {
+  Query q = MustParseQuery("q(X) :- r(X), X < 1, X > 2");
+  auto r = DeriveIntervals(q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(IntervalsTest, FractionalBounds) {
+  VarInterval iv = Of("q(X) :- r(X), 1/3 < X, X < 2/3", "X");
+  EXPECT_EQ(iv.ToString(), "(1/3, 2/3)");
+}
+
+TEST(IntervalsTest, EmptyDetection) {
+  VarInterval open_point;
+  open_point.lower = Rational(3);
+  open_point.lower_strict = true;
+  open_point.upper = Rational(3);
+  EXPECT_TRUE(open_point.Empty());
+  VarInterval inverted;
+  inverted.lower = Rational(5);
+  inverted.upper = Rational(3);
+  EXPECT_TRUE(inverted.Empty());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,116 @@
+#include "src/ir/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cqac {
+namespace {
+
+TEST(ParserTest, SimpleConjunctiveQuery) {
+  auto r = ParseQuery("q(X, Y) :- r(X, Z), s(Z, Y)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& q = r.value();
+  EXPECT_EQ(q.head().predicate, "q");
+  EXPECT_EQ(q.head().args.size(), 2u);
+  EXPECT_EQ(q.body().size(), 2u);
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_TRUE(q.IsConjunctiveOnly());
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(ParserTest, Comparisons) {
+  auto r = ParseQuery("q(A) :- r(A), A < 4, A >= 2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& q = r.value();
+  ASSERT_EQ(q.comparisons().size(), 2u);
+  // A < 4 stays as-is.
+  EXPECT_EQ(q.comparisons()[0].op, CompOp::kLt);
+  EXPECT_TRUE(q.comparisons()[0].lhs.is_var());
+  // A >= 2 normalizes to 2 <= A.
+  EXPECT_EQ(q.comparisons()[1].op, CompOp::kLe);
+  EXPECT_TRUE(q.comparisons()[1].lhs.is_const());
+  EXPECT_EQ(q.comparisons()[1].lhs.value().number(), Rational(2));
+}
+
+TEST(ParserTest, BooleanHead) {
+  auto r = ParseQuery("q() :- e(X, Y), X > 5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value().head().args.empty());
+}
+
+TEST(ParserTest, SymbolicAndNumericConstants) {
+  auto r = ParseQuery("q(C) :- color(C, red), price(C, 3.5)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& q = r.value();
+  EXPECT_TRUE(q.body()[0].args[1].is_const());
+  EXPECT_EQ(q.body()[0].args[1].value().symbol(), "red");
+  EXPECT_EQ(q.body()[1].args[1].value().number(), Rational(7, 2));
+}
+
+TEST(ParserTest, NegativeAndFractionLiterals) {
+  auto r = ParseQuery("q(X) :- r(X), X > -3, X < 7/2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().comparisons()[0].lhs.value().number(), Rational(-3));
+  EXPECT_EQ(r.value().comparisons()[1].rhs.value().number(), Rational(7, 2));
+}
+
+TEST(ParserTest, MultipleRulesWithCommentsAndDots) {
+  auto r = ParseRules(
+      "% a view set\n"
+      "v1(X) :- r(X), X < 2.\n"
+      "v2(X, Y) :- r(X), s(X, Y).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].head().predicate, "v1");
+  EXPECT_EQ(r.value()[1].head().predicate, "v2");
+}
+
+TEST(ParserTest, Facts) {
+  auto r = ParseRules("r(1, 2). r(2, red).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_TRUE(r.value()[0].body().empty());
+}
+
+TEST(ParserTest, DecimalDotVersusTerminatorDot) {
+  auto r = ParseRules("v(X) :- r(X), X < 2.5. w(Y) :- s(Y).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].comparisons()[0].rhs.value().number(),
+            Rational(5, 2));
+}
+
+TEST(ParserTest, VariableNamingConvention) {
+  auto r = ParseQuery("q(X) :- r(X, abc, _tmp)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& q = r.value();
+  EXPECT_TRUE(q.body()[0].args[0].is_var());
+  EXPECT_TRUE(q.body()[0].args[1].is_const());   // lowercase = symbol
+  EXPECT_TRUE(q.body()[0].args[2].is_var());     // underscore = variable
+}
+
+TEST(ParserTest, RejectsNotEquals) {
+  EXPECT_FALSE(ParseQuery("q(X) :- r(X), X != 3").ok());
+}
+
+TEST(ParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuery("q(X)").ok() &&
+               !ParseQuery("q(X)").value().body().empty());
+  EXPECT_FALSE(ParseQuery("q(X) :- ").ok());
+  EXPECT_FALSE(ParseQuery("q(X) :- r(X").ok());
+  EXPECT_FALSE(ParseQuery("q(X) :- r(X), <").ok());
+  EXPECT_FALSE(ParseQuery(":- r(X)").ok());
+  EXPECT_FALSE(ParseQuery("q(X) :- r(X)) extra").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  Query q = MustParseQuery("q(A, B) :- r(A, C), s(C, B), A < 4, 2 <= B");
+  Query q2 = MustParseQuery(q.ToString());
+  EXPECT_EQ(q.ToString(), q2.ToString());
+}
+
+TEST(ParserTest, TrailingInputRejectedForSingleQuery) {
+  EXPECT_FALSE(ParseQuery("q(X) :- r(X). w(Y) :- s(Y).").ok());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,121 @@
+#include "src/constraints/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(PreprocessTest, PaperSection2Example) {
+  // q(X, Z) :- e(X, Y), e(Y, Z), X <= Y, Y <= X
+  // collapses to q(X, Z) :- e(X, X), e(X, Z).
+  Query q = MustParseQuery("q(X, Z) :- e(X, Y), e(Y, Z), X <= Y, Y <= X");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& p = r.value();
+  EXPECT_EQ(p.ToString(), "q(X, Z) :- e(X, X), e(X, Z)");
+  EXPECT_TRUE(p.comparisons().empty());
+  EXPECT_EQ(p.num_vars(), 2);
+}
+
+TEST(PreprocessTest, EqualityChainCollapse) {
+  Query q = MustParseQuery(
+      "q(A) :- r(A, B, C), A <= B, B <= C, C <= A, A < 9");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().num_vars(), 1);
+  ASSERT_EQ(r.value().comparisons().size(), 1u);
+  EXPECT_EQ(r.value().comparisons()[0].op, CompOp::kLt);
+}
+
+TEST(PreprocessTest, VariablePinnedToConstant) {
+  Query q = MustParseQuery("q(X) :- r(X, Y), 4 <= Y, Y <= 4");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Query& p = r.value();
+  EXPECT_EQ(p.num_vars(), 1);
+  ASSERT_TRUE(p.body()[0].args[1].is_const());
+  EXPECT_EQ(p.body()[0].args[1].value().number(), Rational(4));
+  EXPECT_TRUE(p.comparisons().empty());
+}
+
+TEST(PreprocessTest, ExplicitEqualityComparison) {
+  Query q = MustParseQuery("q(X) :- r(X, Y), X = Y");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().ToString(), "q(X) :- r(X, X)");
+}
+
+TEST(PreprocessTest, InconsistentQueryFlagged) {
+  Query q = MustParseQuery("q(X) :- r(X), X < 3, X > 5");
+  auto r = Preprocess(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInconsistent);
+
+  Query q2 = MustParseQuery("q(X) :- r(X, Y), X < Y, Y < X");
+  auto r2 = Preprocess(q2);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(PreprocessTest, KeepsIrredundantComparisons) {
+  Query q = MustParseQuery("q(X) :- r(X, Y), X < 3, Y > 5");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().comparisons().size(), 2u);
+}
+
+TEST(PreprocessTest, DropsDuplicatesAndTrivial) {
+  Query q = MustParseQuery("q(X) :- r(X), X < 3, X < 3, 2 < 4");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().comparisons().size(), 1u);
+}
+
+TEST(PreprocessTest, IdempotentOnCleanQueries) {
+  Query q = MustParseQuery("q(A, B) :- r(A, C), s(C, B), A < 4, B > 2");
+  auto once = Preprocess(q);
+  ASSERT_TRUE(once.ok());
+  auto twice = Preprocess(once.value());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value().ToString(), twice.value().ToString());
+}
+
+TEST(PreprocessTest, CompactVariablesRenumbers) {
+  // Build a query with a gap: variable Y only in a dropped comparison.
+  Query q = MustParseQuery("q(X) :- r(X, Y), s(Z), X <= Y, Y <= X");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok());
+  const Query& p = r.value();
+  // X == Y collapsed; Z survives; ids must be dense.
+  EXPECT_EQ(p.num_vars(), 2);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PreprocessTest, RemoveRedundantComparisons) {
+  // A > 5 makes A > 3 redundant (Section 4.4's optional minimization).
+  Query q = MustParseQuery("q(A) :- p(A), A > 5, A > 3");
+  Query minimized = RemoveRedundantComparisons(q);
+  ASSERT_EQ(minimized.comparisons().size(), 1u);
+  EXPECT_EQ(minimized.comparisons()[0].lhs.value().number(), Rational(5));
+}
+
+TEST(PreprocessTest, RemoveRedundantKeepsEquivalence) {
+  Query q = MustParseQuery(
+      "q(A) :- p(A, B), A <= B, A <= 7, B <= 7");
+  // A <= 7 follows from A <= B <= 7.
+  Query minimized = RemoveRedundantComparisons(q);
+  EXPECT_EQ(minimized.comparisons().size(), 2u);
+}
+
+TEST(PreprocessTest, HeadConstantSurvives) {
+  Query q = MustParseQuery("q(X, Y) :- r(X, Y), 2 <= X, X <= 2");
+  auto r = Preprocess(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().head().args[0].is_const());
+  EXPECT_EQ(r.value().head().args[0].value().number(), Rational(2));
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,140 @@
+#include "src/ir/query.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/ir/program.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+namespace {
+
+TEST(QueryTest, ClassificationTable2) {
+  // The classes of Table 2.
+  EXPECT_EQ(MustParseQuery("q(X) :- r(X)").Classify(), AcClass::kNone);
+  EXPECT_EQ(MustParseQuery("q(X) :- r(X), X < 3, X <= 5").Classify(),
+            AcClass::kLsi);
+  EXPECT_EQ(MustParseQuery("q(X) :- r(X), X > 3, X >= 1").Classify(),
+            AcClass::kRsi);
+  EXPECT_EQ(MustParseQuery("q(X) :- r(X, Y), X < 3, Y > 1").Classify(),
+            AcClass::kSi);
+  EXPECT_EQ(MustParseQuery("q(X) :- r(X, Y), X < Y").Classify(),
+            AcClass::kGeneral);
+}
+
+TEST(QueryTest, CqacSiDefinition) {
+  // Section 5: at most one LSI with any number of RSI, or the mirror image.
+  EXPECT_TRUE(MustParseQuery("q() :- r(X, Y, Z), X > 5, Y > 3, Z < 8")
+                  .IsCqacSi());
+  EXPECT_TRUE(MustParseQuery("q() :- r(X, Y, Z), X < 5, Y < 3, Z > 8")
+                  .IsCqacSi());
+  EXPECT_TRUE(MustParseQuery("q() :- r(X, Y), X > 5").IsCqacSi());
+  EXPECT_FALSE(
+      MustParseQuery("q() :- r(X, Y, Z, W), X < 5, Y < 3, Z > 8, W > 9")
+          .IsCqacSi());
+  EXPECT_FALSE(MustParseQuery("q() :- r(X, Y), X < Y").IsCqacSi());
+}
+
+TEST(QueryTest, HeadVarsAndDistinguished) {
+  Query q = MustParseQuery("q(X, Y, X) :- r(X, Y, Z)");
+  EXPECT_EQ(q.HeadVars().size(), 2u);
+  std::vector<bool> mask = q.DistinguishedMask();
+  EXPECT_TRUE(mask[q.FindVariable("X")]);
+  EXPECT_TRUE(mask[q.FindVariable("Y")]);
+  EXPECT_FALSE(mask[q.FindVariable("Z")]);
+}
+
+TEST(QueryTest, ComparisonConstantsSortedUnique) {
+  Query q = MustParseQuery("q(X) :- r(X, Y), X < 9, Y > 2, X < 2");
+  std::vector<Rational> cs = q.ComparisonConstants();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0], Rational(2));
+  EXPECT_EQ(cs[1], Rational(9));
+}
+
+TEST(QueryTest, ValidateCatchesUnsafeHead) {
+  Query q = MustParseQuery("q(X, W) :- r(X)");
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, ValidateCatchesFloatingComparisonVar) {
+  Query q = MustParseQuery("q(X) :- r(X), Y < 3");
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, ValidateCatchesOrderedSymbol) {
+  Query q("q");
+  int x = q.AddVariable("X");
+  q.head().args.push_back(Term::Var(x));
+  Atom a;
+  a.predicate = "r";
+  a.args.push_back(Term::Var(x));
+  q.AddBodyAtom(a);
+  q.AddComparison(Comparison(Term::Var(x), CompOp::kLt,
+                             Term::Const(Value(std::string("red")))));
+  EXPECT_FALSE(q.Validate().ok());
+  // Equality with a symbol is allowed (view expansion emits these).
+  q.comparisons().clear();
+  q.AddComparison(Comparison(Term::Var(x), CompOp::kEq,
+                             Term::Const(Value(std::string("red")))));
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(ViewSetTest, AddAndFind) {
+  ViewSet views;
+  ASSERT_TRUE(views.Add(MustParseQuery("v1(X) :- r(X)")).ok());
+  ASSERT_TRUE(views.Add(MustParseQuery("v2(X, Y) :- s(X, Y)")).ok());
+  EXPECT_NE(views.Find("v1"), nullptr);
+  EXPECT_EQ(views.Find("nope"), nullptr);
+  EXPECT_FALSE(views.Add(MustParseQuery("v1(Z) :- r(Z)")).ok());  // dup
+}
+
+TEST(ViewSetTest, AllVariablesDistinguished) {
+  ViewSet all_dist(MustParseRules("v1(X, Y) :- r(X, Y)."));
+  EXPECT_TRUE(all_dist.AllVariablesDistinguished());
+  ViewSet hidden(MustParseRules("v1(X) :- r(X, Y)."));
+  EXPECT_FALSE(hidden.AllVariablesDistinguished());
+}
+
+TEST(ViewSetTest, AllSiOnly) {
+  ViewSet si(MustParseRules("v1(X) :- r(X, Y), Y < 3, X > 1."));
+  EXPECT_TRUE(si.AllSiOnly());
+  ViewSet gen(MustParseRules("v1(X) :- r(X, Y), X <= Y."));
+  EXPECT_FALSE(gen.AllSiOnly());
+}
+
+TEST(ProgramTest, IdbEdbAndRecursion) {
+  Program p("t", MustParseRules(
+                     "t(X, Y) :- e(X, Y).\n"
+                     "t(X, Z) :- e(X, Y), t(Y, Z)."));
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.IdbPredicates().size(), 1u);
+  EXPECT_EQ(p.EdbPredicates().size(), 1u);
+  EXPECT_TRUE(p.IsRecursive());
+
+  Program flat("q", MustParseRules("q(X) :- e(X, Y)."));
+  EXPECT_FALSE(flat.IsRecursive());
+
+  // Mutual recursion.
+  Program mutual("a", MustParseRules(
+                          "a(X) :- b(X).\n"
+                          "b(X) :- e(X, Y), a(Y).\n"
+                          "b(X) :- e(X, X)."));
+  EXPECT_TRUE(mutual.IsRecursive());
+}
+
+TEST(ProgramTest, ValidateRequiresQueryPredicate) {
+  Program p("missing", MustParseRules("q(X) :- e(X, Y)."));
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(UnionQueryTest, ToString) {
+  UnionQuery u;
+  u.disjuncts.push_back(MustParseQuery("q(X) :- v1(X)"));
+  u.disjuncts.push_back(MustParseQuery("q(X) :- v2(X), X < 3"));
+  EXPECT_NE(u.ToString().find("v1"), std::string::npos);
+  EXPECT_NE(u.ToString().find("v2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqac

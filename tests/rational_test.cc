@@ -1,0 +1,107 @@
+#include "src/base/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cqac {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+  EXPECT_EQ(Rational(10, 5), Rational(2));
+}
+
+TEST(RationalTest, ComparisonIsExact) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7), Rational(7));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+  // Values that would collide under double rounding stay distinct.
+  Rational a(1000000000000000001LL, 1000000000000000000LL);
+  Rational b(1);
+  EXPECT_GT(a, b);
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+}
+
+TEST(RationalTest, MidpointIsStrictlyBetween) {
+  Rational a(1, 3), b(1, 2);
+  Rational m = Rational::Midpoint(a, b);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, b);
+  EXPECT_EQ(m, Rational(5, 12));
+  // Denseness witness at arbitrary closeness.
+  Rational c(999, 1000), d(1);
+  Rational m2 = Rational::Midpoint(c, d);
+  EXPECT_LT(c, m2);
+  EXPECT_LT(m2, d);
+}
+
+TEST(RationalTest, ParseInteger) {
+  auto r = Rational::Parse("42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Rational(42));
+  auto neg = Rational::Parse("-17");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg.value(), Rational(-17));
+}
+
+TEST(RationalTest, ParseDecimal) {
+  auto r = Rational::Parse("3.25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Rational(13, 4));
+  auto neg = Rational::Parse("-0.5");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg.value(), Rational(-1, 2));
+}
+
+TEST(RationalTest, ParseFraction) {
+  auto r = Rational::Parse("7/2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Rational(7, 2));
+  auto neg = Rational::Parse("-7/2");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg.value(), Rational(-7, 2));
+}
+
+TEST(RationalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Rational::Parse("").ok());
+  EXPECT_FALSE(Rational::Parse("abc").ok());
+  EXPECT_FALSE(Rational::Parse("1.2.3").ok());
+  EXPECT_FALSE(Rational::Parse("1/0").ok());
+  EXPECT_FALSE(Rational::Parse("1/").ok());
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-5).ToString(), "-5");
+  EXPECT_EQ(Rational(7, 2).ToString(), "7/2");
+  EXPECT_EQ(Rational(-7, 2).ToString(), "-7/2");
+}
+
+TEST(RationalTest, HashDistinguishesAndAgrees) {
+  EXPECT_EQ(Rational(1, 2).Hash(), Rational(2, 4).Hash());
+  std::set<size_t> hashes;
+  for (int i = 0; i < 100; ++i) hashes.insert(Rational(i).Hash());
+  EXPECT_EQ(hashes.size(), 100u);  // no collisions on small ints
+}
+
+}  // namespace
+}  // namespace cqac

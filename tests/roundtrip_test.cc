@@ -1,0 +1,85 @@
+// Printer/parser round-trips and rendering stability across the whole
+// workload corpus: ToString output must re-parse to an identical query, so
+// logs, JSON exports, and shell transcripts are always replayable.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/gen/generators.h"
+#include "src/gen/paper_workloads.h"
+#include "src/ir/program.h"
+#include "src/eval/database.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+void ExpectRoundTrips(const Query& q) {
+  Result<Query> again = ParseQuery(q.ToString());
+  ASSERT_TRUE(again.ok()) << q.ToString() << "\n" << again.status();
+  EXPECT_EQ(again.value().ToString(), q.ToString());
+  EXPECT_EQ(again.value().body().size(), q.body().size());
+  EXPECT_EQ(again.value().comparisons().size(), q.comparisons().size());
+}
+
+TEST(RoundTripTest, PaperWorkloads) {
+  ExpectRoundTrips(workloads::Example11Query());
+  ExpectRoundTrips(workloads::Example11Rewriting());
+  ExpectRoundTrips(workloads::Example12Query());
+  for (int k = 0; k <= 4; ++k) ExpectRoundTrips(workloads::Example12Pk(k));
+  ExpectRoundTrips(workloads::CarDealerQuery());
+  ExpectRoundTrips(workloads::Example41View());
+  ExpectRoundTrips(workloads::Sec44CaseQuery());
+  ExpectRoundTrips(workloads::Sec44FullQuery());
+  ExpectRoundTrips(workloads::Example51Q1());
+  ExpectRoundTrips(workloads::Example51Q2());
+  ExpectRoundTrips(workloads::Example51Chain(6, Rational(6), Rational(7)));
+  for (const ViewSet views :
+       {workloads::Example11Views(), workloads::Example12Views(),
+        workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
+        workloads::CarDealerViews()}) {
+    for (const Query& v : views.views()) ExpectRoundTrips(v);
+  }
+}
+
+TEST(RoundTripTest, RandomQueries) {
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 200; ++iter) {
+    gen::QuerySpec spec;
+    spec.num_subgoals = static_cast<int>(rng.Uniform(1, 4));
+    spec.num_vars = 5;
+    spec.ac_density = 1.2;
+    spec.ac_mode = static_cast<gen::AcMode>(rng.Uniform(0, 5));
+    spec.const_min = -9;
+    spec.const_max = 9;
+    spec.boolean_head = rng.Chance(0.3);
+    ExpectRoundTrips(gen::RandomQuery(rng, spec));
+  }
+}
+
+TEST(RoundTripTest, FractionsAndNegativesRender) {
+  Query q = MustParseQuery("q(X) :- r(X), X < 7/2, X > -3, X <= -1/2");
+  ExpectRoundTrips(q);
+  EXPECT_NE(q.ToString().find("7/2"), std::string::npos);
+  EXPECT_NE(q.ToString().find("-1/2"), std::string::npos);
+}
+
+TEST(RoundTripTest, DatabaseFactsRoundTrip) {
+  Database db = Database::FromFacts(
+                    "r(1, 2). color(3, red). p(7/2). n(-4).")
+                    .value();
+  Database again = Database::FromFacts(db.ToString()).value();
+  EXPECT_EQ(db.ToString(), again.ToString());
+  EXPECT_EQ(db.TotalTuples(), again.TotalTuples());
+}
+
+TEST(RoundTripTest, ProgramRoundTrip) {
+  Program p("t", MustParseRules(
+                     "t(X, Y) :- e(X, Y), X < 5.\n"
+                     "t(X, Z) :- e(X, Y), t(Y, Z)."));
+  Program again("t", MustParseRules(p.ToString()));
+  EXPECT_EQ(p.ToString(), again.ToString());
+  EXPECT_TRUE(again.Validate().ok());
+}
+
+}  // namespace
+}  // namespace cqac

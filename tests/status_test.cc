@@ -1,0 +1,84 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cqac {
+namespace {
+
+Status FailInner() { return Status::NotFound("inner"); }
+
+Status Propagates() {
+  CQAC_RETURN_IF_ERROR(FailInner());
+  return Status::Internal("unreachable");
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  CQAC_ASSIGN_OR_RETURN(int half, HalfOf(v));
+  return HalfOf(half);
+}
+
+TEST(StatusTest, OkBasics) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Inconsistent("X < 1 and X > 2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+  EXPECT_EQ(s.ToString(), "Inconsistent: X < 1 and X > 2");
+}
+
+TEST(StatusTest, AllCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInconsistent), "Inconsistent");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status s = Propagates();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = HalfOf(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 2);
+  Result<int> bad = HalfOf(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+  EXPECT_EQ(good.ValueOr(-1), 2);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> q = QuarterOf(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // second division fails
+  EXPECT_FALSE(QuarterOf(5).ok());  // first division fails
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,33 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cqac {
+namespace {
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,,b", ',')[1], "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(Strip("  hi  "), "hi");
+  EXPECT_EQ(Strip("hi"), "hi");
+  EXPECT_EQ(Strip("   "), "");
+  EXPECT_EQ(Strip("\t x \n"), "x");
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,101 @@
+#include "src/ir/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(VarMapTest, BindAndConflict) {
+  VarMap m(3);
+  EXPECT_FALSE(m.IsBound(0));
+  EXPECT_TRUE(m.Bind(0, Term::Var(7)));
+  EXPECT_TRUE(m.IsBound(0));
+  EXPECT_TRUE(m.Bind(0, Term::Var(7)));                        // same: ok
+  EXPECT_FALSE(m.Bind(0, Term::Var(8)));                       // conflict
+  EXPECT_TRUE(m.Bind(1, Term::Const(Value(Rational(3)))));
+  EXPECT_FALSE(m.IsTotal());
+  EXPECT_TRUE(m.Bind(2, Term::Var(0)));
+  EXPECT_TRUE(m.IsTotal());
+}
+
+TEST(VarMapTest, ApplyLeavesUnboundAndConstants) {
+  VarMap m(2);
+  ASSERT_TRUE(m.Bind(0, Term::Var(5)));
+  EXPECT_EQ(m.Apply(Term::Var(0)), Term::Var(5));
+  EXPECT_EQ(m.Apply(Term::Var(1)), Term::Var(1));  // unbound: unchanged
+  Term c = Term::Const(Value(Rational(9)));
+  EXPECT_EQ(m.Apply(c), c);
+}
+
+TEST(VarMapTest, ApplyToStructures) {
+  Query q = MustParseQuery("q(X) :- r(X, Y), X < 4");
+  VarMap m(q.num_vars());
+  ASSERT_TRUE(m.Bind(q.FindVariable("X"), Term::Var(10)));
+  Atom a = m.ApplyToAtom(q.body()[0]);
+  EXPECT_EQ(a.args[0], Term::Var(10));
+  Comparison c = m.ApplyToComparison(q.comparisons()[0]);
+  EXPECT_EQ(c.lhs, Term::Var(10));
+  std::vector<Comparison> cs = m.ApplyToComparisons(q.comparisons());
+  EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST(ImportVariablesTest, FreshNamesNoCollisions) {
+  Query src = MustParseQuery("v(X, Y) :- r(X, Y)");
+  Query dst = MustParseQuery("q(X) :- s(X)");
+  VarMap map = ImportVariables(src, "v_", &dst);
+  EXPECT_TRUE(map.IsTotal());
+  // The imported X must not alias dst's X.
+  EXPECT_NE(map.Get(src.FindVariable("X")),
+            Term::Var(dst.FindVariable("X")));
+  EXPECT_EQ(dst.num_vars(), 3);
+}
+
+TEST(UnifyBodyAtomsTest, MergesAndSubstitutes) {
+  Query q = MustParseQuery("q(A) :- e(A, B), e(A, C), s(C)");
+  Query out;
+  ASSERT_TRUE(UnifyBodyAtoms(q, 0, 1, &out));
+  EXPECT_EQ(out.body().size(), 2u);
+  // B and C collapsed; s now mentions the survivor.
+  const Atom& s = out.body()[1];
+  const Atom& e = out.body()[0];
+  EXPECT_EQ(s.args[0], e.args[1]);
+}
+
+TEST(UnifyBodyAtomsTest, ConstantClashFails) {
+  Query q = MustParseQuery("q() :- color(X, red), color(X, blue)");
+  Query out;
+  EXPECT_FALSE(UnifyBodyAtoms(q, 0, 1, &out));
+}
+
+TEST(UnifyBodyAtomsTest, ConstantAbsorbsVariable) {
+  Query q = MustParseQuery("q() :- color(X, red), color(X, C), s(C)");
+  Query out;
+  ASSERT_TRUE(UnifyBodyAtoms(q, 0, 1, &out));
+  // C pinned to red everywhere.
+  bool saw_red_in_s = false;
+  for (const Atom& a : out.body())
+    if (a.predicate == "s" && a.args[0].is_const() &&
+        a.args[0].value().symbol() == "red")
+      saw_red_in_s = true;
+  EXPECT_TRUE(saw_red_in_s) << out.ToString();
+}
+
+TEST(UnifyBodyAtomsTest, DifferentPredicatesRejected) {
+  Query q = MustParseQuery("q() :- r(X), s(X)");
+  Query out;
+  EXPECT_FALSE(UnifyBodyAtoms(q, 0, 1, &out));
+}
+
+TEST(UnifyBodyAtomsTest, HeadAndComparisonsSubstituted) {
+  Query q = MustParseQuery("q(B, C) :- e(A, B), e(A, C), B < 5");
+  Query out;
+  ASSERT_TRUE(UnifyBodyAtoms(q, 0, 1, &out));
+  // Head args collapse to the same term; the comparison follows.
+  EXPECT_EQ(out.head().args[0], out.head().args[1]);
+  EXPECT_EQ(out.comparisons()[0].lhs, out.head().args[0]);
+}
+
+}  // namespace
+}  // namespace cqac

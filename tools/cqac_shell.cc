@@ -1,0 +1,291 @@
+// cqac_shell — a scriptable command shell over the cqac library.
+//
+// Reads commands from a script file (argv[1]) or stdin. One command per
+// line; `%` starts a comment. Rules/facts use the library's Datalog syntax.
+//
+//   view <rule>            declare a view
+//   query <rule>           set the current query
+//   fact <atom>            add a tuple to the base database
+//   classify               print the query's comparison class
+//   rewrite                print the MCR (auto-dispatches: LSI/RSI ->
+//                          RewriteLSIQuery; CQAC-SI + SI views -> recursive
+//                          Datalog; otherwise bucket)
+//   er                     search for an equivalent rewriting
+//   minimize               minimize the current query
+//   eval                   evaluate the query over the base database
+//   answers                certain answers: materialize views, run the MCR
+//   contained <rule>       is <rule> contained in the current query?
+//   reset                  clear all state
+//   help                   print this summary
+//
+// Exit status is nonzero if any command failed (parse error, engine error),
+// making scripts usable as smoke tests.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/base/strings.h"
+#include "src/containment/containment.h"
+#include "src/constraints/intervals.h"
+#include "src/containment/explain.h"
+#include "src/containment/minimize.h"
+#include "src/eval/evaluate.h"
+#include "src/ir/expansion.h"
+#include "src/ir/parser.h"
+#include "src/rewriting/bucket.h"
+#include "src/rewriting/er_search.h"
+#include "src/rewriting/rewrite_lsi.h"
+#include "src/rewriting/si_mcr.h"
+
+namespace cqac {
+namespace {
+
+class Shell {
+ public:
+  // Returns false when any command failed.
+  bool Run(std::istream& in) {
+    std::string line;
+    bool ok = true;
+    while (std::getline(in, line)) {
+      line = Strip(line);
+      if (line.empty() || line[0] == '%') continue;
+      if (!Dispatch(line)) ok = false;
+    }
+    return ok;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    std::printf("error: %s\n", msg.c_str());
+    return false;
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::string cmd = line.substr(0, line.find(' '));
+    std::string rest =
+        Strip(line.size() > cmd.size() ? line.substr(cmd.size()) : "");
+    if (cmd == "help") return Help();
+    if (cmd == "reset") {
+      *this = Shell();
+      std::printf("ok: state cleared\n");
+      return true;
+    }
+    if (cmd == "view") return AddView(rest);
+    if (cmd == "query") return SetQuery(rest);
+    if (cmd == "fact") return AddFact(rest);
+    if (cmd == "classify") return Classify();
+    if (cmd == "rewrite") return Rewrite();
+    if (cmd == "er") return FindEr();
+    if (cmd == "minimize") return Minimize();
+    if (cmd == "eval") return Evaluate();
+    if (cmd == "answers") return CertainAnswers();
+    if (cmd == "contained") return Contained(rest);
+    if (cmd == "explain") return Explain(rest);
+    if (cmd == "intervals") return Intervals();
+    return Fail("unknown command '" + cmd + "' (try: help)");
+  }
+
+  bool Help() {
+    std::printf(
+        "commands: view <rule> | query <rule> | fact <atom> | classify |\n"
+        "          rewrite | er | minimize | eval | answers |\n"
+        "          contained <rule> | explain <rule> | intervals |\n"
+        "          reset | help\n");
+    return true;
+  }
+
+  bool AddView(const std::string& text) {
+    Result<Query> v = ParseQuery(text);
+    if (!v.ok()) return Fail(v.status().ToString());
+    Status st = views_.Add(std::move(v).value());
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("ok: view %s\n",
+                views_[views_.size() - 1].ToString().c_str());
+    return true;
+  }
+
+  bool SetQuery(const std::string& text) {
+    Result<Query> q = ParseQuery(text);
+    if (!q.ok()) return Fail(q.status().ToString());
+    Status st = q.value().Validate();
+    if (!st.ok()) return Fail(st.ToString());
+    query_ = std::move(q).value();
+    have_query_ = true;
+    std::printf("ok: query %s\n", query_.ToString().c_str());
+    return true;
+  }
+
+  bool AddFact(const std::string& text) {
+    Result<Database> one = Database::FromFacts(text);
+    if (!one.ok()) return Fail(one.status().ToString());
+    Status st = db_.Merge(one.value());
+    if (!st.ok()) return Fail(st.ToString());
+    return true;
+  }
+
+  bool NeedQuery() {
+    if (!have_query_) {
+      Fail("no query set (use: query <rule>)");
+      return false;
+    }
+    return true;
+  }
+
+  bool Classify() {
+    if (!NeedQuery()) return false;
+    std::printf("class: %s%s\n", AcClassName(query_.Classify()),
+                query_.IsCqacSi() && !query_.IsConjunctiveOnly()
+                    ? " (CQAC-SI)"
+                    : "");
+    return true;
+  }
+
+  bool Rewrite() {
+    if (!NeedQuery()) return false;
+    AcClass cls = query_.Classify();
+    if (cls == AcClass::kNone || cls == AcClass::kLsi ||
+        cls == AcClass::kRsi) {
+      Result<UnionQuery> mcr = RewriteLsiQuery(query_, views_);
+      if (!mcr.ok()) return Fail(mcr.status().ToString());
+      last_mcr_ = std::move(mcr).value();
+      have_mcr_ = !last_mcr_.empty();
+      std::printf("mcr (%zu contained rewritings):\n%s\n",
+                  last_mcr_.disjuncts.size(), last_mcr_.ToString().c_str());
+      return true;
+    }
+    if (query_.IsCqacSi() && views_.AllSiOnly()) {
+      Result<SiMcr> mcr = RewriteSiQueryDatalog(query_, views_);
+      if (!mcr.ok()) return Fail(mcr.status().ToString());
+      std::printf("recursive datalog mcr (%zu rules):\n%s\n",
+                  mcr.value().rules.size(), mcr.value().ToString().c_str());
+      return true;
+    }
+    Result<UnionQuery> mcr = BucketRewrite(query_, views_);
+    if (!mcr.ok()) return Fail(mcr.status().ToString());
+    last_mcr_ = std::move(mcr).value();
+    have_mcr_ = !last_mcr_.empty();
+    std::printf("contained rewritings (bucket, %zu):\n%s\n",
+                last_mcr_.disjuncts.size(), last_mcr_.ToString().c_str());
+    return true;
+  }
+
+  bool FindEr() {
+    if (!NeedQuery()) return false;
+    Result<ErResult> er = FindEquivalentRewriting(query_, views_);
+    if (!er.ok()) return Fail(er.status().ToString());
+    if (er.value().single.has_value()) {
+      std::printf("er: %s\n", er.value().single->ToString().c_str());
+    } else if (er.value().union_er.has_value()) {
+      std::printf("er (union of %zu):\n%s\n",
+                  er.value().union_er->disjuncts.size(),
+                  er.value().union_er->ToString().c_str());
+    } else {
+      std::printf("er: none found\n");
+    }
+    return true;
+  }
+
+  bool Minimize() {
+    if (!NeedQuery()) return false;
+    Result<Query> m = MinimizeQuery(query_);
+    if (!m.ok()) return Fail(m.status().ToString());
+    query_ = std::move(m).value();
+    std::printf("minimized: %s\n", query_.ToString().c_str());
+    return true;
+  }
+
+  bool Evaluate() {
+    if (!NeedQuery()) return false;
+    Result<Relation> r = EvaluateQuery(query_, db_);
+    if (!r.ok()) return Fail(r.status().ToString());
+    PrintRelation(r.value());
+    return true;
+  }
+
+  bool CertainAnswers() {
+    if (!NeedQuery()) return false;
+    if (!have_mcr_) {
+      if (!Rewrite()) return false;
+      if (!have_mcr_) return Fail("no rewriting available");
+    }
+    Result<Database> vdb = MaterializeViews(views_, db_);
+    if (!vdb.ok()) return Fail(vdb.status().ToString());
+    Result<Relation> r = EvaluateUnion(last_mcr_, vdb.value());
+    if (!r.ok()) return Fail(r.status().ToString());
+    PrintRelation(r.value());
+    return true;
+  }
+
+  bool Contained(const std::string& text) {
+    if (!NeedQuery()) return false;
+    Result<Query> p = ParseQuery(text);
+    if (!p.ok()) return Fail(p.status().ToString());
+    // A rule over view predicates is compared through its expansion
+    // (the contained-rewriting test of Definition 2.1).
+    Query candidate = std::move(p).value();
+    bool uses_views = !candidate.body().empty();
+    for (const Atom& a : candidate.body())
+      if (views_.Find(a.predicate) == nullptr) uses_views = false;
+    if (uses_views) {
+      Result<Query> exp = ExpandRewriting(candidate, views_);
+      if (!exp.ok()) return Fail(exp.status().ToString());
+      candidate = std::move(exp).value();
+    }
+    Result<bool> c = IsContained(candidate, query_);
+    if (!c.ok()) return Fail(c.status().ToString());
+    std::printf("contained: %s%s\n", c.value() ? "yes" : "no",
+                uses_views ? " (checked via expansion)" : "");
+    return true;
+  }
+
+  bool Explain(const std::string& text) {
+    if (!NeedQuery()) return false;
+    Result<Query> p = ParseQuery(text);
+    if (!p.ok()) return Fail(p.status().ToString());
+    Result<ContainmentExplanation> e = ExplainContainment(p.value(), query_);
+    if (!e.ok()) return Fail(e.status().ToString());
+    std::printf("%s\n", e.value().ToString().c_str());
+    return true;
+  }
+
+  bool Intervals() {
+    if (!NeedQuery()) return false;
+    Result<std::map<int, VarInterval>> ivs = DeriveIntervals(query_);
+    if (!ivs.ok()) return Fail(ivs.status().ToString());
+    for (const auto& [var, iv] : ivs.value())
+      std::printf("  %s in %s\n", query_.VarName(var).c_str(),
+                  iv.ToString().c_str());
+    return true;
+  }
+
+  static void PrintRelation(const Relation& r) {
+    std::printf("answers (%zu):", r.size());
+    for (const Tuple& t : r) std::printf(" %s", TupleToString(t).c_str());
+    std::printf("\n");
+  }
+
+  ViewSet views_;
+  Query query_;
+  bool have_query_ = false;
+  Database db_;
+  UnionQuery last_mcr_;
+  bool have_mcr_ = false;
+};
+
+}  // namespace
+}  // namespace cqac
+
+int main(int argc, char** argv) {
+  cqac::Shell shell;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    return shell.Run(file) ? 0 : 1;
+  }
+  return shell.Run(std::cin) ? 0 : 1;
+}
