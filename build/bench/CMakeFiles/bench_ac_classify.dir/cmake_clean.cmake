@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ac_classify.dir/bench_ac_classify.cc.o"
+  "CMakeFiles/bench_ac_classify.dir/bench_ac_classify.cc.o.d"
+  "bench_ac_classify"
+  "bench_ac_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ac_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment_classes.dir/bench_containment_classes.cc.o"
+  "CMakeFiles/bench_containment_classes.dir/bench_containment_classes.cc.o.d"
+  "bench_containment_classes"
+  "bench_containment_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_er_search.dir/bench_er_search.cc.o"
+  "CMakeFiles/bench_er_search.dir/bench_er_search.cc.o.d"
+  "bench_er_search"
+  "bench_er_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_er_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_er_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example11.dir/bench_example11.cc.o"
+  "CMakeFiles/bench_example11.dir/bench_example11.cc.o.d"
+  "bench_example11"
+  "bench_example11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

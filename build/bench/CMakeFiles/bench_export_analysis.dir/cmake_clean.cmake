@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export_analysis.dir/bench_export_analysis.cc.o"
+  "CMakeFiles/bench_export_analysis.dir/bench_export_analysis.cc.o.d"
+  "bench_export_analysis"
+  "bench_export_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsi_vs_general.dir/bench_lsi_vs_general.cc.o"
+  "CMakeFiles/bench_lsi_vs_general.dir/bench_lsi_vs_general.cc.o.d"
+  "bench_lsi_vs_general"
+  "bench_lsi_vs_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsi_vs_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ms_baseline.dir/bench_ms_baseline.cc.o"
+  "CMakeFiles/bench_ms_baseline.dir/bench_ms_baseline.cc.o.d"
+  "bench_ms_baseline"
+  "bench_ms_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ms_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

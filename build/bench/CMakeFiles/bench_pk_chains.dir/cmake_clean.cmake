@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pk_chains.dir/bench_pk_chains.cc.o"
+  "CMakeFiles/bench_pk_chains.dir/bench_pk_chains.cc.o.d"
+  "bench_pk_chains"
+  "bench_pk_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pk_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

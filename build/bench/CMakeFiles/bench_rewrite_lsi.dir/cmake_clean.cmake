@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewrite_lsi.dir/bench_rewrite_lsi.cc.o"
+  "CMakeFiles/bench_rewrite_lsi.dir/bench_rewrite_lsi.cc.o.d"
+  "bench_rewrite_lsi"
+  "bench_rewrite_lsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrite_lsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

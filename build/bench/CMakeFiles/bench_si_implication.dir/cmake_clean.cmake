@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_si_implication.dir/bench_si_implication.cc.o"
+  "CMakeFiles/bench_si_implication.dir/bench_si_implication.cc.o.d"
+  "bench_si_implication"
+  "bench_si_implication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_si_implication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_si_mcr.dir/bench_si_mcr.cc.o"
+  "CMakeFiles/bench_si_mcr.dir/bench_si_mcr.cc.o.d"
+  "bench_si_mcr"
+  "bench_si_mcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_si_mcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_si_reduction.dir/bench_si_reduction.cc.o"
+  "CMakeFiles/bench_si_reduction.dir/bench_si_reduction.cc.o.d"
+  "bench_si_reduction"
+  "bench_si_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_si_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/information_integration.dir/information_integration.cpp.o"
+  "CMakeFiles/information_integration.dir/information_integration.cpp.o.d"
+  "information_integration"
+  "information_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/information_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

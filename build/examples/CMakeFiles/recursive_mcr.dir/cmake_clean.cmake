@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_mcr.dir/recursive_mcr.cpp.o"
+  "CMakeFiles/recursive_mcr.dir/recursive_mcr.cpp.o.d"
+  "recursive_mcr"
+  "recursive_mcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_mcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

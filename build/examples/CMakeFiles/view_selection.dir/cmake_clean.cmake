@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_selection.dir/view_selection.cpp.o"
+  "CMakeFiles/view_selection.dir/view_selection.cpp.o.d"
+  "view_selection"
+  "view_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

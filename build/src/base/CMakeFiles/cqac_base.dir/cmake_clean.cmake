@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_base.dir/rational.cc.o"
+  "CMakeFiles/cqac_base.dir/rational.cc.o.d"
+  "CMakeFiles/cqac_base.dir/status.cc.o"
+  "CMakeFiles/cqac_base.dir/status.cc.o.d"
+  "CMakeFiles/cqac_base.dir/strings.cc.o"
+  "CMakeFiles/cqac_base.dir/strings.cc.o.d"
+  "libcqac_base.a"
+  "libcqac_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/implication.cc" "src/constraints/CMakeFiles/cqac_constraints.dir/implication.cc.o" "gcc" "src/constraints/CMakeFiles/cqac_constraints.dir/implication.cc.o.d"
+  "/root/repo/src/constraints/inequality_graph.cc" "src/constraints/CMakeFiles/cqac_constraints.dir/inequality_graph.cc.o" "gcc" "src/constraints/CMakeFiles/cqac_constraints.dir/inequality_graph.cc.o.d"
+  "/root/repo/src/constraints/intervals.cc" "src/constraints/CMakeFiles/cqac_constraints.dir/intervals.cc.o" "gcc" "src/constraints/CMakeFiles/cqac_constraints.dir/intervals.cc.o.d"
+  "/root/repo/src/constraints/preprocess.cc" "src/constraints/CMakeFiles/cqac_constraints.dir/preprocess.cc.o" "gcc" "src/constraints/CMakeFiles/cqac_constraints.dir/preprocess.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_constraints.dir/implication.cc.o"
+  "CMakeFiles/cqac_constraints.dir/implication.cc.o.d"
+  "CMakeFiles/cqac_constraints.dir/inequality_graph.cc.o"
+  "CMakeFiles/cqac_constraints.dir/inequality_graph.cc.o.d"
+  "CMakeFiles/cqac_constraints.dir/intervals.cc.o"
+  "CMakeFiles/cqac_constraints.dir/intervals.cc.o.d"
+  "CMakeFiles/cqac_constraints.dir/preprocess.cc.o"
+  "CMakeFiles/cqac_constraints.dir/preprocess.cc.o.d"
+  "libcqac_constraints.a"
+  "libcqac_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containment/containment.cc" "src/containment/CMakeFiles/cqac_containment.dir/containment.cc.o" "gcc" "src/containment/CMakeFiles/cqac_containment.dir/containment.cc.o.d"
+  "/root/repo/src/containment/explain.cc" "src/containment/CMakeFiles/cqac_containment.dir/explain.cc.o" "gcc" "src/containment/CMakeFiles/cqac_containment.dir/explain.cc.o.d"
+  "/root/repo/src/containment/homomorphism.cc" "src/containment/CMakeFiles/cqac_containment.dir/homomorphism.cc.o" "gcc" "src/containment/CMakeFiles/cqac_containment.dir/homomorphism.cc.o.d"
+  "/root/repo/src/containment/minimize.cc" "src/containment/CMakeFiles/cqac_containment.dir/minimize.cc.o" "gcc" "src/containment/CMakeFiles/cqac_containment.dir/minimize.cc.o.d"
+  "/root/repo/src/containment/si_reduction.cc" "src/containment/CMakeFiles/cqac_containment.dir/si_reduction.cc.o" "gcc" "src/containment/CMakeFiles/cqac_containment.dir/si_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/cqac_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cqac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/cqac_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

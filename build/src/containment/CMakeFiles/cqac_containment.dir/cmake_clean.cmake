@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_containment.dir/containment.cc.o"
+  "CMakeFiles/cqac_containment.dir/containment.cc.o.d"
+  "CMakeFiles/cqac_containment.dir/explain.cc.o"
+  "CMakeFiles/cqac_containment.dir/explain.cc.o.d"
+  "CMakeFiles/cqac_containment.dir/homomorphism.cc.o"
+  "CMakeFiles/cqac_containment.dir/homomorphism.cc.o.d"
+  "CMakeFiles/cqac_containment.dir/minimize.cc.o"
+  "CMakeFiles/cqac_containment.dir/minimize.cc.o.d"
+  "CMakeFiles/cqac_containment.dir/si_reduction.cc.o"
+  "CMakeFiles/cqac_containment.dir/si_reduction.cc.o.d"
+  "libcqac_containment.a"
+  "libcqac_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/engine.cc" "src/datalog/CMakeFiles/cqac_datalog.dir/engine.cc.o" "gcc" "src/datalog/CMakeFiles/cqac_datalog.dir/engine.cc.o.d"
+  "/root/repo/src/datalog/unfold.cc" "src/datalog/CMakeFiles/cqac_datalog.dir/unfold.cc.o" "gcc" "src/datalog/CMakeFiles/cqac_datalog.dir/unfold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cqac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_datalog.dir/engine.cc.o"
+  "CMakeFiles/cqac_datalog.dir/engine.cc.o.d"
+  "CMakeFiles/cqac_datalog.dir/unfold.cc.o"
+  "CMakeFiles/cqac_datalog.dir/unfold.cc.o.d"
+  "libcqac_datalog.a"
+  "libcqac_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

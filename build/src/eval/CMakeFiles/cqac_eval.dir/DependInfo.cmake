@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/database.cc" "src/eval/CMakeFiles/cqac_eval.dir/database.cc.o" "gcc" "src/eval/CMakeFiles/cqac_eval.dir/database.cc.o.d"
+  "/root/repo/src/eval/evaluate.cc" "src/eval/CMakeFiles/cqac_eval.dir/evaluate.cc.o" "gcc" "src/eval/CMakeFiles/cqac_eval.dir/evaluate.cc.o.d"
+  "/root/repo/src/eval/mirror.cc" "src/eval/CMakeFiles/cqac_eval.dir/mirror.cc.o" "gcc" "src/eval/CMakeFiles/cqac_eval.dir/mirror.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

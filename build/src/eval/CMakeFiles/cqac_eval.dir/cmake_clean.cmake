@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_eval.dir/database.cc.o"
+  "CMakeFiles/cqac_eval.dir/database.cc.o.d"
+  "CMakeFiles/cqac_eval.dir/evaluate.cc.o"
+  "CMakeFiles/cqac_eval.dir/evaluate.cc.o.d"
+  "CMakeFiles/cqac_eval.dir/mirror.cc.o"
+  "CMakeFiles/cqac_eval.dir/mirror.cc.o.d"
+  "libcqac_eval.a"
+  "libcqac_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

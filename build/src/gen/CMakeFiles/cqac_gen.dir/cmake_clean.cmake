@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_gen.dir/generators.cc.o"
+  "CMakeFiles/cqac_gen.dir/generators.cc.o.d"
+  "CMakeFiles/cqac_gen.dir/paper_workloads.cc.o"
+  "CMakeFiles/cqac_gen.dir/paper_workloads.cc.o.d"
+  "libcqac_gen.a"
+  "libcqac_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

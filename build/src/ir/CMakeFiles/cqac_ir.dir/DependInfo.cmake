@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expansion.cc" "src/ir/CMakeFiles/cqac_ir.dir/expansion.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/expansion.cc.o.d"
+  "/root/repo/src/ir/json.cc" "src/ir/CMakeFiles/cqac_ir.dir/json.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/json.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/cqac_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/cqac_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/program.cc.o.d"
+  "/root/repo/src/ir/query.cc" "src/ir/CMakeFiles/cqac_ir.dir/query.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/query.cc.o.d"
+  "/root/repo/src/ir/substitution.cc" "src/ir/CMakeFiles/cqac_ir.dir/substitution.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/substitution.cc.o.d"
+  "/root/repo/src/ir/view.cc" "src/ir/CMakeFiles/cqac_ir.dir/view.cc.o" "gcc" "src/ir/CMakeFiles/cqac_ir.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

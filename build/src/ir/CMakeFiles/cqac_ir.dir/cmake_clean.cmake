@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_ir.dir/expansion.cc.o"
+  "CMakeFiles/cqac_ir.dir/expansion.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/json.cc.o"
+  "CMakeFiles/cqac_ir.dir/json.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/parser.cc.o"
+  "CMakeFiles/cqac_ir.dir/parser.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/program.cc.o"
+  "CMakeFiles/cqac_ir.dir/program.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/query.cc.o"
+  "CMakeFiles/cqac_ir.dir/query.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/substitution.cc.o"
+  "CMakeFiles/cqac_ir.dir/substitution.cc.o.d"
+  "CMakeFiles/cqac_ir.dir/view.cc.o"
+  "CMakeFiles/cqac_ir.dir/view.cc.o.d"
+  "libcqac_ir.a"
+  "libcqac_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewriting/all_distinguished.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/all_distinguished.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/all_distinguished.cc.o.d"
+  "/root/repo/src/rewriting/answer.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/answer.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/answer.cc.o.d"
+  "/root/repo/src/rewriting/bucket.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/bucket.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/bucket.cc.o.d"
+  "/root/repo/src/rewriting/er_search.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/er_search.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/er_search.cc.o.d"
+  "/root/repo/src/rewriting/export_analysis.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/export_analysis.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/export_analysis.cc.o.d"
+  "/root/repo/src/rewriting/mcd.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/mcd.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/mcd.cc.o.d"
+  "/root/repo/src/rewriting/rewrite_lsi.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/rewrite_lsi.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/rewrite_lsi.cc.o.d"
+  "/root/repo/src/rewriting/si_mcr.cc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/si_mcr.cc.o" "gcc" "src/rewriting/CMakeFiles/cqac_rewriting.dir/si_mcr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/containment/CMakeFiles/cqac_containment.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/cqac_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/cqac_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cqac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_rewriting.dir/all_distinguished.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/all_distinguished.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/answer.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/answer.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/bucket.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/bucket.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/er_search.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/er_search.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/export_analysis.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/export_analysis.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/mcd.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/mcd.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/rewrite_lsi.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/rewrite_lsi.cc.o.d"
+  "CMakeFiles/cqac_rewriting.dir/si_mcr.cc.o"
+  "CMakeFiles/cqac_rewriting.dir/si_mcr.cc.o.d"
+  "libcqac_rewriting.a"
+  "libcqac_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_distinguished_test.dir/all_distinguished_test.cc.o"
+  "CMakeFiles/all_distinguished_test.dir/all_distinguished_test.cc.o.d"
+  "all_distinguished_test"
+  "all_distinguished_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_distinguished_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answer_test.dir/answer_test.cc.o"
+  "CMakeFiles/answer_test.dir/answer_test.cc.o.d"
+  "answer_test"
+  "answer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_battery_test.dir/datalog_battery_test.cc.o"
+  "CMakeFiles/datalog_battery_test.dir/datalog_battery_test.cc.o.d"
+  "datalog_battery_test"
+  "datalog_battery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

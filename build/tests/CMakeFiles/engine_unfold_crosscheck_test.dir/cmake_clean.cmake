@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_unfold_crosscheck_test.dir/engine_unfold_crosscheck_test.cc.o"
+  "CMakeFiles/engine_unfold_crosscheck_test.dir/engine_unfold_crosscheck_test.cc.o.d"
+  "engine_unfold_crosscheck_test"
+  "engine_unfold_crosscheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_unfold_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_analysis_test.dir/export_analysis_test.cc.o"
+  "CMakeFiles/export_analysis_test.dir/export_analysis_test.cc.o.d"
+  "export_analysis_test"
+  "export_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

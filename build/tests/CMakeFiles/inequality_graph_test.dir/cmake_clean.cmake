@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inequality_graph_test.dir/inequality_graph_test.cc.o"
+  "CMakeFiles/inequality_graph_test.dir/inequality_graph_test.cc.o.d"
+  "inequality_graph_test"
+  "inequality_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inequality_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcd_test.dir/mcd_test.cc.o"
+  "CMakeFiles/mcd_test.dir/mcd_test.cc.o.d"
+  "mcd_test"
+  "mcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rewrite_lsi_test.cc" "tests/CMakeFiles/rewrite_lsi_test.dir/rewrite_lsi_test.cc.o" "gcc" "tests/CMakeFiles/rewrite_lsi_test.dir/rewrite_lsi_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/cqac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriting/CMakeFiles/cqac_rewriting.dir/DependInfo.cmake"
+  "/root/repo/build/src/containment/CMakeFiles/cqac_containment.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/cqac_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cqac_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/cqac_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cqac_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cqac_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriting_property_test.dir/rewriting_property_test.cc.o"
+  "CMakeFiles/rewriting_property_test.dir/rewriting_property_test.cc.o.d"
+  "rewriting_property_test"
+  "rewriting_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriting_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

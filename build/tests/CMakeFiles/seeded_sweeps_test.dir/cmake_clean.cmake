@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeded_sweeps_test.dir/seeded_sweeps_test.cc.o"
+  "CMakeFiles/seeded_sweeps_test.dir/seeded_sweeps_test.cc.o.d"
+  "seeded_sweeps_test"
+  "seeded_sweeps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeded_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

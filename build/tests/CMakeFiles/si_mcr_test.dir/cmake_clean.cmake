@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_mcr_test.dir/si_mcr_test.cc.o"
+  "CMakeFiles/si_mcr_test.dir/si_mcr_test.cc.o.d"
+  "si_mcr_test"
+  "si_mcr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_mcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

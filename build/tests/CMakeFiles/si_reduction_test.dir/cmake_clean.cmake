@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_reduction_test.dir/si_reduction_test.cc.o"
+  "CMakeFiles/si_reduction_test.dir/si_reduction_test.cc.o.d"
+  "si_reduction_test"
+  "si_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_shell.dir/cqac_shell.cc.o"
+  "CMakeFiles/cqac_shell.dir/cqac_shell.cc.o.d"
+  "cqac_shell"
+  "cqac_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

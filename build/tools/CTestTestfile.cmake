@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cqac_shell_demo "/root/repo/build/tools/cqac_shell" "/root/repo/tools/demo.cqac")
+set_tests_properties(cqac_shell_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cqac_shell_error_propagation "/root/repo/build/tools/cqac_shell" "/root/repo/tools/badscript.cqac")
+set_tests_properties(cqac_shell_error_propagation PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
