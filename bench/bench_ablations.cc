@@ -1,7 +1,8 @@
 // Ablations for the library's own design choices (DESIGN.md section 5):
 //  * hash-indexed backtracking join vs a naive nested-loop join;
 //  * semi-naive Datalog evaluation vs naive re-derivation to fixpoint;
-//  * RewriteLSIQuery with and without the per-rewriting verification net.
+//  * RewriteLSIQuery with and without the per-rewriting verification net;
+//  * the EngineContext decision cache on vs off on a repeated workload.
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
@@ -147,6 +148,34 @@ void BM_RewriteWithoutVerification(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteWithVerification);
 BENCHMARK(BM_RewriteWithoutVerification);
+
+// Decision-cache ablation: the same rewrite workload against one shared
+// context, with memoization enabled vs disabled. The cached run pays the
+// containment cost once and answers repeats from the memo; the uncached
+// run re-decides every time (results are identical either way — the cache
+// only changes cost, never answers).
+void RunRewriteCacheAblation(benchmark::State& state, bool cached) {
+  Query q = workloads::Sec44FullQuery();
+  ViewSet views = workloads::Sec44FullViews();
+  EngineContext ctx;
+  ctx.set_caching_enabled(cached);
+  size_t rewritings = 0;
+  for (auto _ : state) {
+    auto mcr = RewriteLsiQuery(ctx, q, views);
+    if (!mcr.ok()) state.SkipWithError(mcr.status().ToString().c_str());
+    rewritings = mcr.ValueOr(UnionQuery{}).disjuncts.size();
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+  state.counters["containment_hit_rate"] = ctx.stats().ContainmentHitRate();
+}
+void BM_RewriteCached(benchmark::State& state) {
+  RunRewriteCacheAblation(state, true);
+}
+void BM_RewriteUncached(benchmark::State& state) {
+  RunRewriteCacheAblation(state, false);
+}
+BENCHMARK(BM_RewriteCached);
+BENCHMARK(BM_RewriteUncached);
 
 }  // namespace
 }  // namespace cqac

@@ -91,6 +91,31 @@ void BM_RewriteOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteOnly);
 
+// One EngineContext shared across all iterations: after the first rewrite
+// warms the decision cache, every containment/implication decision is a
+// memo hit. The hit-rate counters quantify the EngineContext cache's
+// effectiveness on a repeated-workload session.
+void BM_RewriteSharedContext(benchmark::State& state) {
+  Query q = MustParseQuery(kQuery);
+  ViewSet views(MustParseRules(kViews));
+  EngineContext ctx;
+  for (auto _ : state) {
+    auto mcr = RewriteLsiQuery(ctx, q, views);
+    if (!mcr.ok()) state.SkipWithError(mcr.status().ToString().c_str());
+    benchmark::DoNotOptimize(mcr);
+  }
+  const EngineStats& s = ctx.stats();
+  state.counters["containment_calls"] =
+      static_cast<double>(s.containment_calls);
+  state.counters["containment_cache_hits"] =
+      static_cast<double>(s.containment_cache_hits);
+  state.counters["implication_cache_hits"] =
+      static_cast<double>(s.implication_cache_hits);
+  state.counters["containment_hit_rate"] = s.ContainmentHitRate();
+  state.counters["cache_bytes"] = static_cast<double>(ctx.cache_bytes());
+}
+BENCHMARK(BM_RewriteSharedContext);
+
 }  // namespace
 }  // namespace cqac
 

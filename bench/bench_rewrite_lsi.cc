@@ -43,9 +43,14 @@ Workload Draw(int num_views, int subgoals, uint64_t seed) {
 
 // Benchmark-scale search budget: large enough that small workloads finish
 // exhaustively, small enough that the worst draw stays interactive.
+Budget BenchBudget() {
+  Budget budget;
+  budget.max_mappings = 20000;
+  return budget;
+}
+
 RewriteOptions BenchOptions() {
   RewriteOptions opts;
-  opts.max_combinations = 20000;
   opts.max_ac_alternatives = 16;
   return opts;
 }
@@ -55,7 +60,8 @@ void BM_RewriteLsiViewsSweep(benchmark::State& state) {
   RewriteStats stats;
   size_t rewritings = 0;
   for (auto _ : state) {
-    auto mcr = RewriteLsiQuery(w.q, w.views, BenchOptions(), &stats);
+    EngineContext ctx(BenchBudget());
+    auto mcr = RewriteLsiQuery(ctx, w.q, w.views, BenchOptions(), &stats);
     if (!mcr.ok()) state.SkipWithError(mcr.status().ToString().c_str());
     rewritings = mcr.ValueOr(UnionQuery{}).disjuncts.size();
   }
@@ -69,7 +75,8 @@ void BM_RewriteLsiSubgoalsSweep(benchmark::State& state) {
   Workload w = Draw(6, static_cast<int>(state.range(0)), 11);
   RewriteStats stats;
   for (auto _ : state) {
-    auto mcr = RewriteLsiQuery(w.q, w.views, BenchOptions(), &stats);
+    EngineContext ctx(BenchBudget());
+    auto mcr = RewriteLsiQuery(ctx, w.q, w.views, BenchOptions(), &stats);
     if (!mcr.ok()) state.SkipWithError(mcr.status().ToString().c_str());
     benchmark::DoNotOptimize(mcr);
   }
@@ -83,7 +90,8 @@ void BM_AcBlindBaselineCoverage(benchmark::State& state) {
   Workload w = Draw(static_cast<int>(state.range(0)), 3, 7);
   size_t missed = 0, total = 0, blind_rejects = 0;
   for (auto _ : state) {
-    auto mcr = RewriteLsiQuery(w.q, w.views, BenchOptions());
+    EngineContext ctx(BenchBudget());
+    auto mcr = RewriteLsiQuery(ctx, w.q, w.views, BenchOptions());
     BucketOptions blind;
     blind.ac_aware = false;
     BucketStats bstats;

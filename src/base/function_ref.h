@@ -1,0 +1,50 @@
+// FunctionRef: a lightweight, non-owning, non-allocating reference to a
+// callable, in the spirit of llvm::function_ref / C++26 std::function_ref.
+//
+// Unlike std::function it never heap-allocates and never copies the callee;
+// it is two words (object pointer + invoker). The referenced callable must
+// outlive every call — FunctionRef is therefore only suitable as a function
+// *parameter* type (the library's enumeration callbacks), never for storage.
+#ifndef CQAC_BASE_FUNCTION_REF_H_
+#define CQAC_BASE_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace cqac {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...). Intentionally implicit
+  /// so lambdas convert at call sites, like std::function parameters did.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  /*implicit*/ FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_(&Invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_BASE_FUNCTION_REF_H_

@@ -22,7 +22,7 @@ std::string Strip(const std::string& text);
 template <typename... Args>
 std::string StrCat(Args&&... args) {
   std::ostringstream os;
-  (os << ... << args);
+  ((os << args), ...);
   return os.str();
 }
 

@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/base/strings.h"
 #include "src/constraints/inequality_graph.h"
 
 namespace cqac {
+namespace {
+
+/// Exact serialization of a conjunction for the decision cache. Sorting the
+/// rendered comparisons makes the key insensitive to conjunct order (a
+/// conjunction is a set) while staying exact: two conjunctions share a key
+/// only when they contain identical comparisons.
+std::string ConjunctionKey(const std::vector<Comparison>& cs) {
+  std::vector<std::string> parts;
+  parts.reserve(cs.size());
+  for (const Comparison& c : cs) {
+    auto term = [](const Term& t) {
+      return t.is_var() ? StrCat("?", t.var()) : t.value().ToString();
+    };
+    parts.push_back(StrCat(term(c.lhs), CompOpName(c.op), term(c.rhs)));
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, ",");
+}
+
+}  // namespace
 
 bool AcsConsistent(const std::vector<Comparison>& cs) {
   InequalityGraph g;
@@ -31,6 +52,25 @@ Result<bool> ImpliesConjunction(const std::vector<Comparison>& premise,
   for (const Comparison& c : conclusion)
     if (!g.Implies(c)) return false;
   return true;
+}
+
+Result<bool> ImpliesConjunction(EngineContext& ctx,
+                                const std::vector<Comparison>& premise,
+                                const std::vector<Comparison>& conclusion) {
+  ++ctx.stats().implication_calls;
+  std::string key;
+  if (ctx.caching_enabled()) {
+    key = StrCat("I|", ConjunctionKey(premise), "=>",
+                 ConjunctionKey(conclusion));
+    if (std::optional<bool> hit = ctx.CacheLookup(key)) {
+      ++ctx.stats().implication_cache_hits;
+      return *hit;
+    }
+    ++ctx.stats().implication_cache_misses;
+  }
+  Result<bool> r = ImpliesConjunction(premise, conclusion);
+  if (r.ok() && ctx.caching_enabled()) ctx.CacheStore(key, r.value());
+  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -75,7 +115,7 @@ namespace {
 class Enumerator {
  public:
   Enumerator(std::vector<int> vars, const std::vector<Comparison>& premise,
-             const PreorderCallback& callback)
+             PreorderCallback callback)
       : vars_(std::move(vars)), premise_(premise), callback_(callback) {}
 
   // Seeds constants; returns the completed/aborted flag of the walk.
@@ -148,7 +188,7 @@ class Enumerator {
 
   std::vector<int> vars_;
   const std::vector<Comparison>& premise_;
-  const PreorderCallback& callback_;
+  PreorderCallback callback_;
   std::vector<std::vector<Term>> groups_;
   std::vector<bool> placed_;
 };
@@ -178,7 +218,7 @@ Status Collect(const std::vector<Comparison>& cs, std::set<int>* vars,
 bool ForEachConsistentPreorder(const std::set<int>& vars,
                                const std::vector<Rational>& constants,
                                const std::vector<Comparison>& premise,
-                               const PreorderCallback& callback) {
+                               PreorderCallback callback) {
   std::vector<Rational> sorted = constants;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
@@ -207,25 +247,33 @@ std::vector<Comparison> NegateAtom(const Comparison& c) {
 /// DPLL-style refutation: is `base ^ clause1 ^ ... ^ clausek` satisfiable,
 /// where each clause is a disjunction of order literals? Branches on the
 /// first clause, pruning branches whose conjunction is already inconsistent.
+/// When `budget` is non-null its deadline is checked periodically; on expiry
+/// *status is set and the (meaningless) return value must be ignored.
 bool OrderCnfSatisfiable(std::vector<Comparison>* base,
                          const std::vector<std::vector<Comparison>>& clauses,
-                         size_t next_clause) {
+                         size_t next_clause, const Budget* budget,
+                         uint64_t* steps, Status* status) {
+  if (budget != nullptr && (++*steps & 0xFF) == 0) {
+    *status = budget->CheckDeadline("disjunction implication");
+    if (!status->ok()) return false;
+  }
   if (!AcsConsistent(*base)) return false;
   if (next_clause == clauses.size()) return true;
   for (const Comparison& literal : clauses[next_clause]) {
     base->push_back(literal);
-    bool sat = OrderCnfSatisfiable(base, clauses, next_clause + 1);
+    bool sat = OrderCnfSatisfiable(base, clauses, next_clause + 1, budget,
+                                   steps, status);
     base->pop_back();
+    if (!status->ok()) return false;
     if (sat) return true;
   }
   return false;
 }
 
-}  // namespace
-
-Result<bool> ImpliesDisjunction(
+Result<bool> ImpliesDisjunctionImpl(
     const std::vector<Comparison>& premise,
-    const std::vector<std::vector<Comparison>>& disjuncts) {
+    const std::vector<std::vector<Comparison>>& disjuncts,
+    const Budget* budget) {
   // Validate inputs (no symbolic constants in ordered comparisons) using the
   // same collector the preorder enumerator relies on.
   std::set<int> vars;
@@ -246,7 +294,29 @@ Result<bool> ImpliesDisjunction(
     clauses.push_back(std::move(clause));
   }
   std::vector<Comparison> base = premise;
-  return !OrderCnfSatisfiable(&base, clauses, 0);
+  uint64_t steps = 0;
+  Status status = Status::OK();
+  bool sat = OrderCnfSatisfiable(&base, clauses, 0, budget, &steps, &status);
+  CQAC_RETURN_IF_ERROR(status);
+  return !sat;
+}
+
+}  // namespace
+
+Result<bool> ImpliesDisjunction(
+    const std::vector<Comparison>& premise,
+    const std::vector<std::vector<Comparison>>& disjuncts) {
+  return ImpliesDisjunctionImpl(premise, disjuncts, nullptr);
+}
+
+Result<bool> ImpliesDisjunction(
+    EngineContext& ctx, const std::vector<Comparison>& premise,
+    const std::vector<std::vector<Comparison>>& disjuncts) {
+  ++ctx.stats().disjunction_implications;
+  Result<bool> r = ImpliesDisjunctionImpl(premise, disjuncts, &ctx.budget());
+  if (!r.ok() && r.status().code() == StatusCode::kResourceExhausted)
+    ++ctx.stats().budget_exhaustions;
+  return r;
 }
 
 Result<bool> ImpliesDisjunctionByPreorders(

@@ -15,11 +15,12 @@
 #ifndef CQAC_CONSTRAINTS_IMPLICATION_H_
 #define CQAC_CONSTRAINTS_IMPLICATION_H_
 
-#include <functional>
 #include <set>
 #include <vector>
 
+#include "src/base/function_ref.h"
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/atom.h"
 
 namespace cqac {
@@ -30,6 +31,12 @@ bool AcsConsistent(const std::vector<Comparison>& cs);
 /// True iff `premise => c1 ^ ... ^ cn` for the conjunction `conclusion`.
 /// An inconsistent premise implies everything. Complete for dense orders.
 Result<bool> ImpliesConjunction(const std::vector<Comparison>& premise,
+                                const std::vector<Comparison>& conclusion);
+
+/// Memoizing form: the decision is cached in `ctx` keyed on the exact
+/// serialized comparisons (order-insensitive within each conjunction).
+Result<bool> ImpliesConjunction(EngineContext& ctx,
+                                const std::vector<Comparison>& premise,
                                 const std::vector<Comparison>& conclusion);
 
 /// A total preorder ("ranking") over variables and numeric constants:
@@ -58,7 +65,8 @@ class PreorderView {
 };
 
 /// Callback: return true to continue enumeration, false to abort.
-using PreorderCallback = std::function<bool(const PreorderView&)>;
+/// Non-owning — the callable must outlive the enumeration call.
+using PreorderCallback = FunctionRef<bool(const PreorderView&)>;
 
 /// Enumerates every total preorder of `vars` and `constants` that satisfies
 /// `premise`, in a deterministic order. Returns true iff the enumeration ran
@@ -66,7 +74,7 @@ using PreorderCallback = std::function<bool(const PreorderView&)>;
 bool ForEachConsistentPreorder(const std::set<int>& vars,
                                const std::vector<Rational>& constants,
                                const std::vector<Comparison>& premise,
-                               const PreorderCallback& callback);
+                               PreorderCallback callback);
 
 /// General disjunction implication (the right-hand side of Theorem 2.1):
 /// `premise => D1 v ... v Dn` where each Di is a conjunction. Decided by
@@ -77,6 +85,12 @@ bool ForEachConsistentPreorder(const std::set<int>& vars,
 /// of variables. Returns Unsupported if symbolic constants occur.
 Result<bool> ImpliesDisjunction(
     const std::vector<Comparison>& premise,
+    const std::vector<std::vector<Comparison>>& disjuncts);
+
+/// Budgeted form: checks the context's wall-clock deadline inside the DPLL
+/// search and returns ResourceExhausted when it fires.
+Result<bool> ImpliesDisjunction(
+    EngineContext& ctx, const std::vector<Comparison>& premise,
     const std::vector<std::vector<Comparison>>& disjuncts);
 
 /// Reference implementation of ImpliesDisjunction by enumeration of all

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/function_ref.h"
 #include "src/base/strings.h"
 #include "src/constraints/implication.h"
 #include "src/constraints/preprocess.h"
@@ -58,10 +59,72 @@ bool SanitizeImage(std::vector<Comparison>* cs) {
   return true;
 }
 
+/// The uncached containment decision on preprocessed inputs.
+Result<bool> DecideContainment(EngineContext& ctx, const Query& q2p,
+                               const Query& q1p, bool fast_path) {
+  HomomorphismOptions hopts;
+
+  if (fast_path) {
+    // Theorem 2.3 (and its RSI mirror): Q2 contained in Q1 iff some single
+    // containment mapping mu has beta2 => mu(beta1).
+    bool found = false;
+    Status inner = Status::OK();
+    EnumerationOutcome outcome =
+        ForEachHomomorphism(ctx, q1p, q2p, hopts, [&](const VarMap& mu) {
+          std::vector<Comparison> image =
+              mu.ApplyToComparisons(q1p.comparisons());
+          if (!SanitizeImage(&image)) return true;  // dead disjunct
+          Result<bool> implied =
+              ImpliesConjunction(ctx, q2p.comparisons(), image);
+          if (!implied.ok()) {
+            inner = implied.status();
+            return false;
+          }
+          if (implied.value()) {
+            found = true;
+            return false;
+          }
+          return true;
+        });
+    CQAC_RETURN_IF_ERROR(inner);
+    if (found) return true;
+    if (outcome == EnumerationOutcome::kBudgetExhausted)
+      return Status::ResourceExhausted(
+          "single-mapping containment search exceeded the budget");
+    return false;
+  }
+
+  // General path (Theorem 2.1): collect every containment mapping's image
+  // and test the disjunction implication.
+  std::vector<std::vector<Comparison>> disjuncts;
+  bool trivially_contained = false;
+  EnumerationOutcome outcome =
+      ForEachHomomorphism(ctx, q1p, q2p, hopts, [&](const VarMap& mu) {
+        std::vector<Comparison> image =
+            mu.ApplyToComparisons(q1p.comparisons());
+        if (!SanitizeImage(&image)) return true;
+        if (image.empty()) {
+          trivially_contained = true;  // a mapping that needs no comparisons
+          return false;
+        }
+        if (std::find(disjuncts.begin(), disjuncts.end(), image) ==
+            disjuncts.end())
+          disjuncts.push_back(std::move(image));
+        return true;
+      });
+  if (trivially_contained) return true;
+  if (outcome == EnumerationOutcome::kBudgetExhausted)
+    return Status::ResourceExhausted(
+        "containment-mapping enumeration exceeded the budget");
+  if (disjuncts.empty()) return false;
+  return ImpliesDisjunction(ctx, q2p.comparisons(), disjuncts);
+}
+
 }  // namespace
 
-Result<bool> IsContained(const Query& q2, const Query& q1,
+Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
                          const ContainmentOptions& options) {
+  ++ctx.stats().containment_calls;
   if (q2.head().args.size() != q1.head().args.size())
     return Status::InvalidArgument(
         "containment between queries of different head arity");
@@ -72,66 +135,49 @@ Result<bool> IsContained(const Query& q2, const Query& q1,
   CQAC_ASSIGN_OR_RETURN(Query q1p, PreprocessOrFlag(q1, &q1_inconsistent));
   if (q1_inconsistent) return false;  // nothing nonempty fits in the empty one
 
-  HomomorphismOptions hopts;
-  hopts.max_results = options.max_homomorphisms;
-
   AcClass q1_class = q1p.Classify();
   bool fast_path = options.use_single_mapping_fast_path &&
                    (q1_class == AcClass::kNone || q1_class == AcClass::kLsi ||
                     q1_class == AcClass::kRsi);
 
-  if (fast_path) {
-    // Theorem 2.3 (and its RSI mirror): Q2 contained in Q1 iff some single
-    // containment mapping mu has beta2 => mu(beta1).
-    bool found = false;
-    Status inner = Status::OK();
-    ForEachHomomorphism(q1p, q2p, hopts, [&](const VarMap& mu) {
-      std::vector<Comparison> image = mu.ApplyToComparisons(q1p.comparisons());
-      if (!SanitizeImage(&image)) return true;  // dead disjunct, keep looking
-      Result<bool> implied = ImpliesConjunction(q2p.comparisons(), image);
-      if (!implied.ok()) {
-        inner = implied.status();
-        return false;
-      }
-      if (implied.value()) {
-        found = true;
-        return false;
-      }
-      return true;
-    });
-    CQAC_RETURN_IF_ERROR(inner);
-    return found;
+  // Memoized on the canonical pair: containment is invariant under renaming
+  // either query independently, which is exactly what interning quotients
+  // away. Preprocessing happened above, so comparison-implied equalities
+  // cannot split canonical classes.
+  std::string key;
+  if (ctx.caching_enabled()) {
+    InternedQuery i2 = ctx.Intern(q2p);
+    InternedQuery i1 = ctx.Intern(q1p);
+    key = EngineContext::MakeContainmentKey(i2, i1, fast_path);
+    if (std::optional<bool> hit = ctx.CacheLookup(key)) {
+      ++ctx.stats().containment_cache_hits;
+      return *hit;
+    }
+    ++ctx.stats().containment_cache_misses;
   }
 
-  // General path (Theorem 2.1): collect every containment mapping's image
-  // and test the disjunction implication.
-  std::vector<std::vector<Comparison>> disjuncts;
-  bool trivially_contained = false;
-  bool completed = ForEachHomomorphism(q1p, q2p, hopts, [&](const VarMap& mu) {
-    std::vector<Comparison> image = mu.ApplyToComparisons(q1p.comparisons());
-    if (!SanitizeImage(&image)) return true;
-    if (image.empty()) {
-      trivially_contained = true;  // some mapping needs no comparisons at all
-      return false;
-    }
-    if (std::find(disjuncts.begin(), disjuncts.end(), image) ==
-        disjuncts.end())
-      disjuncts.push_back(std::move(image));
-    return true;
-  });
-  if (trivially_contained) return true;
-  if (!completed)
-    return Status::ResourceExhausted(
-        "containment-mapping enumeration exceeded max_homomorphisms");
-  if (disjuncts.empty()) return false;
-  return ImpliesDisjunction(q2p.comparisons(), disjuncts);
+  Result<bool> r = DecideContainment(ctx, q2p, q1p, fast_path);
+  if (r.ok() && ctx.caching_enabled()) ctx.CacheStore(key, r.value());
+  return r;
+}
+
+Result<bool> IsContained(const Query& q2, const Query& q1,
+                         const ContainmentOptions& options) {
+  EngineContext ctx;
+  return IsContained(ctx, q2, q1, options);
+}
+
+Result<bool> IsEquivalent(EngineContext& ctx, const Query& q1, const Query& q2,
+                          const ContainmentOptions& options) {
+  CQAC_ASSIGN_OR_RETURN(bool a, IsContained(ctx, q1, q2, options));
+  if (!a) return false;
+  return IsContained(ctx, q2, q1, options);
 }
 
 Result<bool> IsEquivalent(const Query& q1, const Query& q2,
                           const ContainmentOptions& options) {
-  CQAC_ASSIGN_OR_RETURN(bool a, IsContained(q1, q2, options));
-  if (!a) return false;
-  return IsContained(q2, q1, options);
+  EngineContext ctx;
+  return IsEquivalent(ctx, q1, q2, options);
 }
 
 namespace {
@@ -204,10 +250,12 @@ Result<Database> CanonicalDatabase(const Query& q, const PreorderView& view,
 }
 
 /// Shared engine for the canonical-database procedures: enumerates q2's
-/// consistent preorders and requires `accept(db, head)` on each.
+/// consistent preorders and requires `accept(db, head)` on each. When
+/// `budget` is non-null, its deadline is checked per canonical database.
 Result<bool> ForAllCanonicalDatabases(
     const Query& q2, const std::vector<Rational>& extra_constants,
-    const std::function<Result<bool>(const Database&, const Tuple&)>& accept) {
+    const Budget* budget,
+    FunctionRef<Result<bool>(const Database&, const Tuple&)> accept) {
   bool inconsistent = false;
   CQAC_ASSIGN_OR_RETURN(Query q2p, PreprocessOrFlag(q2, &inconsistent));
   if (inconsistent) return true;
@@ -230,6 +278,10 @@ Result<bool> ForAllCanonicalDatabases(
   Status inner = Status::OK();
   bool all_ok = ForEachConsistentPreorder(
       vars, constants, q2p.comparisons(), [&](const PreorderView& view) {
+        if (budget != nullptr) {
+          inner = budget->CheckDeadline("canonical-database enumeration");
+          if (!inner.ok()) return false;
+        }
         std::vector<Rational> vals = RankValues(view);
         Tuple head;
         Result<Database> db = CanonicalDatabase(q2p, view, vals, &head);
@@ -274,7 +326,7 @@ Result<bool> IsContainedByCanonicalDatabases(const Query& q2,
       q1_inconsistent ? std::vector<Rational>{} : AllNumericConstants(q1p);
 
   return ForAllCanonicalDatabases(
-      q2, q1_constants,
+      q2, q1_constants, nullptr,
       [&](const Database& db, const Tuple& head) -> Result<bool> {
         if (q1_inconsistent) return false;
         CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(q1p, db));
@@ -282,7 +334,8 @@ Result<bool> IsContainedByCanonicalDatabases(const Query& q2,
       });
 }
 
-Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
+Result<bool> IsContainedInUnion(EngineContext& ctx, const Query& q,
+                                const UnionQuery& u) {
   // Sagiv-Yannakakis fast path: for comparison-free inputs, containment in
   // a union holds iff containment in some single disjunct. (False once
   // comparisons are present — see the X<3 / X>1 example in the tests.)
@@ -294,7 +347,7 @@ Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
       if (d.head().args.size() != q.head().args.size())
         return Status::InvalidArgument(
             "union containment between queries of different head arity");
-      CQAC_ASSIGN_OR_RETURN(bool c, IsContained(q, d));
+      CQAC_ASSIGN_OR_RETURN(bool c, IsContained(ctx, q, d));
       if (c) return true;
     }
     return false;
@@ -314,7 +367,7 @@ Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
   }
 
   return ForAllCanonicalDatabases(
-      q, constants,
+      q, constants, &ctx.budget(),
       [&](const Database& db, const Tuple& head) -> Result<bool> {
         for (const Query& d : prepped) {
           CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(d, db));
@@ -324,16 +377,28 @@ Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
       });
 }
 
-Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
+Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
+  EngineContext ctx;
+  return IsContainedInUnion(ctx, q, u);
+}
+
+Result<bool> UnionIsContained(EngineContext& ctx, const UnionQuery& u,
+                              const Query& q1,
                               const ContainmentOptions& options) {
   for (const Query& d : u.disjuncts) {
-    CQAC_ASSIGN_OR_RETURN(bool c, IsContained(d, q1, options));
+    CQAC_ASSIGN_OR_RETURN(bool c, IsContained(ctx, d, q1, options));
     if (!c) return false;
   }
   return true;
 }
 
-Result<UnionQuery> MinimizeUnion(const UnionQuery& u) {
+Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
+                              const ContainmentOptions& options) {
+  EngineContext ctx;
+  return UnionIsContained(ctx, u, q1, options);
+}
+
+Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u) {
   // Greedy: repeatedly try to drop one disjunct; a disjunct is droppable
   // when it is contained in the union of the remaining ones.
   std::vector<Query> kept = u.disjuncts;
@@ -344,7 +409,8 @@ Result<UnionQuery> MinimizeUnion(const UnionQuery& u) {
       UnionQuery rest;
       for (size_t j = 0; j < kept.size(); ++j)
         if (j != i) rest.disjuncts.push_back(kept[j]);
-      CQAC_ASSIGN_OR_RETURN(bool covered, IsContainedInUnion(kept[i], rest));
+      CQAC_ASSIGN_OR_RETURN(bool covered,
+                            IsContainedInUnion(ctx, kept[i], rest));
       if (covered) {
         kept.erase(kept.begin() + i);
         changed = true;
@@ -355,6 +421,11 @@ Result<UnionQuery> MinimizeUnion(const UnionQuery& u) {
   UnionQuery out;
   out.disjuncts = std::move(kept);
   return out;
+}
+
+Result<UnionQuery> MinimizeUnion(const UnionQuery& u) {
+  EngineContext ctx;
+  return MinimizeUnion(ctx, u);
 }
 
 }  // namespace cqac

@@ -13,10 +13,17 @@
 //
 // All procedures preprocess their inputs first (Section 2), so callers may
 // pass queries whose comparisons imply equalities.
+//
+// Every procedure has an EngineContext overload: decisions are memoized in
+// the context's cache (keyed on interned canonical forms, so queries equal
+// up to renaming share entries), enumeration is charged to the context's
+// Budget, and counters land in its EngineStats. The context-free overloads
+// run under a fresh default context per call.
 #ifndef CQAC_CONTAINMENT_CONTAINMENT_H_
 #define CQAC_CONTAINMENT_CONTAINMENT_H_
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 
 namespace cqac {
@@ -26,16 +33,19 @@ struct ContainmentOptions {
   /// CQ-only, LSI, or RSI. Disable to force the general Theorem 2.1 path
   /// (for benchmarking the difference).
   bool use_single_mapping_fast_path = true;
-  /// Cap on enumerated containment mappings.
-  size_t max_homomorphisms = 1 << 20;
 };
 
 /// True iff `q2` is contained in `q1` (every database's q2-answers are
-/// q1-answers). Head arities must match.
+/// q1-answers). Head arities must match. ResourceExhausted when the
+/// context's budget (mapping cap or deadline) cuts the decision short.
+Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
+                         const ContainmentOptions& options = {});
 Result<bool> IsContained(const Query& q2, const Query& q1,
                          const ContainmentOptions& options = {});
 
 /// True iff `q1` and `q2` are equivalent.
+Result<bool> IsEquivalent(EngineContext& ctx, const Query& q1, const Query& q2,
+                          const ContainmentOptions& options = {});
 Result<bool> IsEquivalent(const Query& q1, const Query& q2,
                           const ContainmentOptions& options = {});
 
@@ -47,9 +57,14 @@ Result<bool> IsContainedByCanonicalDatabases(const Query& q2, const Query& q1);
 /// True iff `q` is contained in the union `u` (canonical-database method:
 /// every consistent preorder's canonical database must satisfy some
 /// disjunct).
+Result<bool> IsContainedInUnion(EngineContext& ctx, const Query& q,
+                                const UnionQuery& u);
 Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u);
 
 /// True iff every disjunct of `u` is contained in `q1`.
+Result<bool> UnionIsContained(EngineContext& ctx, const UnionQuery& u,
+                              const Query& q1,
+                              const ContainmentOptions& options = {});
 Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
                               const ContainmentOptions& options = {});
 
@@ -57,6 +72,7 @@ Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
 /// deterministic). The resulting union is equivalent to `u`. Note that with
 /// comparisons a disjunct can be redundant without being contained in any
 /// single other disjunct, so the per-disjunct test uses IsContainedInUnion.
+Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u);
 Result<UnionQuery> MinimizeUnion(const UnionQuery& u);
 
 }  // namespace cqac

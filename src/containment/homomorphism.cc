@@ -6,21 +6,28 @@ namespace {
 /// Backtracking search over `from`'s body atoms.
 class HomSearch {
  public:
-  HomSearch(const Query& from, const Query& to,
+  HomSearch(EngineContext& ctx, const Query& from, const Query& to,
             const HomomorphismOptions& options,
-            const std::function<bool(const VarMap&)>& cb)
-      : from_(from), to_(to), options_(options), cb_(cb),
+            FunctionRef<bool(const VarMap&)> cb)
+      : ctx_(ctx), from_(from), to_(to), options_(options), cb_(cb),
         map_(from.num_vars()) {}
 
-  // Returns true iff enumeration completed (no abort, no cap).
-  bool Run() {
+  EnumerationOutcome Run() {
+    ++ctx_.stats().hom_enumerations;
     if (options_.match_heads) {
-      if (from_.head().args.size() != to_.head().args.size()) return true;
+      if (from_.head().args.size() != to_.head().args.size())
+        return EnumerationOutcome::kCompleted;
       for (size_t i = 0; i < from_.head().args.size(); ++i)
         if (!UnifyTerm(from_.head().args[i], to_.head().args[i]))
-          return true;  // heads cannot match: zero mappings, completed
+          return EnumerationOutcome::kCompleted;  // heads cannot match
     }
-    return Match(0);
+    bool completed = Match(0);
+    if (outcome_ == EnumerationOutcome::kBudgetExhausted) {
+      ++ctx_.stats().budget_exhaustions;
+      return outcome_;
+    }
+    return completed ? EnumerationOutcome::kCompleted
+                     : EnumerationOutcome::kAborted;
   }
 
  private:
@@ -35,9 +42,16 @@ class HomSearch {
   }
 
   bool Match(size_t atom_idx) {
+    if ((++steps_ & 0x3FF) == 0 && ctx_.budget().DeadlineExceeded()) {
+      outcome_ = EnumerationOutcome::kBudgetExhausted;
+      return false;
+    }
     if (atom_idx == from_.body().size()) {
-      ++found_;
-      if (found_ > options_.max_results) return false;
+      if (++found_ > ctx_.budget().max_homomorphisms) {
+        outcome_ = EnumerationOutcome::kBudgetExhausted;
+        return false;
+      }
+      ++ctx_.stats().homomorphisms_found;
       return cb_(map_);
     }
     const Atom& fa = from_.body()[atom_idx];
@@ -54,38 +68,75 @@ class HomSearch {
     return true;
   }
 
+  EngineContext& ctx_;
   const Query& from_;
   const Query& to_;
   const HomomorphismOptions& options_;
-  const std::function<bool(const VarMap&)>& cb_;
+  FunctionRef<bool(const VarMap&)> cb_;
   VarMap map_;
   size_t found_ = 0;
+  uint64_t steps_ = 0;
+  EnumerationOutcome outcome_ = EnumerationOutcome::kCompleted;
 };
 
 }  // namespace
 
+EnumerationOutcome ForEachHomomorphism(EngineContext& ctx, const Query& from,
+                                       const Query& to,
+                                       const HomomorphismOptions& options,
+                                       FunctionRef<bool(const VarMap&)> cb) {
+  HomSearch search(ctx, from, to, options, cb);
+  return search.Run();
+}
+
 bool ForEachHomomorphism(const Query& from, const Query& to,
                          const HomomorphismOptions& options,
-                         const std::function<bool(const VarMap&)>& cb) {
-  HomSearch search(from, to, options, cb);
-  return search.Run();
+                         FunctionRef<bool(const VarMap&)> cb) {
+  EngineContext ctx;
+  return ForEachHomomorphism(ctx, from, to, options, cb) ==
+         EnumerationOutcome::kCompleted;
+}
+
+Result<std::vector<VarMap>> FindHomomorphisms(
+    EngineContext& ctx, const Query& from, const Query& to,
+    const HomomorphismOptions& options) {
+  std::vector<VarMap> out;
+  EnumerationOutcome outcome =
+      ForEachHomomorphism(ctx, from, to, options, [&out](const VarMap& m) {
+        out.push_back(m);
+        return true;
+      });
+  if (outcome == EnumerationOutcome::kBudgetExhausted)
+    return Status::ResourceExhausted(
+        "homomorphism enumeration exceeded the budget");
+  return out;
 }
 
 std::vector<VarMap> FindHomomorphisms(const Query& from, const Query& to,
                                       const HomomorphismOptions& options) {
-  std::vector<VarMap> out;
-  ForEachHomomorphism(from, to, options, [&out](const VarMap& m) {
-    out.push_back(m);
-    return true;
-  });
-  return out;
+  EngineContext ctx;
+  ctx.budget() = Budget::Unlimited();
+  Result<std::vector<VarMap>> r = FindHomomorphisms(ctx, from, to, options);
+  // Unlimited budget: exhaustion is impossible.
+  return std::move(r.value());
+}
+
+Result<bool> HomomorphismExists(EngineContext& ctx, const Query& from,
+                                const Query& to,
+                                const HomomorphismOptions& options) {
+  EnumerationOutcome outcome = ForEachHomomorphism(
+      ctx, from, to, options, [](const VarMap&) { return false; });
+  if (outcome == EnumerationOutcome::kBudgetExhausted)
+    return Status::ResourceExhausted(
+        "homomorphism search exceeded the budget");
+  return outcome == EnumerationOutcome::kAborted;  // aborted == found one
 }
 
 bool HomomorphismExists(const Query& from, const Query& to,
                         const HomomorphismOptions& options) {
-  bool completed = ForEachHomomorphism(from, to, options,
-                                       [](const VarMap&) { return false; });
-  return !completed;  // aborted == found one
+  EngineContext ctx;
+  ctx.budget() = Budget::Unlimited();
+  return HomomorphismExists(ctx, from, to, options).value();
 }
 
 }  // namespace cqac

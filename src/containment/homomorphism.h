@@ -6,13 +6,19 @@
 // ordinary subgoal of Q1 maps onto some ordinary subgoal of Q2. Comparisons
 // are NOT considered here; the containment module layers Theorem 2.1 / 2.3
 // implication checks on top.
+//
+// Enumeration is budgeted through EngineContext: the context's
+// Budget::max_homomorphisms caps the mappings visited and its deadline is
+// checked periodically. Exhausting either is reported explicitly
+// (EnumerationOutcome::kBudgetExhausted), never as silent truncation.
 #ifndef CQAC_CONTAINMENT_HOMOMORPHISM_H_
 #define CQAC_CONTAINMENT_HOMOMORPHISM_H_
 
-#include <functional>
 #include <vector>
 
+#include "src/base/function_ref.h"
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/substitution.h"
 
@@ -22,23 +28,47 @@ struct HomomorphismOptions {
   /// Require mu(head(from)) == head(to) (position-wise). Disable to search
   /// body-only mappings (used by rewriting internals).
   bool match_heads = true;
-  /// Safety cap on enumerated mappings.
-  size_t max_results = 1 << 20;
 };
 
-/// Invokes `cb` for every containment mapping from `from` into `to`.
-/// `cb` returns true to continue. Returns true iff the enumeration completed
-/// without aborting and without hitting max_results.
+/// How a bounded enumeration ended.
+enum class EnumerationOutcome {
+  kCompleted,        // every mapping was visited
+  kAborted,          // the callback returned false
+  kBudgetExhausted,  // hit Budget::max_homomorphisms or the deadline
+};
+
+/// Invokes `cb` for every containment mapping from `from` into `to`,
+/// charging the context's budget. `cb` returns true to continue.
+EnumerationOutcome ForEachHomomorphism(EngineContext& ctx, const Query& from,
+                                       const Query& to,
+                                       const HomomorphismOptions& options,
+                                       FunctionRef<bool(const VarMap&)> cb);
+
+/// Legacy entry point: runs under a fresh default-budget context. Returns
+/// true iff the enumeration completed (no abort, no budget hit).
 bool ForEachHomomorphism(const Query& from, const Query& to,
                          const HomomorphismOptions& options,
-                         const std::function<bool(const VarMap&)>& cb);
+                         FunctionRef<bool(const VarMap&)> cb);
 
-/// Collects all containment mappings (bounded by options.max_results).
+/// Collects all containment mappings; ResourceExhausted if the context's
+/// budget cut the enumeration short.
+Result<std::vector<VarMap>> FindHomomorphisms(
+    EngineContext& ctx, const Query& from, const Query& to,
+    const HomomorphismOptions& options = {});
+
+/// Legacy: unbudgeted collection under a fresh default context (the default
+/// cap is large enough that practical inputs always complete).
 std::vector<VarMap> FindHomomorphisms(const Query& from, const Query& to,
                                       const HomomorphismOptions& options = {});
 
 /// True iff at least one containment mapping exists — the Chandra-Merlin
 /// containment test for pure CQs (`to` contained in `from`).
+/// ResourceExhausted if the budget ran out before any mapping was found.
+Result<bool> HomomorphismExists(EngineContext& ctx, const Query& from,
+                                const Query& to,
+                                const HomomorphismOptions& options = {});
+
+/// Legacy form under a fresh default context.
 bool HomomorphismExists(const Query& from, const Query& to,
                         const HomomorphismOptions& options = {});
 

@@ -20,7 +20,7 @@ Query WithoutAtom(const Query& q, size_t drop) {
 
 }  // namespace
 
-Result<Query> MinimizeQuery(const Query& q) {
+Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q) {
   CQAC_ASSIGN_OR_RETURN(Query cur, Preprocess(q));
   CQAC_RETURN_IF_ERROR(cur.Validate());
 
@@ -36,7 +36,7 @@ Result<Query> MinimizeQuery(const Query& q) {
       if (!smaller.Validate().ok()) continue;
       // Dropping atoms only relaxes, so cur is always contained in smaller;
       // equivalence needs the other direction.
-      CQAC_ASSIGN_OR_RETURN(bool still_equal, IsContained(smaller, cur));
+      CQAC_ASSIGN_OR_RETURN(bool still_equal, IsContained(ctx, smaller, cur));
       if (still_equal) {
         cur = CompactVariables(smaller);
         changed = true;
@@ -54,9 +54,9 @@ Result<Query> MinimizeQuery(const Query& q) {
         if (!folded.Validate().ok()) continue;
         // Folding restricts (cur contains folded); equivalence needs cur
         // contained in folded.
-        CQAC_ASSIGN_OR_RETURN(bool still_equal, IsContained(cur, folded));
+        CQAC_ASSIGN_OR_RETURN(bool still_equal, IsContained(ctx, cur, folded));
         if (still_equal) {
-          CQAC_ASSIGN_OR_RETURN(bool sound, IsContained(folded, cur));
+          CQAC_ASSIGN_OR_RETURN(bool sound, IsContained(ctx, folded, cur));
           if (sound) {
             cur = CompactVariables(folded);
             changed = true;
@@ -66,6 +66,11 @@ Result<Query> MinimizeQuery(const Query& q) {
     }
   }
   return RemoveRedundantComparisons(cur);
+}
+
+Result<Query> MinimizeQuery(const Query& q) {
+  EngineContext ctx;
+  return MinimizeQuery(ctx, q);
 }
 
 }  // namespace cqac

@@ -10,6 +10,7 @@
 #define CQAC_CONTAINMENT_MINIMIZE_H_
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 
 namespace cqac {
@@ -17,6 +18,9 @@ namespace cqac {
 /// Returns an equivalent query with a minimal set of ordinary subgoals
 /// (greedy, deterministic: tries dropping subgoals in order, keeping the
 /// query equivalent at every step) and with redundant comparisons removed.
+/// The context overload memoizes the many pairwise containment checks the
+/// greedy fold performs (they repeat across candidate drops).
+Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q);
 Result<Query> MinimizeQuery(const Query& q);
 
 }  // namespace cqac

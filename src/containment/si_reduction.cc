@@ -76,7 +76,7 @@ std::vector<SiForm> FormsOf(const Query& q) {
 
 }  // namespace
 
-Result<Query> BuildPcq(const Query& p, const Query& q1,
+Result<Query> BuildPcq(EngineContext& ctx, const Query& p, const Query& q1,
                        bool require_si_only) {
   CQAC_ASSIGN_OR_RETURN(Query pp, Preprocess(p));
   CQAC_ASSIGN_OR_RETURN(Query q1p, Preprocess(q1));
@@ -96,7 +96,7 @@ Result<Query> BuildPcq(const Query& p, const Query& q1,
     for (const SiForm& f : forms) {
       Comparison goal = f.ToComparison(Term::Var(v));
       CQAC_ASSIGN_OR_RETURN(bool implied,
-                            ImpliesConjunction(pp.comparisons(), {goal}));
+                            ImpliesConjunction(ctx, pp.comparisons(), {goal}));
       if (implied) {
         Atom u;
         u.predicate = StrCat("U_", f.PredicateSuffix());
@@ -107,6 +107,11 @@ Result<Query> BuildPcq(const Query& p, const Query& q1,
   }
   // P^CQ is comparison-free by construction.
   return out;
+}
+
+Result<Query> BuildPcq(const Query& p, const Query& q1, bool require_si_only) {
+  EngineContext ctx;
+  return BuildPcq(ctx, p, q1, require_si_only);
 }
 
 Result<Program> BuildQdatalog(const Query& q1) {
@@ -201,7 +206,8 @@ Result<Program> BuildQdatalog(const Query& q1) {
   return prog;
 }
 
-Result<bool> IsContainedSiReduction(const Query& q2, const Query& q1) {
+Result<bool> IsContainedSiReduction(EngineContext& ctx, const Query& q2,
+                                    const Query& q1) {
   if (q2.head().args.size() != q1.head().args.size())
     return Status::InvalidArgument(
         "containment between queries of different head arity");
@@ -216,9 +222,14 @@ Result<bool> IsContainedSiReduction(const Query& q2, const Query& q1) {
 
   if (!q2p.value().IsSiOnly())
     return Status::Unsupported("SI reduction requires an SI-only Q2");
-  CQAC_ASSIGN_OR_RETURN(Query pcq, BuildPcq(q2p.value(), q1p.value()));
+  CQAC_ASSIGN_OR_RETURN(Query pcq, BuildPcq(ctx, q2p.value(), q1p.value()));
   CQAC_ASSIGN_OR_RETURN(Program qdl, BuildQdatalog(q1p.value()));
   return datalog::IsCqContainedInDatalog(pcq, qdl);
+}
+
+Result<bool> IsContainedSiReduction(const Query& q2, const Query& q1) {
+  EngineContext ctx;
+  return IsContainedSiReduction(ctx, q2, q1);
 }
 
 }  // namespace cqac

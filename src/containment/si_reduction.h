@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/program.h"
 #include "src/ir/query.h"
 
@@ -64,6 +65,8 @@ bool FormsCouple(const SiForm& f1, const SiForm& f2);
 /// extension of the recursive-MCR construction to general-AC views: the
 /// encoding stays sound (a U fact is emitted only when implied), though the
 /// paper proves completeness only for the SI case.
+Result<Query> BuildPcq(EngineContext& ctx, const Query& p, const Query& q1,
+                       bool require_si_only = true);
 Result<Query> BuildPcq(const Query& p, const Query& q1,
                        bool require_si_only = true);
 
@@ -72,6 +75,10 @@ Result<Program> BuildQdatalog(const Query& q1);
 
 /// Theorem 5.1 containment test: is `q2` contained in `q1`, decided through
 /// the reduction? Requires q1 CQAC-SI and q2 SI-only; Unsupported otherwise.
+/// The context overload memoizes the per-variable implication checks of the
+/// P^CQ construction in the shared decision cache.
+Result<bool> IsContainedSiReduction(EngineContext& ctx, const Query& q2,
+                                    const Query& q1);
 Result<bool> IsContainedSiReduction(const Query& q2, const Query& q1);
 
 }  // namespace cqac

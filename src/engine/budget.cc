@@ -1,0 +1,13 @@
+#include "src/engine/budget.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+Status Budget::CheckDeadline(const char* what) const {
+  if (!DeadlineExceeded()) return Status::OK();
+  return Status::ResourceExhausted(
+      StrCat(what, ": wall-clock deadline exceeded"));
+}
+
+}  // namespace cqac

@@ -1,0 +1,43 @@
+#include "src/engine/cache.h"
+
+namespace cqac {
+
+std::optional<bool> DecisionCache::Lookup(const std::string& key) {
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void DecisionCache::Insert(const std::string& key, bool value) {
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry entry{key, value};
+  if (CostOf(entry) > max_bytes_) return;
+  bytes_ += CostOf(entry);
+  lru_.push_front(std::move(entry));
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+  EvictToFit();
+}
+
+void DecisionCache::EvictToFit() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= CostOf(victim);
+    index_.erase(std::string_view(victim.key));
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void DecisionCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace cqac

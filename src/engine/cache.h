@@ -1,0 +1,69 @@
+// DecisionCache: a byte-bounded LRU memo for boolean decisions.
+//
+// One instance lives in each EngineContext and stores both containment
+// results (keyed on interned canonical-pair ids, see context.h) and
+// conjunction-implication results (keyed on exact serialized comparisons).
+// Keys are exact — collision handling happens upstream: the interner
+// resolves 64-bit fingerprint collisions by full canonical-text comparison
+// before a pair id is ever formed, so a cache hit is always a true hit.
+#ifndef CQAC_ENGINE_CACHE_H_
+#define CQAC_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cqac {
+
+class DecisionCache {
+ public:
+  explicit DecisionCache(size_t max_bytes = 16u << 20)
+      : max_bytes_(max_bytes) {}
+
+  void set_max_bytes(size_t max_bytes) {
+    max_bytes_ = max_bytes;
+    EvictToFit();
+  }
+
+  /// Returns the stored decision and refreshes its LRU position.
+  std::optional<bool> Lookup(const std::string& key);
+
+  /// Stores (or refreshes) a decision; evicts least-recently-used entries
+  /// when over the byte cap. A key larger than the whole cap is ignored.
+  void Insert(const std::string& key, bool value);
+
+  size_t bytes() const { return bytes_; }
+  size_t entries() const { return lru_.size(); }
+  uint64_t evictions() const { return evictions_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    bool value;
+  };
+
+  // Approximate bookkeeping overhead per entry (list node + index slot).
+  static constexpr size_t kEntryOverhead = 96;
+
+  static size_t CostOf(const Entry& e) {
+    return e.key.size() + kEntryOverhead;
+  }
+
+  void EvictToFit();
+
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  // Views into the stable list-owned key strings.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_CACHE_H_

@@ -1,0 +1,77 @@
+#include "src/engine/context.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+InternedQuery EngineContext::Intern(const Query& q) {
+  ++stats_.intern_requests;
+  CanonicalForm form = Canonicalize(q);
+  InternedQuery out;
+  out.fingerprint = form.fingerprint;
+
+  std::vector<uint64_t>& ids = by_fingerprint_[form.fingerprint];
+  for (uint64_t id : ids) {
+    if (texts_[id] == form.text) {
+      out.id = id;
+      return out;
+    }
+  }
+  if (!ids.empty()) ++stats_.fingerprint_collisions;
+  out.id = texts_.size();
+  intern_bytes_ += form.text.size() + sizeof(uint64_t) * 4;
+  texts_.push_back(std::move(form.text));
+  ids.push_back(out.id);
+  ++stats_.queries_interned;
+  EnforceByteBudget();
+  return out;
+}
+
+std::optional<bool> EngineContext::CacheLookup(const std::string& key) {
+  if (!caching_enabled()) return std::nullopt;
+  return cache_.Lookup(key);
+}
+
+void EngineContext::CacheStore(const std::string& key, bool value) {
+  if (!caching_enabled()) return;
+  uint64_t before = cache_.evictions();
+  cache_.Insert(key, value);
+  stats_.cache_evictions += cache_.evictions() - before;
+}
+
+std::string EngineContext::MakeContainmentKey(const InternedQuery& contained,
+                                              const InternedQuery& container,
+                                              bool fast_path) {
+  return StrCat("C|", contained.id, "|", container.id, "|",
+                fast_path ? 1 : 0);
+}
+
+size_t EngineContext::cache_bytes() const {
+  return cache_.bytes() + intern_bytes_;
+}
+
+void EngineContext::EnforceByteBudget() {
+  // The decision cache evicts itself; the interner is append-only, so when
+  // it alone outgrows the budget both stores are flushed (an epoch reset:
+  // ids restart, and stale pair keys can no longer be formed or matched
+  // because the cache is emptied with them).
+  if (intern_bytes_ <= budget_.max_cache_bytes) {
+    // Leave the cache whatever the interner does not use.
+    cache_.set_max_bytes(budget_.max_cache_bytes - intern_bytes_);
+    return;
+  }
+  by_fingerprint_.clear();
+  texts_.clear();
+  intern_bytes_ = 0;
+  cache_.Clear();
+  cache_.set_max_bytes(budget_.max_cache_bytes);
+  ++stats_.cache_flushes;
+}
+
+std::string EngineContext::ToString() const {
+  return StrCat(stats_.ToString(), "\ncache footprint: ", cache_bytes(),
+                " bytes (", cache_.entries(), " decisions, ", texts_.size(),
+                " interned queries)");
+}
+
+}  // namespace cqac

@@ -1,0 +1,107 @@
+// EngineContext: the shared engine seam of the rewriting stack.
+//
+// One EngineContext bundles the three things every expensive decision
+// needs:
+//   * a Budget (enumeration caps, wall-clock deadline, cache byte cap);
+//   * an EngineStats counter block;
+//   * a canonical-query interner plus a byte-bounded LRU decision cache,
+//     which together memoize containment and implication results across
+//     calls that are identical up to variable renaming.
+//
+// Every algorithm in src/containment and src/rewriting has an overload
+// taking `EngineContext&` as its first parameter; the legacy overloads
+// construct a fresh context per top-level call (so existing callers keep
+// their exact semantics while still getting intra-call memoization).
+//
+// Contexts are NOT thread-safe: share one per worker, not across workers.
+// Future scaling work (parallel bucket fill, server mode, cross-query
+// shared caches) plugs in here.
+#ifndef CQAC_ENGINE_CONTEXT_H_
+#define CQAC_ENGINE_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/budget.h"
+#include "src/engine/cache.h"
+#include "src/engine/stats.h"
+#include "src/ir/canonical.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// The result of interning a query: a dense id unique per canonical form
+/// (collision-verified) plus the renaming-invariant fingerprint.
+struct InternedQuery {
+  uint64_t id = 0;
+  uint64_t fingerprint = 0;
+};
+
+class EngineContext {
+ public:
+  EngineContext() : cache_(budget_.max_cache_bytes) {}
+  explicit EngineContext(Budget budget)
+      : budget_(budget), cache_(budget.max_cache_bytes) {}
+
+  Budget& budget() { return budget_; }
+  const Budget& budget() const { return budget_; }
+
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Disables/enables memoization (stats and budget still apply). Used by
+  /// ablation benches and the cache-equivalence tests.
+  void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
+  bool caching_enabled() const {
+    return caching_enabled_ && budget_.max_cache_bytes > 0;
+  }
+
+  /// Canonicalizes and interns `q`. Queries equal up to variable renaming
+  /// and subgoal order receive the same id; 64-bit fingerprint collisions
+  /// are detected by exact canonical-text comparison and resolved to
+  /// distinct ids. Callers should pass preprocessed queries (the
+  /// containment layer does) so comparison-implied equalities do not split
+  /// canonical classes.
+  InternedQuery Intern(const Query& q);
+
+  /// Decision memo. Keys are exact strings; see MakeContainmentKey /
+  /// implication serialization for the two key families in use.
+  std::optional<bool> CacheLookup(const std::string& key);
+  void CacheStore(const std::string& key, bool value);
+
+  /// Key for a directed containment decision `q2 contained-in q1` under the
+  /// given fast-path setting, from interned pair ids.
+  static std::string MakeContainmentKey(const InternedQuery& contained,
+                                        const InternedQuery& container,
+                                        bool fast_path);
+
+  size_t cache_bytes() const;
+  size_t cache_entries() const { return cache_.entries(); }
+
+  /// Stats plus cache occupancy, for the shell's `stats` command.
+  std::string ToString() const;
+
+ private:
+  /// Flushes interner + cache when their combined footprint exceeds the
+  /// byte budget (the interner itself is append-only between flushes).
+  void EnforceByteBudget();
+
+  Budget budget_;
+  EngineStats stats_;
+  bool caching_enabled_ = true;
+
+  // Interner: fingerprint -> candidate interned ids; texts_ owns the
+  // canonical strings (id = index).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_fingerprint_;
+  std::vector<std::string> texts_;
+  size_t intern_bytes_ = 0;
+
+  DecisionCache cache_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_CONTEXT_H_

@@ -1,0 +1,32 @@
+#include "src/engine/stats.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+double EngineStats::ContainmentHitRate() const {
+  uint64_t looked = containment_cache_hits + containment_cache_misses;
+  if (looked == 0) return 0.0;
+  return static_cast<double>(containment_cache_hits) /
+         static_cast<double>(looked);
+}
+
+std::string EngineStats::ToString() const {
+  return StrCat(
+      "containment: ", containment_calls, " calls, ", containment_cache_hits,
+      " cache hits, ", containment_cache_misses, " misses (hit rate ",
+      static_cast<int>(ContainmentHitRate() * 100), "%)\n",
+      "implication: ", implication_calls, " conjunction calls (",
+      implication_cache_hits, " hits, ", implication_cache_misses,
+      " misses), ", disjunction_implications, " disjunction calls\n",
+      "homomorphism: ", hom_enumerations, " enumerations, ",
+      homomorphisms_found, " mappings found\n",
+      "interner: ", intern_requests, " requests, ", queries_interned,
+      " distinct queries, ", fingerprint_collisions, " fp collisions\n",
+      "cache: ", cache_evictions, " evictions, ", cache_flushes, " flushes\n",
+      "budget: ", budget_exhaustions, " exhaustions\n",
+      "rewriting: ", rewrite_candidates, " candidates, ",
+      rewrite_verified_rejects, " verified rejects");
+}
+
+}  // namespace cqac

@@ -1,0 +1,57 @@
+// EngineStats: the single counter block for every expensive decision the
+// engine makes. One instance lives in each EngineContext; all layers
+// (homomorphism search, containment, implication, rewriting) increment it,
+// so one object answers "what did this workload cost and what did the cache
+// save" — surfaced by the shell's `stats` command and the benches.
+#ifndef CQAC_ENGINE_STATS_H_
+#define CQAC_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cqac {
+
+struct EngineStats {
+  // Containment layer.
+  uint64_t containment_calls = 0;
+  uint64_t containment_cache_hits = 0;
+  uint64_t containment_cache_misses = 0;
+
+  // Constraint-implication layer.
+  uint64_t implication_calls = 0;
+  uint64_t implication_cache_hits = 0;
+  uint64_t implication_cache_misses = 0;
+  uint64_t disjunction_implications = 0;
+
+  // Homomorphism enumeration.
+  uint64_t hom_enumerations = 0;
+  uint64_t homomorphisms_found = 0;
+
+  // Canonicalization / interning.
+  uint64_t intern_requests = 0;
+  uint64_t queries_interned = 0;  // distinct canonical forms seen
+  uint64_t fingerprint_collisions = 0;
+
+  // Cache maintenance.
+  uint64_t cache_evictions = 0;
+  uint64_t cache_flushes = 0;
+
+  // Budget enforcement.
+  uint64_t budget_exhaustions = 0;
+
+  // Rewriting layer.
+  uint64_t rewrite_candidates = 0;
+  uint64_t rewrite_verified_rejects = 0;
+
+  void Reset() { *this = EngineStats{}; }
+
+  /// Fraction of containment calls answered from the cache (0 when none).
+  double ContainmentHitRate() const;
+
+  /// Multi-line human-readable rendering (the shell's `stats` output).
+  std::string ToString() const;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_STATS_H_

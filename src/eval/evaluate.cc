@@ -53,7 +53,7 @@ const std::vector<const Tuple*> JoinIndexes::kEmpty;
 
 void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
-    const std::function<void(const std::vector<std::optional<Value>>&)>& cb) {
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
   std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
   JoinIndexes indexes(relations);
 
@@ -78,8 +78,9 @@ void JoinBody(
   };
 
   // Attempts to unify atom `atom_idx` with `tuple`; on success recurses and
-  // always restores the binding.
-  std::function<void(size_t)> extend = [&](size_t atom_idx) {
+  // always restores the binding. Self-passing lambda: recursion without a
+  // std::function allocation on this hot path.
+  auto extend = [&](auto&& self, size_t atom_idx) -> void {
     if (atom_idx == q.body().size()) {
       if (comparisons_hold()) cb(binding);
       return;
@@ -101,7 +102,7 @@ void JoinBody(
           bound_here.push_back(t.var());
         }
       }
-      if (ok && comparisons_hold()) extend(atom_idx + 1);
+      if (ok && comparisons_hold()) self(self, atom_idx + 1);
       for (int v : bound_here) binding[v] = std::nullopt;
     };
 
@@ -117,7 +118,7 @@ void JoinBody(
     }
     for (const Tuple& tuple : *relations[atom_idx]) try_tuple(tuple);
   };
-  extend(0);
+  extend(extend, 0);
 }
 
 Result<Relation> EvaluateQuery(const Query& q, const Database& db) {

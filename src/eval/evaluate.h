@@ -5,9 +5,9 @@
 #ifndef CQAC_EVAL_EVALUATE_H_
 #define CQAC_EVAL_EVALUATE_H_
 
-#include <functional>
 #include <optional>
 
+#include "src/base/function_ref.h"
 #include "src/base/status.h"
 #include "src/eval/database.h"
 #include "src/ir/query.h"
@@ -38,7 +38,7 @@ Result<Database> MaterializeViews(const ViewSet& views, const Database& db);
 /// binding (index = variable id; unbound variables stay nullopt).
 void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
-    const std::function<void(const std::vector<std::optional<Value>>&)>& cb);
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb);
 
 }  // namespace cqac
 

@@ -1,0 +1,258 @@
+#include "src/ir/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace cqac {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  // Mix 8 bytes at a time; enough diffusion for signature hashing.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// One side of a comparison as a name-free descriptor: a constant's text, or
+/// a placeholder for "some variable" (refined later with colors).
+std::string TermTag(const Term& t) {
+  return t.is_const() ? "c:" + t.value().ToString() : "v";
+}
+
+/// Color refinement + individualization over a query's variables.
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const Query& q) : q_(q), used_(q.num_vars(), false) {
+    for (const Term& t : q_.head().args)
+      if (t.is_var()) used_[t.var()] = true;
+    for (const Atom& a : q_.body())
+      for (const Term& t : a.args)
+        if (t.is_var()) used_[t.var()] = true;
+    for (const Comparison& c : q_.comparisons()) {
+      if (c.lhs.is_var()) used_[c.lhs.var()] = true;
+      if (c.rhs.is_var()) used_[c.rhs.var()] = true;
+    }
+    for (int v = 0; v < q_.num_vars(); ++v)
+      if (used_[v]) vars_.push_back(v);
+  }
+
+  CanonicalForm Run() {
+    std::vector<uint64_t> colors = InitialColors();
+    Refine(&colors);
+    std::string best;
+    size_t leaves = 0;
+    Branch(colors, &best, &leaves);
+    CanonicalForm form;
+    form.text = std::move(best);
+    form.fingerprint = Fingerprint64(form.text);
+    return form;
+  }
+
+ private:
+  // Cap on individualization leaves; beyond it the search keeps the best
+  // serialization found so far (still deterministic per input).
+  static constexpr size_t kMaxLeaves = 128;
+
+  std::vector<uint64_t> InitialColors() const {
+    std::vector<uint64_t> colors(q_.num_vars(), 0);
+    for (int v : vars_) {
+      std::vector<std::string> occ;
+      const auto& head = q_.head().args;
+      for (size_t i = 0; i < head.size(); ++i)
+        if (head[i].is_var() && head[i].var() == v)
+          occ.push_back("H#" + std::to_string(i));
+      for (const Atom& a : q_.body())
+        for (size_t i = 0; i < a.args.size(); ++i)
+          if (a.args[i].is_var() && a.args[i].var() == v)
+            occ.push_back("B#" + a.predicate + "/" +
+                          std::to_string(a.args.size()) + "#" +
+                          std::to_string(i));
+      for (const Comparison& c : q_.comparisons()) {
+        if (c.lhs.is_var() && c.lhs.var() == v)
+          occ.push_back(std::string("CL#") + CompOpName(c.op) + "#" +
+                        TermTag(c.rhs));
+        if (c.rhs.is_var() && c.rhs.var() == v)
+          occ.push_back(std::string("CR#") + CompOpName(c.op) + "#" +
+                        TermTag(c.lhs));
+      }
+      std::sort(occ.begin(), occ.end());
+      uint64_t h = kFnvOffset;
+      for (const std::string& s : occ) h = HashString(h, s + "|");
+      colors[v] = h;
+    }
+    return colors;
+  }
+
+  // One WL round: fold each variable's neighborhood colors into its own.
+  std::vector<uint64_t> RefineOnce(const std::vector<uint64_t>& colors) const {
+    std::vector<uint64_t> next(colors.size(), 0);
+    for (int v : vars_) {
+      std::vector<uint64_t> ctx;
+      for (const Atom& a : q_.body()) {
+        bool has_v = false;
+        for (const Term& t : a.args)
+          if (t.is_var() && t.var() == v) has_v = true;
+        if (!has_v) continue;
+        for (size_t i = 0; i < a.args.size(); ++i) {
+          uint64_t h = HashString(kFnvOffset, a.predicate);
+          h = FnvMix(h, i);
+          const Term& t = a.args[i];
+          h = t.is_var() ? FnvMix(h, colors[t.var()])
+                         : HashString(h, "c:" + t.value().ToString());
+          ctx.push_back(h);
+        }
+      }
+      for (const Comparison& c : q_.comparisons()) {
+        auto side = [&](const Term& mine, const Term& other, const char* tag) {
+          if (!(mine.is_var() && mine.var() == v)) return;
+          uint64_t h = HashString(kFnvOffset, tag);
+          h = HashString(h, CompOpName(c.op));
+          h = other.is_var() ? FnvMix(h, colors[other.var()])
+                             : HashString(h, "c:" + other.value().ToString());
+          ctx.push_back(h);
+        };
+        side(c.lhs, c.rhs, "L");
+        side(c.rhs, c.lhs, "R");
+      }
+      std::sort(ctx.begin(), ctx.end());
+      uint64_t h = FnvMix(kFnvOffset, colors[v]);
+      for (uint64_t x : ctx) h = FnvMix(h, x);
+      next[v] = h;
+    }
+    return next;
+  }
+
+  // Refines to a fixpoint of the induced partition (bounded by |vars| rounds).
+  void Refine(std::vector<uint64_t>* colors) const {
+    for (size_t round = 0; round < vars_.size(); ++round) {
+      std::vector<uint64_t> next = RefineOnce(*colors);
+      if (PartitionOf(next) == PartitionOf(*colors)) break;
+      *colors = std::move(next);
+    }
+  }
+
+  // The ordered partition induced by colors: class index per variable.
+  std::vector<int> PartitionOf(const std::vector<uint64_t>& colors) const {
+    std::map<uint64_t, int> rank;
+    for (int v : vars_) rank.emplace(colors[v], 0);
+    int i = 0;
+    for (auto& [color, r] : rank) r = i++;
+    std::vector<int> part(colors.size(), -1);
+    for (int v : vars_) part[v] = rank[colors[v]];
+    return part;
+  }
+
+  // Individualization search: while some color class has >1 member, pick the
+  // first such class (in color order) and try each member as "next smallest".
+  void Branch(const std::vector<uint64_t>& colors, std::string* best,
+              size_t* leaves) const {
+    if (*leaves >= kMaxLeaves) return;
+    // Find the first non-singleton class in color order.
+    std::map<uint64_t, std::vector<int>> classes;
+    for (int v : vars_) classes[colors[v]].push_back(v);
+    const std::vector<int>* tied = nullptr;
+    for (const auto& [color, members] : classes)
+      if (members.size() > 1) {
+        tied = &members;
+        break;
+      }
+    if (tied == nullptr) {
+      ++*leaves;
+      std::string text = Serialize(colors);
+      if (best->empty() || text < *best) *best = std::move(text);
+      return;
+    }
+    for (int v : *tied) {
+      std::vector<uint64_t> next = colors;
+      next[v] = FnvMix(next[v], 0x9e3779b97f4a7c15ULL);  // individualize v
+      Refine(&next);
+      Branch(next, best, leaves);
+      if (*leaves >= kMaxLeaves) return;
+    }
+  }
+
+  // Serializes under the total variable order given by (color, -) — callers
+  // ensure colors are discrete (all classes singleton).
+  std::string Serialize(const std::vector<uint64_t>& colors) const {
+    std::vector<int> order = vars_;
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return colors[a] < colors[b]; });
+    std::vector<int> index(colors.size(), -1);
+    for (size_t i = 0; i < order.size(); ++i)
+      index[order[i]] = static_cast<int>(i);
+
+    auto term = [&](const Term& t) {
+      if (t.is_var()) return "?" + std::to_string(index[t.var()]);
+      if (t.value().is_number()) return t.value().number().ToString();
+      return "'" + t.value().symbol();
+    };
+    auto atom = [&](const Atom& a) {
+      std::string s = a.predicate + "(";
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (i) s += ",";
+        s += term(a.args[i]);
+      }
+      return s + ")";
+    };
+
+    std::vector<std::string> body;
+    for (const Atom& a : q_.body()) body.push_back(atom(a));
+    std::sort(body.begin(), body.end());
+
+    std::vector<std::string> comps;
+    for (const Comparison& c : q_.comparisons()) {
+      std::string l = term(c.lhs), r = term(c.rhs);
+      // `=` is symmetric: order the sides canonically.
+      if (c.op == CompOp::kEq && r < l) std::swap(l, r);
+      comps.push_back(l + CompOpName(c.op) + r);
+    }
+    std::sort(comps.begin(), comps.end());
+
+    std::string out = atom(q_.head());
+    out += ":-";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i) out += ",";
+      out += body[i];
+    }
+    out += ";";
+    for (size_t i = 0; i < comps.size(); ++i) {
+      if (i) out += ",";
+      out += comps[i];
+    }
+    return out;
+  }
+
+  const Query& q_;
+  std::vector<bool> used_;
+  std::vector<int> vars_;  // ids of variables that actually occur
+};
+
+}  // namespace
+
+uint64_t Fingerprint64(const std::string& bytes) {
+  return HashString(kFnvOffset, bytes);
+}
+
+CanonicalForm Canonicalize(const Query& q) {
+  return Canonicalizer(q).Run();
+}
+
+uint64_t CanonicalFingerprint(const Query& q) {
+  return Canonicalize(q).fingerprint;
+}
+
+}  // namespace cqac

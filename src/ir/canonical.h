@@ -1,0 +1,54 @@
+// Renaming-invariant canonical forms and 64-bit fingerprints for queries.
+//
+// Two queries that differ only by variable renaming and/or by the order of
+// body subgoals / comparisons canonicalize to the same text (and therefore
+// the same fingerprint). The canonical form is the cache key the engine
+// layer (src/engine) uses to memoize containment decisions: the text makes
+// collisions detectable (exact comparison), the fingerprint makes lookups
+// cheap.
+//
+// Canonicalization does NOT preprocess: callers that want comparison-implied
+// equalities collapsed (the normalization of Section 2) must run
+// constraints::Preprocess first — which is exactly what the containment
+// layer does before interning.
+//
+// Algorithm: Weisfeiler-Leman-style color refinement over the variables
+// (initial colors from name-free occurrence signatures), followed by
+// individualization branching on residual color ties, keeping the
+// lexicographically smallest serialization. Branching is capped; on cap the
+// result is still deterministic for a fixed input, merely no longer
+// guaranteed minimal across renamings (a cache-hit-rate concern, never a
+// correctness one — cache keys are verified by exact text).
+#ifndef CQAC_IR_CANONICAL_H_
+#define CQAC_IR_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// A canonical serialization plus its 64-bit fingerprint.
+struct CanonicalForm {
+  std::string text;
+  uint64_t fingerprint = 0;
+
+  bool operator==(const CanonicalForm& o) const { return text == o.text; }
+};
+
+/// Canonicalizes `q`: canonical variable numbering, sorted subgoals, sorted
+/// normalized comparisons. Invariant under variable renaming and under
+/// permutation of body atoms / comparisons.
+CanonicalForm Canonicalize(const Query& q);
+
+/// Convenience: just the fingerprint.
+uint64_t CanonicalFingerprint(const Query& q);
+
+/// FNV-1a over a byte string; the fingerprint function used throughout the
+/// engine layer.
+uint64_t Fingerprint64(const std::string& bytes);
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_CANONICAL_H_

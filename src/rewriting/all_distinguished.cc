@@ -1,6 +1,5 @@
 #include "src/rewriting/all_distinguished.h"
 
-#include <functional>
 #include <map>
 #include <optional>
 
@@ -49,9 +48,8 @@ bool TryMap(const Atom& qa, const Atom& va, VarMap* phi,
 
 }  // namespace
 
-Result<UnionQuery> RewriteAllDistinguished(
-    const Query& q, const ViewSet& views,
-    const AllDistinguishedOptions& options) {
+Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
+                                           const ViewSet& views) {
   if (!views.AllVariablesDistinguished())
     return Status::InvalidArgument(
         "RewriteAllDistinguished requires views whose variables are all "
@@ -91,7 +89,19 @@ Result<UnionQuery> RewriteAllDistinguished(
   Status inner = Status::OK();
 
   auto emit = [&]() {
-    if (++candidates > options.max_candidates) return false;
+    if (++candidates > ctx.budget().max_mappings) {
+      ++ctx.stats().budget_exhaustions;
+      inner = Status::ResourceExhausted(
+          "all-distinguished candidate enumeration exceeded the mapping "
+          "budget");
+      return false;
+    }
+    inner = ctx.budget().CheckDeadline("all-distinguished enumeration");
+    if (!inner.ok()) {
+      ++ctx.stats().budget_exhaustions;
+      return false;
+    }
+    ++ctx.stats().rewrite_candidates;
     Query cand;
     cand.head().predicate = qp.head().predicate;
 
@@ -160,12 +170,15 @@ Result<UnionQuery> RewriteAllDistinguished(
       inner = exp.status();
       return false;
     }
-    Result<bool> contained = IsContained(exp.value(), qp);
+    Result<bool> contained = IsContained(ctx, exp.value(), qp);
     if (!contained.ok()) {
       inner = contained.status();
       return false;
     }
-    if (!contained.value()) return true;
+    if (!contained.value()) {
+      ++ctx.stats().rewrite_verified_rejects;
+      return true;
+    }
     Query compact = CompactVariables(cand);
     for (const Query& existing : result.disjuncts)
       if (existing.ToString() == compact.ToString()) return true;
@@ -173,17 +186,23 @@ Result<UnionQuery> RewriteAllDistinguished(
     return true;
   };
 
-  std::function<bool(size_t)> rec = [&](size_t gi) -> bool {
+  auto rec = [&](auto&& self, size_t gi) -> bool {
     if (gi == choices.size()) return emit();
     for (const Choice& c : choices[gi]) {
       pick[gi] = &c;
-      if (!rec(gi + 1)) return false;
+      if (!self(self, gi + 1)) return false;
     }
     return true;
   };
-  rec(0);
+  rec(rec, 0);
   CQAC_RETURN_IF_ERROR(inner);
   return result;
+}
+
+Result<UnionQuery> RewriteAllDistinguished(const Query& q,
+                                           const ViewSet& views) {
+  EngineContext ctx;
+  return RewriteAllDistinguished(ctx, q, views);
 }
 
 }  // namespace cqac

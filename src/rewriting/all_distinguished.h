@@ -10,24 +10,23 @@
 #define CQAC_REWRITING_ALL_DISTINGUISHED_H_
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 
 namespace cqac {
 
-struct AllDistinguishedOptions {
-  /// Cap on candidate combinations (cartesian of per-subgoal choices).
-  size_t max_candidates = 1 << 20;
-};
-
 /// Computes the MCR of the CQAC query `q` (any comparison class) using
 /// views whose variables are all distinguished. Returns InvalidArgument if
 /// some view hides a variable (use RewriteLsiQuery / RewriteSiQueryDatalog
 /// then). The result is a finite union of CQACs; Theorem 3.2 guarantees
-/// this language suffices in the all-distinguished case.
-Result<UnionQuery> RewriteAllDistinguished(
-    const Query& q, const ViewSet& views,
-    const AllDistinguishedOptions& options = {});
+/// this language suffices in the all-distinguished case. The candidate
+/// count (cartesian of per-subgoal choices) is charged to the context's
+/// Budget::max_mappings.
+Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
+                                           const ViewSet& views);
+Result<UnionQuery> RewriteAllDistinguished(const Query& q,
+                                           const ViewSet& views);
 
 }  // namespace cqac
 

@@ -30,11 +30,12 @@ std::string ViewPlan::ToString() const {
   return "?";
 }
 
-Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views) {
+Result<ViewPlan> PlanForQuery(EngineContext& ctx, const Query& q,
+                              const ViewSet& views) {
   ViewPlan plan;
   AcClass cls = q.Classify();
   if (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi) {
-    CQAC_ASSIGN_OR_RETURN(UnionQuery u, RewriteLsiQuery(q, views));
+    CQAC_ASSIGN_OR_RETURN(UnionQuery u, RewriteLsiQuery(ctx, q, views));
     if (!u.empty()) {
       plan.kind = PlanKind::kFiniteUnion;
       plan.union_plan = std::move(u);
@@ -42,14 +43,14 @@ Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views) {
     return plan;
   }
   if (q.IsCqacSi() && views.AllSiOnly()) {
-    CQAC_ASSIGN_OR_RETURN(SiMcr mcr, RewriteSiQueryDatalog(q, views));
+    CQAC_ASSIGN_OR_RETURN(SiMcr mcr, RewriteSiQueryDatalog(ctx, q, views));
     plan.kind = PlanKind::kDatalog;
     plan.datalog = std::move(mcr);
     return plan;
   }
   // General fallback: verified bucket candidates (sound, possibly
   // incomplete — documented in DESIGN.md).
-  CQAC_ASSIGN_OR_RETURN(UnionQuery u, BucketRewrite(q, views));
+  CQAC_ASSIGN_OR_RETURN(UnionQuery u, BucketRewrite(ctx, q, views));
   if (!u.empty()) {
     plan.kind = PlanKind::kFiniteUnion;
     plan.union_plan = std::move(u);
@@ -57,10 +58,22 @@ Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views) {
   return plan;
 }
 
+Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views) {
+  EngineContext ctx;
+  return PlanForQuery(ctx, q, views);
+}
+
+Result<Relation> AnswerUsingViews(EngineContext& ctx, const Query& q,
+                                  const ViewSet& views,
+                                  const Database& view_instance) {
+  CQAC_ASSIGN_OR_RETURN(ViewPlan plan, PlanForQuery(ctx, q, views));
+  return plan.Answer(view_instance);
+}
+
 Result<Relation> AnswerUsingViews(const Query& q, const ViewSet& views,
                                   const Database& view_instance) {
-  CQAC_ASSIGN_OR_RETURN(ViewPlan plan, PlanForQuery(q, views));
-  return plan.Answer(view_instance);
+  EngineContext ctx;
+  return AnswerUsingViews(ctx, q, views, view_instance);
 }
 
 }  // namespace cqac

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/eval/database.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
@@ -39,10 +40,21 @@ struct ViewPlan {
   std::string ToString() const;
 };
 
-/// Compiles the best available plan for `q` over `views`.
+/// Compiles the best available plan for `q` over `views`. The context
+/// carries the budget and collects stats; planning many queries against one
+/// context shares the containment/implication memo across them.
+Result<ViewPlan> PlanForQuery(EngineContext& ctx, const Query& q,
+                              const ViewSet& views);
+
+/// Legacy overload: plans under a fresh default-budget context.
 Result<ViewPlan> PlanForQuery(const Query& q, const ViewSet& views);
 
 /// Convenience: compile + evaluate in one call.
+Result<Relation> AnswerUsingViews(EngineContext& ctx, const Query& q,
+                                  const ViewSet& views,
+                                  const Database& view_instance);
+
+/// Legacy overload: answers under a fresh default-budget context.
 Result<Relation> AnswerUsingViews(const Query& q, const ViewSet& views,
                                   const Database& view_instance);
 

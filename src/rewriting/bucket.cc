@@ -1,6 +1,5 @@
 #include "src/rewriting/bucket.h"
 
-#include <functional>
 #include <map>
 #include <optional>
 
@@ -62,7 +61,8 @@ bool TryMap(const Query& q, const Atom& qa, const Query& view, const Atom& va,
 
 }  // namespace
 
-Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
+Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
+                                 const ViewSet& views,
                                  const BucketOptions& options,
                                  BucketStats* stats) {
   BucketStats local;
@@ -114,7 +114,18 @@ Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
 
   // Builds and verifies the candidate for the current `pick`.
   auto try_candidate = [&]() {
-    if (++stats->candidates > options.max_candidates) return false;
+    if (++stats->candidates > ctx.budget().max_mappings) {
+      ++ctx.stats().budget_exhaustions;
+      inner = Status::ResourceExhausted(
+          "bucket candidate enumeration exceeded the mapping budget");
+      return false;
+    }
+    inner = ctx.budget().CheckDeadline("bucket candidate enumeration");
+    if (!inner.ok()) {
+      ++ctx.stats().budget_exhaustions;
+      return false;
+    }
+    ++ctx.stats().rewrite_candidates;
     Query cand;
     cand.head().predicate = qp.head().predicate;
 
@@ -225,18 +236,20 @@ Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
       if (!expp.ok()) {
         if (expp.status().code() == StatusCode::kInconsistent) {
           ++stats->verified_rejects;
+          ++ctx.stats().rewrite_verified_rejects;
           continue;
         }
         inner = expp.status();
         return false;
       }
-      Result<bool> contained = IsContained(expp.value(), qp);
+      Result<bool> contained = IsContained(ctx, expp.value(), qp);
       if (!contained.ok()) {
         inner = contained.status();
         return false;
       }
       if (!contained.value()) {
         ++stats->verified_rejects;
+        ++ctx.stats().rewrite_verified_rejects;
         continue;
       }
       Query compact = CompactVariables(variant);
@@ -248,17 +261,24 @@ Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
     return true;
   };
 
-  std::function<bool(size_t)> enumerate = [&](size_t gi) -> bool {
+  auto enumerate = [&](auto&& self, size_t gi) -> bool {
     if (gi == buckets.size()) return try_candidate();
     for (const BucketEntry& e : buckets[gi]) {
       pick[gi] = &e;
-      if (!enumerate(gi + 1)) return false;
+      if (!self(self, gi + 1)) return false;
     }
     return true;
   };
-  enumerate(0);
+  enumerate(enumerate, 0);
   CQAC_RETURN_IF_ERROR(inner);
   return result;
+}
+
+Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
+                                 const BucketOptions& options,
+                                 BucketStats* stats) {
+  EngineContext ctx;
+  return BucketRewrite(ctx, q, views, options, stats);
 }
 
 }  // namespace cqac

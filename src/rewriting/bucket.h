@@ -12,6 +12,7 @@
 #define CQAC_REWRITING_BUCKET_H_
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 
@@ -21,8 +22,6 @@ struct BucketOptions {
   /// Consider the query's comparisons when forming candidates (map them onto
   /// exposed head positions). Off = the classic CQ-only bucket algorithm.
   bool ac_aware = true;
-  /// Cap on cartesian-product candidates examined.
-  size_t max_candidates = 100000;
 };
 
 struct BucketStats {
@@ -32,7 +31,13 @@ struct BucketStats {
 };
 
 /// Runs the bucket algorithm; returns the union of verified contained
-/// rewritings.
+/// rewritings. The cartesian-product candidate count is charged to the
+/// context's Budget::max_mappings (ResourceExhausted when exceeded) and
+/// verification containment checks are memoized in the context.
+Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
+                                 const ViewSet& views,
+                                 const BucketOptions& options = {},
+                                 BucketStats* stats = nullptr);
 Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
                                  const BucketOptions& options = {},
                                  BucketStats* stats = nullptr);

@@ -8,7 +8,8 @@
 
 namespace cqac {
 
-Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
+Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
+                                         const ViewSet& views,
                                          const ErSearchOptions& options) {
   ErResult result;
 
@@ -27,15 +28,15 @@ Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
   AcClass cls = qp.value().Classify();
   UnionQuery crs;
   if (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi) {
-    CQAC_ASSIGN_OR_RETURN(crs, RewriteLsiQuery(qp.value(), views));
+    CQAC_ASSIGN_OR_RETURN(crs, RewriteLsiQuery(ctx, qp.value(), views));
   } else {
-    CQAC_ASSIGN_OR_RETURN(crs, BucketRewrite(qp.value(), views));
+    CQAC_ASSIGN_OR_RETURN(crs, BucketRewrite(ctx, qp.value(), views));
   }
 
   // A single CR whose expansion contains the query is an ER.
   for (const Query& cr : crs.disjuncts) {
     CQAC_ASSIGN_OR_RETURN(Query exp, ExpandRewriting(cr, views));
-    Result<bool> back = IsContained(qp.value(), exp);
+    Result<bool> back = IsContained(ctx, qp.value(), exp);
     if (!back.ok()) {
       if (back.status().code() == StatusCode::kResourceExhausted) continue;
       return back.status();
@@ -56,10 +57,16 @@ Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
       expansions.disjuncts.push_back(std::move(exp));
     }
     CQAC_ASSIGN_OR_RETURN(bool covered,
-                          IsContainedInUnion(qp.value(), expansions));
+                          IsContainedInUnion(ctx, qp.value(), expansions));
     if (covered) result.union_er = crs;
   }
   return result;
+}
+
+Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
+                                         const ErSearchOptions& options) {
+  EngineContext ctx;
+  return FindEquivalentRewriting(ctx, q, views, options);
 }
 
 }  // namespace cqac

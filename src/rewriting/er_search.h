@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 
@@ -36,7 +37,12 @@ struct ErResult {
   bool found() const { return single.has_value() || union_er.has_value(); }
 };
 
-/// Searches for an equivalent rewriting of `q` using `views`.
+/// Searches for an equivalent rewriting of `q` using `views`. The context
+/// overload shares one decision cache across the CR generation and the
+/// many two-way containment verifications.
+Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
+                                         const ViewSet& views,
+                                         const ErSearchOptions& options = {});
 Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
                                          const ErSearchOptions& options = {});
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
 
 #include "src/base/strings.h"
 
@@ -129,8 +128,8 @@ ExportAnalysis::PathScan ExportAnalysis::ScanPaths(int from, int to) const {
 
   // DFS over simple paths tracking whether the current path used a strict
   // edge or visited an intermediate distinguished variable.
-  std::function<void(int, bool, bool)> dfs = [&](int node, bool used_strict,
-                                                 bool saw_dist) {
+  auto dfs = [&](auto&& self, int node, bool used_strict,
+                 bool saw_dist) -> void {
     if (node == to) {
       out.found = true;
       if (used_strict)
@@ -146,11 +145,11 @@ ExportAnalysis::PathScan ExportAnalysis::ScanPaths(int from, int to) const {
       bool intermediate_dist =
           saw_dist || (e.to != to && e.to < view_.num_vars() &&
                        distinguished_[e.to]);
-      dfs(e.to, used_strict || e.strict, intermediate_dist);
+      self(self, e.to, used_strict || e.strict, intermediate_dist);
     }
     on_path[node] = false;
   };
-  dfs(from, false, false);
+  dfs(dfs, from, false, false);
   return out;
 }
 

@@ -37,9 +37,9 @@ class McdBuilder {
  public:
   McdBuilder(const Query& q, const Query& view, int view_index,
              const ExportAnalysis& analysis, const McdOptions& options,
-             std::vector<Mcd>* out)
+             size_t max_mcds, std::vector<Mcd>* out)
       : q_(q), view_(view), view_index_(view_index), analysis_(analysis),
-        options_(options), out_(out),
+        options_(options), max_mcds_(max_mcds), out_(out),
         q_distinguished_(q.DistinguishedMask()),
         v_distinguished_(view.DistinguishedMask()) {
     // Precompute, per query variable, the subgoals it occurs in.
@@ -134,7 +134,7 @@ class McdBuilder {
 
   // Recursively closes the MCD, then applies exports and emits.
   void Complete(BuildState st) {
-    if (out_->size() >= options_.max_mcds) return;
+    if (out_->size() >= max_mcds_) return;
     int pull = FindPull(st);
     if (pull == -2) return;  // a distinguished query var hit an unusable image
     if (pull >= 0) {
@@ -242,7 +242,7 @@ class McdBuilder {
     }
 
     for (const HeadHomomorphism& h : pruned) {
-      if (out_->size() >= options_.max_mcds) return;
+      if (out_->size() >= max_mcds_) return;
       Mcd mcd(q_.num_vars(), view_.num_vars());
       mcd.view_index = view_index_;
       mcd.covered.assign(st.covered.begin(), st.covered.end());
@@ -268,6 +268,7 @@ class McdBuilder {
   int view_index_;
   const ExportAnalysis& analysis_;
   const McdOptions& options_;
+  size_t max_mcds_;
   std::vector<Mcd>* out_;
   std::vector<bool> q_distinguished_;
   std::vector<bool> v_distinguished_;
@@ -277,21 +278,34 @@ class McdBuilder {
 }  // namespace
 
 Result<std::vector<Mcd>> ConstructMcds(
-    const Query& q, const ViewSet& views,
+    EngineContext& ctx, const Query& q, const ViewSet& views,
     const std::vector<ExportAnalysis>& analyses, const McdOptions& options) {
   if (analyses.size() != views.size())
     return Status::InvalidArgument("analyses must parallel views");
+  const size_t max_mcds = ctx.budget().max_mappings;
   std::vector<Mcd> out;
   for (size_t vi = 0; vi < views.size(); ++vi) {
     McdBuilder builder(q, views[vi], static_cast<int>(vi), analyses[vi],
-                       options, &out);
-    for (size_t gi = 0; gi < q.body().size(); ++gi)
+                       options, max_mcds, &out);
+    for (size_t gi = 0; gi < q.body().size(); ++gi) {
+      CQAC_RETURN_IF_ERROR(ctx.budget().CheckDeadline("MCD construction"));
       for (size_t vj = 0; vj < views[vi].body().size(); ++vj)
         builder.Seed(static_cast<int>(gi), static_cast<int>(vj));
-    if (out.size() >= options.max_mcds)
-      return Status::ResourceExhausted("MCD construction exceeded max_mcds");
+    }
+    if (out.size() >= max_mcds) {
+      ++ctx.stats().budget_exhaustions;
+      return Status::ResourceExhausted(
+          "MCD construction exceeded the mapping budget");
+    }
   }
   return out;
+}
+
+Result<std::vector<Mcd>> ConstructMcds(
+    const Query& q, const ViewSet& views,
+    const std::vector<ExportAnalysis>& analyses, const McdOptions& options) {
+  EngineContext ctx;
+  return ConstructMcds(ctx, q, views, analyses, options);
 }
 
 }  // namespace cqac

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/substitution.h"
 #include "src/ir/view.h"
@@ -43,15 +44,21 @@ struct Mcd {
 };
 
 struct McdOptions {
-  /// Cap on MCDs produced overall.
-  size_t max_mcds = 100000;
-  /// Cap on export-homomorphism combinations explored per MCD skeleton.
+  /// Cap on export-homomorphism combinations explored per MCD skeleton
+  /// (structural fan-out bound; the overall MCD count is charged to the
+  /// context's Budget::max_mappings).
   size_t max_export_combinations = 256;
 };
 
 /// Builds all MCDs of `q` over `views` (both must be preprocessed; the
 /// analyses vector parallels the views). Each MCD is minimal in its covered
-/// set and carries a least restrictive head homomorphism.
+/// set and carries a least restrictive head homomorphism. The MCD count is
+/// capped by the context's Budget::max_mappings and the deadline is checked
+/// between seeds; exceeding either returns ResourceExhausted.
+Result<std::vector<Mcd>> ConstructMcds(
+    EngineContext& ctx, const Query& q, const ViewSet& views,
+    const std::vector<ExportAnalysis>& analyses,
+    const McdOptions& options = {});
 Result<std::vector<Mcd>> ConstructMcds(
     const Query& q, const ViewSet& views,
     const std::vector<ExportAnalysis>& analyses,

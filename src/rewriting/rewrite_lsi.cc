@@ -63,11 +63,11 @@ class QueryVarUnifier {
 /// Builder for one MCD combination.
 class Combiner {
  public:
-  Combiner(const Query& q, const ViewSet& views,
+  Combiner(EngineContext& ctx, const Query& q, const ViewSet& views,
            const std::vector<ExportAnalysis>& analyses,
            const std::vector<const Mcd*>& combo,
            const RewriteOptions& options)
-      : q_(q), views_(views), analyses_(analyses), combo_(combo),
+      : ctx_(ctx), q_(q), views_(views), analyses_(analyses), combo_(combo),
         options_(options), uf_(q.num_vars()) {}
 
   /// Produces all candidate rewritings for this combination (empty when the
@@ -220,7 +220,7 @@ class Combiner {
         Comparison image = upper ? Comparison(w, theta, Term::Const(bound))
                                  : Comparison(Term::Const(bound), theta, w);
         CQAC_ASSIGN_OR_RETURN(bool implied,
-                              ImpliesConjunction(premise, {image}));
+                              ImpliesConjunction(ctx_, premise, {image}));
         if (implied) {
           AddWay(&ways, std::nullopt);
           continue;  // nothing stronger needed through this MCD
@@ -235,7 +235,7 @@ class Combiner {
           if (upper) {
             // Need w <= y (then y theta bound) or w < y (then y <= bound).
             CQAC_ASSIGN_OR_RETURN(
-                bool lt, ImpliesConjunction(premise, {Comparison(
+                bool lt, ImpliesConjunction(ctx_, premise, {Comparison(
                              w, CompOp::kLt, y)}));
             if (lt) {
               AddWay(&ways,
@@ -243,14 +243,14 @@ class Combiner {
               continue;
             }
             CQAC_ASSIGN_OR_RETURN(
-                bool le, ImpliesConjunction(premise, {Comparison(
+                bool le, ImpliesConjunction(ctx_, premise, {Comparison(
                              w, CompOp::kLe, y)}));
             if (le)
               AddWay(&ways, Comparison(pterm, theta, Term::Const(bound)));
           } else {
             // Lower bound: need y <= w (then bound theta y) or y < w.
             CQAC_ASSIGN_OR_RETURN(
-                bool lt, ImpliesConjunction(premise, {Comparison(
+                bool lt, ImpliesConjunction(ctx_, premise, {Comparison(
                              y, CompOp::kLt, w)}));
             if (lt) {
               AddWay(&ways,
@@ -258,7 +258,7 @@ class Combiner {
               continue;
             }
             CQAC_ASSIGN_OR_RETURN(
-                bool le, ImpliesConjunction(premise, {Comparison(
+                bool le, ImpliesConjunction(ctx_, premise, {Comparison(
                              y, CompOp::kLe, w)}));
             if (le)
               AddWay(&ways, Comparison(Term::Const(bound), theta, pterm));
@@ -307,6 +307,7 @@ class Combiner {
     return out;
   }
 
+  EngineContext& ctx_;
   const Query& q_;
   const ViewSet& views_;
   const std::vector<ExportAnalysis>& analyses_;
@@ -323,7 +324,8 @@ class Combiner {
 
 }  // namespace
 
-Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
+Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
+                                   const ViewSet& views,
                                    const RewriteOptions& options,
                                    RewriteStats* stats) {
   RewriteStats local_stats;
@@ -363,7 +365,7 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
   for (const Query& v : prepped.views()) analyses.emplace_back(v);
 
   CQAC_ASSIGN_OR_RETURN(std::vector<Mcd> mcds,
-                        ConstructMcds(qp, prepped, analyses, options.mcd));
+                        ConstructMcds(ctx, qp, prepped, analyses, options.mcd));
   stats->mcds = mcds.size();
 
   // Index MCDs by their smallest covered subgoal for the exact-cover search.
@@ -377,13 +379,26 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
   std::vector<bool> used(num_goals, false);
   Status inner = Status::OK();
 
-  std::function<void(size_t)> search = [&](size_t first_uncovered) {
-    if (!inner.ok() || stats->combinations >= options.max_combinations) return;
+  auto search = [&](auto&& self, size_t first_uncovered) -> void {
+    if (!inner.ok()) return;
     while (first_uncovered < num_goals && used[first_uncovered])
       ++first_uncovered;
     if (first_uncovered == num_goals) {
+      // Another complete cover exists beyond the cap: report exhaustion
+      // rather than silently truncating the MCR.
+      if (stats->combinations >= ctx.budget().max_mappings) {
+        ++ctx.stats().budget_exhaustions;
+        inner = Status::ResourceExhausted(
+            "MCD combination search exceeded the mapping budget");
+        return;
+      }
+      inner = ctx.budget().CheckDeadline("MCD combination search");
+      if (!inner.ok()) {
+        ++ctx.stats().budget_exhaustions;
+        return;
+      }
       ++stats->combinations;
-      Combiner combiner(qp, prepped, analyses, combo, options);
+      Combiner combiner(ctx, qp, prepped, analyses, combo, options);
       Result<std::vector<Query>> candidates = combiner.Build();
       if (!candidates.ok()) {
         inner = candidates.status();
@@ -391,6 +406,7 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
       }
       for (Query& cand : candidates.value()) {
         ++stats->candidates;
+        ++ctx.stats().rewrite_candidates;
         if (options.verify_rewritings) {
           Result<Query> exp = ExpandRewriting(cand, prepped);
           if (!exp.ok()) {
@@ -403,18 +419,20 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
           if (!expp.ok()) {
             if (expp.status().code() == StatusCode::kInconsistent) {
               ++stats->verified_rejects;
+              ++ctx.stats().rewrite_verified_rejects;
               continue;
             }
             inner = expp.status();
             return;
           }
-          Result<bool> contained = IsContained(expp.value(), qp);
+          Result<bool> contained = IsContained(ctx, expp.value(), qp);
           if (!contained.ok()) {
             inner = contained.status();
             return;
           }
           if (!contained.value()) {
             ++stats->verified_rejects;
+            ++ctx.stats().rewrite_verified_rejects;
             continue;
           }
         }
@@ -433,12 +451,12 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
       if (clash) continue;
       for (int g : m->covered) used[g] = true;
       combo.push_back(m);
-      search(first_uncovered + 1);
+      self(self, first_uncovered + 1);
       combo.pop_back();
       for (int g : m->covered) used[g] = false;
     }
   };
-  search(0);
+  search(search, 0);
   CQAC_RETURN_IF_ERROR(inner);
 
   if (options.prune_redundant) {
@@ -448,12 +466,13 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
       bool dominated = false;
       for (size_t j = 0; j < result.disjuncts.size() && !dominated; ++j) {
         if (i == j) continue;
-        Result<bool> c = IsContained(result.disjuncts[i], result.disjuncts[j]);
+        Result<bool> c =
+            IsContained(ctx, result.disjuncts[i], result.disjuncts[j]);
         if (c.ok() && c.value()) {
           // Break ties deterministically: prune i only if j is not itself
           // pruned by an earlier equivalent (j < i when equivalent).
           Result<bool> back =
-              IsContained(result.disjuncts[j], result.disjuncts[i]);
+              IsContained(ctx, result.disjuncts[j], result.disjuncts[i]);
           bool equivalent = back.ok() && back.value();
           dominated = !equivalent || j < i;
         }
@@ -463,6 +482,13 @@ Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
     result = std::move(pruned);
   }
   return result;
+}
+
+Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
+                                   const RewriteOptions& options,
+                                   RewriteStats* stats) {
+  EngineContext ctx;
+  return RewriteLsiQuery(ctx, q, views, options, stats);
 }
 
 }  // namespace cqac

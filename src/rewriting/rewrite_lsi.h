@@ -18,6 +18,7 @@
 #define CQAC_REWRITING_REWRITE_LSI_H_
 
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 #include "src/rewriting/mcd.h"
@@ -26,10 +27,9 @@ namespace cqac {
 
 struct RewriteOptions {
   McdOptions mcd;
-  /// Cap on MCD combinations explored.
-  size_t max_combinations = 1000000;
   /// Cap on per-combination alternatives for satisfying the query's
-  /// comparisons (cartesian across comparisons).
+  /// comparisons (cartesian across comparisons). A structural fan-out bound;
+  /// the MCD-combination count is charged to Budget::max_mappings.
   size_t max_ac_alternatives = 256;
   /// Verify each candidate rewriting (expansion contained in the query)
   /// before emitting. Cheap for LSI/RSI queries (single-mapping test); keep
@@ -52,6 +52,15 @@ struct RewriteStats {
 /// Computes an MCR of the LSI/RSI query `q` using `views` (general CQACs)
 /// as a finite union of CQACs. `q` must classify as CQ-only, LSI, or RSI;
 /// other classes are Unsupported (Section 5's algorithm covers CQAC-SI).
+///
+/// The context's Budget caps MCD construction and the exact-cover search
+/// (max_mappings) and the whole run (deadline); exhaustion returns a clean
+/// ResourceExhausted. Verification containment checks are memoized in the
+/// context, so repeated candidates across combinations are verified once.
+Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
+                                   const ViewSet& views,
+                                   const RewriteOptions& options = {},
+                                   RewriteStats* stats = nullptr);
 Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
                                    const RewriteOptions& options = {},
                                    RewriteStats* stats = nullptr);

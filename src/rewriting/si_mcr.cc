@@ -16,7 +16,8 @@ std::string SiMcr::ToString() const {
   return Join(lines, "\n");
 }
 
-Result<SiMcr> RewriteSiQueryDatalog(const Query& q, const ViewSet& views,
+Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
+                                    const ViewSet& views,
                                     const SiMcrOptions& options) {
   CQAC_ASSIGN_OR_RETURN(Query qp, Preprocess(q));
   if (!qp.IsCqacSi())
@@ -48,7 +49,7 @@ Result<SiMcr> RewriteSiQueryDatalog(const Query& q, const ViewSet& views,
   int next_skolem = 0;
   for (const Query& v : views.views()) {
     Result<Query> vcq_result =
-        BuildPcq(v, qp, /*require_si_only=*/!options.allow_general_views);
+        BuildPcq(ctx, v, qp, /*require_si_only=*/!options.allow_general_views);
     if (!vcq_result.ok()) {
       // An inconsistent view is always empty and contributes nothing.
       if (vcq_result.status().code() == StatusCode::kInconsistent) continue;
@@ -122,6 +123,12 @@ Result<SiMcr> RewriteSiQueryDatalog(const Query& q, const ViewSet& views,
     mcr.rules.push_back(datalog::EngineRule{std::move(rule), {}});
   }
   return mcr;
+}
+
+Result<SiMcr> RewriteSiQueryDatalog(const Query& q, const ViewSet& views,
+                                    const SiMcrOptions& options) {
+  EngineContext ctx;
+  return RewriteSiQueryDatalog(ctx, q, views, options);
 }
 
 }  // namespace cqac

@@ -25,6 +25,7 @@
 
 #include "src/base/status.h"
 #include "src/datalog/engine.h"
+#include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 
@@ -57,7 +58,12 @@ struct SiMcrOptions {
 
 /// Computes the Datalog MCR of the CQAC-SI query `q` using the SI-only views
 /// `views` (Figure 4). Unsupported when `q` is not CQAC-SI, or when some
-/// view is not SI-only and `options.allow_general_views` is off.
+/// view is not SI-only and `options.allow_general_views` is off. The
+/// construction itself is syntactic; the context overload memoizes the
+/// per-view v^CQ implication checks in the shared decision cache.
+Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
+                                    const ViewSet& views,
+                                    const SiMcrOptions& options = {});
 Result<SiMcr> RewriteSiQueryDatalog(const Query& q, const ViewSet& views,
                                     const SiMcrOptions& options = {});
 

@@ -1,0 +1,137 @@
+// Canonicalization invariance: the canonical form (and fingerprint) must
+// not change under variable renaming or permutation of body subgoals /
+// comparisons, and must separate structurally different queries. These are
+// the properties the engine layer's cache keys rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/gen/generators.h"
+#include "src/ir/canonical.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+/// A copy of `q` with variables renamed (and introduced in shuffled order)
+/// and body atoms / comparisons permuted — semantically the same query.
+Query RenameAndPermute(const Query& q, Rng& rng) {
+  std::vector<int> order(q.num_vars());
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = q.num_vars() - 1; i > 0; --i)
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.Uniform(0, i))]);
+
+  Query out;
+  out.head().predicate = q.head().predicate;
+  std::vector<int> new_id(order.size(), -1);
+  for (int v : order)
+    new_id[static_cast<size_t>(v)] =
+        out.FindOrAddVariable("Ren" + std::to_string(v));
+  auto xlate = [&](const Term& t) {
+    return t.is_const() ? t : Term::Var(new_id[static_cast<size_t>(t.var())]);
+  };
+
+  for (const Term& t : q.head().args) out.head().args.push_back(xlate(t));
+
+  std::vector<Atom> body = q.body();
+  for (int i = static_cast<int>(body.size()) - 1; i > 0; --i)
+    std::swap(body[static_cast<size_t>(i)],
+              body[static_cast<size_t>(rng.Uniform(0, i))]);
+  for (const Atom& a : body) {
+    Atom copy;
+    copy.predicate = a.predicate;
+    for (const Term& t : a.args) copy.args.push_back(xlate(t));
+    out.AddBodyAtom(std::move(copy));
+  }
+
+  std::vector<Comparison> comps = q.comparisons();
+  for (int i = static_cast<int>(comps.size()) - 1; i > 0; --i)
+    std::swap(comps[static_cast<size_t>(i)],
+              comps[static_cast<size_t>(rng.Uniform(0, i))]);
+  for (const Comparison& c : comps)
+    out.AddComparison(Comparison(xlate(c.lhs), c.op, xlate(c.rhs)));
+  return out;
+}
+
+TEST(CanonicalTest, InvariantUnderRenaming) {
+  Query a = MustParseQuery("q(X) :- r(X, Y), s(Y, Z), X < 5, Y <= Z");
+  Query b = MustParseQuery("q(U) :- r(U, W), s(W, T), U < 5, W <= T");
+  EXPECT_EQ(Canonicalize(a), Canonicalize(b));
+  EXPECT_EQ(CanonicalFingerprint(a), CanonicalFingerprint(b));
+}
+
+TEST(CanonicalTest, InvariantUnderSubgoalPermutation) {
+  Query a = MustParseQuery("q(X) :- r(X, Y), s(Y, Z), t(Z)");
+  Query b = MustParseQuery("q(X) :- t(Z), s(Y, Z), r(X, Y)");
+  EXPECT_EQ(Canonicalize(a), Canonicalize(b));
+}
+
+TEST(CanonicalTest, InvariantUnderComparisonPermutation) {
+  Query a = MustParseQuery("q() :- r(X, Y), X < 5, Y > 2, X <= Y");
+  Query b = MustParseQuery("q() :- r(X, Y), X <= Y, X < 5, Y > 2");
+  EXPECT_EQ(Canonicalize(a), Canonicalize(b));
+}
+
+TEST(CanonicalTest, SeparatesDifferentQueries) {
+  Query a = MustParseQuery("q(X) :- r(X, Y), X < 5");
+  Query b = MustParseQuery("q(X) :- r(X, Y), X < 6");
+  Query c = MustParseQuery("q(X) :- r(X, Y), X <= 5");
+  Query d = MustParseQuery("q(X) :- r(Y, X), X < 5");
+  EXPECT_NE(Canonicalize(a).text, Canonicalize(b).text);
+  EXPECT_NE(Canonicalize(a).text, Canonicalize(c).text);
+  EXPECT_NE(Canonicalize(a).text, Canonicalize(d).text);
+}
+
+TEST(CanonicalTest, DistinguishesHeadFromBodyVariables) {
+  Query a = MustParseQuery("q(X) :- r(X, Y)");
+  Query b = MustParseQuery("q(Y) :- r(X, Y)");
+  EXPECT_NE(Canonicalize(a).text, Canonicalize(b).text);
+}
+
+TEST(CanonicalTest, SelfJoinSymmetryCanonicalizes) {
+  // Two automorphic presentations of the same symmetric self-join.
+  Query a = MustParseQuery("q() :- e(X, Y), e(Y, X)");
+  Query b = MustParseQuery("q() :- e(B, A), e(A, B)");
+  EXPECT_EQ(Canonicalize(a), Canonicalize(b));
+}
+
+TEST(CanonicalTest, RandomizedInvariance) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 200; ++iter) {
+    gen::QuerySpec spec;
+    spec.num_subgoals = static_cast<int>(rng.Uniform(1, 4));
+    spec.num_predicates = 2;
+    spec.num_vars = static_cast<int>(rng.Uniform(2, 6));
+    spec.ac_density = 0.8;
+    spec.ac_mode = gen::AcMode::kGeneral;
+    spec.boolean_head = rng.Chance(0.3);
+    Query q = gen::RandomQuery(rng, spec);
+    CanonicalForm base = Canonicalize(q);
+    for (int rep = 0; rep < 3; ++rep) {
+      Query variant = RenameAndPermute(q, rng);
+      CanonicalForm got = Canonicalize(variant);
+      ASSERT_EQ(base.text, got.text)
+          << "canonicalization not renaming-invariant\noriginal: "
+          << q.ToString() << "\nvariant:  " << variant.ToString();
+      ASSERT_EQ(base.fingerprint, got.fingerprint);
+    }
+  }
+}
+
+TEST(CanonicalTest, FingerprintMatchesText) {
+  Rng rng(7);
+  gen::QuerySpec spec;
+  for (int iter = 0; iter < 50; ++iter) {
+    Query q = gen::RandomQuery(rng, spec);
+    CanonicalForm f = Canonicalize(q);
+    EXPECT_EQ(f.fingerprint, Fingerprint64(f.text));
+  }
+}
+
+}  // namespace
+}  // namespace cqac

@@ -88,10 +88,11 @@ TEST(PaperWorkloadsTest, AllWorkloadsValidate) {
   EXPECT_TRUE(workloads::Example51Q2().Validate().ok());
   // Hold the ViewSets in locals: `views()` returns a reference into the
   // set, so ranging over a temporary would dangle.
-  for (const ViewSet views :
-       {workloads::Example11Views(), workloads::Example12Views(),
-        workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
-        workloads::CarDealerViews()}) {
+  const std::vector<ViewSet> sets = {
+      workloads::Example11Views(), workloads::Example12Views(),
+      workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
+      workloads::CarDealerViews()};
+  for (const ViewSet& views : sets) {
     for (const Query& v : views.views())
       EXPECT_TRUE(v.Validate().ok()) << v.ToString();
   }

@@ -80,10 +80,12 @@ TEST(RewritingPropertyTest, RewriteLsiSoundOnRandomLsiWorkloads) {
   int emitted = 0;
   for (int iter = 0; iter < 40; ++iter) {
     Workload w = DrawWorkload(rng, gen::AcMode::kLsi, gen::AcMode::kSi);
+    Budget budget;
+    budget.max_mappings = 2000;
+    EngineContext ctx(budget);
     RewriteOptions opts;
-    opts.max_combinations = 2000;
     opts.max_ac_alternatives = 32;
-    auto mcr = RewriteLsiQuery(w.q, w.views, opts);
+    auto mcr = RewriteLsiQuery(ctx, w.q, w.views, opts);
     if (!mcr.ok()) {
       ASSERT_EQ(mcr.status().code(), StatusCode::kResourceExhausted)
           << mcr.status();
@@ -120,10 +122,15 @@ TEST(RewritingPropertyTest, BucketSoundOnRandomWorkloads) {
   Rng rng(3003);
   for (int iter = 0; iter < 25; ++iter) {
     Workload w = DrawWorkload(rng, gen::AcMode::kSi, gen::AcMode::kSi);
-    BucketOptions opts;
-    opts.max_candidates = 2000;
-    auto bucket = BucketRewrite(w.q, w.views, opts);
-    if (!bucket.ok()) continue;
+    Budget budget;
+    budget.max_mappings = 2000;
+    EngineContext ctx(budget);
+    auto bucket = BucketRewrite(ctx, w.q, w.views);
+    if (!bucket.ok()) {
+      ASSERT_EQ(bucket.status().code(), StatusCode::kResourceExhausted)
+          << bucket.status();
+      continue;
+    }
     if (!bucket.value().disjuncts.empty())
       CheckEmpiricalContainment(w.q, w.views, bucket.value(), rng, 2);
   }

@@ -54,7 +54,9 @@ TEST(RobustnessTest, ParserSurvivesMutatedValidInput) {
       }
     }
     auto r = ParseQuery(s);
-    if (r.ok()) EXPECT_GE(r.value().num_vars(), 0);
+    if (r.ok()) {
+      EXPECT_GE(r.value().num_vars(), 0);
+    }
   }
 }
 
@@ -74,12 +76,15 @@ TEST(RobustnessTest, HomomorphismCapSurfaces) {
             ", Y" + std::to_string(i) + ")";
   Query big = MustParseQuery("q() :- " + body + ", X0 < Y0");
   Query small = MustParseQuery("q() :- e(A, B), e(C, D), A < D");
+  Budget budget;
+  budget.max_homomorphisms = 4;
+  EngineContext ctx(budget);
   ContainmentOptions opts;
-  opts.max_homomorphisms = 4;
   opts.use_single_mapping_fast_path = false;
-  auto r = IsContained(big, small, opts);
+  auto r = IsContained(ctx, big, small, opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(ctx.stats().budget_exhaustions, 0u);
 }
 
 TEST(RobustnessTest, RewriteCapsSurface) {
@@ -88,12 +93,17 @@ TEST(RobustnessTest, RewriteCapsSurface) {
       "v1(A, B) :- e(A, B).\n"
       "v2(A, B) :- e(A, B).\n"
       "v3(A, B) :- e(A, B)."));
-  RewriteOptions opts;
-  opts.max_combinations = 2;
+  // The three identical views yield many complete covers; a tiny mapping
+  // budget must surface as ResourceExhausted, never as a silently truncated
+  // result.
+  Budget budget;
+  budget.max_mappings = 2;
+  EngineContext ctx(budget);
   RewriteStats stats;
-  auto mcr = RewriteLsiQuery(q, views, opts, &stats);
-  ASSERT_TRUE(mcr.ok()) << mcr.status();
-  EXPECT_LE(stats.combinations, 2u);
+  auto mcr = RewriteLsiQuery(ctx, q, views, {}, &stats);
+  ASSERT_FALSE(mcr.ok());
+  EXPECT_EQ(mcr.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(ctx.stats().budget_exhaustions, 0u);
 }
 
 TEST(RobustnessTest, EngineRejectsArityConflicts) {

@@ -33,10 +33,11 @@ TEST(RoundTripTest, PaperWorkloads) {
   ExpectRoundTrips(workloads::Example51Q1());
   ExpectRoundTrips(workloads::Example51Q2());
   ExpectRoundTrips(workloads::Example51Chain(6, Rational(6), Rational(7)));
-  for (const ViewSet views :
-       {workloads::Example11Views(), workloads::Example12Views(),
-        workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
-        workloads::CarDealerViews()}) {
+  const std::vector<ViewSet> sets = {
+      workloads::Example11Views(), workloads::Example12Views(),
+      workloads::Sec44CaseViews(), workloads::Sec44FullViews(),
+      workloads::CarDealerViews()};
+  for (const ViewSet& views : sets) {
     for (const Query& v : views.views()) ExpectRoundTrips(v);
   }
 }

@@ -60,8 +60,9 @@ TEST(SiMcrTest, Example12SoundOnRandomDatabases) {
     auto q_ans = EvaluateQuery(q, db);
     ASSERT_TRUE(q_ans.ok());
     // Boolean query: MCR true -> Q true.
-    if (!mcr_ans.value().empty())
+    if (!mcr_ans.value().empty()) {
       EXPECT_FALSE(q_ans.value().empty()) << "iteration " << iter;
+    }
   }
 }
 

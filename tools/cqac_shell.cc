@@ -15,6 +15,7 @@
 //   eval                   evaluate the query over the base database
 //   answers                certain answers: materialize views, run the MCR
 //   contained <rule>       is <rule> contained in the current query?
+//   stats                  print engine counters (cache hits, budgets, ...)
 //   reset                  clear all state
 //   help                   print this summary
 //
@@ -84,6 +85,7 @@ class Shell {
     if (cmd == "contained") return Contained(rest);
     if (cmd == "explain") return Explain(rest);
     if (cmd == "intervals") return Intervals();
+    if (cmd == "stats" || cmd == "\\stats") return Stats();
     return Fail("unknown command '" + cmd + "' (try: help)");
   }
 
@@ -92,7 +94,12 @@ class Shell {
         "commands: view <rule> | query <rule> | fact <atom> | classify |\n"
         "          rewrite | er | minimize | eval | answers |\n"
         "          contained <rule> | explain <rule> | intervals |\n"
-        "          reset | help\n");
+        "          stats | reset | help\n");
+    return true;
+  }
+
+  bool Stats() {
+    std::printf("%s\n", ctx_.ToString().c_str());
     return true;
   }
 
@@ -147,7 +154,7 @@ class Shell {
     AcClass cls = query_.Classify();
     if (cls == AcClass::kNone || cls == AcClass::kLsi ||
         cls == AcClass::kRsi) {
-      Result<UnionQuery> mcr = RewriteLsiQuery(query_, views_);
+      Result<UnionQuery> mcr = RewriteLsiQuery(ctx_, query_, views_);
       if (!mcr.ok()) return Fail(mcr.status().ToString());
       last_mcr_ = std::move(mcr).value();
       have_mcr_ = !last_mcr_.empty();
@@ -156,13 +163,13 @@ class Shell {
       return true;
     }
     if (query_.IsCqacSi() && views_.AllSiOnly()) {
-      Result<SiMcr> mcr = RewriteSiQueryDatalog(query_, views_);
+      Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query_, views_);
       if (!mcr.ok()) return Fail(mcr.status().ToString());
       std::printf("recursive datalog mcr (%zu rules):\n%s\n",
                   mcr.value().rules.size(), mcr.value().ToString().c_str());
       return true;
     }
-    Result<UnionQuery> mcr = BucketRewrite(query_, views_);
+    Result<UnionQuery> mcr = BucketRewrite(ctx_, query_, views_);
     if (!mcr.ok()) return Fail(mcr.status().ToString());
     last_mcr_ = std::move(mcr).value();
     have_mcr_ = !last_mcr_.empty();
@@ -173,7 +180,7 @@ class Shell {
 
   bool FindEr() {
     if (!NeedQuery()) return false;
-    Result<ErResult> er = FindEquivalentRewriting(query_, views_);
+    Result<ErResult> er = FindEquivalentRewriting(ctx_, query_, views_);
     if (!er.ok()) return Fail(er.status().ToString());
     if (er.value().single.has_value()) {
       std::printf("er: %s\n", er.value().single->ToString().c_str());
@@ -189,7 +196,7 @@ class Shell {
 
   bool Minimize() {
     if (!NeedQuery()) return false;
-    Result<Query> m = MinimizeQuery(query_);
+    Result<Query> m = MinimizeQuery(ctx_, query_);
     if (!m.ok()) return Fail(m.status().ToString());
     query_ = std::move(m).value();
     std::printf("minimized: %s\n", query_.ToString().c_str());
@@ -233,7 +240,7 @@ class Shell {
       if (!exp.ok()) return Fail(exp.status().ToString());
       candidate = std::move(exp).value();
     }
-    Result<bool> c = IsContained(candidate, query_);
+    Result<bool> c = IsContained(ctx_, candidate, query_);
     if (!c.ok()) return Fail(c.status().ToString());
     std::printf("contained: %s%s\n", c.value() ? "yes" : "no",
                 uses_views ? " (checked via expansion)" : "");
@@ -266,6 +273,9 @@ class Shell {
     std::printf("\n");
   }
 
+  // One engine context for the whole session: containment and implication
+  // decisions are cached across commands, and `stats` reports them.
+  EngineContext ctx_;
   ViewSet views_;
   Query query_;
   bool have_query_ = false;
