@@ -1,0 +1,64 @@
+// Independent re-validation of the engines' rewriting results.
+//
+// Every rewriting algorithm in src/rewriting verifies its own output with
+// the production containment machinery. The certificate checker re-derives
+// those verdicts from the witnesses the algorithms emit, using only
+// slow-but-obvious decision procedures:
+//  * containment mappings are checked by direct substitution (is it really
+//    a homomorphism?);
+//  * AC implications are re-decided by ImpliesDisjunctionByPreorders — the
+//    exhaustive enumeration of all premise-consistent total preorders;
+//  * expansions are recomputed from scratch and compared up to renaming via
+//    canonical forms;
+//  * SI-MCR rules are re-validated one by one against the views and the
+//    recomputed Q^datalog program.
+//
+// A check returns OK when the certificate is valid, InvalidArgument with a
+// human-readable reason when it is not, and Unsupported for the rare inputs
+// the reference procedures cannot decide (symbolic constants inside
+// comparison images). The randomized/property tests and the shell's
+// `verify` mode run these after every rewriting.
+#ifndef CQAC_ANALYSIS_CERTIFICATE_H_
+#define CQAC_ANALYSIS_CERTIFICATE_H_
+
+#include "src/base/status.h"
+#include "src/containment/containment.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+#include "src/rewriting/er_search.h"
+#include "src/rewriting/si_mcr.h"
+#include "src/rewriting/witness.h"
+
+namespace cqac {
+
+/// Validates one ContainmentWitness: every mapping is a genuine containment
+/// mapping (head + body checked by substitution) and the contained query's
+/// comparisons imply the disjunction of the mapped comparison images
+/// (re-decided by exhaustive preorder enumeration).
+Status CheckContainmentWitness(const ContainmentWitness& w);
+
+/// Validates a produced contained rewriting `rewriting` of `q` over `views`
+/// against its witness: recomputes each disjunct's expansion from scratch,
+/// matches it (up to renaming) with the witness, and re-validates every
+/// per-disjunct containment witness.
+Status CheckRewritingWitness(const Query& q, const ViewSet& views,
+                             const UnionQuery& rewriting,
+                             const RewritingWitness& w);
+
+/// Validates an equivalent-rewriting result: the forward direction through
+/// CheckRewritingWitness, and the back direction through the single-ER
+/// containment witness or (for union ERs) a from-scratch canonical-database
+/// union-containment decision.
+Status CheckErResult(const Query& q, const ViewSet& views, const ErResult& er,
+                     const ErWitness& w);
+
+/// Validates an SI-MCR Datalog program rule by rule: the Q^datalog prefix is
+/// recomputed and compared structurally, every inverse rule is matched to
+/// its source view (U-atom bounds re-derived by preorder enumeration,
+/// Skolem specs checked against the view's distinguished variables), and
+/// the domain rules are shape-checked.
+Status CheckSiMcr(const Query& q, const ViewSet& views, const SiMcr& mcr);
+
+}  // namespace cqac
+
+#endif  // CQAC_ANALYSIS_CERTIFICATE_H_

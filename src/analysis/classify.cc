@@ -1,0 +1,72 @@
+#include "src/analysis/classify.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+const char* ClassInfo::Name() const {
+  switch (ac_class) {
+    case AcClass::kNone:
+      return "CQ";
+    case AcClass::kLsi:
+      return "LSI";
+    case AcClass::kRsi:
+      return "RSI";
+    case AcClass::kSi:
+      return cqac_si ? "CQAC-SI" : "SI";
+    case AcClass::kGeneral:
+      return "CQAC";
+  }
+  return "?";
+}
+
+const char* ClassInfo::RecommendedAlgorithm() const {
+  switch (ac_class) {
+    case AcClass::kNone:
+      return "BucketRewrite (classical CQ machinery; single-mapping "
+             "containment, Theorem 2.3)";
+    case AcClass::kLsi:
+    case AcClass::kRsi:
+      return "RewriteLSIQuery (Figure 2 MCD algorithm; single-mapping "
+             "containment, Theorem 2.3)";
+    case AcClass::kSi:
+      if (cqac_si)
+        return "FindEquivalentRewriting / RewriteAllDistinguished "
+               "(Theorem 3.2) or RewriteSiQueryDatalog (Figure 4)";
+      return "RewriteSiQueryDatalog (Figure 4 SI-MCR; Lemma 5.1 "
+             "implication)";
+    case AcClass::kGeneral:
+      return "BucketRewrite with general Theorem 2.1 verification "
+             "(all containment mappings + disjunction implication)";
+  }
+  return "?";
+}
+
+std::string ClassInfo::ToString() const {
+  if (ac_class == AcClass::kNone) return Name();
+  if (closed) return StrCat(Name(), " (closed)");
+  if (open) return StrCat(Name(), " (open)");
+  return Name();
+}
+
+ClassInfo ClassifyQuery(const Query& q) {
+  ClassInfo info;
+  info.ac_class = q.Classify();
+  info.cqac_si = q.IsCqacSi();
+  bool any_ordered = false;
+  bool all_strict = true;
+  bool all_nonstrict = true;
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op == CompOp::kEq) continue;
+    any_ordered = true;
+    if (c.op == CompOp::kLt)
+      all_nonstrict = false;
+    else
+      all_strict = false;
+  }
+  info.closed = any_ordered && all_nonstrict;
+  info.open = any_ordered && all_strict;
+  return info;
+}
+
+}  // namespace cqac

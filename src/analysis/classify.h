@@ -1,0 +1,58 @@
+// Syntactic class inference for CQAC queries.
+//
+// The paper's complexity results and algorithm preconditions hinge on which
+// fragment a query's comparison set falls into (Table 2, Sections 3-5).
+// ClassifyQuery computes the full picture in one pass so callers can pick
+// the cheapest sound algorithm:
+//
+//       CQ  ⊂  LSI, RSI  ⊂  CQAC-SI  ⊂  SI  ⊂  CQAC
+//
+//  * CQ       — no comparisons; classical containment (NP).
+//  * LSI/RSI  — all comparisons upper bounds (resp. lower bounds) on single
+//               variables; Theorem 2.3 single-mapping containment applies and
+//               RewriteLSIQuery (Figure 2) is complete.
+//  * CQAC-SI  — semi-interval with at most one LSI or at most one RSI
+//               comparison; the Section 3 equivalent-rewriting machinery
+//               (Theorem 3.2) applies.
+//  * SI       — all comparisons semi-interval; Lemma 5.1 implication and the
+//               Figure 4 Datalog MCR apply.
+//  * CQAC     — anything else (variable-variable or symbol comparisons);
+//               only the general Theorem 2.1 test is sound.
+//
+// Orthogonally, the comparison set is *closed* when every ordered comparison
+// is non-strict (<=) and *open* when every one is strict (<) — Afrati &
+// Damigos show several complexity bounds differ between the closed and open
+// cases.
+#ifndef CQAC_ANALYSIS_CLASSIFY_H_
+#define CQAC_ANALYSIS_CLASSIFY_H_
+
+#include <string>
+
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// The inferred class of one query's comparison set.
+struct ClassInfo {
+  AcClass ac_class = AcClass::kNone;
+  bool cqac_si = false;  // Section 5's CQAC-SI fragment (implies SI)
+  bool closed = false;   // every ordered comparison non-strict (<=)
+  bool open = false;     // every ordered comparison strict (<)
+
+  /// Canonical class name: "CQ", "LSI", "RSI", "CQAC-SI", "SI" or "CQAC".
+  const char* Name() const;
+
+  /// One-line statement of which rewriting algorithm is sound and complete
+  /// for this class.
+  const char* RecommendedAlgorithm() const;
+
+  /// Renders e.g. "LSI (closed)" or "CQAC".
+  std::string ToString() const;
+};
+
+/// Classifies `q`. Pure syntax; never fails.
+ClassInfo ClassifyQuery(const Query& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_ANALYSIS_CLASSIFY_H_

@@ -59,9 +59,30 @@ bool SanitizeImage(std::vector<Comparison>* cs) {
   return true;
 }
 
+/// Flattens a total containment mapping into a dense vector indexed by the
+/// container's variable ids. Returns false when some variable is unbound
+/// (impossible for validated containers, where every variable occurs in the
+/// body).
+bool FlattenMapping(const VarMap& mu, std::vector<Term>* out) {
+  out->clear();
+  out->reserve(mu.num_source_vars());
+  for (int v = 0; v < mu.num_source_vars(); ++v) {
+    if (!mu.IsBound(v)) return false;
+    out->push_back(mu.Get(v));
+  }
+  return true;
+}
+
+void RecordMapping(ContainmentWitness* witness, const VarMap& mu) {
+  if (witness == nullptr) return;
+  std::vector<Term> flat;
+  if (FlattenMapping(mu, &flat)) witness->mappings.push_back(std::move(flat));
+}
+
 /// The uncached containment decision on preprocessed inputs.
 Result<bool> DecideContainment(EngineContext& ctx, const Query& q2p,
-                               const Query& q1p, bool fast_path) {
+                               const Query& q1p, bool fast_path,
+                               ContainmentWitness* witness) {
   HomomorphismOptions hopts;
 
   if (fast_path) {
@@ -82,12 +103,16 @@ Result<bool> DecideContainment(EngineContext& ctx, const Query& q2p,
           }
           if (implied.value()) {
             found = true;
+            RecordMapping(witness, mu);
             return false;
           }
           return true;
         });
     CQAC_RETURN_IF_ERROR(inner);
-    if (found) return true;
+    if (found) {
+      if (witness != nullptr) witness->single_mapping = true;
+      return true;
+    }
     if (outcome == EnumerationOutcome::kBudgetExhausted)
       return Status::ResourceExhausted(
           "single-mapping containment search exceeded the budget");
@@ -105,11 +130,18 @@ Result<bool> DecideContainment(EngineContext& ctx, const Query& q2p,
         if (!SanitizeImage(&image)) return true;
         if (image.empty()) {
           trivially_contained = true;  // a mapping that needs no comparisons
+          if (witness != nullptr) {
+            witness->mappings.clear();
+            RecordMapping(witness, mu);
+            witness->single_mapping = true;
+          }
           return false;
         }
         if (std::find(disjuncts.begin(), disjuncts.end(), image) ==
-            disjuncts.end())
+            disjuncts.end()) {
           disjuncts.push_back(std::move(image));
+          RecordMapping(witness, mu);
+        }
         return true;
       });
   if (trivially_contained) return true;
@@ -123,15 +155,24 @@ Result<bool> DecideContainment(EngineContext& ctx, const Query& q2p,
 }  // namespace
 
 Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
-                         const ContainmentOptions& options) {
+                         const ContainmentOptions& options,
+                         ContainmentWitness* witness) {
   ++ctx.stats().containment_calls;
+  if (witness != nullptr) *witness = ContainmentWitness{};
   if (q2.head().args.size() != q1.head().args.size())
     return Status::InvalidArgument(
         "containment between queries of different head arity");
 
   bool q2_inconsistent = false, q1_inconsistent = false;
   CQAC_ASSIGN_OR_RETURN(Query q2p, PreprocessOrFlag(q2, &q2_inconsistent));
-  if (q2_inconsistent) return true;  // the empty query is contained anywhere
+  if (q2_inconsistent) {
+    if (witness != nullptr) {
+      witness->contained = q2;
+      witness->container = q1;
+      witness->contained_inconsistent = true;
+    }
+    return true;  // the empty query is contained anywhere
+  }
   CQAC_ASSIGN_OR_RETURN(Query q1p, PreprocessOrFlag(q1, &q1_inconsistent));
   if (q1_inconsistent) return false;  // nothing nonempty fits in the empty one
 
@@ -143,9 +184,10 @@ Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
   // Memoized on the canonical pair: containment is invariant under renaming
   // either query independently, which is exactly what interning quotients
   // away. Preprocessing happened above, so comparison-implied equalities
-  // cannot split canonical classes.
+  // cannot split canonical classes. A witness request bypasses the cache:
+  // the mappings must actually be recomputed.
   std::string key;
-  if (ctx.caching_enabled()) {
+  if (ctx.caching_enabled() && witness == nullptr) {
     InternedQuery i2 = ctx.Intern(q2p);
     InternedQuery i1 = ctx.Intern(q1p);
     key = EngineContext::MakeContainmentKey(i2, i1, fast_path);
@@ -156,8 +198,13 @@ Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
     ++ctx.stats().containment_cache_misses;
   }
 
-  Result<bool> r = DecideContainment(ctx, q2p, q1p, fast_path);
-  if (r.ok() && ctx.caching_enabled()) ctx.CacheStore(key, r.value());
+  if (witness != nullptr) {
+    witness->contained = q2p;
+    witness->container = q1p;
+  }
+  Result<bool> r = DecideContainment(ctx, q2p, q1p, fast_path, witness);
+  if (r.ok() && ctx.caching_enabled() && witness == nullptr)
+    ctx.CacheStore(key, r.value());
   return r;
 }
 

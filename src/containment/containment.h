@@ -35,11 +35,36 @@ struct ContainmentOptions {
   bool use_single_mapping_fast_path = true;
 };
 
+/// A machine-checkable justification for one positive containment decision
+/// `contained ⊆ container`: the preprocessed pair plus the containment
+/// mappings whose comparison images the contained query's comparisons imply
+/// disjunctively (Theorem 2.1; a single mapping under Theorem 2.3). The
+/// certificate checker (src/analysis/certificate.h) re-validates it with the
+/// slow reference procedures, independent of the production decision path.
+struct ContainmentWitness {
+  Query contained;   // the preprocessed contained query (q2)
+  Query container;   // the preprocessed containing query (q1)
+  /// The contained query's comparisons are unsatisfiable: it denotes the
+  /// empty relation and is vacuously contained (no mappings recorded).
+  bool contained_inconsistent = false;
+  /// Exactly one mapping suffices (Theorem 2.3 fast path or a mapping whose
+  /// comparison image is empty after simplification).
+  bool single_mapping = false;
+  /// Each mapping sends container variable ids (vector index) to terms over
+  /// `contained`. Every mapping is total.
+  std::vector<std::vector<Term>> mappings;
+};
+
 /// True iff `q2` is contained in `q1` (every database's q2-answers are
 /// q1-answers). Head arities must match. ResourceExhausted when the
 /// context's budget (mapping cap or deadline) cuts the decision short.
+///
+/// When `witness` is non-null and the result is `true`, the witness is
+/// filled with a checkable justification; the decision cache is bypassed so
+/// the mappings are actually recomputed.
 Result<bool> IsContained(EngineContext& ctx, const Query& q2, const Query& q1,
-                         const ContainmentOptions& options = {});
+                         const ContainmentOptions& options = {},
+                         ContainmentWitness* witness = nullptr);
 Result<bool> IsContained(const Query& q2, const Query& q1,
                          const ContainmentOptions& options = {});
 

@@ -32,6 +32,43 @@ std::string SiForm::PredicateSuffix() const {
   return StrCat(op, "_", cleaned);
 }
 
+Result<SiForm> SiForm::FromPredicateSuffix(const std::string& suffix) {
+  size_t sep = suffix.find('_');
+  if (sep == std::string::npos || sep != 2)
+    return Status::InvalidArgument(
+        StrCat("malformed SiForm suffix '", suffix, "'"));
+  std::string op = suffix.substr(0, sep);
+  SiForm f;
+  if (op == "gt") {
+    f.lower = true;
+    f.strict = true;
+  } else if (op == "ge") {
+    f.lower = true;
+    f.strict = false;
+  } else if (op == "lt") {
+    f.lower = false;
+    f.strict = true;
+  } else if (op == "le") {
+    f.lower = false;
+    f.strict = false;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown SiForm operator '", op, "'"));
+  }
+  std::string enc = suffix.substr(sep + 1);
+  std::string number;
+  for (char ch : enc) {
+    if (ch == 'd')
+      number += '/';
+    else if (ch == 'm')
+      number += '-';
+    else
+      number += ch;
+  }
+  CQAC_ASSIGN_OR_RETURN(f.c, Rational::Parse(number));
+  return f;
+}
+
 SiForm SiFormOf(const Comparison& c) {
   assert(c.IsSemiInterval());
   SiForm f;

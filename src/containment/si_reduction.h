@@ -47,6 +47,11 @@ struct SiForm {
   /// Encodes the form as a predicate-name fragment, e.g. "gt_5", "le_7d2",
   /// "lt_m3" (d = '/', m = '-').
   std::string PredicateSuffix() const;
+
+  /// Inverse of PredicateSuffix: decodes "ge_7d2" back into a form. Used by
+  /// the certificate checker to re-derive what a `U_...` / `I_...` predicate
+  /// claims. Fails on strings PredicateSuffix cannot produce.
+  static Result<SiForm> FromPredicateSuffix(const std::string& suffix);
 };
 
 /// Extracts the SiForm of a semi-interval comparison (which must satisfy

@@ -28,12 +28,14 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  size_t pos = 0;
+  size_t pos = 0;  // byte offset of the first character
+  size_t end = 0;  // byte offset one past the last character
 };
 
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) {}
+  Lexer(const std::string& text, const LineMap& lines)
+      : text_(text), lines_(lines) {}
 
   Status Tokenize(std::vector<Token>* out) {
     size_t i = 0;
@@ -53,7 +55,8 @@ class Lexer {
         while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
                          text_[i] == '_'))
           ++i;
-        out->push_back({TokKind::kIdent, text_.substr(start, i - start), start});
+        out->push_back(
+            {TokKind::kIdent, text_.substr(start, i - start), start, i});
         continue;
       }
       if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -75,53 +78,53 @@ class Lexer {
             ++i;
         }
         out->push_back(
-            {TokKind::kNumber, text_.substr(start, i - start), start});
+            {TokKind::kNumber, text_.substr(start, i - start), start, i});
         continue;
       }
       switch (c) {
         case '(':
-          out->push_back({TokKind::kLParen, "(", start});
+          out->push_back({TokKind::kLParen, "(", start, start + 1});
           ++i;
           continue;
         case ')':
-          out->push_back({TokKind::kRParen, ")", start});
+          out->push_back({TokKind::kRParen, ")", start, start + 1});
           ++i;
           continue;
         case ',':
-          out->push_back({TokKind::kComma, ",", start});
+          out->push_back({TokKind::kComma, ",", start, start + 1});
           ++i;
           continue;
         case '.':
-          out->push_back({TokKind::kDot, ".", start});
+          out->push_back({TokKind::kDot, ".", start, start + 1});
           ++i;
           continue;
         case ':':
           if (i + 1 < n && text_[i + 1] == '-') {
-            out->push_back({TokKind::kArrow, ":-", start});
+            out->push_back({TokKind::kArrow, ":-", start, start + 2});
             i += 2;
             continue;
           }
           return Err(start, "expected ':-'");
         case '<':
           if (i + 1 < n && text_[i + 1] == '=') {
-            out->push_back({TokKind::kLe, "<=", start});
+            out->push_back({TokKind::kLe, "<=", start, start + 2});
             i += 2;
           } else {
-            out->push_back({TokKind::kLt, "<", start});
+            out->push_back({TokKind::kLt, "<", start, start + 1});
             ++i;
           }
           continue;
         case '>':
           if (i + 1 < n && text_[i + 1] == '=') {
-            out->push_back({TokKind::kGe, ">=", start});
+            out->push_back({TokKind::kGe, ">=", start, start + 2});
             i += 2;
           } else {
-            out->push_back({TokKind::kGt, ">", start});
+            out->push_back({TokKind::kGt, ">", start, start + 1});
             ++i;
           }
           continue;
         case '=':
-          out->push_back({TokKind::kEq, "=", start});
+          out->push_back({TokKind::kEq, "=", start, start + 1});
           ++i;
           continue;
         case '!':
@@ -132,16 +135,17 @@ class Lexer {
           return Err(start, StrCat("unexpected character '", c, "'"));
       }
     }
-    out->push_back({TokKind::kEnd, "", n});
+    out->push_back({TokKind::kEnd, "", n, n});
     return Status::OK();
   }
 
  private:
   Status Err(size_t pos, const std::string& msg) {
     return Status::InvalidArgument(
-        StrCat("at offset ", pos, ": ", msg));
+        StrCat("at ", lines_.At(pos).ToString(), ": ", msg));
   }
   const std::string& text_;
+  const LineMap& lines_;
 };
 
 bool IsVariableName(const std::string& ident) {
@@ -152,85 +156,134 @@ bool IsVariableName(const std::string& ident) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const LineMap& lines)
+      : toks_(std::move(tokens)), lines_(lines) {}
 
-  Result<std::vector<Query>> ParseProgram() {
-    std::vector<Query> rules;
+  Result<std::vector<ParsedQuery>> ParseProgram() {
+    std::vector<ParsedQuery> rules;
     while (!At(TokKind::kEnd)) {
-      Query q;
-      CQAC_RETURN_IF_ERROR(ParseRuleInto(&q));
-      rules.push_back(std::move(q));
+      ParsedQuery pq;
+      CQAC_RETURN_IF_ERROR(ParseRuleInto(&pq));
+      rules.push_back(std::move(pq));
       if (At(TokKind::kDot)) ++i_;
     }
     return rules;
   }
 
-  Result<Query> ParseSingle() {
-    Query q;
-    CQAC_RETURN_IF_ERROR(ParseRuleInto(&q));
+  ParsedProgram ParseProgramRecovering() {
+    ParsedProgram out;
+    while (!At(TokKind::kEnd)) {
+      ParsedQuery pq;
+      Status st = ParseRuleInto(&pq);
+      if (st.ok()) {
+        out.rules.push_back(std::move(pq));
+        if (At(TokKind::kDot)) ++i_;
+        continue;
+      }
+      // The Status message carries an "at line:col: " prefix for callers
+      // that only see the string; the diagnostic's span already encodes the
+      // position, so strip the prefix rather than print it twice.
+      std::string msg = st.message();
+      if (msg.rfind("at ", 0) == 0) {
+        size_t colon = msg.find(": ", 3);
+        if (colon != std::string::npos) msg = msg.substr(colon + 2);
+      }
+      out.errors.push_back({SpanOf(Cur()), std::move(msg)});
+      // Recover: skip to just past the next '.' and try the next rule.
+      while (!At(TokKind::kEnd) && !At(TokKind::kDot)) ++i_;
+      if (At(TokKind::kDot)) ++i_;
+    }
+    return out;
+  }
+
+  Result<ParsedQuery> ParseSingle() {
+    ParsedQuery pq;
+    CQAC_RETURN_IF_ERROR(ParseRuleInto(&pq));
     if (At(TokKind::kDot)) ++i_;
     if (!At(TokKind::kEnd))
       return Status::InvalidArgument(
-          StrCat("trailing input after rule at offset ", Cur().pos));
-    return q;
+          StrCat("trailing input after rule at ",
+                 lines_.At(Cur().pos).ToString()));
+    return pq;
   }
 
  private:
   const Token& Cur() const { return toks_[i_]; }
   bool At(TokKind k) const { return Cur().kind == k; }
 
+  SourceSpan SpanOf(const Token& t) const {
+    return {lines_.At(t.pos), lines_.At(t.end)};
+  }
+  SourceSpan SpanBetween(const Token& from, const Token& to) const {
+    return {lines_.At(from.pos), lines_.At(to.end)};
+  }
+
+  Status ErrHere(const std::string& msg) {
+    return Status::InvalidArgument(
+        StrCat("at ", lines_.At(Cur().pos).ToString(), ": ", msg));
+  }
+
   Status Expect(TokKind k, const char* what) {
     if (!At(k))
-      return Status::InvalidArgument(
-          StrCat("at offset ", Cur().pos, ": expected ", what, ", got '",
-                 Cur().text, "'"));
+      return ErrHere(StrCat("expected ", what, ", got '",
+                            Cur().text.empty() ? "end of input" : Cur().text,
+                            "'"));
     ++i_;
     return Status::OK();
   }
 
-  Status ParseRuleInto(Query* q) {
-    CQAC_RETURN_IF_ERROR(ParseAtom(q, &q->head()));
-    if (At(TokKind::kDot) || At(TokKind::kEnd)) return Status::OK();  // fact
+  Status ParseRuleInto(ParsedQuery* pq) {
+    Query* q = &pq->query;
+    QuerySourceInfo* info = &pq->info;
+    const Token& first = Cur();
+    CQAC_RETURN_IF_ERROR(ParseAtom(pq, &q->head(), &info->head));
+    if (At(TokKind::kDot) || At(TokKind::kEnd)) {  // fact
+      info->rule = SpanBetween(first, toks_[i_ > 0 ? i_ - 1 : 0]);
+      return Status::OK();
+    }
     CQAC_RETURN_IF_ERROR(Expect(TokKind::kArrow, "':-'"));
     while (true) {
-      CQAC_RETURN_IF_ERROR(ParseItem(q));
+      CQAC_RETURN_IF_ERROR(ParseItem(pq));
       if (At(TokKind::kComma)) {
         ++i_;
         continue;
       }
       break;
     }
+    info->rule = SpanBetween(first, toks_[i_ > 0 ? i_ - 1 : 0]);
     return Status::OK();
   }
 
   // An item is an atom or a comparison; both can begin with an identifier,
   // so we look ahead: IDENT '(' starts an atom.
-  Status ParseItem(Query* q) {
+  Status ParseItem(ParsedQuery* pq) {
     if (At(TokKind::kIdent) && i_ + 1 < toks_.size() &&
         toks_[i_ + 1].kind == TokKind::kLParen) {
       Atom a;
-      CQAC_RETURN_IF_ERROR(ParseAtom(q, &a));
-      q->AddBodyAtom(std::move(a));
+      SourceSpan span;
+      CQAC_RETURN_IF_ERROR(ParseAtom(pq, &a, &span));
+      pq->query.AddBodyAtom(std::move(a));
+      pq->info.body.push_back(span);
       return Status::OK();
     }
-    return ParseComparison(q);
+    return ParseComparison(pq);
   }
 
-  Status ParseAtom(Query* q, Atom* out) {
-    if (!At(TokKind::kIdent))
-      return Status::InvalidArgument(
-          StrCat("at offset ", Cur().pos, ": expected predicate name"));
+  Status ParseAtom(ParsedQuery* pq, Atom* out, SourceSpan* span) {
+    const Token& first = Cur();
+    if (!At(TokKind::kIdent)) return ErrHere("expected predicate name");
     out->predicate = Cur().text;
     ++i_;
     CQAC_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
     out->args.clear();
     if (At(TokKind::kRParen)) {
+      *span = SpanBetween(first, Cur());
       ++i_;
       return Status::OK();
     }
     while (true) {
       Term t = Term::Const(Value(std::string("?")));
-      CQAC_RETURN_IF_ERROR(ParseTerm(q, &t));
+      CQAC_RETURN_IF_ERROR(ParseTerm(pq, &t));
       out->args.push_back(t);
       if (At(TokKind::kComma)) {
         ++i_;
@@ -238,14 +291,20 @@ class Parser {
       }
       break;
     }
-    return Expect(TokKind::kRParen, "')'");
+    if (!At(TokKind::kRParen)) return Expect(TokKind::kRParen, "')'");
+    *span = SpanBetween(first, Cur());
+    ++i_;
+    return Status::OK();
   }
 
-  Status ParseTerm(Query* q, Term* out) {
+  Status ParseTerm(ParsedQuery* pq, Term* out) {
+    Query* q = &pq->query;
     if (At(TokKind::kIdent)) {
       const std::string& name = Cur().text;
       if (IsVariableName(name)) {
+        bool fresh = q->FindVariable(name) < 0;
         *out = Term::Var(q->FindOrAddVariable(name));
+        if (fresh) pq->info.var_first_use.push_back(SpanOf(Cur()));
       } else {
         *out = Term::Const(Value(name));
       }
@@ -254,27 +313,30 @@ class Parser {
     }
     if (At(TokKind::kNumber)) {
       Result<Rational> r = Rational::Parse(Cur().text);
-      if (!r.ok()) return r.status();
+      if (!r.ok())
+        return ErrHere(StrCat("bad number '", Cur().text, "': ",
+                              r.status().message()));
       *out = Term::Const(Value(std::move(r).value()));
       ++i_;
       return Status::OK();
     }
-    return Status::InvalidArgument(
-        StrCat("at offset ", Cur().pos, ": expected term, got '", Cur().text,
-               "'"));
+    return ErrHere(StrCat("expected term, got '",
+                          Cur().text.empty() ? "end of input" : Cur().text,
+                          "'"));
   }
 
-  Status ParseComparison(Query* q) {
+  Status ParseComparison(ParsedQuery* pq) {
+    Query* q = &pq->query;
+    const Token& first = Cur();
     Term lhs = Term::Const(Value(std::string("?")));
-    CQAC_RETURN_IF_ERROR(ParseTerm(q, &lhs));
+    CQAC_RETURN_IF_ERROR(ParseTerm(pq, &lhs));
     TokKind op = Cur().kind;
     if (op != TokKind::kLt && op != TokKind::kLe && op != TokKind::kGt &&
         op != TokKind::kGe && op != TokKind::kEq)
-      return Status::InvalidArgument(
-          StrCat("at offset ", Cur().pos, ": expected comparison operator"));
+      return ErrHere("expected comparison operator");
     ++i_;
     Term rhs = Term::Const(Value(std::string("?")));
-    CQAC_RETURN_IF_ERROR(ParseTerm(q, &rhs));
+    CQAC_RETURN_IF_ERROR(ParseTerm(pq, &rhs));
     // Normalize > and >= by swapping sides.
     switch (op) {
       case TokKind::kLt:
@@ -295,27 +357,56 @@ class Parser {
       default:
         return Status::Internal("unreachable comparison op");
     }
+    pq->info.comparisons.push_back(
+        SpanBetween(first, toks_[i_ > 0 ? i_ - 1 : 0]));
     return Status::OK();
   }
 
   std::vector<Token> toks_;
+  const LineMap& lines_;
   size_t i_ = 0;
 };
 
 }  // namespace
 
 Result<Query> ParseQuery(const std::string& text) {
+  CQAC_ASSIGN_OR_RETURN(ParsedQuery pq, ParseQueryWithInfo(text));
+  return std::move(pq.query);
+}
+
+Result<ParsedQuery> ParseQueryWithInfo(const std::string& text) {
+  LineMap lines(text);
   std::vector<Token> toks;
-  Status st = Lexer(text).Tokenize(&toks);
+  Status st = Lexer(text, lines).Tokenize(&toks);
   if (!st.ok()) return st;
-  return Parser(std::move(toks)).ParseSingle();
+  return Parser(std::move(toks), lines).ParseSingle();
 }
 
 Result<std::vector<Query>> ParseRules(const std::string& text) {
+  LineMap lines(text);
   std::vector<Token> toks;
-  Status st = Lexer(text).Tokenize(&toks);
+  Status st = Lexer(text, lines).Tokenize(&toks);
   if (!st.ok()) return st;
-  return Parser(std::move(toks)).ParseProgram();
+  CQAC_ASSIGN_OR_RETURN(std::vector<ParsedQuery> parsed,
+                        Parser(std::move(toks), lines).ParseProgram());
+  std::vector<Query> out;
+  out.reserve(parsed.size());
+  for (ParsedQuery& pq : parsed) out.push_back(std::move(pq.query));
+  return out;
+}
+
+ParsedProgram ParseProgramWithDiagnostics(const std::string& text) {
+  LineMap lines(text);
+  std::vector<Token> toks;
+  Status st = Lexer(text, lines).Tokenize(&toks);
+  if (!st.ok()) {
+    // Lexing stops at the first bad character; report it as one error with
+    // whatever position the lexer encoded in the message.
+    ParsedProgram out;
+    out.errors.push_back({SourceSpan{}, st.message()});
+    return out;
+  }
+  return Parser(std::move(toks), lines).ParseProgramRecovering();
 }
 
 Query MustParseQuery(const std::string& text) {

@@ -1,0 +1,75 @@
+// Source positions and spans for parser diagnostics.
+//
+// The parser records, for every rule it produces, where the rule and its
+// parts (head, body atoms, comparisons, variable first uses) came from in
+// the input text, so downstream tooling (cqac_lint, the shell) can point at
+// real line/column positions instead of byte offsets.
+#ifndef CQAC_IR_SOURCE_LOCATION_H_
+#define CQAC_IR_SOURCE_LOCATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+
+/// A position in the source text. Lines and columns are 1-based; an unset
+/// position has line 0.
+struct SourcePos {
+  int line = 0;
+  int col = 0;
+  size_t offset = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// Renders "line:col".
+  std::string ToString() const { return StrCat(line, ":", col); }
+};
+
+/// A half-open span [begin, end) over the source text.
+struct SourceSpan {
+  SourcePos begin;
+  SourcePos end;
+
+  bool valid() const { return begin.valid(); }
+
+  /// Renders "line:col" of the beginning (the conventional diagnostic
+  /// anchor).
+  std::string ToString() const { return begin.ToString(); }
+};
+
+/// Maps byte offsets of a text to line/column positions.
+class LineMap {
+ public:
+  explicit LineMap(const std::string& text) {
+    line_starts_.push_back(0);
+    for (size_t i = 0; i < text.size(); ++i)
+      if (text[i] == '\n') line_starts_.push_back(i + 1);
+  }
+
+  SourcePos At(size_t offset) const {
+    // Binary search for the last line start <= offset.
+    size_t lo = 0, hi = line_starts_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (line_starts_[mid] <= offset)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    SourcePos pos;
+    pos.line = static_cast<int>(lo) + 1;
+    pos.col = static_cast<int>(offset - line_starts_[lo]) + 1;
+    pos.offset = offset;
+    return pos;
+  }
+
+ private:
+  std::vector<size_t> line_starts_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_IR_SOURCE_LOCATION_H_

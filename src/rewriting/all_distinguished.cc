@@ -170,7 +170,18 @@ Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
       inner = exp.status();
       return false;
     }
-    Result<bool> contained = IsContained(ctx, exp.value(), qp);
+    // An inconsistent expansion denotes the empty query: it would pass the
+    // containment test vacuously, yet contributes nothing — prune it.
+    Result<Query> expp = Preprocess(exp.value());
+    if (!expp.ok()) {
+      if (expp.status().code() == StatusCode::kInconsistent) {
+        ++ctx.stats().rewrite_verified_rejects;
+        return true;
+      }
+      inner = expp.status();
+      return false;
+    }
+    Result<bool> contained = IsContained(ctx, expp.value(), qp);
     if (!contained.ok()) {
       inner = contained.status();
       return false;

@@ -64,10 +64,12 @@ bool TryMap(const Query& q, const Atom& qa, const Query& view, const Atom& va,
 Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
                                  const ViewSet& views,
                                  const BucketOptions& options,
-                                 BucketStats* stats) {
+                                 BucketStats* stats,
+                                 RewritingWitness* witness) {
   BucketStats local;
   if (stats == nullptr) stats = &local;
   *stats = BucketStats{};
+  if (witness != nullptr) *witness = RewritingWitness{};
 
   Result<Query> qp_result = Preprocess(q);
   if (!qp_result.ok()) {
@@ -76,6 +78,7 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
     return qp_result.status();
   }
   Query qp = std::move(qp_result).value();
+  if (witness != nullptr) witness->query = qp;
 
   ViewSet prepped;
   for (const Query& v : views.views()) {
@@ -86,6 +89,7 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
     }
     CQAC_RETURN_IF_ERROR(prepped.Add(std::move(vp).value()));
   }
+  if (witness != nullptr) witness->views = prepped.views();
 
   // Build the buckets.
   std::vector<std::vector<BucketEntry>> buckets(qp.body().size());
@@ -242,7 +246,10 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
         inner = expp.status();
         return false;
       }
-      Result<bool> contained = IsContained(ctx, expp.value(), qp);
+      ContainmentWitness variant_witness;
+      Result<bool> contained =
+          IsContained(ctx, expp.value(), qp, {},
+                      witness != nullptr ? &variant_witness : nullptr);
       if (!contained.ok()) {
         inner = contained.status();
         return false;
@@ -256,7 +263,11 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
       bool dup = false;
       for (const Query& existing : result.disjuncts)
         if (existing.ToString() == compact.ToString()) dup = true;
-      if (!dup) result.disjuncts.push_back(std::move(compact));
+      if (!dup) {
+        result.disjuncts.push_back(std::move(compact));
+        if (witness != nullptr)
+          witness->disjuncts.push_back(std::move(variant_witness));
+      }
     }
     return true;
   };
@@ -276,9 +287,10 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
 
 Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
                                  const BucketOptions& options,
-                                 BucketStats* stats) {
+                                 BucketStats* stats,
+                                 RewritingWitness* witness) {
   EngineContext ctx;
-  return BucketRewrite(ctx, q, views, options, stats);
+  return BucketRewrite(ctx, q, views, options, stats, witness);
 }
 
 }  // namespace cqac

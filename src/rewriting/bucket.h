@@ -15,6 +15,7 @@
 #include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
+#include "src/rewriting/witness.h"
 
 namespace cqac {
 
@@ -34,13 +35,19 @@ struct BucketStats {
 /// rewritings. The cartesian-product candidate count is charged to the
 /// context's Budget::max_mappings (ResourceExhausted when exceeded) and
 /// verification containment checks are memoized in the context.
+///
+/// When `witness` is non-null, each emitted disjunct's verification evidence
+/// is recorded (parallel to the returned union; the decision cache is
+/// bypassed for those checks so mappings are really recomputed).
 Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
                                  const ViewSet& views,
                                  const BucketOptions& options = {},
-                                 BucketStats* stats = nullptr);
+                                 BucketStats* stats = nullptr,
+                                 RewritingWitness* witness = nullptr);
 Result<UnionQuery> BucketRewrite(const Query& q, const ViewSet& views,
                                  const BucketOptions& options = {},
-                                 BucketStats* stats = nullptr);
+                                 BucketStats* stats = nullptr,
+                                 RewritingWitness* witness = nullptr);
 
 }  // namespace cqac
 

@@ -10,8 +10,10 @@ namespace cqac {
 
 Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
                                          const ViewSet& views,
-                                         const ErSearchOptions& options) {
+                                         const ErSearchOptions& options,
+                                         ErWitness* witness) {
   ErResult result;
+  if (witness != nullptr) *witness = ErWitness{};
 
   // Gather contained rewritings from the applicable engine.
   Result<Query> qp = Preprocess(q);
@@ -20,29 +22,42 @@ Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
       // The empty query: any inconsistent rewriting is an ER; represent it
       // as the empty union.
       result.union_er = UnionQuery{};
+      if (witness != nullptr) witness->query_inconsistent = true;
       return result;
     }
     return qp.status();
   }
 
+  RewritingWitness* fw = witness != nullptr ? &witness->forward : nullptr;
   AcClass cls = qp.value().Classify();
   UnionQuery crs;
   if (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi) {
-    CQAC_ASSIGN_OR_RETURN(crs, RewriteLsiQuery(ctx, qp.value(), views));
+    CQAC_ASSIGN_OR_RETURN(
+        crs, RewriteLsiQuery(ctx, qp.value(), views, {}, nullptr, fw));
   } else {
-    CQAC_ASSIGN_OR_RETURN(crs, BucketRewrite(ctx, qp.value(), views));
+    CQAC_ASSIGN_OR_RETURN(
+        crs, BucketRewrite(ctx, qp.value(), views, {}, nullptr, fw));
   }
+  if (witness != nullptr) witness->crs = crs;
 
   // A single CR whose expansion contains the query is an ER.
-  for (const Query& cr : crs.disjuncts) {
+  for (size_t i = 0; i < crs.disjuncts.size(); ++i) {
+    const Query& cr = crs.disjuncts[i];
     CQAC_ASSIGN_OR_RETURN(Query exp, ExpandRewriting(cr, views));
-    Result<bool> back = IsContained(ctx, qp.value(), exp);
+    ContainmentWitness back_witness;
+    Result<bool> back =
+        IsContained(ctx, qp.value(), exp, {},
+                    witness != nullptr ? &back_witness : nullptr);
     if (!back.ok()) {
       if (back.status().code() == StatusCode::kResourceExhausted) continue;
       return back.status();
     }
     if (back.value()) {
       result.single = cr;
+      if (witness != nullptr) {
+        witness->single_index = static_cast<int>(i);
+        witness->back = std::move(back_witness);
+      }
       return result;
     }
   }
@@ -64,9 +79,10 @@ Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
 }
 
 Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
-                                         const ErSearchOptions& options) {
+                                         const ErSearchOptions& options,
+                                         ErWitness* witness) {
   EngineContext ctx;
-  return FindEquivalentRewriting(ctx, q, views, options);
+  return FindEquivalentRewriting(ctx, q, views, options, witness);
 }
 
 }  // namespace cqac

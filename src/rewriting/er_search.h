@@ -16,6 +16,7 @@
 #include "src/engine/context.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
+#include "src/rewriting/witness.h"
 
 namespace cqac {
 
@@ -37,14 +38,36 @@ struct ErResult {
   bool found() const { return single.has_value() || union_er.has_value(); }
 };
 
+/// Evidence for one ErResult: the forward direction (every candidate CR is a
+/// contained rewriting) plus, for a single-CQAC ER, the back-containment
+/// witness `query ⊆ expansion(single)`. The union case carries no back
+/// witness — its back direction is a canonical-database decision the
+/// certificate checker re-runs from scratch.
+struct ErWitness {
+  /// The query preprocessed to the empty (inconsistent) query; the ER is
+  /// the empty union and no other evidence exists.
+  bool query_inconsistent = false;
+  /// Every candidate CR the search considered, with forward witnesses.
+  UnionQuery crs;
+  RewritingWitness forward;
+  /// Index into `crs` of the disjunct returned as the single ER; -1 when
+  /// the result is a union (or nothing was found).
+  int single_index = -1;
+  /// Back direction for the single case: query ⊆ Preprocess(expansion).
+  ContainmentWitness back;
+};
+
 /// Searches for an equivalent rewriting of `q` using `views`. The context
 /// overload shares one decision cache across the CR generation and the
-/// many two-way containment verifications.
+/// many two-way containment verifications. When `witness` is non-null the
+/// evidence behind a found ER is recorded for certificate checking.
 Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
                                          const ViewSet& views,
-                                         const ErSearchOptions& options = {});
+                                         const ErSearchOptions& options = {},
+                                         ErWitness* witness = nullptr);
 Result<ErResult> FindEquivalentRewriting(const Query& q, const ViewSet& views,
-                                         const ErSearchOptions& options = {});
+                                         const ErSearchOptions& options = {},
+                                         ErWitness* witness = nullptr);
 
 }  // namespace cqac
 

@@ -327,10 +327,12 @@ class Combiner {
 Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
                                    const ViewSet& views,
                                    const RewriteOptions& options,
-                                   RewriteStats* stats) {
+                                   RewriteStats* stats,
+                                   RewritingWitness* witness) {
   RewriteStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = RewriteStats{};
+  if (witness != nullptr) *witness = RewritingWitness{};
 
   // Preprocess the query; an inconsistent query has the empty MCR.
   Result<Query> qp_result = Preprocess(q);
@@ -341,6 +343,7 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
   }
   Query qp = std::move(qp_result).value();
   CQAC_RETURN_IF_ERROR(qp.Validate());
+  if (witness != nullptr) witness->query = qp;
 
   AcClass cls = qp.Classify();
   if (cls != AcClass::kNone && cls != AcClass::kLsi && cls != AcClass::kRsi)
@@ -359,6 +362,7 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
     }
     CQAC_RETURN_IF_ERROR(prepped.Add(std::move(vp).value()));
   }
+  if (witness != nullptr) witness->views = prepped.views();
 
   std::vector<ExportAnalysis> analyses;
   analyses.reserve(prepped.size());
@@ -407,7 +411,8 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
       for (Query& cand : candidates.value()) {
         ++stats->candidates;
         ++ctx.stats().rewrite_candidates;
-        if (options.verify_rewritings) {
+        ContainmentWitness cand_witness;
+        if (options.verify_rewritings || witness != nullptr) {
           Result<Query> exp = ExpandRewriting(cand, prepped);
           if (!exp.ok()) {
             inner = exp.status();
@@ -425,7 +430,9 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
             inner = expp.status();
             return;
           }
-          Result<bool> contained = IsContained(ctx, expp.value(), qp);
+          Result<bool> contained =
+              IsContained(ctx, expp.value(), qp, {},
+                          witness != nullptr ? &cand_witness : nullptr);
           if (!contained.ok()) {
             inner = contained.status();
             return;
@@ -440,7 +447,11 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
         bool dup = false;
         for (const Query& existing : result.disjuncts)
           if (existing.ToString() == cand.ToString()) dup = true;
-        if (!dup) result.disjuncts.push_back(std::move(cand));
+        if (!dup) {
+          result.disjuncts.push_back(std::move(cand));
+          if (witness != nullptr)
+            witness->disjuncts.push_back(std::move(cand_witness));
+        }
       }
       return;
     }
@@ -462,6 +473,7 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
   if (options.prune_redundant) {
     // Drop rewritings contained (as queries over the view schema) in another.
     UnionQuery pruned;
+    std::vector<ContainmentWitness> pruned_witnesses;
     for (size_t i = 0; i < result.disjuncts.size(); ++i) {
       bool dominated = false;
       for (size_t j = 0; j < result.disjuncts.size() && !dominated; ++j) {
@@ -477,18 +489,24 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
           dominated = !equivalent || j < i;
         }
       }
-      if (!dominated) pruned.disjuncts.push_back(result.disjuncts[i]);
+      if (!dominated) {
+        pruned.disjuncts.push_back(result.disjuncts[i]);
+        if (witness != nullptr)
+          pruned_witnesses.push_back(std::move(witness->disjuncts[i]));
+      }
     }
     result = std::move(pruned);
+    if (witness != nullptr) witness->disjuncts = std::move(pruned_witnesses);
   }
   return result;
 }
 
 Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
                                    const RewriteOptions& options,
-                                   RewriteStats* stats) {
+                                   RewriteStats* stats,
+                                   RewritingWitness* witness) {
   EngineContext ctx;
-  return RewriteLsiQuery(ctx, q, views, options, stats);
+  return RewriteLsiQuery(ctx, q, views, options, stats, witness);
 }
 
 }  // namespace cqac

@@ -22,6 +22,7 @@
 #include "src/ir/query.h"
 #include "src/ir/view.h"
 #include "src/rewriting/mcd.h"
+#include "src/rewriting/witness.h"
 
 namespace cqac {
 
@@ -57,13 +58,21 @@ struct RewriteStats {
 /// (max_mappings) and the whole run (deadline); exhaustion returns a clean
 /// ResourceExhausted. Verification containment checks are memoized in the
 /// context, so repeated candidates across combinations are verified once.
+///
+/// When `witness` is non-null, every emitted disjunct's verification
+/// evidence is recorded (one ContainmentWitness per disjunct, parallel to
+/// the returned union); candidates are then always verified, even with
+/// `verify_rewritings` off, and the decision cache is bypassed for the
+/// verification checks.
 Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
                                    const ViewSet& views,
                                    const RewriteOptions& options = {},
-                                   RewriteStats* stats = nullptr);
+                                   RewriteStats* stats = nullptr,
+                                   RewritingWitness* witness = nullptr);
 Result<UnionQuery> RewriteLsiQuery(const Query& q, const ViewSet& views,
                                    const RewriteOptions& options = {},
-                                   RewriteStats* stats = nullptr);
+                                   RewriteStats* stats = nullptr,
+                                   RewritingWitness* witness = nullptr);
 
 }  // namespace cqac
 

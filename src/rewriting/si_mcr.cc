@@ -19,7 +19,19 @@ std::string SiMcr::ToString() const {
 Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
                                     const ViewSet& views,
                                     const SiMcrOptions& options) {
-  CQAC_ASSIGN_OR_RETURN(Query qp, Preprocess(q));
+  Result<Query> qp_result = Preprocess(q);
+  if (!qp_result.ok()) {
+    // An inconsistent query denotes the empty relation; its MCR is the
+    // empty program, not an error.
+    if (qp_result.status().code() == StatusCode::kInconsistent) {
+      SiMcr empty;
+      empty.query_predicate =
+          q.head().predicate.empty() ? std::string("q") : q.head().predicate;
+      return empty;
+    }
+    return qp_result.status();
+  }
+  Query qp = std::move(qp_result).value();
   if (!qp.IsCqacSi())
     return Status::Unsupported(
         "RewriteSiQueryDatalog requires a CQAC-SI query");
@@ -34,8 +46,10 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
   // Step 1: Q^datalog.
   CQAC_ASSIGN_OR_RETURN(Program qdl, BuildQdatalog(qp));
   mcr.query_predicate = qdl.query_predicate();
-  for (const Rule& r : qdl.rules())
+  for (const Rule& r : qdl.rules()) {
     mcr.rules.push_back(datalog::EngineRule{r, {}});
+    mcr.rule_info.push_back({SiMcrRuleInfo::Kind::kQueryProgram, -1});
+  }
 
   // Distinct comparison forms of the query (they define the U predicates).
   std::vector<SiForm> forms;
@@ -47,7 +61,8 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
 
   // Steps 2+4: per view, build v^CQ and emit one inverse rule per body atom.
   int next_skolem = 0;
-  for (const Query& v : views.views()) {
+  for (size_t view_index = 0; view_index < views.size(); ++view_index) {
+    const Query& v = views[view_index];
     Result<Query> vcq_result =
         BuildPcq(ctx, v, qp, /*require_si_only=*/!options.allow_general_views);
     if (!vcq_result.ok()) {
@@ -85,6 +100,8 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
         er.skolems.emplace(t.var(), std::move(spec));
       }
       mcr.rules.push_back(std::move(er));
+      mcr.rule_info.push_back({SiMcrRuleInfo::Kind::kInverse,
+                               static_cast<int>(view_index)});
     }
   }
 
@@ -108,6 +125,7 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
       rule.head().args.push_back(view_atom.args[pos]);
       rule.AddBodyAtom(std::move(view_atom));
       mcr.rules.push_back(datalog::EngineRule{std::move(rule), {}});
+      mcr.rule_info.push_back({SiMcrRuleInfo::Kind::kDomain, -1});
     }
   }
   for (const SiForm& f : forms) {
@@ -121,6 +139,7 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
     rule.AddBodyAtom(std::move(dom));
     rule.AddComparison(f.ToComparison(Term::Var(x)));
     mcr.rules.push_back(datalog::EngineRule{std::move(rule), {}});
+    mcr.rule_info.push_back({SiMcrRuleInfo::Kind::kUDomain, -1});
   }
   return mcr;
 }

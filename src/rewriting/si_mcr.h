@@ -31,10 +31,27 @@
 
 namespace cqac {
 
+/// Provenance of one rule of an SiMcr — which construction step emitted it
+/// and (for inverse rules) from which view. The certificate checker
+/// (src/analysis/certificate.h) uses this to re-validate each rule against
+/// its source without guessing.
+struct SiMcrRuleInfo {
+  enum class Kind {
+    kQueryProgram,  // part of Q^datalog (step 1)
+    kInverse,       // inverse rule of one view's v^CQ (steps 2+4)
+    kDomain,        // dom(X) :- v(..., X, ...) (step 5)
+    kUDomain,       // U_f(X) :- dom(X), X f    (step 5)
+  };
+  Kind kind = Kind::kQueryProgram;
+  int view_index = -1;  // index into the input ViewSet; kInverse only
+};
+
 /// A recursive Datalog MCR: rules (possibly Skolemized) evaluated over the
 /// view extensions.
 struct SiMcr {
   std::vector<datalog::EngineRule> rules;
+  /// Per-rule provenance, parallel to `rules`.
+  std::vector<SiMcrRuleInfo> rule_info;
   std::string query_predicate;
 
   /// Builds an engine ready to run over a view-extension database.
@@ -58,9 +75,11 @@ struct SiMcrOptions {
 
 /// Computes the Datalog MCR of the CQAC-SI query `q` using the SI-only views
 /// `views` (Figure 4). Unsupported when `q` is not CQAC-SI, or when some
-/// view is not SI-only and `options.allow_general_views` is off. The
-/// construction itself is syntactic; the context overload memoizes the
-/// per-view v^CQ implication checks in the shared decision cache.
+/// view is not SI-only and `options.allow_general_views` is off. A query
+/// with unsatisfiable comparisons denotes the empty relation; its MCR is the
+/// empty program (no rules). The construction itself is syntactic; the
+/// context overload memoizes the per-view v^CQ implication checks in the
+/// shared decision cache.
 Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
                                     const ViewSet& views,
                                     const SiMcrOptions& options = {});

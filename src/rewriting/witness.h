@@ -1,0 +1,30 @@
+// Witnesses for rewriting results: the evidence the engines already compute
+// while verifying their outputs, packaged so the certificate checker
+// (src/analysis/certificate.h) can re-validate every emitted rewriting with
+// independent, slow-but-obvious procedures.
+#ifndef CQAC_REWRITING_WITNESS_H_
+#define CQAC_REWRITING_WITNESS_H_
+
+#include <vector>
+
+#include "src/containment/containment.h"
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// Evidence that every disjunct of a produced union rewriting is a contained
+/// rewriting: per disjunct, a ContainmentWitness certifying
+/// `Preprocess(Expand(disjunct, views)) ⊆ query`.
+struct RewritingWitness {
+  /// The preprocessed query the rewriting was computed for.
+  Query query;
+  /// The preprocessed views the disjuncts expand over, in the order the
+  /// engine used them (inconsistent input views are dropped).
+  std::vector<Query> views;
+  /// One witness per emitted disjunct, parallel to the result union.
+  std::vector<ContainmentWitness> disjuncts;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_WITNESS_H_

@@ -1,0 +1,228 @@
+// Unit and golden-file tests for the semantic linter (src/analysis/lint.h)
+// and the class-inference helper (src/analysis/classify.h).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/analysis/lint.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+std::vector<LintDiagnostic> Lint(const std::string& text,
+                                 const LintOptions& options = {}) {
+  Result<ParsedQuery> pq = ParseQueryWithInfo(text);
+  EXPECT_TRUE(pq.ok()) << pq.status();
+  return LintQuery(pq.value(), options);
+}
+
+bool HasCode(const std::vector<LintDiagnostic>& diags, const char* code) {
+  for (const LintDiagnostic& d : diags)
+    if (d.code == code) return true;
+  return false;
+}
+
+TEST(LintTest, CleanQueryGetsOnlyTheClassNote) {
+  std::vector<LintDiagnostic> d = Lint("q(X) :- r(X, Y), s(Y), X <= 7.");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].code, "L012");
+  EXPECT_EQ(d[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(MaxLintSeverity(d), LintSeverity::kNote);
+}
+
+TEST(LintTest, NoNotesSuppressesL012) {
+  LintOptions options;
+  options.notes = false;
+  EXPECT_TRUE(Lint("q(X) :- r(X).", options).empty());
+}
+
+TEST(LintTest, UnsafeHeadVariable) {
+  std::vector<LintDiagnostic> d = Lint("q(X, Y) :- r(X).");
+  EXPECT_TRUE(HasCode(d, "L001"));
+  EXPECT_EQ(MaxLintSeverity(d), LintSeverity::kError);
+}
+
+TEST(LintTest, ComparisonOnlyVariable) {
+  EXPECT_TRUE(HasCode(Lint("q(X) :- r(X), Y < 4."), "L002"));
+  // Distinguished comparison-only variables are L001's, not L002's.
+  std::vector<LintDiagnostic> d = Lint("q(Y) :- r(X), Y < 4.");
+  EXPECT_TRUE(HasCode(d, "L001"));
+  EXPECT_FALSE(HasCode(d, "L002"));
+}
+
+TEST(LintTest, UnsatisfiableComparisons) {
+  EXPECT_TRUE(HasCode(Lint("q(X) :- r(X), X < 3, 4 < X."), "L003"));
+}
+
+TEST(LintTest, SymbolComparisonDisablesImplicationChecks) {
+  std::vector<LintDiagnostic> d = Lint("q(X) :- r(X), X < red, X < 3, X < 4.");
+  EXPECT_TRUE(HasCode(d, "L004"));
+  // With a symbol on the order, no L006 claim is made for X < 4.
+  EXPECT_FALSE(HasCode(d, "L006"));
+}
+
+TEST(LintTest, RedundantComparison) {
+  std::vector<LintDiagnostic> d = Lint("q(X) :- r(X), X < 4, X < 5.");
+  ASSERT_TRUE(HasCode(d, "L006"));
+  for (const LintDiagnostic& diag : d) {
+    if (diag.code == "L006") {
+      EXPECT_NE(diag.message.find("X < 5"), std::string::npos) << diag.message;
+    }
+  }
+}
+
+TEST(LintTest, ConstantFoldableComparison) {
+  EXPECT_TRUE(HasCode(Lint("q(X) :- r(X), 1 < 2."), "L007"));
+  EXPECT_TRUE(HasCode(Lint("q(X) :- r(X), 2 < 1."), "L007"));
+}
+
+TEST(LintTest, DuplicateAndSubsumedSubgoals) {
+  std::vector<LintDiagnostic> d = Lint("q(X) :- r(X, Y), r(X, Y).");
+  EXPECT_TRUE(HasCode(d, "L008"));
+  EXPECT_TRUE(HasCode(Lint("q(X) :- r(X, Y), r(X, Z)."), "L009"));
+  // A genuinely restraining join is not subsumed.
+  EXPECT_FALSE(HasCode(Lint("q(X) :- r(X, Y), s(Y)."), "L009"));
+}
+
+TEST(LintTest, ForcedEqualities) {
+  EXPECT_TRUE(
+      HasCode(Lint("q(X, Y) :- r(X, Y), X <= Y, Y <= X."), "L010"));
+  // An explicit `=` is intentional, not a lint.
+  EXPECT_FALSE(HasCode(Lint("q(X, Y) :- r(X, Y), X = Y."), "L010"));
+}
+
+TEST(LintTest, HeadShape) {
+  EXPECT_TRUE(HasCode(Lint("q(X, X) :- r(X, Y)."), "L011"));
+  EXPECT_TRUE(HasCode(Lint("q(X, 3) :- r(X, Y)."), "L011"));
+  // Facts put constants in the head by design.
+  EXPECT_FALSE(HasCode(Lint("r(1, 2)."), "L011"));
+}
+
+TEST(LintTest, ArityConflictAcrossRules) {
+  ParsedProgram program =
+      ParseProgramWithDiagnostics("q(X) :- r(X, Y).\np(X) :- r(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(HasCode(LintProgram(program.rules), "L005"));
+}
+
+TEST(LintTest, DiagnosticsCarrySpans) {
+  std::vector<LintDiagnostic> d = Lint("q(X) :- r(X), X < 4, X < 5.");
+  for (const LintDiagnostic& diag : d)
+    EXPECT_TRUE(diag.span.valid()) << diag.ToString();
+}
+
+TEST(LintTest, RegistryIsSortedAndUnique) {
+  const std::vector<LintCheckInfo>& checks = LintChecks();
+  ASSERT_EQ(checks.size(), 12u);
+  for (size_t i = 1; i < checks.size(); ++i)
+    EXPECT_LT(std::string(checks[i - 1].code), checks[i].code);
+}
+
+// ---- class inference --------------------------------------------------------
+
+ClassInfo ClassOf(const std::string& text) {
+  return ClassifyQuery(MustParseQuery(text));
+}
+
+TEST(ClassifyTest, LabelsSeedExampleQueries) {
+  EXPECT_STREQ(ClassOf("q(X) :- r(X, Y).").Name(), "CQ");
+  EXPECT_STREQ(ClassOf("q(X) :- r(X), X < 4.").Name(), "LSI");
+  EXPECT_STREQ(ClassOf("q(X) :- r(X), 4 < X.").Name(), "RSI");
+  // Example 1.1's query: one LSI + one RSI = CQAC-SI.
+  EXPECT_STREQ(ClassOf("q() :- e(X, Y), e(Y, Z), X > 5, Z < 8.").Name(),
+               "CQAC-SI");
+  // Two LSIs + two RSIs: SI but not CQAC-SI.
+  EXPECT_STREQ(
+      ClassOf("q() :- e(X, Y), X > 5, Y > 6, X < 8, Y < 9.").Name(), "SI");
+  EXPECT_STREQ(ClassOf("q(X) :- r(X, Y), X < Y.").Name(), "CQAC");
+}
+
+TEST(ClassifyTest, OpenAndClosedComparisonSets) {
+  EXPECT_TRUE(ClassOf("q(X) :- r(X), X < 4.").open);
+  EXPECT_TRUE(ClassOf("q(X) :- r(X), X <= 4.").closed);
+  ClassInfo mixed = ClassOf("q(X) :- r(X), X < 4, 1 <= X.");
+  EXPECT_FALSE(mixed.open);
+  EXPECT_FALSE(mixed.closed);
+}
+
+TEST(ClassifyTest, RecommendsAnAlgorithmForEveryClass) {
+  const char* queries[] = {
+      "q(X) :- r(X, Y).",
+      "q(X) :- r(X), X < 4.",
+      "q(X) :- r(X), 4 < X.",
+      "q() :- e(X, Y), e(Y, Z), X > 5, Z < 8.",
+      "q() :- e(X, Y), X > 5, Y > 6, X < 8, Y < 9.",
+      "q(X) :- r(X, Y), X < Y.",
+  };
+  for (const char* text : queries)
+    EXPECT_FALSE(std::string(ClassOf(text).RecommendedAlgorithm()).empty())
+        << text;
+}
+
+// ---- golden files -----------------------------------------------------------
+
+// Reproduces cqac_lint's plain-program mode: recovered parse errors come out
+// as P001 lines, then the lint diagnostics, exactly as the CLI renders them
+// (minus the file-name prefix).
+std::vector<std::string> LintFileLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ParsedProgram program = ParseProgramWithDiagnostics(buf.str());
+  std::vector<std::string> lines;
+  for (const ParseDiagnostic& e : program.errors)
+    lines.push_back(
+        LintDiagnostic{"P001", LintSeverity::kError, e.span, 0, e.message}
+            .ToString());
+  for (const LintDiagnostic& d : LintProgram(program.rules))
+    lines.push_back(d.ToString());
+  return lines;
+}
+
+std::vector<std::string> ReadLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LintGoldenTest, CorpusMatchesExpectedOutput) {
+  std::filesystem::path dir =
+      std::filesystem::path(CQAC_SOURCE_DIR) / "examples" / "lint";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  size_t cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".cqac") continue;
+    std::filesystem::path expected = entry.path();
+    expected.replace_extension(".expected");
+    ASSERT_TRUE(std::filesystem::exists(expected))
+        << "missing golden file " << expected;
+    EXPECT_EQ(LintFileLines(entry.path()), ReadLines(expected))
+        << "golden mismatch for " << entry.path();
+    ++cases;
+  }
+  // One corpus file per lint code, the parse-recovery case, and the clean
+  // program.
+  EXPECT_GE(cases, 14u);
+}
+
+TEST(LintGoldenTest, EveryLintCodeHasACorpusFile) {
+  std::filesystem::path dir =
+      std::filesystem::path(CQAC_SOURCE_DIR) / "examples" / "lint";
+  for (const LintCheckInfo& check : LintChecks()) {
+    std::filesystem::path file = dir / (std::string(check.code) + ".cqac");
+    EXPECT_TRUE(std::filesystem::exists(file)) << file;
+  }
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,256 @@
+// cqac_lint — semantic static analysis for CQAC programs.
+//
+// Usage:
+//   cqac_lint [--json] [--no-notes] [--list-checks] [file ... | -]
+//
+// Each input is either a plain '.'-terminated rule program or a cqac_shell
+// script (auto-detected by its first command word); shell scripts are linted
+// by extracting the rule text of every view/query/fact/contained/explain
+// line and remapping diagnostics back to the original line and column.
+//
+// Diagnostics go to stdout as `file:line:col: severity: message [code]`, or
+// as a JSON array with --json. Exit status: 0 clean (or notes only),
+// 1 warnings, 2 errors (lint or parse), 3 usage / I-O failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/base/strings.h"
+#include "src/ir/parser.h"
+
+namespace cqac {
+namespace {
+
+// Codes outside the L-registry used for parse failures.
+constexpr char kParseCode[] = "P001";
+
+struct FileDiagnostic {
+  std::string file;
+  LintDiagnostic diag;
+};
+
+// ---- shell-script detection and extraction --------------------------------
+
+const char* const kShellCommands[] = {
+    "view",     "query", "fact",      "classify", "rewrite", "er",
+    "minimize", "eval",  "answers",   "contained", "explain", "intervals",
+    "stats",    "reset", "help"};
+
+bool IsShellCommandWord(const std::string& word) {
+  for (const char* cmd : kShellCommands)
+    if (word == cmd) return true;
+  return false;
+}
+
+// A cqac_shell script's first effective line starts with a command word; a
+// plain program's starts with a rule head (`p(...) :- ...`).
+bool LooksLikeShellScript(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    size_t end = line.find_first_of(" \t\r", start);
+    std::string word = line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    return IsShellCommandWord(word);
+  }
+  return false;
+}
+
+// Shifts a single-line span parsed from a line fragment back to its position
+// in the whole file: the fragment starts at 1-based column `col0` of line
+// `line_no`.
+SourceSpan Remap(SourceSpan span, int line_no, int col0) {
+  if (!span.valid()) return span;
+  span.begin.line = line_no;
+  span.begin.col += col0 - 1;
+  if (span.end.valid()) {
+    span.end.line = line_no;
+    span.end.col += col0 - 1;
+  }
+  return span;
+}
+
+// ---- linting one input ----------------------------------------------------
+
+void LintPlainText(const std::string& file, const std::string& text,
+                   const LintOptions& options,
+                   std::vector<FileDiagnostic>* out) {
+  ParsedProgram program = ParseProgramWithDiagnostics(text);
+  for (const ParseDiagnostic& e : program.errors)
+    out->push_back({file,
+                    {kParseCode, LintSeverity::kError, e.span, 0, e.message}});
+  for (const LintDiagnostic& d : LintProgram(program.rules, options))
+    out->push_back({file, d});
+}
+
+void LintShellScript(const std::string& file, const std::string& text,
+                     const LintOptions& options,
+                     std::vector<FileDiagnostic>* out) {
+  std::vector<ParsedQuery> rules;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    size_t end = line.find_first_of(" \t\r", start);
+    if (end == std::string::npos) continue;  // no-argument command
+    std::string word = line.substr(start, end - start);
+    if (word != "view" && word != "query" && word != "fact" &&
+        word != "contained" && word != "explain")
+      continue;  // not a rule-carrying command
+    size_t rule_start = line.find_first_not_of(" \t\r", end);
+    if (rule_start == std::string::npos) continue;
+    std::string rule_text = line.substr(rule_start);
+    int col0 = static_cast<int>(rule_start) + 1;
+    ParsedProgram parsed = ParseProgramWithDiagnostics(rule_text);
+    for (const ParseDiagnostic& e : parsed.errors)
+      out->push_back({file,
+                      {kParseCode, LintSeverity::kError,
+                       Remap(e.span, line_no, col0), 0, e.message}});
+    for (ParsedQuery& pq : parsed.rules) {
+      QuerySourceInfo& info = pq.info;
+      info.rule = Remap(info.rule, line_no, col0);
+      info.head = Remap(info.head, line_no, col0);
+      for (SourceSpan& s : info.body) s = Remap(s, line_no, col0);
+      for (SourceSpan& s : info.comparisons) s = Remap(s, line_no, col0);
+      for (SourceSpan& s : info.var_first_use) s = Remap(s, line_no, col0);
+      rules.push_back(std::move(pq));
+    }
+  }
+  // Spans were remapped before linting, so diagnostics come out already
+  // pointing at the right file positions.
+  for (const LintDiagnostic& d : LintProgram(rules, options))
+    out->push_back({file, d});
+}
+
+// ---- output ---------------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += StrCat("\\u00", "0123456789abcdef"[(c >> 4) & 0xf],
+                        "0123456789abcdef"[c & 0xf]);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+void PrintText(const std::vector<FileDiagnostic>& diags) {
+  for (const FileDiagnostic& fd : diags)
+    std::printf("%s:%s\n", fd.file.c_str(), fd.diag.ToString().c_str());
+}
+
+void PrintJson(const std::vector<FileDiagnostic>& diags) {
+  std::printf("[");
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const FileDiagnostic& fd = diags[i];
+    std::printf(
+        "%s\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, "
+        "\"severity\": \"%s\", \"code\": \"%s\", \"rule\": %d, "
+        "\"message\": \"%s\"}",
+        i ? "," : "", JsonEscape(fd.file).c_str(), fd.diag.span.begin.line,
+        fd.diag.span.begin.col, LintSeverityName(fd.diag.severity),
+        fd.diag.code.c_str(), fd.diag.rule_index,
+        JsonEscape(fd.diag.message).c_str());
+  }
+  std::printf("%s]\n", diags.empty() ? "" : "\n");
+}
+
+void ListChecks() {
+  std::printf("%s  %-7s  %s\n", "code", "severity", "summary");
+  for (const LintCheckInfo& c : LintChecks())
+    std::printf("%s  %-7s  %s\n", c.code, LintSeverityName(c.severity),
+                c.summary);
+  std::printf("%s  %-7s  %s\n", kParseCode, "error",
+              "parse error (reported with recovery: every error in the "
+              "file, not just the first)");
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-notes") {
+      options.notes = false;
+    } else if (arg == "--list-checks") {
+      ListChecks();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: cqac_lint [--json] [--no-notes] [--list-checks] "
+          "[file ... | -]\n");
+      return 0;
+    } else if (arg == "-" || arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "cqac_lint: unknown option '%s'\n", arg.c_str());
+      return 3;
+    }
+  }
+  if (files.empty()) files.push_back("-");
+
+  std::vector<FileDiagnostic> diags;
+  for (const std::string& f : files) {
+    std::string text;
+    if (f == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      text = buf.str();
+    } else {
+      std::ifstream in(f);
+      if (!in) {
+        std::fprintf(stderr, "cqac_lint: cannot open %s\n", f.c_str());
+        return 3;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    std::string name = f == "-" ? "<stdin>" : f;
+    if (LooksLikeShellScript(text))
+      LintShellScript(name, text, options, &diags);
+    else
+      LintPlainText(name, text, options, &diags);
+  }
+
+  if (json)
+    PrintJson(diags);
+  else
+    PrintText(diags);
+
+  LintSeverity max = LintSeverity::kNote;
+  bool any_above_note = false;
+  for (const FileDiagnostic& fd : diags) {
+    if (static_cast<int>(fd.diag.severity) > static_cast<int>(max))
+      max = fd.diag.severity;
+    if (fd.diag.severity != LintSeverity::kNote) any_above_note = true;
+  }
+  if (!any_above_note) return 0;
+  return max == LintSeverity::kError ? 2 : 1;
+}
+
+}  // namespace
+}  // namespace cqac
+
+int main(int argc, char** argv) { return cqac::Run(argc, argv); }

@@ -15,6 +15,9 @@
 //   eval                   evaluate the query over the base database
 //   answers                certain answers: materialize views, run the MCR
 //   contained <rule>       is <rule> contained in the current query?
+//   lint                   run the semantic linter over the views + query
+//   verify                 recompute the rewriting with witnesses and
+//                          re-validate it with the certificate checker
 //   stats                  print engine counters (cache hits, budgets, ...)
 //   reset                  clear all state
 //   help                   print this summary
@@ -26,7 +29,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/analysis/certificate.h"
+#include "src/analysis/lint.h"
 #include "src/base/strings.h"
 #include "src/containment/containment.h"
 #include "src/constraints/intervals.h"
@@ -83,6 +89,8 @@ class Shell {
     if (cmd == "eval") return Evaluate();
     if (cmd == "answers") return CertainAnswers();
     if (cmd == "contained") return Contained(rest);
+    if (cmd == "lint") return Lint();
+    if (cmd == "verify") return Verify();
     if (cmd == "explain") return Explain(rest);
     if (cmd == "intervals") return Intervals();
     if (cmd == "stats" || cmd == "\\stats") return Stats();
@@ -94,7 +102,7 @@ class Shell {
         "commands: view <rule> | query <rule> | fact <atom> | classify |\n"
         "          rewrite | er | minimize | eval | answers |\n"
         "          contained <rule> | explain <rule> | intervals |\n"
-        "          stats | reset | help\n");
+        "          lint | verify | stats | reset | help\n");
     return true;
   }
 
@@ -104,21 +112,23 @@ class Shell {
   }
 
   bool AddView(const std::string& text) {
-    Result<Query> v = ParseQuery(text);
+    Result<ParsedQuery> v = ParseQueryWithInfo(text);
     if (!v.ok()) return Fail(v.status().ToString());
-    Status st = views_.Add(std::move(v).value());
+    Status st = views_.Add(v.value().query);
     if (!st.ok()) return Fail(st.ToString());
+    view_sources_.push_back(std::move(v).value());
     std::printf("ok: view %s\n",
                 views_[views_.size() - 1].ToString().c_str());
     return true;
   }
 
   bool SetQuery(const std::string& text) {
-    Result<Query> q = ParseQuery(text);
+    Result<ParsedQuery> q = ParseQueryWithInfo(text);
     if (!q.ok()) return Fail(q.status().ToString());
-    Status st = q.value().Validate();
+    Status st = q.value().query.Validate();
     if (!st.ok()) return Fail(st.ToString());
-    query_ = std::move(q).value();
+    query_source_ = std::move(q).value();
+    query_ = query_source_.query;
     have_query_ = true;
     std::printf("ok: query %s\n", query_.ToString().c_str());
     return true;
@@ -247,6 +257,56 @@ class Shell {
     return true;
   }
 
+  // Lints every declared view plus the current query. Positions refer to
+  // the rule text after the command word of the declaring line.
+  bool Lint() {
+    std::vector<ParsedQuery> rules = view_sources_;
+    if (have_query_) rules.push_back(query_source_);
+    if (rules.empty()) return Fail("nothing to lint (declare views/query)");
+    std::vector<LintDiagnostic> diags = LintProgram(rules);
+    for (const LintDiagnostic& d : diags) {
+      std::string label =
+          d.rule_index < static_cast<int>(view_sources_.size())
+              ? StrCat("view #", d.rule_index + 1)
+              : std::string("query");
+      std::printf("%s: %s\n", label.c_str(), d.ToString().c_str());
+    }
+    bool clean = MaxLintSeverity(diags) != LintSeverity::kError;
+    std::printf("lint: %zu diagnostic%s, %s\n", diags.size(),
+                diags.size() == 1 ? "" : "s",
+                clean ? "no errors" : "errors found");
+    return clean;
+  }
+
+  // Recomputes the rewriting with witness recording and re-validates it with
+  // the independent certificate checker.
+  bool Verify() {
+    if (!NeedQuery()) return false;
+    AcClass cls = query_.Classify();
+    if (query_.IsCqacSi() && !query_.IsConjunctiveOnly() &&
+        cls != AcClass::kLsi && cls != AcClass::kRsi && views_.AllSiOnly()) {
+      Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query_, views_);
+      if (!mcr.ok()) return Fail(mcr.status().ToString());
+      Status st = CheckSiMcr(query_, views_, mcr.value());
+      if (!st.ok()) return Fail(StrCat("certificate: ", st.ToString()));
+      std::printf("certificate: valid (datalog mcr, %zu rules checked)\n",
+                  mcr.value().rules.size());
+      return true;
+    }
+    RewritingWitness w;
+    Result<UnionQuery> mcr =
+        (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi)
+            ? RewriteLsiQuery(ctx_, query_, views_, {}, nullptr, &w)
+            : BucketRewrite(ctx_, query_, views_, {}, nullptr, &w);
+    if (!mcr.ok()) return Fail(mcr.status().ToString());
+    Status st = CheckRewritingWitness(query_, views_, mcr.value(), w);
+    if (!st.ok()) return Fail(StrCat("certificate: ", st.ToString()));
+    std::printf("certificate: valid (%zu disjunct%s checked)\n",
+                mcr.value().disjuncts.size(),
+                mcr.value().disjuncts.size() == 1 ? "" : "s");
+    return true;
+  }
+
   bool Explain(const std::string& text) {
     if (!NeedQuery()) return false;
     Result<Query> p = ParseQuery(text);
@@ -277,7 +337,9 @@ class Shell {
   // decisions are cached across commands, and `stats` reports them.
   EngineContext ctx_;
   ViewSet views_;
+  std::vector<ParsedQuery> view_sources_;  // parallel to views_, with spans
   Query query_;
+  ParsedQuery query_source_;
   bool have_query_ = false;
   Database db_;
   UnionQuery last_mcr_;
