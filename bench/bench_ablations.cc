@@ -5,6 +5,8 @@
 //  * the EngineContext decision cache on vs off on a repeated workload.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/datalog/engine.h"
 #include "src/eval/evaluate.h"
@@ -180,4 +182,4 @@ BENCHMARK(BM_RewriteUncached);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -7,6 +7,8 @@
 // queries of growing comparison count.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/containment/si_reduction.h"
 #include "src/gen/generators.h"
@@ -58,4 +60,4 @@ BENCHMARK(BM_SiFormExtraction)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

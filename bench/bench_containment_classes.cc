@@ -8,6 +8,8 @@
 // classes stay flat-ish, the general class pays for disjunction refutation.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/base/strings.h"
 #include "src/containment/containment.h"
@@ -66,4 +68,4 @@ int dummy = (RegisterAll(), 0);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -6,6 +6,8 @@
 // measures two-way containment on such pairs as the collapsed chain grows.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/strings.h"
 #include "src/containment/containment.h"
 #include "src/ir/parser.h"
@@ -57,4 +59,4 @@ BENCHMARK(BM_EquivalenceNegative);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -9,6 +9,8 @@
 // exists as a union).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/strings.h"
 #include "src/ir/parser.h"
 #include "src/rewriting/er_search.h"
@@ -40,12 +42,20 @@ void BM_ErSearchPartition(benchmark::State& state) {
   ViewSet views = PartitionViews(n);
   bool found = false;
   for (auto _ : state) {
-    auto er = FindEquivalentRewriting(q, views);
+    // Fresh context per call, as in the serial baseline; the pool fans the
+    // per-CR back-containment checks out across workers.
+    EngineContext ctx;
+    bench::AttachPool(ctx);
+    auto er = FindEquivalentRewriting(ctx, q, views);
     if (!er.ok()) state.SkipWithError(er.status().ToString().c_str());
     found = er.ValueOr(ErResult{}).found();
   }
   state.counters["views"] = n;
   state.counters["found"] = found ? 1 : 0;  // must be 1
+  bench::RecordSpeedup(state, [&](EngineContext& ctx) {
+    auto er = FindEquivalentRewriting(ctx, q, views);
+    benchmark::DoNotOptimize(er);
+  });
 }
 BENCHMARK(BM_ErSearchPartition)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Arg(8);
 
@@ -61,15 +71,21 @@ void BM_ErSearchNegative(benchmark::State& state) {
   }
   bool found = true;
   for (auto _ : state) {
-    auto er = FindEquivalentRewriting(q, lossy);
+    EngineContext ctx;
+    bench::AttachPool(ctx);
+    auto er = FindEquivalentRewriting(ctx, q, lossy);
     if (!er.ok()) state.SkipWithError(er.status().ToString().c_str());
     found = er.ValueOr(ErResult{}).found();
   }
   state.counters["found"] = found ? 1 : 0;  // must be 0
+  bench::RecordSpeedup(state, [&](EngineContext& ctx) {
+    auto er = FindEquivalentRewriting(ctx, q, lossy);
+    benchmark::DoNotOptimize(er);
+  });
 }
 BENCHMARK(BM_ErSearchNegative)->Arg(3)->Arg(4)->Arg(6);
 
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

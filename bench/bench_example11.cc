@@ -7,6 +7,8 @@
 // rewritings each side contributes (v2's contribution must stay 0).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/strings.h"
 #include "src/gen/paper_workloads.h"
 #include "src/ir/parser.h"
@@ -69,4 +71,4 @@ BENCHMARK(BM_Example11Exact);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -7,6 +7,8 @@
 // many distinguished variables above and below one hidden variable).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/strings.h"
 #include "src/ir/parser.h"
 #include "src/rewriting/export_analysis.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_Example41Analysis);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -7,6 +7,8 @@
 // is fast path <= general, with the gap widening as mappings multiply.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/containment/containment.h"
 #include "src/gen/generators.h"
@@ -68,4 +70,4 @@ BENCHMARK(BM_GeneralProcedure)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

@@ -8,6 +8,8 @@
 // `agree` must be 1 everywhere.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/strings.h"
 #include "src/containment/containment.h"
 #include "src/gen/paper_workloads.h"
@@ -83,4 +85,4 @@ BENCHMARK(BM_CarDealerAgreement);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

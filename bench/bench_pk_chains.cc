@@ -8,6 +8,8 @@
 // verifies coverage (mcr_fires == 1) at every depth.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/eval/evaluate.h"
 #include "src/gen/paper_workloads.h"
 #include "src/rewriting/si_mcr.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_McrConstruction);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

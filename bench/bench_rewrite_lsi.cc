@@ -9,6 +9,8 @@
 // verification rejects — and misses export-based rewritings entirely).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/containment/containment.h"
 #include "src/gen/generators.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_AcBlindBaselineCoverage)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

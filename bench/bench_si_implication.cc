@@ -8,6 +8,8 @@
 // time separation as the number of disjunct atoms grows.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/base/rng.h"
 #include "src/constraints/implication.h"
 
@@ -78,4 +80,4 @@ BENCHMARK(BM_PreorderEnumeration)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

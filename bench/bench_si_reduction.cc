@@ -7,6 +7,8 @@
 // they agree (even chains contained, odd chains not).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.h"
+
 #include "src/containment/containment.h"
 #include "src/containment/si_reduction.h"
 #include "src/gen/paper_workloads.h"
@@ -75,4 +77,4 @@ BENCHMARK(BM_PcqConstruction)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace cqac
 
-BENCHMARK_MAIN();
+CQAC_BENCHMARK_MAIN()

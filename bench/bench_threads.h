@@ -1,0 +1,126 @@
+// Shared --threads plumbing for the benchmark binaries.
+//
+// google-benchmark rejects flags it does not know, so every bench main must
+// strip `--threads N` / `--threads=N` from argv before benchmark::Initialize.
+// Use CQAC_BENCHMARK_MAIN() instead of BENCHMARK_MAIN(); benchmarks that
+// exercise EngineContext-aware code paths attach the global pool with
+// AttachPool and report the fan-out counters with RecordParallelCounters so
+// the JSON output records the thread count, parallel wall time, and the
+// measured serial-vs-parallel speedup of the workload.
+#ifndef CQAC_BENCH_BENCH_THREADS_H_
+#define CQAC_BENCH_BENCH_THREADS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/task_pool.h"
+#include "src/engine/context.h"
+
+namespace cqac {
+namespace bench {
+
+inline size_t& ThreadsFlag() {
+  static size_t threads = 0;
+  return threads;
+}
+
+// Removes --threads from argv (benchmark::Initialize aborts on unknown
+// flags) and records the requested worker count.
+inline void StripThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "%s: --threads requires a count\n", argv[0]);
+        std::exit(1);
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* end = nullptr;
+    unsigned long n = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0') {
+      std::fprintf(stderr, "%s: invalid thread count '%s'\n", argv[0], value);
+      std::exit(1);
+    }
+    ThreadsFlag() = static_cast<size_t>(n);
+  }
+  *argc = out;
+}
+
+// One pool for the whole binary; built on first use, after flag parsing.
+inline TaskPool& GlobalPool() {
+  static TaskPool pool(ThreadsFlag());
+  return pool;
+}
+
+inline void AttachPool(EngineContext& ctx) {
+  if (ThreadsFlag() > 0) ctx.set_task_pool(&GlobalPool());
+}
+
+template <typename Fn>
+double TimeOnceMs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+inline void RecordParallelCounters(benchmark::State& state,
+                                   const EngineContext& ctx) {
+  state.counters["threads"] = static_cast<double>(ThreadsFlag());
+  state.counters["parallel_sections"] =
+      static_cast<double>(uint64_t{ctx.stats().parallel_sections});
+  state.counters["parallel_tasks"] =
+      static_cast<double>(uint64_t{ctx.stats().parallel_tasks});
+  state.counters["parallel_wall_ms"] =
+      static_cast<double>(uint64_t{ctx.stats().parallel_wall_ns}) / 1e6;
+}
+
+// Runs `workload(ctx)` once against a fresh serial context and once against
+// a fresh pool-attached context, recording both wall times, their ratio,
+// and the parallel run's fan-out counters. Fresh contexts keep the
+// comparison honest: neither run sees a warm decision cache. With
+// --threads 0 both runs are serial and speedup ~= 1.
+template <typename Fn>
+void RecordSpeedup(benchmark::State& state, Fn&& workload) {
+  double serial_ms = TimeOnceMs([&] {
+    EngineContext ctx;
+    workload(ctx);
+  });
+  EngineContext pctx;
+  AttachPool(pctx);
+  double parallel_ms = TimeOnceMs([&] { workload(pctx); });
+  state.counters["serial_ms"] = serial_ms;
+  state.counters["parallel_ms"] = parallel_ms;
+  state.counters["speedup"] = parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+  RecordParallelCounters(state, pctx);
+}
+
+}  // namespace bench
+}  // namespace cqac
+
+#define CQAC_BENCHMARK_MAIN()                                       \
+  int main(int argc, char** argv) {                                 \
+    cqac::bench::StripThreadsFlag(&argc, argv);                     \
+    benchmark::Initialize(&argc, argv);                             \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                            \
+    benchmark::Shutdown();                                          \
+    return 0;                                                       \
+  }
+
+#endif  // CQAC_BENCH_BENCH_THREADS_H_

@@ -1,0 +1,134 @@
+#include "src/base/task_pool.h"
+
+#include <atomic>
+
+namespace cqac {
+namespace {
+
+// > 0 while the current thread is executing a pool chunk (workers are
+// permanently in-pool). Nested ParallelFor calls observe it and run inline.
+thread_local int tl_pool_depth = 0;
+
+}  // namespace
+
+struct TaskPool::Job {
+  FunctionRef<void(size_t)> body;
+  std::atomic<size_t> pending;  // chunks not yet finished
+
+  Job(FunctionRef<void(size_t)> b, size_t chunks) : body(b), pending(chunks) {}
+};
+
+TaskPool::TaskPool(size_t threads) {
+  queues_.resize(threads + 1);  // one deque per worker plus the caller slot
+  for (auto& q : queues_) q = std::make_unique<Queue>();
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t TaskPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool TaskPool::InPoolTask() { return tl_pool_depth > 0; }
+
+bool TaskPool::TryPop(size_t self, Chunk* out) {
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.chunks.empty()) {
+      *out = q.chunks.front();
+      q.chunks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other queues (oldest chunks first), starting
+  // at the neighbour to spread contention.
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.chunks.empty()) {
+      *out = q.chunks.back();
+      q.chunks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::RunChunk(const Chunk& c) {
+  ++tl_pool_depth;
+  for (size_t i = c.lo; i < c.hi; ++i) c.job->body(i);
+  --tl_pool_depth;
+  if (c.job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last chunk: wake the blocked ParallelFor caller. Taking the lock
+    // (even empty) orders the notify after the caller's predicate check.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_all();
+  }
+}
+
+void TaskPool::WorkerLoop(size_t self) {
+  ++tl_pool_depth;  // workers never fan out further
+  size_t seen_epoch = 0;
+  for (;;) {
+    Chunk c;
+    while (TryPop(self, &c)) RunChunk(c);
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock,
+                  [&] { return stop_ || work_epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = work_epoch_;
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, FunctionRef<void(size_t)> body) {
+  if (n == 0) return;
+  if (workers_.empty() || n < 2 || tl_pool_depth > 0) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Split [0, n) into up to 4 chunks per participant: enough slack for
+  // stealing to balance uneven item costs without drowning in bookkeeping.
+  const size_t participants = workers_.size() + 1;
+  const size_t max_chunks = 4 * participants;
+  const size_t num_chunks = n < max_chunks ? n : max_chunks;
+  Job job(body, num_chunks);
+  size_t next = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t len = (n - next) / (num_chunks - c);
+    Chunk chunk{&job, next, next + len};
+    next += len;
+    Queue& q = *queues_[c % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.chunks.push_back(chunk);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller participates, then blocks until every chunk (including the
+  // stolen ones) has finished.
+  const size_t caller_slot = workers_.size();
+  Chunk c;
+  while (TryPop(caller_slot, &c)) RunChunk(c);
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  wake_cv_.wait(lock, [&] {
+    return job.pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace cqac

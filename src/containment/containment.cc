@@ -7,6 +7,7 @@
 #include "src/constraints/implication.h"
 #include "src/constraints/preprocess.h"
 #include "src/containment/homomorphism.h"
+#include "src/engine/parallel.h"
 #include "src/eval/evaluate.h"
 
 namespace cqac {
@@ -390,12 +391,20 @@ Result<bool> IsContainedInUnion(EngineContext& ctx, const Query& q,
   for (const Query& d : u.disjuncts)
     if (!d.IsConjunctiveOnly()) all_cq = false;
   if (all_cq) {
-    for (const Query& d : u.disjuncts) {
+    for (const Query& d : u.disjuncts)
       if (d.head().args.size() != q.head().args.size())
         return Status::InvalidArgument(
             "union containment between queries of different head arity");
-      CQAC_ASSIGN_OR_RETURN(bool c, IsContained(ctx, q, d));
-      if (c) return true;
+    // First containing disjunct (in union order) decides; a hit cancels
+    // the siblings since the disjunction is settled.
+    ParallelOutcomes<Result<bool>> outcomes(
+        ctx, u.disjuncts.size(),
+        [&](size_t i) { return IsContained(ctx, q, u.disjuncts[i]); },
+        [](const Result<bool>& r) { return !r.ok() || r.value(); });
+    for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+      Result<bool>& r = outcomes.Get(i);
+      if (!r.ok()) return r.status();
+      if (r.value()) return true;
     }
     return false;
   }
@@ -413,15 +422,53 @@ Result<bool> IsContainedInUnion(EngineContext& ctx, const Query& q,
     prepped.push_back(std::move(dp));
   }
 
-  return ForAllCanonicalDatabases(
-      q, constants, &ctx.budget(),
-      [&](const Database& db, const Tuple& head) -> Result<bool> {
-        for (const Query& d : prepped) {
-          CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(d, db));
-          if (r.count(head) > 0) return true;
-        }
-        return false;
-      });
+  // The preorder enumeration is inherently serial (each canonical database
+  // extends the previous prefix), but checking a database against the
+  // disjuncts is independent work. Batch databases and fan each batch out;
+  // with no pool the batch size is 1, which reproduces today's serial
+  // check-after-every-database behaviour exactly.
+  const bool fan_out =
+      ctx.parallelism() > 0 && !TaskPool::InPoolTask();
+  const size_t batch_cap = fan_out ? 4 * (ctx.parallelism() + 1) : 1;
+  std::vector<std::pair<Database, Tuple>> batch;
+
+  // Returns false (or an error) exactly when the serial loop would have:
+  // the first database in batch order that no disjunct covers decides.
+  auto check_batch = [&]() -> Result<bool> {
+    ParallelOutcomes<Result<bool>> outcomes(
+        ctx, batch.size(),
+        [&](size_t i) -> Result<bool> {
+          for (const Query& d : prepped) {
+            CQAC_ASSIGN_OR_RETURN(Relation r,
+                                  EvaluateQuery(d, batch[i].first));
+            if (r.count(batch[i].second) > 0) return true;
+          }
+          return false;
+        },
+        // An uncovered database decides the whole call, so treat it like an
+        // error for cancellation purposes: siblings stop early.
+        [](const Result<bool>& r) { return !r.ok() || !r.value(); });
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Result<bool>& r = outcomes.Get(i);
+      if (!r.ok()) return r.status();
+      if (!r.value()) return false;
+    }
+    batch.clear();
+    return true;
+  };
+
+  CQAC_ASSIGN_OR_RETURN(
+      bool all_ok,
+      ForAllCanonicalDatabases(
+          q, constants, &ctx.budget(),
+          [&](const Database& db, const Tuple& head) -> Result<bool> {
+            batch.emplace_back(db, head);
+            if (batch.size() < batch_cap) return true;  // keep enumerating
+            return check_batch();
+          }));
+  if (!all_ok) return false;
+  if (!batch.empty()) return check_batch();
+  return true;
 }
 
 Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
@@ -432,9 +479,18 @@ Result<bool> IsContainedInUnion(const Query& q, const UnionQuery& u) {
 Result<bool> UnionIsContained(EngineContext& ctx, const UnionQuery& u,
                               const Query& q1,
                               const ContainmentOptions& options) {
-  for (const Query& d : u.disjuncts) {
-    CQAC_ASSIGN_OR_RETURN(bool c, IsContained(ctx, d, q1, options));
-    if (!c) return false;
+  // Per-disjunct checks are independent; merge in disjunct order so the
+  // first failing (or erroring) disjunct decides, exactly as the serial
+  // loop did. A "not contained" outcome cancels siblings — it decides the
+  // conjunction, so remaining work is wasted anyway.
+  ParallelOutcomes<Result<bool>> outcomes(
+      ctx, u.disjuncts.size(),
+      [&](size_t i) { return IsContained(ctx, u.disjuncts[i], q1, options); },
+      [](const Result<bool>& r) { return !r.ok() || !r.value(); });
+  for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+    Result<bool>& r = outcomes.Get(i);
+    if (!r.ok()) return r.status();
+    if (!r.value()) return false;
   }
   return true;
 }

@@ -41,11 +41,18 @@ class HomSearch {
     return map_.Bind(ft.var(), tt);
   }
 
+  // Polls the deadline and the context's cancellation flag every 256
+  // search steps. Steps are counted per target-atom attempt (not just per
+  // recursion level), so exhaustion fires promptly even inside one huge
+  // candidate whose branching lives in a single wide atom loop.
+  bool Checkpoint() {
+    if ((++steps_ & 0xFF) != 0 || !ctx_.ShouldStop()) return true;
+    outcome_ = EnumerationOutcome::kBudgetExhausted;
+    return false;
+  }
+
   bool Match(size_t atom_idx) {
-    if ((++steps_ & 0x3FF) == 0 && ctx_.budget().DeadlineExceeded()) {
-      outcome_ = EnumerationOutcome::kBudgetExhausted;
-      return false;
-    }
+    if (!Checkpoint()) return false;
     if (atom_idx == from_.body().size()) {
       if (++found_ > ctx_.budget().max_homomorphisms) {
         outcome_ = EnumerationOutcome::kBudgetExhausted;
@@ -56,6 +63,7 @@ class HomSearch {
     }
     const Atom& fa = from_.body()[atom_idx];
     for (const Atom& ta : to_.body()) {
+      if (!Checkpoint()) return false;
       if (ta.predicate != fa.predicate || ta.args.size() != fa.args.size())
         continue;
       VarMap saved = map_;

@@ -2,42 +2,101 @@
 
 namespace cqac {
 
+void DecisionCache::SetShardCaps(size_t max_bytes) {
+  // Deal the cap out evenly; the first shards absorb the remainder so the
+  // per-shard caps always sum to exactly max_bytes.
+  const size_t base = max_bytes / kNumShards;
+  size_t extra = max_bytes % kNumShards;
+  for (Shard& s : shards_) {
+    s.max_bytes = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+  }
+}
+
+void DecisionCache::set_max_bytes(size_t max_bytes) {
+  const size_t base = max_bytes / kNumShards;
+  size_t extra = max_bytes % kNumShards;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.max_bytes = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    EvictToFit(s);
+  }
+}
+
 std::optional<bool> DecisionCache::Lookup(const std::string& key) {
-  auto it = index_.find(std::string_view(key));
-  if (it == index_.end()) return std::nullopt;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  Shard& s = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(std::string_view(key));
+  if (it == s.index.end()) return std::nullopt;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
   return it->second->value;
 }
 
-void DecisionCache::Insert(const std::string& key, bool value) {
-  auto it = index_.find(std::string_view(key));
-  if (it != index_.end()) {
+uint64_t DecisionCache::Insert(const std::string& key, bool value) {
+  Shard& s = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(std::string_view(key));
+  if (it != s.index.end()) {
     it->second->value = value;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return 0;
   }
   Entry entry{key, value};
-  if (CostOf(entry) > max_bytes_) return;
-  bytes_ += CostOf(entry);
-  lru_.push_front(std::move(entry));
-  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
-  EvictToFit();
+  if (CostOf(entry) > s.max_bytes) return 0;
+  s.bytes += CostOf(entry);
+  s.lru.push_front(std::move(entry));
+  s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+  return EvictToFit(s);
 }
 
-void DecisionCache::EvictToFit() {
-  while (bytes_ > max_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= CostOf(victim);
-    index_.erase(std::string_view(victim.key));
-    lru_.pop_back();
-    ++evictions_;
+uint64_t DecisionCache::EvictToFit(Shard& s) {
+  uint64_t evicted = 0;
+  while (s.bytes > s.max_bytes && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= CostOf(victim);
+    s.index.erase(std::string_view(victim.key));
+    s.lru.pop_back();
+    ++evicted;
   }
+  s.evictions += evicted;
+  return evicted;
+}
+
+size_t DecisionCache::bytes() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.bytes;
+  }
+  return total;
+}
+
+size_t DecisionCache::entries() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.lru.size();
+  }
+  return total;
+}
+
+uint64_t DecisionCache::evictions() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.evictions;
+  }
+  return total;
 }
 
 void DecisionCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.lru.clear();
+    s.index.clear();
+    s.bytes = 0;
+  }
 }
 
 }  // namespace cqac

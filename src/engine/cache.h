@@ -1,4 +1,4 @@
-// DecisionCache: a byte-bounded LRU memo for boolean decisions.
+// DecisionCache: a sharded, byte-bounded LRU memo for boolean decisions.
 //
 // One instance lives in each EngineContext and stores both containment
 // results (keyed on interned canonical-pair ids, see context.h) and
@@ -6,11 +6,19 @@
 // Keys are exact — collision handling happens upstream: the interner
 // resolves 64-bit fingerprint collisions by full canonical-text comparison
 // before a pair id is ever formed, so a cache hit is always a true hit.
+//
+// The cache is thread-safe. Keys are spread across a fixed number of
+// shards, each an independent LRU list guarded by its own mutex, so
+// concurrent lookups on different canonical classes rarely contend. The
+// byte cap is split evenly across shards; recency is therefore tracked
+// per shard rather than globally, which only changes *which* entries get
+// evicted under pressure, never the correctness of a hit.
 #ifndef CQAC_ENGINE_CACHE_H_
 #define CQAC_ENGINE_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -20,24 +28,25 @@ namespace cqac {
 
 class DecisionCache {
  public:
-  explicit DecisionCache(size_t max_bytes = 16u << 20)
-      : max_bytes_(max_bytes) {}
+  static constexpr size_t kNumShards = 8;
 
-  void set_max_bytes(size_t max_bytes) {
-    max_bytes_ = max_bytes;
-    EvictToFit();
+  explicit DecisionCache(size_t max_bytes = 16u << 20) {
+    SetShardCaps(max_bytes);
   }
+
+  void set_max_bytes(size_t max_bytes);
 
   /// Returns the stored decision and refreshes its LRU position.
   std::optional<bool> Lookup(const std::string& key);
 
   /// Stores (or refreshes) a decision; evicts least-recently-used entries
-  /// when over the byte cap. A key larger than the whole cap is ignored.
-  void Insert(const std::string& key, bool value);
+  /// of the key's shard when over that shard's byte cap. A key larger than
+  /// the shard cap is ignored. Returns the number of entries evicted.
+  uint64_t Insert(const std::string& key, bool value);
 
-  size_t bytes() const { return bytes_; }
-  size_t entries() const { return lru_.size(); }
-  uint64_t evictions() const { return evictions_; }
+  size_t bytes() const;
+  size_t entries() const;
+  uint64_t evictions() const;
 
   void Clear();
 
@@ -47,6 +56,18 @@ class DecisionCache {
     bool value;
   };
 
+  // One independent LRU. The mutex is mutable so the summing accessors
+  // stay const.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t max_bytes = 0;
+    size_t bytes = 0;
+    uint64_t evictions = 0;
+    std::list<Entry> lru;  // front = most recently used
+    // Views into the stable list-owned key strings.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
   // Approximate bookkeeping overhead per entry (list node + index slot).
   static constexpr size_t kEntryOverhead = 96;
 
@@ -54,14 +75,16 @@ class DecisionCache {
     return e.key.size() + kEntryOverhead;
   }
 
-  void EvictToFit();
+  static size_t ShardOf(const std::string& key) {
+    return std::hash<std::string_view>{}(std::string_view(key)) % kNumShards;
+  }
 
-  size_t max_bytes_;
-  size_t bytes_ = 0;
-  uint64_t evictions_ = 0;
-  std::list<Entry> lru_;  // front = most recently used
-  // Views into the stable list-owned key strings.
-  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  void SetShardCaps(size_t max_bytes);
+  // Evicts from `s` until under its cap; returns entries evicted.
+  // Caller holds s.mu.
+  static uint64_t EvictToFit(Shard& s);
+
+  Shard shards_[kNumShards];
 };
 
 }  // namespace cqac

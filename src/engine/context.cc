@@ -6,10 +6,12 @@ namespace cqac {
 
 InternedQuery EngineContext::Intern(const Query& q) {
   ++stats_.intern_requests;
+  // Canonicalization is the expensive part; do it outside the lock.
   CanonicalForm form = Canonicalize(q);
   InternedQuery out;
   out.fingerprint = form.fingerprint;
 
+  std::lock_guard<std::mutex> lock(intern_mu_);
   std::vector<uint64_t>& ids = by_fingerprint_[form.fingerprint];
   for (uint64_t id : ids) {
     if (texts_[id] == form.text) {
@@ -34,9 +36,7 @@ std::optional<bool> EngineContext::CacheLookup(const std::string& key) {
 
 void EngineContext::CacheStore(const std::string& key, bool value) {
   if (!caching_enabled()) return;
-  uint64_t before = cache_.evictions();
-  cache_.Insert(key, value);
-  stats_.cache_evictions += cache_.evictions() - before;
+  stats_.cache_evictions += cache_.Insert(key, value);
 }
 
 std::string EngineContext::MakeContainmentKey(const InternedQuery& contained,
@@ -47,6 +47,7 @@ std::string EngineContext::MakeContainmentKey(const InternedQuery& contained,
 }
 
 size_t EngineContext::cache_bytes() const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
   return cache_.bytes() + intern_bytes_;
 }
 
@@ -69,9 +70,14 @@ void EngineContext::EnforceByteBudget() {
 }
 
 std::string EngineContext::ToString() const {
+  size_t interned;
+  {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    interned = texts_.size();
+  }
   return StrCat(stats_.ToString(), "\ncache footprint: ", cache_bytes(),
-                " bytes (", cache_.entries(), " decisions, ", texts_.size(),
-                " interned queries)");
+                " bytes (", cache_.entries(), " decisions, ", interned,
+                " interned queries)\nthreads: ", parallelism());
 }
 
 }  // namespace cqac

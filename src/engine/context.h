@@ -13,18 +13,27 @@
 // construct a fresh context per top-level call (so existing callers keep
 // their exact semantics while still getting intra-call memoization).
 //
-// Contexts are NOT thread-safe: share one per worker, not across workers.
-// Future scaling work (parallel bucket fill, server mode, cross-query
-// shared caches) plugs in here.
+// Thread-safety model. A context is safely shareable across the workers of
+// an attached TaskPool: Intern, CacheLookup/CacheStore, every stats counter,
+// and the cancellation flag are internally synchronized (sharded LRU with
+// per-shard mutexes, a mutex-guarded interner, relaxed atomics). What stays
+// single-threaded is *coordination*: one thread drives an engine call on a
+// context at a time and fans work out beneath it via CtxParallelFor /
+// ParallelOutcomes (src/engine/parallel.h); budget() limits must not be
+// mutated while a parallel section is in flight. Deadline exhaustion and
+// RequestCancel() propagate to all workers through ShouldStop().
 #ifndef CQAC_ENGINE_CONTEXT_H_
 #define CQAC_ENGINE_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/task_pool.h"
 #include "src/engine/budget.h"
 #include "src/engine/cache.h"
 #include "src/engine/stats.h"
@@ -52,6 +61,29 @@ class EngineContext {
   EngineStats& stats() { return stats_; }
   const EngineStats& stats() const { return stats_; }
 
+  /// Attaches a task pool (not owned; must outlive the context's use of
+  /// it). Null or a 0-thread pool means every engine loop runs serially.
+  void set_task_pool(TaskPool* pool) { pool_ = pool; }
+  TaskPool* task_pool() const { return pool_; }
+
+  /// Worker threads available for fan-out (0 = serial execution).
+  size_t parallelism() const { return pool_ ? pool_->thread_count() : 0; }
+
+  /// Cooperative cancellation, shared by all workers fanned out under this
+  /// context. A parallel section raises it when one task hits a budget
+  /// error so siblings stop burning work; the section clears it again
+  /// before merging (see parallel.h). Long-running inner loops poll
+  /// ShouldStop() alongside their deadline checks.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  void ClearCancel() { cancel_.store(false, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  /// True when work should wind down: deadline passed or cancel requested.
+  bool ShouldStop() const {
+    return cancel_requested() || budget_.DeadlineExceeded();
+  }
+
   /// Disables/enables memoization (stats and budget still apply). Used by
   /// ablation benches and the cache-equivalence tests.
   void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
@@ -64,11 +96,12 @@ class EngineContext {
   /// are detected by exact canonical-text comparison and resolved to
   /// distinct ids. Callers should pass preprocessed queries (the
   /// containment layer does) so comparison-implied equalities do not split
-  /// canonical classes.
+  /// canonical classes. Thread-safe.
   InternedQuery Intern(const Query& q);
 
   /// Decision memo. Keys are exact strings; see MakeContainmentKey /
   /// implication serialization for the two key families in use.
+  /// Thread-safe.
   std::optional<bool> CacheLookup(const std::string& key);
   void CacheStore(const std::string& key, bool value);
 
@@ -81,20 +114,26 @@ class EngineContext {
   size_t cache_bytes() const;
   size_t cache_entries() const { return cache_.entries(); }
 
-  /// Stats plus cache occupancy, for the shell's `stats` command.
+  /// Stats plus cache occupancy and parallelism, for the shell's `stats`
+  /// command.
   std::string ToString() const;
 
  private:
   /// Flushes interner + cache when their combined footprint exceeds the
   /// byte budget (the interner itself is append-only between flushes).
+  /// Caller holds intern_mu_.
   void EnforceByteBudget();
 
   Budget budget_;
   EngineStats stats_;
   bool caching_enabled_ = true;
 
+  TaskPool* pool_ = nullptr;  // not owned
+  std::atomic<bool> cancel_{false};
+
   // Interner: fingerprint -> candidate interned ids; texts_ owns the
-  // canonical strings (id = index).
+  // canonical strings (id = index). Guarded by intern_mu_.
+  mutable std::mutex intern_mu_;
   std::unordered_map<uint64_t, std::vector<uint64_t>> by_fingerprint_;
   std::vector<std::string> texts_;
   size_t intern_bytes_ = 0;

@@ -1,0 +1,124 @@
+// Deterministic parallel helpers over an EngineContext's TaskPool.
+//
+// The engine's drivers all follow one shape: generate a list of independent
+// work items, process each (expensively), then merge results *in item
+// order* so output is independent of scheduling. Two helpers capture it:
+//
+//   * CtxParallelFor(ctx, n, body) — plain fan-out for bodies that write
+//     only to their own slot (join chunks, per-view construction). Falls
+//     back to an inline serial loop when no pool is attached, n < 2, or the
+//     caller is already inside a pool task (parallelism is one level deep).
+//
+//   * ParallelOutcomes<T> — fan-out with early-exit semantics. Each item
+//     produces a T (typically a Result<...>); when one item yields an error
+//     the context's cancel flag is raised so sibling tasks wind down
+//     instead of burning the rest of the budget. Merging then walks items
+//     in ascending order via Get(i).
+//
+// Determinism under cancellation is the subtle part. A task that finishes
+// *after* cancel was raised may have been polluted by it (inner loops poll
+// ShouldStop() and bail with kResourceExhausted), and a task that never
+// started is simply missing. Both kinds of slot are left empty, and Get(i)
+// repairs them by recomputing serially — after the constructor has cleared
+// the cancel flag — so the merge observes exactly the values a serial run
+// would have produced, in the same order. With no pool attached the
+// constructor computes nothing and every Get(i) runs lazily in merge
+// order, which is bit-identical to the pre-parallel code path including
+// which work is skipped by early exits.
+#ifndef CQAC_ENGINE_PARALLEL_H_
+#define CQAC_ENGINE_PARALLEL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/base/task_pool.h"
+#include "src/engine/context.h"
+
+namespace cqac {
+
+namespace parallel_internal {
+
+inline bool ShouldFanOut(const EngineContext& ctx, size_t n) {
+  return ctx.task_pool() != nullptr && ctx.task_pool()->thread_count() > 0 &&
+         n > 1 && !TaskPool::InPoolTask();
+}
+
+inline void RecordSection(EngineContext& ctx, size_t tasks,
+                          std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ++ctx.stats().parallel_sections;
+  ctx.stats().parallel_tasks += tasks;
+  ctx.stats().parallel_wall_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace parallel_internal
+
+/// Runs body(i) for all i in [0, n), fanning out over ctx's pool when
+/// profitable. The serial path is a plain loop with no stats overhead, so
+/// threads=0 behaviour (including stats) is identical to pre-pool code.
+inline void CtxParallelFor(EngineContext& ctx, size_t n,
+                           FunctionRef<void(size_t)> body) {
+  if (!parallel_internal::ShouldFanOut(ctx, n)) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  ctx.task_pool()->ParallelFor(n, body);
+  parallel_internal::RecordSection(ctx, n, start);
+}
+
+/// Computes n outcomes, possibly in parallel, for in-order merging.
+///
+/// fn(i) produces item i's outcome; is_error(t) tells the fan-out that an
+/// outcome should cancel remaining siblings (budget errors, hard failures —
+/// NOT "normal" rejections like an inconsistent candidate). The merge loop
+/// then calls Get(i) in ascending order and applies the same accept /
+/// reject / return-error logic the old serial loop used; it may stop early,
+/// in which case never-computed tail slots stay untouched.
+template <typename T>
+class ParallelOutcomes {
+ public:
+  ParallelOutcomes(EngineContext& ctx, size_t n, std::function<T(size_t)> fn,
+                   std::function<bool(const T&)> is_error)
+      : ctx_(ctx), fn_(std::move(fn)), slots_(n) {
+    if (!parallel_internal::ShouldFanOut(ctx, n)) return;  // lazy-only mode
+    const auto start = std::chrono::steady_clock::now();
+    ctx.task_pool()->ParallelFor(n, [&](size_t i) {
+      if (ctx_.ShouldStop()) return;  // skipped; repaired lazily if reached
+      T result = fn_(i);
+      // If cancel arrived while fn_ ran, the result may be polluted by the
+      // cooperative aborts — discard it; Get() recomputes cleanly.
+      if (ctx_.cancel_requested()) return;
+      if (is_error(result)) ctx_.RequestCancel();
+      slots_[i] = std::move(result);
+    });
+    // The section is over: nothing reads the flag concurrently anymore, and
+    // lazy repairs below must run free of it.
+    ctx_.ClearCancel();
+    parallel_internal::RecordSection(ctx_, n, start);
+  }
+
+  size_t size() const { return slots_.size(); }
+
+  /// Item i's outcome; computes it now (serially) if the parallel pass
+  /// skipped or discarded it. Call in ascending order for deterministic
+  /// merges.
+  T& Get(size_t i) {
+    if (!slots_[i].has_value()) slots_[i] = fn_(i);
+    return *slots_[i];
+  }
+
+ private:
+  EngineContext& ctx_;
+  std::function<T(size_t)> fn_;
+  std::vector<std::optional<T>> slots_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_PARALLEL_H_

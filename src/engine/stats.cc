@@ -4,6 +4,18 @@
 
 namespace cqac {
 
+void EngineStats::Reset() {
+  for (StatCounter* c :
+       {&containment_calls, &containment_cache_hits, &containment_cache_misses,
+        &implication_calls, &implication_cache_hits, &implication_cache_misses,
+        &disjunction_implications, &hom_enumerations, &homomorphisms_found,
+        &intern_requests, &queries_interned, &fingerprint_collisions,
+        &cache_evictions, &cache_flushes, &budget_exhaustions,
+        &rewrite_candidates, &rewrite_verified_rejects, &parallel_sections,
+        &parallel_tasks, &parallel_wall_ns})
+    c->Reset();
+}
+
 double EngineStats::ContainmentHitRate() const {
   uint64_t looked = containment_cache_hits + containment_cache_misses;
   if (looked == 0) return 0.0;
@@ -13,20 +25,27 @@ double EngineStats::ContainmentHitRate() const {
 
 std::string EngineStats::ToString() const {
   return StrCat(
-      "containment: ", containment_calls, " calls, ", containment_cache_hits,
-      " cache hits, ", containment_cache_misses, " misses (hit rate ",
+      "containment: ", uint64_t{containment_calls}, " calls, ",
+      uint64_t{containment_cache_hits}, " cache hits, ",
+      uint64_t{containment_cache_misses}, " misses (hit rate ",
       static_cast<int>(ContainmentHitRate() * 100), "%)\n",
-      "implication: ", implication_calls, " conjunction calls (",
-      implication_cache_hits, " hits, ", implication_cache_misses,
-      " misses), ", disjunction_implications, " disjunction calls\n",
-      "homomorphism: ", hom_enumerations, " enumerations, ",
-      homomorphisms_found, " mappings found\n",
-      "interner: ", intern_requests, " requests, ", queries_interned,
-      " distinct queries, ", fingerprint_collisions, " fp collisions\n",
-      "cache: ", cache_evictions, " evictions, ", cache_flushes, " flushes\n",
-      "budget: ", budget_exhaustions, " exhaustions\n",
-      "rewriting: ", rewrite_candidates, " candidates, ",
-      rewrite_verified_rejects, " verified rejects");
+      "implication: ", uint64_t{implication_calls}, " conjunction calls (",
+      uint64_t{implication_cache_hits}, " hits, ",
+      uint64_t{implication_cache_misses}, " misses), ",
+      uint64_t{disjunction_implications}, " disjunction calls\n",
+      "homomorphism: ", uint64_t{hom_enumerations}, " enumerations, ",
+      uint64_t{homomorphisms_found}, " mappings found\n",
+      "interner: ", uint64_t{intern_requests}, " requests, ",
+      uint64_t{queries_interned}, " distinct queries, ",
+      uint64_t{fingerprint_collisions}, " fp collisions\n",
+      "cache: ", uint64_t{cache_evictions}, " evictions, ",
+      uint64_t{cache_flushes}, " flushes\n",
+      "budget: ", uint64_t{budget_exhaustions}, " exhaustions\n",
+      "rewriting: ", uint64_t{rewrite_candidates}, " candidates, ",
+      uint64_t{rewrite_verified_rejects}, " verified rejects\n",
+      "parallel: ", uint64_t{parallel_sections}, " sections, ",
+      uint64_t{parallel_tasks}, " tasks, ",
+      uint64_t{parallel_wall_ns} / 1000000, " ms fan-out wall time");
 }
 
 }  // namespace cqac

@@ -3,47 +3,84 @@
 // (homomorphism search, containment, implication, rewriting) increment it,
 // so one object answers "what did this workload cost and what did the cache
 // save" — surfaced by the shell's `stats` command and the benches.
+//
+// Every counter is a relaxed atomic so a context shared across TaskPool
+// workers never loses an update. Counts are exact; only the *interleaving*
+// of increments differs between thread counts (the totals of a fixed
+// workload do not, except that cancelled-and-repaired parallel items may
+// charge their probe work twice — see docs/engine.md).
 #ifndef CQAC_ENGINE_STATS_H_
 #define CQAC_ENGINE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace cqac {
 
+/// A relaxed atomic counter with plain-uint64_t ergonomics (`++`, `+=`,
+/// implicit read). Relaxed is enough: counters never order other memory.
+class StatCounter {
+ public:
+  StatCounter() = default;
+  StatCounter(const StatCounter&) = delete;
+  StatCounter& operator=(const StatCounter&) = delete;
+
+  uint64_t operator++() { return Add(1) + 1; }    // pre-increment
+  uint64_t operator++(int) { return Add(1); }     // post-increment
+  StatCounter& operator+=(uint64_t d) {
+    Add(d);
+    return *this;
+  }
+  operator uint64_t() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  uint64_t Add(uint64_t d) {
+    return value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> value_{0};
+};
+
 struct EngineStats {
   // Containment layer.
-  uint64_t containment_calls = 0;
-  uint64_t containment_cache_hits = 0;
-  uint64_t containment_cache_misses = 0;
+  StatCounter containment_calls;
+  StatCounter containment_cache_hits;
+  StatCounter containment_cache_misses;
 
   // Constraint-implication layer.
-  uint64_t implication_calls = 0;
-  uint64_t implication_cache_hits = 0;
-  uint64_t implication_cache_misses = 0;
-  uint64_t disjunction_implications = 0;
+  StatCounter implication_calls;
+  StatCounter implication_cache_hits;
+  StatCounter implication_cache_misses;
+  StatCounter disjunction_implications;
 
   // Homomorphism enumeration.
-  uint64_t hom_enumerations = 0;
-  uint64_t homomorphisms_found = 0;
+  StatCounter hom_enumerations;
+  StatCounter homomorphisms_found;
 
   // Canonicalization / interning.
-  uint64_t intern_requests = 0;
-  uint64_t queries_interned = 0;  // distinct canonical forms seen
-  uint64_t fingerprint_collisions = 0;
+  StatCounter intern_requests;
+  StatCounter queries_interned;  // distinct canonical forms seen
+  StatCounter fingerprint_collisions;
 
   // Cache maintenance.
-  uint64_t cache_evictions = 0;
-  uint64_t cache_flushes = 0;
+  StatCounter cache_evictions;
+  StatCounter cache_flushes;
 
   // Budget enforcement.
-  uint64_t budget_exhaustions = 0;
+  StatCounter budget_exhaustions;
 
   // Rewriting layer.
-  uint64_t rewrite_candidates = 0;
-  uint64_t rewrite_verified_rejects = 0;
+  StatCounter rewrite_candidates;
+  StatCounter rewrite_verified_rejects;
 
-  void Reset() { *this = EngineStats{}; }
+  // Parallel sections (TaskPool fan-outs that actually ran concurrently).
+  StatCounter parallel_sections;
+  StatCounter parallel_tasks;
+  StatCounter parallel_wall_ns;  // wall-clock summed over sections
+
+  void Reset();
 
   /// Fraction of containment calls answered from the cache (0 when none).
   double ContainmentHitRate() const;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/base/strings.h"
+#include "src/engine/parallel.h"
 
 namespace cqac {
 
@@ -51,11 +52,19 @@ const std::vector<const Tuple*> JoinIndexes::kEmpty;
 
 }  // namespace
 
-void JoinBody(
+namespace {
+
+/// The backtracking core behind JoinBody and the context-aware evaluators.
+/// `checkpoint` is polled every 4096 candidate tuples; returning false
+/// aborts the search (deadline / cancellation). Returns false iff aborted.
+bool JoinBodyCore(
     const Query& q, const std::vector<const Relation*>& relations,
-    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
+    FunctionRef<bool()> checkpoint) {
   std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
   JoinIndexes indexes(relations);
+  bool stop = false;
+  uint64_t steps = 0;
 
   auto term_value = [&binding](const Term& t, Value* out) {
     if (t.is_const()) {
@@ -88,6 +97,11 @@ void JoinBody(
     const Atom& atom = q.body()[atom_idx];
 
     auto try_tuple = [&](const Tuple& tuple) {
+      if (stop) return;
+      if ((++steps & 0xFFF) == 0 && !checkpoint()) {
+        stop = true;
+        return;
+      }
       if (tuple.size() != atom.args.size()) return;
       std::vector<int> bound_here;
       bool ok = true;
@@ -111,15 +125,65 @@ void JoinBody(
     Value probe{0};
     for (size_t i = 0; i < atom.args.size(); ++i) {
       if (term_value(atom.args[i], &probe)) {
-        for (const Tuple* t : indexes.Probe(atom_idx, i, probe))
+        for (const Tuple* t : indexes.Probe(atom_idx, i, probe)) {
+          if (stop) return;
           try_tuple(*t);
+        }
         return;
       }
     }
-    for (const Tuple& tuple : *relations[atom_idx]) try_tuple(tuple);
+    for (const Tuple& tuple : *relations[atom_idx]) {
+      if (stop) return;
+      try_tuple(tuple);
+    }
   };
   extend(extend, 0);
+  return !stop;
 }
+
+}  // namespace
+
+void JoinBody(
+    const Query& q, const std::vector<const Relation*>& relations,
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
+  JoinBodyCore(q, relations, cb, [] { return true; });
+}
+
+namespace {
+
+/// Projects one satisfying binding onto q's head; false when some head
+/// variable is unbound (unsafe head: the binding yields no tuple).
+bool ProjectHead(const Query& q,
+                 const std::vector<std::optional<Value>>& binding,
+                 Tuple* head) {
+  head->clear();
+  head->reserve(q.head().args.size());
+  for (const Term& t : q.head().args) {
+    if (t.is_const()) {
+      head->push_back(t.value());
+    } else if (binding[t.var()].has_value()) {
+      head->push_back(*binding[t.var()]);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Joins q over `relations` into *results; returns false when the
+/// checkpoint aborted the search.
+bool JoinInto(const Query& q, const std::vector<const Relation*>& relations,
+              FunctionRef<bool()> checkpoint, Relation* results) {
+  return JoinBodyCore(
+      q, relations,
+      [&](const std::vector<std::optional<Value>>& binding) {
+        Tuple head;
+        if (ProjectHead(q, binding, &head)) results->insert(std::move(head));
+      },
+      checkpoint);
+}
+
+}  // namespace
 
 Result<Relation> EvaluateQuery(const Query& q, const Database& db) {
   CQAC_RETURN_IF_ERROR(q.Validate());
@@ -128,21 +192,62 @@ Result<Relation> EvaluateQuery(const Query& q, const Database& db) {
   for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));
 
   Relation results;
-  JoinBody(q, relations,
-           [&](const std::vector<std::optional<Value>>& binding) {
-             Tuple head;
-             head.reserve(q.head().args.size());
-             for (const Term& t : q.head().args) {
-               if (t.is_const()) {
-                 head.push_back(t.value());
-               } else if (binding[t.var()].has_value()) {
-                 head.push_back(*binding[t.var()]);
-               } else {
-                 return;  // unsafe head variable: no tuple
-               }
-             }
-             results.insert(std::move(head));
-           });
+  JoinInto(q, relations, [] { return true; }, &results);
+  return results;
+}
+
+Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
+                               const Database& db) {
+  CQAC_RETURN_IF_ERROR(q.Validate());
+  std::vector<const Relation*> relations;
+  relations.reserve(q.body().size());
+  for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));
+
+  auto checkpoint = [&ctx] { return !ctx.ShouldStop(); };
+
+  // Fan out only when atom 0 has enough tuples to split; results are a
+  // set, so the chunk merge is order-independent and output is identical
+  // at every thread count.
+  const bool fan_out = ctx.parallelism() > 0 && !TaskPool::InPoolTask() &&
+                       !q.body().empty() &&
+                       relations[0]->size() >= 2 * (ctx.parallelism() + 1);
+  if (!fan_out) {
+    Relation results;
+    if (!JoinInto(q, relations, checkpoint, &results)) {
+      ++ctx.stats().budget_exhaustions;
+      return Status::ResourceExhausted("join evaluation exceeded the budget");
+    }
+    return results;
+  }
+
+  // Deal atom 0's tuples round-robin into one sub-relation per chunk; each
+  // chunk joins independently with its own lazy indexes.
+  std::vector<const Tuple*> first;
+  first.reserve(relations[0]->size());
+  for (const Tuple& t : *relations[0]) first.push_back(&t);
+  const size_t max_chunks = 4 * (ctx.parallelism() + 1);
+  const size_t num_chunks = first.size() < max_chunks ? first.size()
+                                                      : max_chunks;
+  std::vector<Relation> chunk_results(num_chunks);
+  std::vector<char> chunk_aborted(num_chunks, 0);
+  CtxParallelFor(ctx, num_chunks, [&](size_t c) {
+    Relation sub;
+    for (size_t i = c; i < first.size(); i += num_chunks)
+      sub.insert(*first[i]);
+    std::vector<const Relation*> rels = relations;
+    rels[0] = &sub;
+    if (!JoinInto(q, rels, checkpoint, &chunk_results[c]))
+      chunk_aborted[c] = 1;
+  });
+
+  for (char aborted : chunk_aborted)
+    if (aborted) {
+      ++ctx.stats().budget_exhaustions;
+      return Status::ResourceExhausted("join evaluation exceeded the budget");
+    }
+  Relation results;
+  for (Relation& r : chunk_results)
+    results.insert(r.begin(), r.end());
   return results;
 }
 
@@ -155,12 +260,45 @@ Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db) {
   return out;
 }
 
+Result<Relation> EvaluateUnion(EngineContext& ctx, const UnionQuery& u,
+                               const Database& db) {
+  // Disjuncts evaluate independently; the union of result sets is
+  // order-independent, so only error reporting needs the in-order merge.
+  ParallelOutcomes<Result<Relation>> outcomes(
+      ctx, u.disjuncts.size(),
+      [&](size_t i) { return EvaluateQuery(ctx, u.disjuncts[i], db); },
+      [](const Result<Relation>& r) { return !r.ok(); });
+  Relation out;
+  for (size_t i = 0; i < u.disjuncts.size(); ++i) {
+    Result<Relation>& r = outcomes.Get(i);
+    if (!r.ok()) return r.status();
+    out.insert(r.value().begin(), r.value().end());
+  }
+  return out;
+}
+
 Result<Database> MaterializeViews(const ViewSet& views, const Database& db) {
   Database out;
   for (const Query& v : views.views()) {
     CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(v, db));
     for (const Tuple& t : r)
       CQAC_RETURN_IF_ERROR(out.Insert(v.head().predicate, t));
+  }
+  return out;
+}
+
+Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
+                                  const Database& db) {
+  ParallelOutcomes<Result<Relation>> outcomes(
+      ctx, views.size(),
+      [&](size_t i) { return EvaluateQuery(ctx, views[i], db); },
+      [](const Result<Relation>& r) { return !r.ok(); });
+  Database out;
+  for (size_t i = 0; i < views.size(); ++i) {
+    Result<Relation>& r = outcomes.Get(i);
+    if (!r.ok()) return r.status();
+    for (const Tuple& t : r.value())
+      CQAC_RETURN_IF_ERROR(out.Insert(views[i].head().predicate, t));
   }
   return out;
 }

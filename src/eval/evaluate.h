@@ -9,6 +9,7 @@
 
 #include "src/base/function_ref.h"
 #include "src/base/status.h"
+#include "src/engine/context.h"
 #include "src/eval/database.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
@@ -23,13 +24,28 @@ bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs);
 /// Returns the set of head tuples of `q` on `db`.
 Result<Relation> EvaluateQuery(const Query& q, const Database& db);
 
+/// Context-aware variant: honours the budget deadline / cancellation flag
+/// (kResourceExhausted on abort) and fans the join out over the context's
+/// task pool by partitioning the first body atom's tuples. The result set
+/// is identical at every thread count.
+Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
+                               const Database& db);
+
 /// Evaluates each disjunct and unions the results (all head arities must
 /// agree).
 Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db);
 
+/// Context-aware variant: disjuncts evaluate in parallel.
+Result<Relation> EvaluateUnion(EngineContext& ctx, const UnionQuery& u,
+                               const Database& db);
+
 /// Materializes every view in `views` over `db`, producing the view
 /// database {v_i -> v_i(db)} the rewriting is evaluated against.
 Result<Database> MaterializeViews(const ViewSet& views, const Database& db);
+
+/// Context-aware variant: views materialize in parallel.
+Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
+                                  const Database& db);
 
 /// Low-level join used by the Datalog engine: evaluates `q`'s body where
 /// body atom i reads tuples from *relations[i] (so callers can point

@@ -7,6 +7,7 @@
 #include "src/constraints/implication.h"
 #include "src/constraints/preprocess.h"
 #include "src/containment/containment.h"
+#include "src/engine/parallel.h"
 #include "src/ir/expansion.h"
 #include "src/ir/substitution.h"
 
@@ -84,24 +85,14 @@ Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
   }
 
   UnionQuery result;
-  std::vector<const Choice*> pick(qp.body().size(), nullptr);
   size_t candidates = 0;
   Status inner = Status::OK();
 
-  auto emit = [&]() {
-    if (++candidates > ctx.budget().max_mappings) {
-      ++ctx.stats().budget_exhaustions;
-      inner = Status::ResourceExhausted(
-          "all-distinguished candidate enumeration exceeded the mapping "
-          "budget");
-      return false;
-    }
-    inner = ctx.budget().CheckDeadline("all-distinguished enumeration");
-    if (!inner.ok()) {
-      ++ctx.stats().budget_exhaustions;
-      return false;
-    }
-    ++ctx.stats().rewrite_candidates;
+  // Builds + verifies the candidate for `pick`. On success *accepted holds
+  // the compacted rewriting (empty optional = candidate skipped/rejected);
+  // a hard error lands in *err.
+  auto emit = [&](const std::vector<const Choice*>& pick, Status* err,
+                  std::optional<Query>* accepted) {
     Query cand;
     cand.head().predicate = qp.head().predicate;
 
@@ -167,7 +158,7 @@ Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
 
     Result<Query> exp = ExpandRewriting(cand, views);
     if (!exp.ok()) {
-      inner = exp.status();
+      *err = exp.status();
       return false;
     }
     // An inconsistent expansion denotes the empty query: it would pass the
@@ -178,34 +169,84 @@ Result<UnionQuery> RewriteAllDistinguished(EngineContext& ctx, const Query& q,
         ++ctx.stats().rewrite_verified_rejects;
         return true;
       }
-      inner = expp.status();
+      *err = expp.status();
       return false;
     }
     Result<bool> contained = IsContained(ctx, expp.value(), qp);
     if (!contained.ok()) {
-      inner = contained.status();
+      *err = contained.status();
       return false;
     }
     if (!contained.value()) {
       ++ctx.stats().rewrite_verified_rejects;
       return true;
     }
-    Query compact = CompactVariables(cand);
-    for (const Query& existing : result.disjuncts)
-      if (existing.ToString() == compact.ToString()) return true;
-    result.disjuncts.push_back(std::move(compact));
+    *accepted = CompactVariables(cand);
     return true;
   };
 
-  auto rec = [&](auto&& self, size_t gi) -> bool {
-    if (gi == choices.size()) return emit();
-    for (const Choice& c : choices[gi]) {
-      pick[gi] = &c;
-      if (!self(self, gi + 1)) return false;
-    }
-    return true;
+  // Block-wise cartesian product (last subgoal fastest — the order of the
+  // old recursive enumeration). Budget charging happens serially at
+  // generation with a thread-count-independent block size; each block's
+  // candidates verify in parallel and merge in enumeration order.
+  struct PickOutcome {
+    Status error = Status::OK();
+    std::optional<Query> accepted;
   };
-  rec(rec, 0);
+  constexpr size_t kBlock = 64;
+
+  std::vector<size_t> idx(choices.size(), 0);
+  bool exhausted_product = false;
+  while (!exhausted_product && inner.ok()) {
+    std::vector<std::vector<const Choice*>> block;
+    while (block.size() < kBlock && !exhausted_product) {
+      if (++candidates > ctx.budget().max_mappings) {
+        ++ctx.stats().budget_exhaustions;
+        inner = Status::ResourceExhausted(
+            "all-distinguished candidate enumeration exceeded the mapping "
+            "budget");
+        break;
+      }
+      inner = ctx.budget().CheckDeadline("all-distinguished enumeration");
+      if (!inner.ok()) {
+        ++ctx.stats().budget_exhaustions;
+        break;
+      }
+      ++ctx.stats().rewrite_candidates;
+      std::vector<const Choice*> pick(choices.size());
+      for (size_t gi = 0; gi < choices.size(); ++gi)
+        pick[gi] = &choices[gi][idx[gi]];
+      block.push_back(std::move(pick));
+      size_t gi = choices.size();
+      while (gi > 0) {
+        if (++idx[gi - 1] < choices[gi - 1].size()) break;
+        idx[--gi] = 0;
+      }
+      if (gi == 0) exhausted_product = true;
+    }
+    if (block.empty()) break;
+
+    ParallelOutcomes<PickOutcome> outcomes(
+        ctx, block.size(),
+        [&](size_t i) {
+          PickOutcome out;
+          emit(block[i], &out.error, &out.accepted);
+          return out;
+        },
+        [](const PickOutcome& o) { return !o.error.ok(); });
+    for (size_t i = 0; i < block.size() && inner.ok(); ++i) {
+      PickOutcome& o = outcomes.Get(i);
+      if (!o.error.ok()) {
+        inner = o.error;
+        break;
+      }
+      if (!o.accepted.has_value()) continue;
+      bool dup = false;
+      for (const Query& existing : result.disjuncts)
+        if (existing.ToString() == o.accepted->ToString()) dup = true;
+      if (!dup) result.disjuncts.push_back(std::move(*o.accepted));
+    }
+  }
   CQAC_RETURN_IF_ERROR(inner);
   return result;
 }

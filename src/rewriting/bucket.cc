@@ -8,6 +8,7 @@
 #include "src/constraints/preprocess.h"
 #include "src/containment/containment.h"
 #include "src/containment/homomorphism.h"
+#include "src/engine/parallel.h"
 #include "src/ir/expansion.h"
 #include "src/ir/substitution.h"
 
@@ -113,23 +114,16 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
   }
 
   UnionQuery result;
-  std::vector<const BucketEntry*> pick(qp.body().size(), nullptr);
   Status inner = Status::OK();
 
-  // Builds and verifies the candidate for the current `pick`.
-  auto try_candidate = [&]() {
-    if (++stats->candidates > ctx.budget().max_mappings) {
-      ++ctx.stats().budget_exhaustions;
-      inner = Status::ResourceExhausted(
-          "bucket candidate enumeration exceeded the mapping budget");
-      return false;
-    }
-    inner = ctx.budget().CheckDeadline("bucket candidate enumeration");
-    if (!inner.ok()) {
-      ++ctx.stats().budget_exhaustions;
-      return false;
-    }
-    ++ctx.stats().rewrite_candidates;
+  // Builds and verifies the candidate for `pick`. Accepted variants (and
+  // their witnesses) are appended to *accepted / *accepted_witnesses in
+  // enumeration order; `reject_count` tallies verified rejects. Returns
+  // false on a hard error (via `err`).
+  auto try_candidate = [&](const std::vector<const BucketEntry*>& pick,
+                           Status* err, std::vector<Query>* accepted,
+                           std::vector<ContainmentWitness>* accepted_witnesses,
+                           uint64_t* reject_count) {
     Query cand;
     cand.head().predicate = qp.head().predicate;
 
@@ -233,17 +227,17 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
     for (const Query& variant : variants) {
       Result<Query> exp = ExpandRewriting(variant, prepped);
       if (!exp.ok()) {
-        inner = exp.status();
+        *err = exp.status();
         return false;
       }
       Result<Query> expp = Preprocess(exp.value());
       if (!expp.ok()) {
         if (expp.status().code() == StatusCode::kInconsistent) {
-          ++stats->verified_rejects;
+          ++*reject_count;
           ++ctx.stats().rewrite_verified_rejects;
           continue;
         }
-        inner = expp.status();
+        *err = expp.status();
         return false;
       }
       ContainmentWitness variant_witness;
@@ -251,36 +245,94 @@ Result<UnionQuery> BucketRewrite(EngineContext& ctx, const Query& q,
           IsContained(ctx, expp.value(), qp, {},
                       witness != nullptr ? &variant_witness : nullptr);
       if (!contained.ok()) {
-        inner = contained.status();
+        *err = contained.status();
         return false;
       }
       if (!contained.value()) {
-        ++stats->verified_rejects;
+        ++*reject_count;
         ++ctx.stats().rewrite_verified_rejects;
         continue;
       }
-      Query compact = CompactVariables(variant);
-      bool dup = false;
-      for (const Query& existing : result.disjuncts)
-        if (existing.ToString() == compact.ToString()) dup = true;
-      if (!dup) {
-        result.disjuncts.push_back(std::move(compact));
-        if (witness != nullptr)
-          witness->disjuncts.push_back(std::move(variant_witness));
-      }
+      accepted->push_back(CompactVariables(variant));
+      accepted_witnesses->push_back(std::move(variant_witness));
     }
     return true;
   };
 
-  auto enumerate = [&](auto&& self, size_t gi) -> bool {
-    if (gi == buckets.size()) return try_candidate();
-    for (const BucketEntry& e : buckets[gi]) {
-      pick[gi] = &e;
-      if (!self(self, gi + 1)) return false;
-    }
-    return true;
+  // The cartesian product over the buckets, in the lexicographic order of
+  // the old recursive enumeration (pick[last] advances fastest). Picks are
+  // generated serially in fixed-size blocks — each pick is charged against
+  // the mapping budget and the deadline at generation, exactly where the
+  // fused loop checked them — and each block's candidates verify in
+  // parallel. The block size is thread-count independent so budget
+  // charging (and thus exhaustion points) never depends on parallelism.
+  struct PickOutcome {
+    Status error = Status::OK();
+    std::vector<Query> accepted;
+    std::vector<ContainmentWitness> witnesses;
+    uint64_t rejects = 0;
   };
-  enumerate(enumerate, 0);
+  constexpr size_t kBlock = 64;
+
+  std::vector<size_t> idx(buckets.size(), 0);
+  bool exhausted_product = false;
+  while (!exhausted_product && inner.ok()) {
+    std::vector<std::vector<const BucketEntry*>> block;
+    while (block.size() < kBlock && !exhausted_product) {
+      if (++stats->candidates > ctx.budget().max_mappings) {
+        ++ctx.stats().budget_exhaustions;
+        inner = Status::ResourceExhausted(
+            "bucket candidate enumeration exceeded the mapping budget");
+        break;
+      }
+      inner = ctx.budget().CheckDeadline("bucket candidate enumeration");
+      if (!inner.ok()) {
+        ++ctx.stats().budget_exhaustions;
+        break;
+      }
+      ++ctx.stats().rewrite_candidates;
+      std::vector<const BucketEntry*> pick(buckets.size());
+      for (size_t gi = 0; gi < buckets.size(); ++gi)
+        pick[gi] = &buckets[gi][idx[gi]];
+      block.push_back(std::move(pick));
+      // Advance the counter, last subgoal fastest.
+      size_t gi = buckets.size();
+      while (gi > 0) {
+        if (++idx[gi - 1] < buckets[gi - 1].size()) break;
+        idx[--gi] = 0;
+      }
+      if (gi == 0) exhausted_product = true;
+    }
+    if (block.empty()) break;
+
+    ParallelOutcomes<PickOutcome> outcomes(
+        ctx, block.size(),
+        [&](size_t i) {
+          PickOutcome out;
+          try_candidate(block[i], &out.error, &out.accepted, &out.witnesses,
+                        &out.rejects);
+          return out;
+        },
+        [](const PickOutcome& o) { return !o.error.ok(); });
+    for (size_t i = 0; i < block.size() && inner.ok(); ++i) {
+      PickOutcome& o = outcomes.Get(i);
+      if (!o.error.ok()) {
+        inner = o.error;
+        break;
+      }
+      stats->verified_rejects += o.rejects;
+      for (size_t k = 0; k < o.accepted.size(); ++k) {
+        bool dup = false;
+        for (const Query& existing : result.disjuncts)
+          if (existing.ToString() == o.accepted[k].ToString()) dup = true;
+        if (!dup) {
+          result.disjuncts.push_back(std::move(o.accepted[k]));
+          if (witness != nullptr)
+            witness->disjuncts.push_back(std::move(o.witnesses[k]));
+        }
+      }
+    }
+  }
   CQAC_RETURN_IF_ERROR(inner);
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include "src/constraints/preprocess.h"
 #include "src/containment/containment.h"
+#include "src/engine/parallel.h"
 #include "src/ir/expansion.h"
 #include "src/rewriting/bucket.h"
 #include "src/rewriting/rewrite_lsi.h"
@@ -40,26 +41,49 @@ Result<ErResult> FindEquivalentRewriting(EngineContext& ctx, const Query& q,
   }
   if (witness != nullptr) witness->crs = crs;
 
-  // A single CR whose expansion contains the query is an ER.
-  for (size_t i = 0; i < crs.disjuncts.size(); ++i) {
-    const Query& cr = crs.disjuncts[i];
-    CQAC_ASSIGN_OR_RETURN(Query exp, ExpandRewriting(cr, views));
+  // A single CR whose expansion contains the query is an ER. The per-CR
+  // back-containment checks are independent; the merge walks them in CR
+  // order, so the *first* CR that qualifies wins exactly as in the serial
+  // scan. A qualifying (or hard-erroring) CR cancels its siblings.
+  struct BackOutcome {
+    Status error = Status::OK();
+    bool skipped = false;  // back-check exhausted its budget: ignore the CR
+    bool contained = false;
     ContainmentWitness back_witness;
-    Result<bool> back =
-        IsContained(ctx, qp.value(), exp, {},
-                    witness != nullptr ? &back_witness : nullptr);
-    if (!back.ok()) {
-      if (back.status().code() == StatusCode::kResourceExhausted) continue;
-      return back.status();
+  };
+  ParallelOutcomes<BackOutcome> backs(
+      ctx, crs.disjuncts.size(),
+      [&](size_t i) {
+        BackOutcome out;
+        Result<Query> exp = ExpandRewriting(crs.disjuncts[i], views);
+        if (!exp.ok()) {
+          out.error = exp.status();
+          return out;
+        }
+        Result<bool> back =
+            IsContained(ctx, qp.value(), exp.value(), {},
+                        witness != nullptr ? &out.back_witness : nullptr);
+        if (!back.ok()) {
+          if (back.status().code() == StatusCode::kResourceExhausted)
+            out.skipped = true;
+          else
+            out.error = back.status();
+          return out;
+        }
+        out.contained = back.value();
+        return out;
+      },
+      [](const BackOutcome& o) { return !o.error.ok() || o.contained; });
+  for (size_t i = 0; i < crs.disjuncts.size(); ++i) {
+    BackOutcome& o = backs.Get(i);
+    CQAC_RETURN_IF_ERROR(o.error);
+    if (o.skipped || !o.contained) continue;
+    result.single = crs.disjuncts[i];
+    if (witness != nullptr) {
+      witness->single_index = static_cast<int>(i);
+      witness->back = std::move(o.back_witness);
     }
-    if (back.value()) {
-      result.single = cr;
-      if (witness != nullptr) {
-        witness->single_index = static_cast<int>(i);
-        witness->back = std::move(back_witness);
-      }
-      return result;
-    }
+    return result;
   }
 
   if (options.try_union && !crs.disjuncts.empty()) {

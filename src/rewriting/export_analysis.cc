@@ -11,11 +11,12 @@ HeadHomomorphism::HeadHomomorphism(int num_vars) : parent_(num_vars) {
   for (int i = 0; i < num_vars; ++i) parent_[i] = i;
 }
 
+// No path compression: Find must stay genuinely const, because MCDs (and
+// their head homomorphisms) are shared read-only across TaskPool workers.
+// Chains are bounded by the view's variable count, so plain walking is
+// cheap enough.
 int HeadHomomorphism::Find(int var) const {
-  while (parent_[var] != var) {
-    parent_[var] = parent_[parent_[var]];
-    var = parent_[var];
-  }
+  while (parent_[var] != var) var = parent_[var];
   return var;
 }
 

@@ -49,7 +49,9 @@ class HeadHomomorphism {
   std::string ToString(const Query& view) const;
 
  private:
-  mutable std::vector<int> parent_;
+  // No `mutable`: const accessors must not write — head homomorphisms are
+  // shared read-only across TaskPool workers.
+  std::vector<int> parent_;
 };
 
 /// Path-based analysis of one (preprocessed) view's inequality graph.

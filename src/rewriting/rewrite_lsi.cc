@@ -8,6 +8,7 @@
 #include "src/constraints/implication.h"
 #include "src/constraints/preprocess.h"
 #include "src/containment/containment.h"
+#include "src/engine/parallel.h"
 #include "src/eval/evaluate.h"
 #include "src/ir/expansion.h"
 
@@ -378,7 +379,10 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
   for (const Mcd& m : mcds)
     if (!m.covered.empty()) by_first[m.covered.front()].push_back(&m);
 
-  UnionQuery result;
+  // Phase 1 (serial, cheap): enumerate the complete exact covers. The
+  // budget checks fire at exactly the points the fused search checked
+  // them — once per complete cover — so cap behaviour is unchanged.
+  std::vector<std::vector<const Mcd*>> combos;
   std::vector<const Mcd*> combo;
   std::vector<bool> used(num_goals, false);
   Status inner = Status::OK();
@@ -402,57 +406,7 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
         return;
       }
       ++stats->combinations;
-      Combiner combiner(ctx, qp, prepped, analyses, combo, options);
-      Result<std::vector<Query>> candidates = combiner.Build();
-      if (!candidates.ok()) {
-        inner = candidates.status();
-        return;
-      }
-      for (Query& cand : candidates.value()) {
-        ++stats->candidates;
-        ++ctx.stats().rewrite_candidates;
-        ContainmentWitness cand_witness;
-        if (options.verify_rewritings || witness != nullptr) {
-          Result<Query> exp = ExpandRewriting(cand, prepped);
-          if (!exp.ok()) {
-            inner = exp.status();
-            return;
-          }
-          // An inconsistent expansion denotes the empty query: vacuously
-          // contained but useless; drop it.
-          Result<Query> expp = Preprocess(exp.value());
-          if (!expp.ok()) {
-            if (expp.status().code() == StatusCode::kInconsistent) {
-              ++stats->verified_rejects;
-              ++ctx.stats().rewrite_verified_rejects;
-              continue;
-            }
-            inner = expp.status();
-            return;
-          }
-          Result<bool> contained =
-              IsContained(ctx, expp.value(), qp, {},
-                          witness != nullptr ? &cand_witness : nullptr);
-          if (!contained.ok()) {
-            inner = contained.status();
-            return;
-          }
-          if (!contained.value()) {
-            ++stats->verified_rejects;
-            ++ctx.stats().rewrite_verified_rejects;
-            continue;
-          }
-        }
-        // Deduplicate identical rewritings.
-        bool dup = false;
-        for (const Query& existing : result.disjuncts)
-          if (existing.ToString() == cand.ToString()) dup = true;
-        if (!dup) {
-          result.disjuncts.push_back(std::move(cand));
-          if (witness != nullptr)
-            witness->disjuncts.push_back(std::move(cand_witness));
-        }
-      }
+      combos.push_back(combo);
       return;
     }
     for (const Mcd* m : by_first[first_uncovered]) {
@@ -469,6 +423,90 @@ Result<UnionQuery> RewriteLsiQuery(EngineContext& ctx, const Query& q,
   };
   search(search, 0);
   CQAC_RETURN_IF_ERROR(inner);
+
+  // Phase 2: build + verify each cover's candidates, fanned out over the
+  // task pool. Combos are independent; only the merge below (dedup, witness
+  // collection, error reporting) depends on cover order, so it walks the
+  // outcomes in cover order and is deterministic at every thread count.
+  struct ComboOutcome {
+    Status error = Status::OK();
+    std::vector<Query> accepted;  // pre-dedup, in candidate order
+    std::vector<ContainmentWitness> witnesses;  // parallel to accepted
+    uint64_t candidates = 0;
+    uint64_t verified_rejects = 0;
+  };
+
+  auto process_combo = [&](size_t ci) -> ComboOutcome {
+    ComboOutcome out;
+    Combiner combiner(ctx, qp, prepped, analyses, combos[ci], options);
+    Result<std::vector<Query>> candidates = combiner.Build();
+    if (!candidates.ok()) {
+      out.error = candidates.status();
+      return out;
+    }
+    for (Query& cand : candidates.value()) {
+      ++out.candidates;
+      ++ctx.stats().rewrite_candidates;
+      ContainmentWitness cand_witness;
+      if (options.verify_rewritings || witness != nullptr) {
+        Result<Query> exp = ExpandRewriting(cand, prepped);
+        if (!exp.ok()) {
+          out.error = exp.status();
+          return out;
+        }
+        // An inconsistent expansion denotes the empty query: vacuously
+        // contained but useless; drop it.
+        Result<Query> expp = Preprocess(exp.value());
+        if (!expp.ok()) {
+          if (expp.status().code() == StatusCode::kInconsistent) {
+            ++out.verified_rejects;
+            ++ctx.stats().rewrite_verified_rejects;
+            continue;
+          }
+          out.error = expp.status();
+          return out;
+        }
+        Result<bool> contained =
+            IsContained(ctx, expp.value(), qp, {},
+                        witness != nullptr ? &cand_witness : nullptr);
+        if (!contained.ok()) {
+          out.error = contained.status();
+          return out;
+        }
+        if (!contained.value()) {
+          ++out.verified_rejects;
+          ++ctx.stats().rewrite_verified_rejects;
+          continue;
+        }
+      }
+      out.accepted.push_back(std::move(cand));
+      out.witnesses.push_back(std::move(cand_witness));
+    }
+    return out;
+  };
+
+  ParallelOutcomes<ComboOutcome> outcomes(
+      ctx, combos.size(), process_combo,
+      [](const ComboOutcome& o) { return !o.error.ok(); });
+
+  UnionQuery result;
+  for (size_t ci = 0; ci < combos.size(); ++ci) {
+    ComboOutcome& o = outcomes.Get(ci);
+    CQAC_RETURN_IF_ERROR(o.error);
+    stats->candidates += o.candidates;
+    stats->verified_rejects += o.verified_rejects;
+    for (size_t k = 0; k < o.accepted.size(); ++k) {
+      // Deduplicate identical rewritings.
+      bool dup = false;
+      for (const Query& existing : result.disjuncts)
+        if (existing.ToString() == o.accepted[k].ToString()) dup = true;
+      if (!dup) {
+        result.disjuncts.push_back(std::move(o.accepted[k]));
+        if (witness != nullptr)
+          witness->disjuncts.push_back(std::move(o.witnesses[k]));
+      }
+    }
+  }
 
   if (options.prune_redundant) {
     // Drop rewritings contained (as queries over the view schema) in another.

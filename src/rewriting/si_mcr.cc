@@ -6,6 +6,7 @@
 #include "src/base/strings.h"
 #include "src/constraints/preprocess.h"
 #include "src/containment/si_reduction.h"
+#include "src/engine/parallel.h"
 
 namespace cqac {
 
@@ -60,11 +61,22 @@ Result<SiMcr> RewriteSiQueryDatalog(EngineContext& ctx, const Query& q,
   }
 
   // Steps 2+4: per view, build v^CQ and emit one inverse rule per body atom.
+  // The v^CQ constructions are independent and run in parallel; the merge
+  // walks views in declaration order so skolem-function ids and rule order
+  // are identical at every thread count. kInconsistent is a normal skip
+  // (empty view), not an error, so it must not cancel sibling views.
+  ParallelOutcomes<Result<Query>> vcqs(
+      ctx, views.size(),
+      [&](size_t i) {
+        return BuildPcq(ctx, views[i], qp,
+                        /*require_si_only=*/!options.allow_general_views);
+      },
+      [](const Result<Query>& r) {
+        return !r.ok() && r.status().code() != StatusCode::kInconsistent;
+      });
   int next_skolem = 0;
   for (size_t view_index = 0; view_index < views.size(); ++view_index) {
-    const Query& v = views[view_index];
-    Result<Query> vcq_result =
-        BuildPcq(ctx, v, qp, /*require_si_only=*/!options.allow_general_views);
+    Result<Query>& vcq_result = vcqs.Get(view_index);
     if (!vcq_result.ok()) {
       // An inconsistent view is always empty and contributes nothing.
       if (vcq_result.status().code() == StatusCode::kInconsistent) continue;

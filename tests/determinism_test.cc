@@ -1,0 +1,183 @@
+// Determinism across thread counts: every parallelized engine entry point
+// must produce byte-identical results whether it runs serially (threads=0)
+// or fanned out over any number of workers. Each workload renders its
+// results to a string; the serial rendering is the reference.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/base/task_pool.h"
+#include "src/engine/context.h"
+#include "src/eval/evaluate.h"
+#include "src/gen/generators.h"
+#include "src/ir/parser.h"
+#include "src/rewriting/all_distinguished.h"
+#include "src/rewriting/bucket.h"
+#include "src/rewriting/er_search.h"
+#include "src/rewriting/rewrite_lsi.h"
+#include "src/rewriting/si_mcr.h"
+
+namespace cqac {
+namespace {
+
+constexpr size_t kThreadCounts[] = {0, 1, 4, 8};
+
+std::string Render(const Result<UnionQuery>& r) {
+  return r.ok() ? r.value().ToString() : r.status().ToString();
+}
+
+std::string RenderRelation(const Result<Relation>& r) {
+  if (!r.ok()) return r.status().ToString();
+  std::string out;
+  for (const Tuple& t : r.value()) {
+    out += "(";
+    for (size_t i = 0; i < t.size(); ++i)
+      out += StrCat(i ? "," : "", t[i].ToString());
+    out += ")";
+  }
+  return out;
+}
+
+// Runs `workload` once per thread count and checks every rendering against
+// the serial one.
+template <typename Fn>
+void ExpectIdenticalAcrossThreads(Fn&& workload, const std::string& what) {
+  std::string reference;
+  for (size_t threads : kThreadCounts) {
+    TaskPool pool(threads);
+    EngineContext ctx;
+    ctx.set_task_pool(&pool);
+    std::string got = workload(ctx);
+    if (threads == 0)
+      reference = got;
+    else
+      EXPECT_EQ(got, reference)
+          << what << " diverged at threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, LsiRewritingSeededSweep) {
+  for (uint64_t seed : {3u, 11u, 42u, 77u}) {
+    Rng rng(seed);
+    gen::QuerySpec qspec;
+    qspec.num_subgoals = 3;
+    qspec.num_vars = 4;
+    qspec.ac_mode = gen::AcMode::kLsi;
+    qspec.ac_density = 0.8;
+    Query q = gen::RandomQuery(rng, qspec);
+    gen::ViewSpec vspec;
+    vspec.num_views = 6;
+    ViewSet views = gen::RandomViewsForQuery(rng, q, vspec);
+    ExpectIdenticalAcrossThreads(
+        [&](EngineContext& ctx) {
+          return Render(RewriteLsiQuery(ctx, q, views));
+        },
+        StrCat("RewriteLsiQuery seed=", seed));
+  }
+}
+
+TEST(DeterminismTest, BucketRewritingSeededSweep) {
+  for (uint64_t seed : {5u, 19u, 64u}) {
+    Rng rng(seed);
+    gen::QuerySpec qspec;
+    qspec.num_subgoals = 2;
+    qspec.num_vars = 4;
+    qspec.ac_mode = gen::AcMode::kGeneral;
+    qspec.ac_density = 0.7;
+    Query q = gen::RandomQuery(rng, qspec);
+    gen::ViewSpec vspec;
+    vspec.num_views = 5;
+    vspec.ac_mode = gen::AcMode::kGeneral;
+    ViewSet views = gen::RandomViewsForQuery(rng, q, vspec);
+    ExpectIdenticalAcrossThreads(
+        [&](EngineContext& ctx) {
+          return Render(BucketRewrite(ctx, q, views));
+        },
+        StrCat("BucketRewrite seed=", seed));
+  }
+}
+
+TEST(DeterminismTest, ErSearchPartitionViews) {
+  Query q = MustParseQuery("q(X) :- r(X)");
+  ViewSet views;
+  ASSERT_TRUE(views.Add(MustParseQuery("v0(X) :- r(X), X < 10")).ok());
+  ASSERT_TRUE(
+      views.Add(MustParseQuery("v1(X) :- r(X), 10 <= X, X < 20")).ok());
+  ASSERT_TRUE(views.Add(MustParseQuery("v2(X) :- r(X), 20 <= X")).ok());
+  ExpectIdenticalAcrossThreads(
+      [&](EngineContext& ctx) {
+        auto er = FindEquivalentRewriting(ctx, q, views);
+        if (!er.ok()) return er.status().ToString();
+        std::string out = er.value().found() ? "found\n" : "none\n";
+        if (er.value().single.has_value())
+          out += StrCat("single: ", er.value().single->ToString(), "\n");
+        if (er.value().union_er.has_value())
+          out += StrCat("union: ", er.value().union_er->ToString(), "\n");
+        return out;
+      },
+      "FindEquivalentRewriting partition");
+}
+
+TEST(DeterminismTest, AllDistinguishedSeededSweep) {
+  for (uint64_t seed : {2u, 29u}) {
+    Rng rng(seed);
+    gen::QuerySpec qspec;
+    qspec.num_subgoals = 2;
+    qspec.num_vars = 3;
+    qspec.ac_mode = gen::AcMode::kSi;
+    Query q = gen::RandomQuery(rng, qspec);
+    gen::ViewSpec vspec;
+    vspec.num_views = 4;
+    vspec.distinguished_prob = 1.0;  // the algorithm's precondition
+    ViewSet views = gen::RandomViewsForQuery(rng, q, vspec);
+    if (!views.AllVariablesDistinguished()) continue;
+    ExpectIdenticalAcrossThreads(
+        [&](EngineContext& ctx) {
+          return Render(RewriteAllDistinguished(ctx, q, views));
+        },
+        StrCat("RewriteAllDistinguished seed=", seed));
+  }
+}
+
+TEST(DeterminismTest, SiMcrRuleOrderAndSkolemIds) {
+  Query q = MustParseQuery("q(A, C) :- e(A, B), e(B, C), B > 3");
+  ViewSet views;
+  ASSERT_TRUE(views.Add(MustParseQuery("u0(B) :- e(A, B), A > 6")).ok());
+  ASSERT_TRUE(views.Add(MustParseQuery("u1(A) :- e(A, B), B < 4")).ok());
+  ASSERT_TRUE(views.Add(MustParseQuery("u2(A, B) :- e(A, B)")).ok());
+  ASSERT_TRUE(
+      views.Add(MustParseQuery("u3(A, C) :- e(A, B), e(B, C), B > 1")).ok());
+  ExpectIdenticalAcrossThreads(
+      [&](EngineContext& ctx) {
+        auto mcr = RewriteSiQueryDatalog(ctx, q, views);
+        return mcr.ok() ? mcr.value().ToString() : mcr.status().ToString();
+      },
+      "RewriteSiQueryDatalog");
+}
+
+TEST(DeterminismTest, EvaluationSeededSweep) {
+  for (uint64_t seed : {13u, 51u}) {
+    Rng rng(seed);
+    gen::QuerySpec qspec;
+    qspec.num_subgoals = 3;
+    qspec.num_vars = 4;
+    qspec.ac_mode = gen::AcMode::kGeneral;
+    qspec.boolean_head = false;
+    qspec.head_arity = 2;
+    Query q = gen::RandomQuery(rng, qspec);
+    gen::DatabaseSpec dbspec;
+    dbspec.tuples_per_relation = 120;
+    dbspec.value_max = 9;
+    Database db = gen::RandomDatabase(rng, gen::SchemaOf(q), dbspec);
+    ExpectIdenticalAcrossThreads(
+        [&](EngineContext& ctx) {
+          return RenderRelation(EvaluateQuery(ctx, q, db));
+        },
+        StrCat("EvaluateQuery seed=", seed));
+  }
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,80 @@
+// TaskPool: the work-stealing fan-out primitive behind every parallel
+// engine loop. Covers serial fallback, full coverage at various worker
+// counts, nesting (inner ParallelFor runs inline), and pool reuse.
+#include "src/base/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace cqac {
+namespace {
+
+TEST(TaskPoolTest, ZeroThreadsRunsInlineInOrder) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    TaskPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+  }
+}
+
+TEST(TaskPoolTest, EmptyAndSingleItemRanges) {
+  TaskPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPoolTest, NestedParallelForRunsInline) {
+  TaskPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  std::atomic<int> nested_in_pool{0};
+  EXPECT_FALSE(TaskPool::InPoolTask());
+  pool.ParallelFor(8, [&](size_t) {
+    outer.fetch_add(1);
+    if (TaskPool::InPoolTask()) nested_in_pool.fetch_add(1);
+    // Inner fan-out from a pool task must not deadlock; it runs inline.
+    pool.ParallelFor(4, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_FALSE(TaskPool::InPoolTask());
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 32);
+  EXPECT_EQ(nested_in_pool.load(), 8);
+}
+
+TEST(TaskPoolTest, ReusableAcrossManyCalls) {
+  TaskPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.ParallelFor(17, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(TaskPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(TaskPool::HardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,7 +1,8 @@
 // cqac_lint — semantic static analysis for CQAC programs.
 //
 // Usage:
-//   cqac_lint [--json] [--no-notes] [--list-checks] [file ... | -]
+//   cqac_lint [--json] [--no-notes] [--list-checks] [--threads N]
+//             [file ... | -]
 //
 // Each input is either a plain '.'-terminated rule program or a cqac_shell
 // script (auto-detected by its first command word); shell scripts are linted
@@ -12,6 +13,8 @@
 // as a JSON array with --json. Exit status: 0 clean (or notes only),
 // 1 warnings, 2 errors (lint or parse), 3 usage / I-O failure.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +23,7 @@
 
 #include "src/analysis/lint.h"
 #include "src/base/strings.h"
+#include "src/base/task_pool.h"
 #include "src/ir/parser.h"
 
 namespace cqac {
@@ -185,6 +189,7 @@ void ListChecks() {
 
 int Run(int argc, char** argv) {
   bool json = false;
+  size_t threads = 0;
   LintOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -196,10 +201,29 @@ int Run(int argc, char** argv) {
     } else if (arg == "--list-checks") {
       ListChecks();
       return 0;
+    } else if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+      std::string value;
+      if (arg == "--threads") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "cqac_lint: --threads requires a count\n");
+          return 3;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(strlen("--threads="));
+      }
+      char* end = nullptr;
+      unsigned long n = std::strtoul(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "cqac_lint: invalid thread count '%s'\n",
+                     value.c_str());
+        return 3;
+      }
+      threads = static_cast<size_t>(n);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: cqac_lint [--json] [--no-notes] [--list-checks] "
-          "[file ... | -]\n");
+          "[--threads N] [file ... | -]\n");
       return 0;
     } else if (arg == "-" || arg[0] != '-') {
       files.push_back(arg);
@@ -210,13 +234,17 @@ int Run(int argc, char** argv) {
   }
   if (files.empty()) files.push_back("-");
 
-  std::vector<FileDiagnostic> diags;
-  for (const std::string& f : files) {
-    std::string text;
+  // Read every input up front (serial: I/O errors keep their usual order),
+  // then lint files in parallel with per-file diagnostic buffers merged in
+  // argument order — output is identical at every thread count.
+  std::vector<std::string> texts(files.size());
+  std::vector<std::string> names(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string& f = files[i];
     if (f == "-") {
       std::ostringstream buf;
       buf << std::cin.rdbuf();
-      text = buf.str();
+      texts[i] = buf.str();
     } else {
       std::ifstream in(f);
       if (!in) {
@@ -225,14 +253,22 @@ int Run(int argc, char** argv) {
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      text = buf.str();
+      texts[i] = buf.str();
     }
-    std::string name = f == "-" ? "<stdin>" : f;
-    if (LooksLikeShellScript(text))
-      LintShellScript(name, text, options, &diags);
-    else
-      LintPlainText(name, text, options, &diags);
+    names[i] = f == "-" ? "<stdin>" : f;
   }
+
+  TaskPool pool(threads);
+  std::vector<std::vector<FileDiagnostic>> per_file(files.size());
+  pool.ParallelFor(files.size(), [&](size_t i) {
+    if (LooksLikeShellScript(texts[i]))
+      LintShellScript(names[i], texts[i], options, &per_file[i]);
+    else
+      LintPlainText(names[i], texts[i], options, &per_file[i]);
+  });
+  std::vector<FileDiagnostic> diags;
+  for (std::vector<FileDiagnostic>& fd : per_file)
+    for (FileDiagnostic& d : fd) diags.push_back(std::move(d));
 
   if (json)
     PrintJson(diags);

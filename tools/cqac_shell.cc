@@ -25,8 +25,10 @@
 // Exit status is nonzero if any command failed (parse error, engine error),
 // making scripts usable as smoke tests.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +53,11 @@ namespace {
 
 class Shell {
  public:
+  // `pool` (optional, not owned) fans engine loops out across its workers.
+  explicit Shell(TaskPool* pool = nullptr) : pool_(pool) {
+    ctx_->set_task_pool(pool_);
+  }
+
   // Returns false when any command failed.
   bool Run(std::istream& in) {
     std::string line;
@@ -75,7 +82,7 @@ class Shell {
         Strip(line.size() > cmd.size() ? line.substr(cmd.size()) : "");
     if (cmd == "help") return Help();
     if (cmd == "reset") {
-      *this = Shell();
+      *this = Shell(pool_);
       std::printf("ok: state cleared\n");
       return true;
     }
@@ -107,7 +114,7 @@ class Shell {
   }
 
   bool Stats() {
-    std::printf("%s\n", ctx_.ToString().c_str());
+    std::printf("%s\n", ctx_->ToString().c_str());
     return true;
   }
 
@@ -164,7 +171,7 @@ class Shell {
     AcClass cls = query_.Classify();
     if (cls == AcClass::kNone || cls == AcClass::kLsi ||
         cls == AcClass::kRsi) {
-      Result<UnionQuery> mcr = RewriteLsiQuery(ctx_, query_, views_);
+      Result<UnionQuery> mcr = RewriteLsiQuery(*ctx_, query_, views_);
       if (!mcr.ok()) return Fail(mcr.status().ToString());
       last_mcr_ = std::move(mcr).value();
       have_mcr_ = !last_mcr_.empty();
@@ -173,13 +180,13 @@ class Shell {
       return true;
     }
     if (query_.IsCqacSi() && views_.AllSiOnly()) {
-      Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query_, views_);
+      Result<SiMcr> mcr = RewriteSiQueryDatalog(*ctx_, query_, views_);
       if (!mcr.ok()) return Fail(mcr.status().ToString());
       std::printf("recursive datalog mcr (%zu rules):\n%s\n",
                   mcr.value().rules.size(), mcr.value().ToString().c_str());
       return true;
     }
-    Result<UnionQuery> mcr = BucketRewrite(ctx_, query_, views_);
+    Result<UnionQuery> mcr = BucketRewrite(*ctx_, query_, views_);
     if (!mcr.ok()) return Fail(mcr.status().ToString());
     last_mcr_ = std::move(mcr).value();
     have_mcr_ = !last_mcr_.empty();
@@ -190,7 +197,7 @@ class Shell {
 
   bool FindEr() {
     if (!NeedQuery()) return false;
-    Result<ErResult> er = FindEquivalentRewriting(ctx_, query_, views_);
+    Result<ErResult> er = FindEquivalentRewriting(*ctx_, query_, views_);
     if (!er.ok()) return Fail(er.status().ToString());
     if (er.value().single.has_value()) {
       std::printf("er: %s\n", er.value().single->ToString().c_str());
@@ -206,7 +213,7 @@ class Shell {
 
   bool Minimize() {
     if (!NeedQuery()) return false;
-    Result<Query> m = MinimizeQuery(ctx_, query_);
+    Result<Query> m = MinimizeQuery(*ctx_, query_);
     if (!m.ok()) return Fail(m.status().ToString());
     query_ = std::move(m).value();
     std::printf("minimized: %s\n", query_.ToString().c_str());
@@ -250,7 +257,7 @@ class Shell {
       if (!exp.ok()) return Fail(exp.status().ToString());
       candidate = std::move(exp).value();
     }
-    Result<bool> c = IsContained(ctx_, candidate, query_);
+    Result<bool> c = IsContained(*ctx_, candidate, query_);
     if (!c.ok()) return Fail(c.status().ToString());
     std::printf("contained: %s%s\n", c.value() ? "yes" : "no",
                 uses_views ? " (checked via expansion)" : "");
@@ -285,7 +292,7 @@ class Shell {
     AcClass cls = query_.Classify();
     if (query_.IsCqacSi() && !query_.IsConjunctiveOnly() &&
         cls != AcClass::kLsi && cls != AcClass::kRsi && views_.AllSiOnly()) {
-      Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query_, views_);
+      Result<SiMcr> mcr = RewriteSiQueryDatalog(*ctx_, query_, views_);
       if (!mcr.ok()) return Fail(mcr.status().ToString());
       Status st = CheckSiMcr(query_, views_, mcr.value());
       if (!st.ok()) return Fail(StrCat("certificate: ", st.ToString()));
@@ -296,8 +303,8 @@ class Shell {
     RewritingWitness w;
     Result<UnionQuery> mcr =
         (cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi)
-            ? RewriteLsiQuery(ctx_, query_, views_, {}, nullptr, &w)
-            : BucketRewrite(ctx_, query_, views_, {}, nullptr, &w);
+            ? RewriteLsiQuery(*ctx_, query_, views_, {}, nullptr, &w)
+            : BucketRewrite(*ctx_, query_, views_, {}, nullptr, &w);
     if (!mcr.ok()) return Fail(mcr.status().ToString());
     Status st = CheckRewritingWitness(query_, views_, mcr.value(), w);
     if (!st.ok()) return Fail(StrCat("certificate: ", st.ToString()));
@@ -334,8 +341,11 @@ class Shell {
   }
 
   // One engine context for the whole session: containment and implication
-  // decisions are cached across commands, and `stats` reports them.
-  EngineContext ctx_;
+  // decisions are cached across commands, and `stats` reports them. Held by
+  // pointer so `reset` can move-assign a fresh Shell (the context itself is
+  // pinned in memory for the pool's sake and is not assignable).
+  std::unique_ptr<EngineContext> ctx_ = std::make_unique<EngineContext>();
+  TaskPool* pool_ = nullptr;
   ViewSet views_;
   std::vector<ParsedQuery> view_sources_;  // parallel to views_, with spans
   Query query_;
@@ -350,11 +360,28 @@ class Shell {
 }  // namespace cqac
 
 int main(int argc, char** argv) {
-  cqac::Shell shell;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  size_t threads = 0;
+  const char* script = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s (usage: %s [--threads N] [script])\n",
+                   arg.c_str(), argv[0]);
+      return 2;
+    } else {
+      script = argv[i];
+    }
+  }
+  cqac::TaskPool pool(threads);
+  cqac::Shell shell(&pool);
+  if (script != nullptr) {
+    std::ifstream file(script);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script);
       return 2;
     }
     return shell.Run(file) ? 0 : 1;
