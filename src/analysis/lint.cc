@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "src/analysis/classify.h"
 #include "src/base/strings.h"
@@ -386,6 +387,117 @@ std::vector<LintDiagnostic> LintQuery(const ParsedQuery& rule,
   RuleLinter(rule, 0, options, &out).Run();
   SortDiagnostics(&out);
   return out;
+}
+
+// ---- whole-file linting (shared by cqac_lint and the serve `lint` op) ------
+
+const char kLintParseCode[] = "P001";
+
+namespace {
+
+// Every cqac_shell command word (tools/cqac_shell.cc Dispatch), used for
+// script auto-detection.
+const char* const kShellCommands[] = {
+    "view",  "query",    "fact",      "classify", "rewrite",   "er",
+    "minimize", "eval",  "answers",   "contained", "explain",  "intervals",
+    "lint",  "verify",   "stats",     "reset",     "help"};
+
+bool IsShellCommandWord(const std::string& word) {
+  for (const char* cmd : kShellCommands)
+    if (word == cmd) return true;
+  return false;
+}
+
+// Shifts a single-line span parsed from a line fragment back to its position
+// in the whole file: the fragment starts at 1-based column `col0` of line
+// `line_no`.
+SourceSpan RemapSpan(SourceSpan span, int line_no, int col0) {
+  if (!span.valid()) return span;
+  span.begin.line = line_no;
+  span.begin.col += col0 - 1;
+  if (span.end.valid()) {
+    span.end.line = line_no;
+    span.end.col += col0 - 1;
+  }
+  return span;
+}
+
+std::vector<LintDiagnostic> LintPlainText(const std::string& text,
+                                          const LintOptions& options) {
+  ParsedProgram program = ParseProgramWithDiagnostics(text);
+  std::vector<LintDiagnostic> out;
+  for (const ParseDiagnostic& e : program.errors)
+    out.push_back(
+        {kLintParseCode, LintSeverity::kError, e.span, 0, e.message});
+  for (LintDiagnostic& d : LintProgram(program.rules, options))
+    out.push_back(std::move(d));
+  return out;
+}
+
+std::vector<LintDiagnostic> LintShellText(const std::string& text,
+                                          const LintOptions& options) {
+  std::vector<LintDiagnostic> out;
+  std::vector<ParsedQuery> rules;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    size_t end = line.find_first_of(" \t\r", start);
+    if (end == std::string::npos) continue;  // no-argument command
+    std::string word = line.substr(start, end - start);
+    if (word != "view" && word != "query" && word != "fact" &&
+        word != "contained" && word != "explain")
+      continue;  // not a rule-carrying command
+    size_t rule_start = line.find_first_not_of(" \t\r", end);
+    if (rule_start == std::string::npos) continue;
+    std::string rule_text = line.substr(rule_start);
+    int col0 = static_cast<int>(rule_start) + 1;
+    ParsedProgram parsed = ParseProgramWithDiagnostics(rule_text);
+    for (const ParseDiagnostic& e : parsed.errors)
+      out.push_back({kLintParseCode, LintSeverity::kError,
+                     RemapSpan(e.span, line_no, col0), 0, e.message});
+    for (ParsedQuery& pq : parsed.rules) {
+      QuerySourceInfo& info = pq.info;
+      info.rule = RemapSpan(info.rule, line_no, col0);
+      info.head = RemapSpan(info.head, line_no, col0);
+      for (SourceSpan& s : info.body) s = RemapSpan(s, line_no, col0);
+      for (SourceSpan& s : info.comparisons)
+        s = RemapSpan(s, line_no, col0);
+      for (SourceSpan& s : info.var_first_use)
+        s = RemapSpan(s, line_no, col0);
+      rules.push_back(std::move(pq));
+    }
+  }
+  // Spans were remapped before linting, so diagnostics come out already
+  // pointing at the right file positions.
+  for (LintDiagnostic& d : LintProgram(rules, options))
+    out.push_back(std::move(d));
+  return out;
+}
+
+}  // namespace
+
+bool LooksLikeShellScript(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    size_t end = line.find_first_of(" \t\r", start);
+    std::string word = line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    return IsShellCommandWord(word);
+  }
+  return false;
+}
+
+std::vector<LintDiagnostic> LintFileText(const std::string& text,
+                                         const LintOptions& options) {
+  return LooksLikeShellScript(text) ? LintShellText(text, options)
+                                    : LintPlainText(text, options);
 }
 
 }  // namespace cqac

@@ -82,6 +82,25 @@ std::vector<LintDiagnostic> LintQuery(const ParsedQuery& rule,
 /// The maximum severity among `diags`; kNote when empty.
 LintSeverity MaxLintSeverity(const std::vector<LintDiagnostic>& diags);
 
+/// The code carried by parse-failure diagnostics ("P001"). Parse errors are
+/// not lint checks (they have no LintCheckInfo entry) but share the
+/// diagnostic shape so tools render them uniformly.
+extern const char kLintParseCode[];
+
+/// True when `text` reads as a cqac_shell script — its first effective
+/// (non-blank, non-comment) line starts with a shell command word — rather
+/// than a plain '.'-terminated rule program.
+bool LooksLikeShellScript(const std::string& text);
+
+/// Lints raw file text the way the `cqac_lint` CLI and the serve `lint` op
+/// do: cqac_shell scripts (auto-detected via LooksLikeShellScript) have the
+/// rule text of their view/query/fact/contained/explain lines extracted and
+/// every diagnostic remapped to its original line and column; plain
+/// programs parse with recovery. Parse errors come out first as P001 error
+/// diagnostics in input order, followed by the lint diagnostics.
+std::vector<LintDiagnostic> LintFileText(const std::string& text,
+                                         const LintOptions& options = {});
+
 }  // namespace cqac
 
 #endif  // CQAC_ANALYSIS_LINT_H_

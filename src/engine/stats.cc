@@ -4,16 +4,78 @@
 
 namespace cqac {
 
+// One field list drives Reset, Snapshot, the snapshot arithmetic, and the
+// JSON rendering: a new counter is added here once and every accessor picks
+// it up (the list compiles against both structs, so a name that exists in
+// only one of them is rejected).
+#define CQAC_ENGINE_STATS_FIELDS(X)                                         \
+  X(containment_calls)                                                      \
+  X(containment_cache_hits)                                                 \
+  X(containment_cache_misses)                                               \
+  X(implication_calls)                                                      \
+  X(implication_cache_hits)                                                 \
+  X(implication_cache_misses)                                               \
+  X(disjunction_implications)                                               \
+  X(hom_enumerations)                                                       \
+  X(homomorphisms_found)                                                    \
+  X(intern_requests)                                                        \
+  X(queries_interned)                                                       \
+  X(fingerprint_collisions)                                                 \
+  X(cache_evictions)                                                        \
+  X(cache_flushes)                                                          \
+  X(budget_exhaustions)                                                     \
+  X(rewrite_candidates)                                                     \
+  X(rewrite_verified_rejects)                                               \
+  X(parallel_sections)                                                      \
+  X(parallel_tasks)                                                         \
+  X(parallel_wall_ns)
+
+StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& o) const {
+  StatsSnapshot d;
+#define CQAC_STATS_SUB(f) d.f = f - o.f;
+  CQAC_ENGINE_STATS_FIELDS(CQAC_STATS_SUB)
+#undef CQAC_STATS_SUB
+  return d;
+}
+
+StatsSnapshot& StatsSnapshot::operator+=(const StatsSnapshot& o) {
+#define CQAC_STATS_ADD(f) f += o.f;
+  CQAC_ENGINE_STATS_FIELDS(CQAC_STATS_ADD)
+#undef CQAC_STATS_ADD
+  return *this;
+}
+
+double StatsSnapshot::ContainmentHitRate() const {
+  uint64_t looked = containment_cache_hits + containment_cache_misses;
+  if (looked == 0) return 0.0;
+  return static_cast<double>(containment_cache_hits) /
+         static_cast<double>(looked);
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+#define CQAC_STATS_JSON(f)                            \
+  out += StrCat(first ? "" : ",", "\"", #f, "\":", f); \
+  first = false;
+  CQAC_ENGINE_STATS_FIELDS(CQAC_STATS_JSON)
+#undef CQAC_STATS_JSON
+  out += "}";
+  return out;
+}
+
 void EngineStats::Reset() {
-  for (StatCounter* c :
-       {&containment_calls, &containment_cache_hits, &containment_cache_misses,
-        &implication_calls, &implication_cache_hits, &implication_cache_misses,
-        &disjunction_implications, &hom_enumerations, &homomorphisms_found,
-        &intern_requests, &queries_interned, &fingerprint_collisions,
-        &cache_evictions, &cache_flushes, &budget_exhaustions,
-        &rewrite_candidates, &rewrite_verified_rejects, &parallel_sections,
-        &parallel_tasks, &parallel_wall_ns})
-    c->Reset();
+#define CQAC_STATS_RESET(f) f.Reset();
+  CQAC_ENGINE_STATS_FIELDS(CQAC_STATS_RESET)
+#undef CQAC_STATS_RESET
+}
+
+StatsSnapshot EngineStats::Snapshot() const {
+  StatsSnapshot s;
+#define CQAC_STATS_SNAP(f) s.f = f;
+  CQAC_ENGINE_STATS_FIELDS(CQAC_STATS_SNAP)
+#undef CQAC_STATS_SNAP
+  return s;
 }
 
 double EngineStats::ContainmentHitRate() const {

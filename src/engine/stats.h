@@ -43,6 +43,48 @@ class StatCounter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A plain, copyable point-in-time copy of every EngineStats counter.
+/// Snapshots support subtraction, so a caller that brackets a unit of work
+/// with two snapshots gets the exact counter deltas attributable to it —
+/// the serve layer uses this to account per-session engine work against
+/// the one shared context (src/serve/session.h).
+struct StatsSnapshot {
+  uint64_t containment_calls = 0;
+  uint64_t containment_cache_hits = 0;
+  uint64_t containment_cache_misses = 0;
+  uint64_t implication_calls = 0;
+  uint64_t implication_cache_hits = 0;
+  uint64_t implication_cache_misses = 0;
+  uint64_t disjunction_implications = 0;
+  uint64_t hom_enumerations = 0;
+  uint64_t homomorphisms_found = 0;
+  uint64_t intern_requests = 0;
+  uint64_t queries_interned = 0;
+  uint64_t fingerprint_collisions = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_flushes = 0;
+  uint64_t budget_exhaustions = 0;
+  uint64_t rewrite_candidates = 0;
+  uint64_t rewrite_verified_rejects = 0;
+  uint64_t parallel_sections = 0;
+  uint64_t parallel_tasks = 0;
+  uint64_t parallel_wall_ns = 0;
+
+  /// Counter-wise difference (`after - before`). Counters only grow, so a
+  /// later-minus-earlier snapshot of the same stats block never underflows.
+  StatsSnapshot operator-(const StatsSnapshot& o) const;
+
+  /// Counter-wise accumulation (per-session running totals).
+  StatsSnapshot& operator+=(const StatsSnapshot& o);
+
+  /// Fraction of containment lookups answered from the cache (0 when none).
+  double ContainmentHitRate() const;
+
+  /// Renders the snapshot as one flat JSON object with snake_case keys
+  /// matching the field names.
+  std::string ToJson() const;
+};
+
 struct EngineStats {
   // Containment layer.
   StatCounter containment_calls;
@@ -81,6 +123,11 @@ struct EngineStats {
   StatCounter parallel_wall_ns;  // wall-clock summed over sections
 
   void Reset();
+
+  /// Copies every counter into a plain snapshot. Individual loads are
+  /// relaxed; under concurrent mutation the snapshot is per-counter exact
+  /// but not a cross-counter atomic cut (fine for reporting).
+  StatsSnapshot Snapshot() const;
 
   /// Fraction of containment calls answered from the cache (0 when none).
   double ContainmentHitRate() const;

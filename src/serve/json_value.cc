@@ -1,0 +1,302 @@
+#include "src/serve/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace serve {
+namespace {
+
+// Hostile input may nest arbitrarily; the parser recurses once per level.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    CQAC_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size())
+      return Error("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrCat("json: ", msg, " at offset ", pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Error(StrCat("expected '", std::string(1, c), "'"));
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        CQAC_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseKeyword("true", JsonValue::MakeBool(true), out);
+      case 'f':
+        return ParseKeyword("false", JsonValue::MakeBool(false), out);
+      case 'n':
+        return ParseKeyword("null", JsonValue::MakeNull(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(const char* word, JsonValue value, JsonValue* out) {
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0)
+      return Error(StrCat("expected '", word, "'"));
+    pos_ += len;
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return Error("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    // RFC 8259: no leading zeros ("01"), which strtod would accept.
+    size_t digits = token[0] == '-' ? 1 : 0;
+    if (token.size() > digits + 1 && token[digits] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[digits + 1])))
+      return Error(StrCat("invalid number '", token, "'"));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      return Error(StrCat("invalid number '", token, "'"));
+    *out = JsonValue::MakeNumber(d);
+    return Status::OK();
+  }
+
+  // Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      else
+        return Error("invalid \\u escape");
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    CQAC_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return Error("raw control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          CQAC_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a low surrogate to follow.
+            if (!(Consume('\\') && Consume('u')))
+              return Error("unpaired surrogate");
+            uint32_t lo = 0;
+            CQAC_RETURN_IF_ERROR(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return Error("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    CQAC_RETURN_IF_ERROR(Expect('['));
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue item;
+      SkipWs();
+      CQAC_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(']')) break;
+      CQAC_RETURN_IF_ERROR(Expect(','));
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    CQAC_RETURN_IF_ERROR(Expect('{'));
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      CQAC_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      CQAC_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      JsonValue value;
+      CQAC_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) break;
+      CQAC_RETURN_IF_ERROR(Expect(','));
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace serve
+}  // namespace cqac

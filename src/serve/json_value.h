@@ -1,0 +1,80 @@
+// A minimal JSON value type and recursive-descent parser (RFC 8259) for the
+// serve wire protocol. The repo's src/ir/json.h is a writer only; the server
+// must *read* requests, so this adds the input side — hand-rolled, no
+// third-party dependency, and deliberately small: requests are shallow
+// objects whose payloads are Datalog text handled by src/ir/parser.h.
+//
+// Robustness guarantees the server relies on:
+//   * nesting depth is capped (hostile deeply-nested input cannot blow the
+//     stack);
+//   * numbers parse via strtod and reject trailing garbage;
+//   * strings accept the standard escapes including \uXXXX (encoded back to
+//     UTF-8; unpaired surrogates are rejected);
+//   * trailing input after the top-level value is an error (one request per
+//     line means one value per parse).
+#ifndef CQAC_SERVE_JSON_VALUE_H_
+#define CQAC_SERVE_JSON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace cqac {
+namespace serve {
+
+/// One parsed JSON value. Objects keep insertion order (useful for
+/// deterministic re-rendering in tests).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object. Duplicate
+  /// keys resolve to the first occurrence.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses exactly one JSON value from `text` (leading/trailing whitespace
+/// allowed, nothing else). Errors are kInvalidArgument with a byte offset.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace serve
+}  // namespace cqac
+
+#endif  // CQAC_SERVE_JSON_VALUE_H_

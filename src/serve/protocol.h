@@ -1,0 +1,105 @@
+// The cqac_serve wire protocol: newline-delimited JSON over a plain TCP
+// socket. One request object per line in, one response object per line out,
+// answered in order per connection. docs/serve.md is the normative
+// reference; this header is the single in-code definition of the request
+// shape and the stable error-code vocabulary.
+//
+// Request envelope (op-specific fields documented per handler):
+//   {"op": "rewrite", "session": "s1", "id": 7, "timeout_ms": 500, ...}
+//
+//   op          required  operation name
+//   session     optional  session name (default "default"); sessions hold
+//                         the view registry and the fact database
+//   id          optional  echoed verbatim in the response (number or string)
+//   timeout_ms  optional  per-request wall-clock deadline, clamped to the
+//                         server's max; maps to Budget::deadline
+//
+// Response envelope:
+//   {"ok": true,  "op": "...", "id": ..., ...payload...}
+//   {"ok": false, "op": "...", "id": ..., "error":
+//       {"code": "resource_exhausted", "message": "..."}}
+//
+// Error codes are STABLE strings (clients switch on them; never renumber):
+// see ServeErrorCode below.
+#ifndef CQAC_SERVE_PROTOCOL_H_
+#define CQAC_SERVE_PROTOCOL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/serve/json_value.h"
+
+namespace cqac {
+namespace serve {
+
+/// The stable error-code vocabulary of the wire protocol.
+enum class ServeErrorCode {
+  kParseError,         // request line is not valid JSON
+  kInvalidRequest,     // valid JSON but not a valid request envelope
+  kUnknownOp,          // unrecognized "op"
+  kInvalidArgument,    // op payload rejected (e.g. rule fails to parse)
+  kInconsistent,       // comparisons unsatisfiable (StatusCode::kInconsistent)
+  kNotFound,           // named entity absent (e.g. unknown session)
+  kUnsupported,        // input outside the fragment an algorithm handles
+  kResourceExhausted,  // budget cap / request deadline exceeded
+  kTooLarge,           // request line exceeds the server's byte cap
+  kOverloaded,         // bounded request queue is full
+  kShuttingDown,       // server is draining; no new work accepted
+  kInternal,           // invariant violation; never expected
+};
+
+/// The stable wire string for `code` (e.g. "resource_exhausted").
+const char* ServeErrorCodeName(ServeErrorCode code);
+
+/// Maps an engine Status code onto the wire vocabulary (kOk is a
+/// programming error and maps to kInternal).
+ServeErrorCode ServeErrorCodeFromStatus(StatusCode code);
+
+/// A parsed request envelope. Op-specific payload fields stay in `body` and
+/// are pulled by the handler (src/serve/service.cc).
+struct Request {
+  std::string op;
+  std::string session = "default";
+  std::string id_json;  // raw JSON of "id", echoed back; empty when absent
+  std::optional<std::chrono::milliseconds> timeout;
+  JsonValue body;
+
+  /// Required string payload field, e.g. GetString("query").
+  Result<std::string> GetString(const char* key) const;
+  /// Optional string payload field; `fallback` when absent.
+  Result<std::string> GetStringOr(const char* key,
+                                  const std::string& fallback) const;
+};
+
+/// Validates the envelope of an already-JSON-parsed request line. The two
+/// failure layers map to distinct wire codes: a ParseJson failure on the
+/// raw line is kParseError; a failure here is kInvalidRequest.
+Result<Request> ParseRequestEnvelope(JsonValue root);
+
+// ---- response rendering ----------------------------------------------------
+
+/// Starts a success envelope: `{"ok":true,"op":"<op>"[,"id":<id>]`. Append
+/// payload fields with JsonField and finish with JsonClose.
+std::string BeginResponse(const Request& req);
+
+/// `,"<key>":<raw json>` — the value must already be valid JSON (use
+/// JsonQuote from src/ir/json.h for strings).
+void JsonField(std::string* out, const char* key, const std::string& raw);
+
+/// Closes the envelope with '}' and the protocol's line terminator '\n'.
+void JsonClose(std::string* out);
+
+/// A complete error response line. `req` may be null (unparseable line).
+std::string ErrorResponse(const Request* req, ServeErrorCode code,
+                          const std::string& message);
+
+/// A complete error response line for a failed engine Status.
+std::string ErrorResponse(const Request& req, const Status& status);
+
+}  // namespace serve
+}  // namespace cqac
+
+#endif  // CQAC_SERVE_PROTOCOL_H_

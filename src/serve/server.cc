@@ -1,0 +1,269 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/serve/protocol.h"
+
+namespace cqac {
+namespace serve {
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(ctx_, options_.service) {
+  ctx_.set_task_pool(options_.pool);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::Internal(StrCat("bind: ", std::strerror(errno)));
+    CloseFd(listen_fd_);
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status st = Status::Internal(StrCat("listen: ", std::strerror(errno)));
+    CloseFd(listen_fd_);
+    return st;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    Status st =
+        Status::Internal(StrCat("getsockname: ", std::strerror(errno)));
+    CloseFd(listen_fd_);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  engine_thread_ = std::thread([this] { EngineLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  bool was_draining = draining_.exchange(true);
+  if (was_draining) return;
+  // shutdown() (not close()) wakes the thread blocked in accept(); the fd
+  // itself is closed in Stop() after the accept thread has been joined.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [this] { return engine_done_; });
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  RequestDrain();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  // Shut down every connection so its reader sees EOF, then join readers.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& [id, conn] : connections_) conns.push_back(conn);
+    connections_.clear();
+  }
+  for (auto& conn : conns) {
+    {
+      std::lock_guard<std::mutex> wl(conn->write_mu);
+      conn->closed.store(true, std::memory_order_release);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    std::lock_guard<std::mutex> wl(conn->write_mu);
+    CloseFd(conn->fd);
+  }
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR && !draining_.load(std::memory_order_acquire))
+        continue;
+      return;  // listen socket shut down (drain) or fatal error
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(client);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      conn->id = next_conn_id_++;
+      connections_[conn->id] = conn;
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+    ReapFinishedConnections();
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> done;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->second->reader_done.load(std::memory_order_acquire)) {
+        done.push_back(it->second);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : done) {
+    if (conn->reader.joinable()) conn->reader.join();
+    std::lock_guard<std::mutex> wl(conn->write_mu);
+    CloseFd(conn->fd);
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string acc;
+  char buf[4096];
+  bool fatal = false;
+  while (!fatal) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF or error: client is gone
+    acc.append(buf, static_cast<size_t>(n));
+    size_t pos;
+    while (!fatal && (pos = acc.find('\n')) != std::string::npos) {
+      std::string line = acc.substr(0, pos);
+      acc.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.size() > options_.max_request_bytes) {
+        WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
+                                       "request line exceeds the size cap"));
+        fatal = true;
+        break;
+      }
+      if (draining_.load(std::memory_order_acquire)) {
+        WriteLine(*conn,
+                  ErrorResponse(nullptr, ServeErrorCode::kShuttingDown,
+                                "server is draining; request rejected"));
+        continue;
+      }
+      bool overloaded = false;
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        if (queue_.size() >= options_.max_queue)
+          overloaded = true;
+        else
+          queue_.push_back(QueueItem{conn, std::move(line)});
+      }
+      if (overloaded) {
+        WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kOverloaded,
+                                       "request queue is full; retry later"));
+      } else {
+        queue_cv_.notify_one();
+      }
+    }
+    // A partial line past the cap can never frame a valid request; fail
+    // now instead of buffering without bound.
+    if (acc.size() > options_.max_request_bytes) {
+      WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
+                                     "request line exceeds the size cap"));
+      fatal = true;
+    }
+  }
+  conn->closed.store(true, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  // Cooperative cancellation: if the engine thread is currently executing a
+  // request from this connection, tell it to stop — nobody is left to read
+  // the answer. (Spurious cancels are impossible: the engine thread clears
+  // executing_conn_id_ before it returns, and Service::Execute clears the
+  // cancel flag at the start of the next request.)
+  if (executing_conn_id_.load(std::memory_order_acquire) == conn->id)
+    ctx_.RequestCancel();
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void Server::WriteLine(Connection& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  if (conn.closed.load(std::memory_order_acquire) || conn.fd < 0) return;
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n = ::send(conn.fd, line.data() + sent, line.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn.closed.store(true, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void Server::EngineLoop() {
+  while (true) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) break;  // draining and nothing left to answer
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    executing_conn_id_.store(item.conn->id, std::memory_order_release);
+    bool shutdown_requested = false;
+    std::string response = service_.Execute(item.line, &shutdown_requested);
+    executing_conn_id_.store(0, std::memory_order_release);
+    WriteLine(*item.conn, response);
+    if (shutdown_requested) RequestDrain();
+  }
+  std::lock_guard<std::mutex> lk(done_mu_);
+  engine_done_ = true;
+  done_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace cqac

@@ -1,0 +1,159 @@
+// The cqac_serve transport: a long-lived TCP server speaking the
+// newline-delimited JSON protocol (protocol.h) on 127.0.0.1.
+//
+// Architecture (one process, three kinds of threads):
+//
+//   accept thread ──► one reader thread per connection
+//                          │  splits bytes into request lines,
+//                          │  enforces the per-line byte cap,
+//                          ▼
+//                bounded request queue  (full ⇒ immediate "overloaded")
+//                          │
+//                          ▼
+//                single engine thread ──► Service::Execute
+//                          │  one request at a time against the shared
+//                          │  EngineContext; the request's engine work
+//                          ▼  fans out across the attached TaskPool
+//                 response written back on the request's connection
+//
+// Requests are executed strictly in arrival order, which is what makes the
+// shared EngineContext safe (one driver thread, workers beneath it — see
+// src/engine/context.h) and serve output reproducible: a concurrent
+// N-client run produces byte-identical responses to a serial replay.
+//
+// Robustness:
+//   * per-request deadlines (service.h) bound every engine call;
+//   * a client disconnect cancels its in-flight request cooperatively
+//     (EngineContext::RequestCancel), so an abandoned expensive request
+//     stops burning the engine thread;
+//   * RequestDrain() — from SIGTERM or the `shutdown` op — stops accepting
+//     connections, answers queued requests, then stops the engine thread;
+//   * oversized request lines are answered with "too_large" and the
+//     connection is closed (framing is unrecoverable past the cap).
+#ifndef CQAC_SERVE_SERVER_H_
+#define CQAC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/base/task_pool.h"
+#include "src/engine/context.h"
+#include "src/serve/service.h"
+
+namespace cqac {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with port() after Start).
+  uint16_t port = 0;
+  /// Hard cap on one request line; longer lines answer "too_large" and
+  /// close the connection.
+  size_t max_request_bytes = 1 << 20;
+  /// Bounded request queue depth; a full queue answers "overloaded".
+  size_t max_queue = 256;
+  /// Engine fan-out pool (not owned; may be null for serial execution).
+  TaskPool* pool = nullptr;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept + engine threads.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Initiates graceful drain: stop accepting, reject new request lines
+  /// with "shutting_down", finish every queued request, stop. Idempotent,
+  /// non-blocking, safe from any thread (the engine thread calls it for
+  /// the `shutdown` op; the signal watcher calls it for SIGTERM).
+  void RequestDrain();
+
+  /// Blocks until the drain completes (every queued request answered).
+  void Wait();
+
+  /// RequestDrain + Wait + join all threads and close every socket. Called
+  /// by the destructor if needed.
+  void Stop();
+
+  /// Preloads the default session and primes the cache from a shell-style
+  /// script. Call before Start (it runs on the caller's thread).
+  Result<WarmupSummary> Warmup(const std::string& script) {
+    return service_.Warmup(script);
+  }
+
+  EngineContext& context() { return ctx_; }
+  Service& service() { return service_; }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+    std::atomic<bool> reader_done{false};
+  };
+
+  struct QueueItem {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void EngineLoop();
+
+  /// Sends `line` on `conn` unless it is already closed; write errors mark
+  /// it closed (the reader notices via recv).
+  void WriteLine(Connection& conn, const std::string& line);
+
+  /// Joins reader threads of connections whose readers have exited.
+  void ReapFinishedConnections();
+
+  ServerOptions options_;
+  EngineContext ctx_;
+  Service service_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::thread accept_thread_;
+  std::thread engine_thread_;
+
+  std::mutex conn_mu_;
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueueItem> queue_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> executing_conn_id_{0};
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool engine_done_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace cqac
+
+#endif  // CQAC_SERVE_SERVER_H_

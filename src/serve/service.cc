@@ -1,0 +1,480 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/analysis/lint.h"
+#include "src/base/strings.h"
+#include "src/containment/containment.h"
+#include "src/eval/evaluate.h"
+#include "src/ir/expansion.h"
+#include "src/ir/json.h"
+#include "src/ir/parser.h"
+#include "src/rewriting/bucket.h"
+#include "src/rewriting/rewrite_lsi.h"
+#include "src/rewriting/si_mcr.h"
+
+namespace cqac {
+namespace serve {
+namespace {
+
+// Renders a relation as a JSON array of tuples, each tuple an array of
+// value strings (rationals render exactly: "7/2", not a float).
+std::string RelationToJson(const Relation& r) {
+  std::string out = "[";
+  bool first_tuple = true;
+  for (const Tuple& t : r) {
+    out += first_tuple ? "[" : ",[";
+    first_tuple = false;
+    for (size_t i = 0; i < t.size(); ++i)
+      out += StrCat(i ? "," : "", JsonQuote(t[i].ToString()));
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<LintDiagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const LintDiagnostic& d = diags[i];
+    out += StrCat(i ? "," : "", "{\"code\":", JsonQuote(d.code),
+                  ",\"severity\":\"", LintSeverityName(d.severity),
+                  "\",\"line\":", d.span.begin.line,
+                  ",\"col\":", d.span.begin.col, ",\"rule\":", d.rule_index,
+                  ",\"message\":", JsonQuote(d.message), "}");
+  }
+  out += "]";
+  return out;
+}
+
+bool IsErrorResponseLine(const std::string& response) {
+  return response.rfind("{\"ok\":false", 0) == 0;
+}
+
+}  // namespace
+
+std::string WarmupSummary::ToString() const {
+  return StrCat(views, " views, ", facts, " facts, ", rewrites,
+                " rewrites primed, ", ignored, " lines ignored");
+}
+
+Service::Service(EngineContext& ctx, ServiceOptions options)
+    : ctx_(ctx), options_(options), sessions_(options.max_sessions) {}
+
+std::string Service::Execute(const std::string& line,
+                             bool* shutdown_requested) {
+  ++requests_;
+
+  Result<JsonValue> json = ParseJson(line);
+  if (!json.ok()) {
+    ++request_errors_;
+    return ErrorResponse(nullptr, ServeErrorCode::kParseError,
+                         json.status().message());
+  }
+  Result<Request> parsed = ParseRequestEnvelope(std::move(json).value());
+  if (!parsed.ok()) {
+    ++request_errors_;
+    return ErrorResponse(nullptr, ServeErrorCode::kInvalidRequest,
+                         parsed.status().message());
+  }
+  const Request& req = parsed.value();
+
+  // Per-request deadline: clamp the client's timeout to the server cap and
+  // install it as the budget deadline for the duration of the request.
+  // Engine calls are serialized on this thread, so save/restore is safe.
+  std::chrono::milliseconds timeout =
+      std::min(req.timeout.value_or(options_.default_timeout),
+               options_.max_timeout);
+  Budget saved = ctx_.budget();
+  ctx_.ClearCancel();
+  ctx_.budget().deadline = std::chrono::steady_clock::now() + timeout;
+
+  StatsSnapshot before = ctx_.stats().Snapshot();
+  std::string response = Dispatch(req, shutdown_requested);
+
+  ctx_.budget() = saved;
+  ctx_.ClearCancel();
+
+  bool is_error = IsErrorResponseLine(response);
+  if (is_error) ++request_errors_;
+  // Attribute the engine work to the session when one exists (ops that need
+  // session state create it; pure-compute ops only attribute to sessions
+  // already created).
+  if (Session* session = sessions_.Find(req.session)) {
+    ++session->stats.requests;
+    if (is_error) ++session->stats.errors;
+    session->stats.engine += ctx_.stats().Snapshot() - before;
+  }
+  return response;
+}
+
+std::string Service::Dispatch(const Request& req, bool* shutdown_requested) {
+  if (req.op == "ping") return HandlePing(req);
+  if (req.op == "view") return HandleView(req);
+  if (req.op == "fact") return HandleFact(req);
+  if (req.op == "classify") return HandleClassify(req);
+  if (req.op == "rewrite") return HandleRewrite(req);
+  if (req.op == "contain") return HandleContain(req);
+  if (req.op == "eval") return HandleEval(req);
+  if (req.op == "answers") return HandleAnswers(req);
+  if (req.op == "lint") return HandleLint(req);
+  if (req.op == "stats") return HandleStats(req);
+  if (req.op == "reset") return HandleReset(req);
+  if (req.op == "shutdown") {
+    if (shutdown_requested != nullptr) *shutdown_requested = true;
+    std::string out = BeginResponse(req);
+    JsonField(&out, "draining", "true");
+    JsonClose(&out);
+    return out;
+  }
+  return ErrorResponse(&req, ServeErrorCode::kUnknownOp,
+                       StrCat("unknown op '", req.op, "'"));
+}
+
+std::string Service::HandlePing(const Request& req) {
+  std::string out = BeginResponse(req);
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleView(const Request& req) {
+  Result<std::string> rule = req.GetString("rule");
+  if (!rule.ok()) return ErrorResponse(req, rule.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+
+  Result<ParsedQuery> v = ParseQueryWithInfo(rule.value());
+  if (!v.ok()) return ErrorResponse(req, v.status());
+  Status st = session.value()->views.Add(v.value().query);
+  if (!st.ok()) return ErrorResponse(req, st);
+  session.value()->view_sources.push_back(std::move(v).value());
+
+  const ViewSet& views = session.value()->views;
+  std::string out = BeginResponse(req);
+  JsonField(&out, "view", JsonQuote(views[views.size() - 1].ToString()));
+  JsonField(&out, "views", StrCat(views.size()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleFact(const Request& req) {
+  Result<std::string> facts = req.GetString("facts");
+  if (!facts.ok()) return ErrorResponse(req, facts.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+
+  Result<Database> parsed = Database::FromFacts(facts.value());
+  if (!parsed.ok()) return ErrorResponse(req, parsed.status());
+  Database& db = session.value()->db;
+  size_t before = db.TotalTuples();
+  Status st = db.Merge(parsed.value());
+  if (!st.ok()) return ErrorResponse(req, st);
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "tuples_added", StrCat(db.TotalTuples() - before));
+  JsonField(&out, "total_tuples", StrCat(db.TotalTuples()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleClassify(const Request& req) {
+  Result<std::string> text = req.GetString("query");
+  if (!text.ok()) return ErrorResponse(req, text.status());
+  Result<Query> q = ParseQuery(text.value());
+  if (!q.ok()) return ErrorResponse(req, q.status());
+  Status valid = q.value().Validate();
+  if (!valid.ok()) return ErrorResponse(req, valid);
+
+  ClassInfo info = ClassifyQuery(q.value());
+  std::string out = BeginResponse(req);
+  JsonField(&out, "class", JsonQuote(info.Name()));
+  JsonField(&out, "cqac_si", info.cqac_si ? "true" : "false");
+  JsonField(&out, "closed", info.closed ? "true" : "false");
+  JsonField(&out, "open", info.open ? "true" : "false");
+  JsonField(&out, "algorithm", JsonQuote(info.RecommendedAlgorithm()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleRewrite(const Request& req) {
+  Result<std::string> text = req.GetString("query");
+  if (!text.ok()) return ErrorResponse(req, text.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+  Result<Query> q = ParseQuery(text.value());
+  if (!q.ok()) return ErrorResponse(req, q.status());
+  Status valid = q.value().Validate();
+  if (!valid.ok()) return ErrorResponse(req, valid);
+
+  const Query& query = q.value();
+  const ViewSet& views = session.value()->views;
+
+  // Exactly the shell's dispatch (tools/cqac_shell.cc Rewrite): this is
+  // what keeps serve-mode output byte-identical to shell output.
+  AcClass cls = query.Classify();
+  if (query.IsCqacSi() && !query.IsConjunctiveOnly() &&
+      cls != AcClass::kNone && cls != AcClass::kLsi && cls != AcClass::kRsi &&
+      views.AllSiOnly()) {
+    Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query, views);
+    if (!mcr.ok()) return ErrorResponse(req, mcr.status());
+    std::string out = BeginResponse(req);
+    JsonField(&out, "kind", "\"datalog\"");
+    JsonField(&out, "count", StrCat(mcr.value().rules.size()));
+    JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
+    JsonClose(&out);
+    return out;
+  }
+  bool lsi_path =
+      cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi;
+  Result<UnionQuery> mcr = lsi_path ? RewriteLsiQuery(ctx_, query, views)
+                                    : BucketRewrite(ctx_, query, views);
+  if (!mcr.ok()) return ErrorResponse(req, mcr.status());
+  std::string out = BeginResponse(req);
+  JsonField(&out, "kind", lsi_path ? "\"mcr\"" : "\"bucket\"");
+  JsonField(&out, "count", StrCat(mcr.value().disjuncts.size()));
+  JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
+  JsonField(&out, "json", UnionQueryToJson(mcr.value()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleContain(const Request& req) {
+  Result<std::string> qtext = req.GetString("query");
+  if (!qtext.ok()) return ErrorResponse(req, qtext.status());
+  Result<std::string> ctext = req.GetString("candidate");
+  if (!ctext.ok()) return ErrorResponse(req, ctext.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+
+  Result<Query> q = ParseQuery(qtext.value());
+  if (!q.ok()) return ErrorResponse(req, q.status());
+  Result<Query> c = ParseQuery(ctext.value());
+  if (!c.ok()) return ErrorResponse(req, c.status());
+
+  // As in the shell: a candidate written over view predicates is compared
+  // through its expansion (the contained-rewriting test of Definition 2.1).
+  const ViewSet& views = session.value()->views;
+  Query candidate = std::move(c).value();
+  bool uses_views = !candidate.body().empty();
+  for (const Atom& a : candidate.body())
+    if (views.Find(a.predicate) == nullptr) uses_views = false;
+  if (uses_views) {
+    Result<Query> expanded = ExpandRewriting(candidate, views);
+    if (!expanded.ok()) return ErrorResponse(req, expanded.status());
+    candidate = std::move(expanded).value();
+  }
+
+  Result<bool> contained = IsContained(ctx_, candidate, q.value());
+  if (!contained.ok()) return ErrorResponse(req, contained.status());
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "contained", contained.value() ? "true" : "false");
+  JsonField(&out, "via_expansion", uses_views ? "true" : "false");
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleEval(const Request& req) {
+  Result<std::string> text = req.GetString("query");
+  if (!text.ok()) return ErrorResponse(req, text.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+  Result<Query> q = ParseQuery(text.value());
+  if (!q.ok()) return ErrorResponse(req, q.status());
+  Status valid = q.value().Validate();
+  if (!valid.ok()) return ErrorResponse(req, valid);
+
+  Result<Relation> r = EvaluateQuery(ctx_, q.value(), session.value()->db);
+  if (!r.ok()) return ErrorResponse(req, r.status());
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "count", StrCat(r.value().size()));
+  JsonField(&out, "tuples", RelationToJson(r.value()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleAnswers(const Request& req) {
+  Result<std::string> text = req.GetString("query");
+  if (!text.ok()) return ErrorResponse(req, text.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+  Result<Query> q = ParseQuery(text.value());
+  if (!q.ok()) return ErrorResponse(req, q.status());
+  Status valid = q.value().Validate();
+  if (!valid.ok()) return ErrorResponse(req, valid);
+
+  const Query& query = q.value();
+  const ViewSet& views = session.value()->views;
+  AcClass cls = query.Classify();
+  if (query.IsCqacSi() && !query.IsConjunctiveOnly() &&
+      cls != AcClass::kNone && cls != AcClass::kLsi && cls != AcClass::kRsi &&
+      views.AllSiOnly())
+    return ErrorResponse(&req, ServeErrorCode::kUnsupported,
+                         "certain answers for a recursive Datalog MCR are "
+                         "not served over the wire; use rewrite + a local "
+                         "datalog::Engine");
+
+  bool lsi_path =
+      cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi;
+  Result<UnionQuery> mcr = lsi_path ? RewriteLsiQuery(ctx_, query, views)
+                                    : BucketRewrite(ctx_, query, views);
+  if (!mcr.ok()) return ErrorResponse(req, mcr.status());
+  if (mcr.value().empty())
+    return ErrorResponse(&req, ServeErrorCode::kNotFound,
+                         "no contained rewriting exists for this query over "
+                         "the session's views");
+
+  Result<Database> vdb =
+      MaterializeViews(ctx_, views, session.value()->db);
+  if (!vdb.ok()) return ErrorResponse(req, vdb.status());
+  Result<Relation> r = EvaluateUnion(ctx_, mcr.value(), vdb.value());
+  if (!r.ok()) return ErrorResponse(req, r.status());
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "count", StrCat(r.value().size()));
+  JsonField(&out, "tuples", RelationToJson(r.value()));
+  JsonField(&out, "rewriting_count", StrCat(mcr.value().disjuncts.size()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleLint(const Request& req) {
+  Result<std::string> program = req.GetString("program");
+  if (!program.ok()) return ErrorResponse(req, program.status());
+
+  std::vector<LintDiagnostic> diags = LintFileText(program.value());
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const LintDiagnostic& d : diags) {
+    if (d.severity == LintSeverity::kError)
+      ++errors;
+    else if (d.severity == LintSeverity::kWarning)
+      ++warnings;
+    else
+      ++notes;
+  }
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "diagnostics", DiagnosticsToJson(diags));
+  JsonField(&out, "errors", StrCat(errors));
+  JsonField(&out, "warnings", StrCat(warnings));
+  JsonField(&out, "notes", StrCat(notes));
+  JsonField(&out, "max_severity",
+            diags.empty()
+                ? "\"none\""
+                : StrCat("\"", LintSeverityName(MaxLintSeverity(diags)),
+                         "\""));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleStats(const Request& req) {
+  Result<std::string> scope = req.GetStringOr("scope", "global");
+  if (!scope.ok()) return ErrorResponse(req, scope.status());
+
+  if (scope.value() == "session") {
+    Session* session = sessions_.Find(req.session);
+    if (session == nullptr)
+      return ErrorResponse(&req, ServeErrorCode::kNotFound,
+                           StrCat("session '", req.session, "' not found"));
+    std::string out = BeginResponse(req);
+    JsonField(&out, "scope", "\"session\"");
+    JsonField(&out, "session", JsonQuote(session->name));
+    JsonField(&out, "views", StrCat(session->views.size()));
+    JsonField(&out, "facts", StrCat(session->db.TotalTuples()));
+    JsonField(&out, "requests", StrCat(session->stats.requests));
+    JsonField(&out, "errors", StrCat(session->stats.errors));
+    JsonField(&out, "engine", session->stats.engine.ToJson());
+    JsonClose(&out);
+    return out;
+  }
+  if (scope.value() != "global")
+    return ErrorResponse(&req, ServeErrorCode::kInvalidArgument,
+                         "field \"scope\" must be \"global\" or \"session\"");
+
+  std::string sessions_json = "[";
+  bool first = true;
+  for (const auto& [name, session] : sessions_.sessions()) {
+    sessions_json +=
+        StrCat(first ? "" : ",", "{\"name\":", JsonQuote(name),
+               ",\"requests\":", session->stats.requests,
+               ",\"errors\":", session->stats.errors, "}");
+    first = false;
+  }
+  sessions_json += "]";
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "scope", "\"global\"");
+  JsonField(&out, "engine", ctx_.stats().Snapshot().ToJson());
+  JsonField(&out, "cache",
+            StrCat("{\"bytes\":", ctx_.cache_bytes(),
+                   ",\"entries\":", ctx_.cache_entries(), "}"));
+  JsonField(&out, "threads", StrCat(ctx_.parallelism()));
+  JsonField(&out, "requests", StrCat(requests_));
+  JsonField(&out, "request_errors", StrCat(request_errors_));
+  JsonField(&out, "sessions", sessions_json);
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleReset(const Request& req) {
+  bool existed = sessions_.Drop(req.session);
+  std::string out = BeginResponse(req);
+  JsonField(&out, "existed", existed ? "true" : "false");
+  JsonClose(&out);
+  return out;
+}
+
+Result<WarmupSummary> Service::Warmup(const std::string& script) {
+  WarmupSummary summary;
+  std::istringstream in(script);
+  std::string line;
+  std::string current_query;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Strip(line);
+    if (line.empty() || line[0] == '%') continue;
+    std::string cmd = line.substr(0, line.find(' '));
+    std::string rest =
+        Strip(line.size() > cmd.size() ? line.substr(cmd.size()) : "");
+
+    std::string request_line;
+    if (cmd == "view") {
+      request_line = StrCat("{\"op\":\"view\",\"rule\":", JsonQuote(rest), "}");
+      ++summary.views;
+    } else if (cmd == "fact") {
+      request_line =
+          StrCat("{\"op\":\"fact\",\"facts\":", JsonQuote(rest), "}");
+      ++summary.facts;
+    } else if (cmd == "query") {
+      current_query = rest;
+      continue;
+    } else if (cmd == "rewrite") {
+      const std::string& q = rest.empty() ? current_query : rest;
+      if (q.empty())
+        return Status::InvalidArgument(StrCat(
+            "warmup line ", line_no, ": rewrite before any query"));
+      request_line =
+          StrCat("{\"op\":\"rewrite\",\"query\":", JsonQuote(q), "}");
+      ++summary.rewrites;
+    } else {
+      ++summary.ignored;
+      continue;
+    }
+
+    bool shutdown = false;
+    std::string response = Execute(request_line, &shutdown);
+    if (IsErrorResponseLine(response))
+      return Status::InvalidArgument(
+          StrCat("warmup line ", line_no, " failed: ", response));
+  }
+  return summary;
+}
+
+}  // namespace serve
+}  // namespace cqac

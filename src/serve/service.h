@@ -1,0 +1,106 @@
+// The serve op layer: executes one parsed request against the shared
+// EngineContext and the session table, producing the response line. This is
+// the transport-free core of cqac_serve — the TCP server (server.h) feeds
+// it lines from the bounded queue, tests and the warm-up loader feed it
+// lines directly.
+//
+// Threading: Execute is NOT thread-safe; the server calls it from its
+// single engine thread only (see session.h for why that is the design).
+// The engine work *inside* a request still fans out across the context's
+// TaskPool workers.
+//
+// Request semantics implemented here (normative doc: docs/serve.md):
+//   * per-request deadline: `timeout_ms` (clamped to options.max_timeout,
+//     defaulting to options.default_timeout) becomes Budget::deadline for
+//     the duration of the request; expiry surfaces as a structured
+//     "resource_exhausted" error;
+//   * per-session accounting: engine-stat deltas of each request are added
+//     to the owning session's running totals;
+//   * `rewrite` dispatches exactly like cqac_shell (LSI/RSI/CQ ->
+//     RewriteLsiQuery, CQAC-SI + SI-only views -> recursive Datalog,
+//     otherwise bucket), so serve-mode output is byte-identical to shell
+//     output for the same inputs.
+#ifndef CQAC_SERVE_SERVICE_H_
+#define CQAC_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/engine/context.h"
+#include "src/serve/protocol.h"
+#include "src/serve/session.h"
+
+namespace cqac {
+namespace serve {
+
+struct ServiceOptions {
+  /// Deadline applied when a request carries no timeout_ms.
+  std::chrono::milliseconds default_timeout{2000};
+  /// Upper clamp for client-supplied timeout_ms.
+  std::chrono::milliseconds max_timeout{30000};
+  size_t max_sessions = 256;
+};
+
+/// Result of preloading a warm-up script (see Service::Warmup).
+struct WarmupSummary {
+  size_t views = 0;
+  size_t facts = 0;
+  size_t rewrites = 0;
+  size_t ignored = 0;  // shell commands warm-up does not replay
+
+  std::string ToString() const;
+};
+
+class Service {
+ public:
+  /// `ctx` is the shared engine context (not owned; outlives the service).
+  Service(EngineContext& ctx, ServiceOptions options);
+
+  /// Executes one request line end to end: JSON parse, envelope
+  /// validation, deadline setup, op dispatch, session accounting. Always
+  /// returns a complete single-line response (errors included).
+  /// `*shutdown_requested` is set when the request was a valid `shutdown`
+  /// op; the transport reacts after writing the response.
+  std::string Execute(const std::string& line, bool* shutdown_requested);
+
+  /// Preloads the "default" session from a shell-style script: `view` and
+  /// `fact` lines are replayed, `query <rule>` sets the current query, and
+  /// `rewrite` (bare, or with an inline query) runs a rewrite to prime the
+  /// interner and the decision cache. Other shell commands are counted as
+  /// ignored. Fails fast on the first failing line.
+  Result<WarmupSummary> Warmup(const std::string& script);
+
+  EngineContext& context() { return ctx_; }
+  SessionManager& sessions() { return sessions_; }
+
+  uint64_t requests() const { return requests_; }
+  uint64_t request_errors() const { return request_errors_; }
+
+ private:
+  /// Dispatches a validated request. Returns the response line.
+  std::string Dispatch(const Request& req, bool* shutdown_requested);
+
+  std::string HandlePing(const Request& req);
+  std::string HandleView(const Request& req);
+  std::string HandleFact(const Request& req);
+  std::string HandleClassify(const Request& req);
+  std::string HandleRewrite(const Request& req);
+  std::string HandleContain(const Request& req);
+  std::string HandleEval(const Request& req);
+  std::string HandleAnswers(const Request& req);
+  std::string HandleLint(const Request& req);
+  std::string HandleStats(const Request& req);
+  std::string HandleReset(const Request& req);
+
+  EngineContext& ctx_;
+  ServiceOptions options_;
+  SessionManager sessions_;
+  uint64_t requests_ = 0;
+  uint64_t request_errors_ = 0;
+};
+
+}  // namespace serve
+}  // namespace cqac
+
+#endif  // CQAC_SERVE_SERVICE_H_

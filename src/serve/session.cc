@@ -1,0 +1,31 @@
+#include "src/serve/session.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace serve {
+
+Result<Session*> SessionManager::GetOrCreate(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) return it->second.get();
+  if (sessions_.size() >= max_sessions_)
+    return Status::ResourceExhausted(
+        StrCat("session limit reached (", max_sessions_,
+               "); reset unused sessions"));
+  auto session = std::make_unique<Session>(name);
+  Session* raw = session.get();
+  sessions_.emplace(name, std::move(session));
+  return raw;
+}
+
+Session* SessionManager::Find(const std::string& name) {
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool SessionManager::Drop(const std::string& name) {
+  return sessions_.erase(name) > 0;
+}
+
+}  // namespace serve
+}  // namespace cqac

@@ -1,0 +1,77 @@
+// Sessions: the per-client state a long-lived server keeps between
+// requests. A session owns what the shell keeps as mutable state — the view
+// registry (with source spans, for lint) and the fact database — plus
+// accounting: request counts and the engine-stat deltas attributable to the
+// session's requests against the one shared EngineContext.
+//
+// Sessions are touched only by the server's single engine thread (requests
+// are executed serially off the bounded queue), so the manager needs no
+// locking; what *is* concurrent — the shared context's cache and stats — is
+// synchronized inside EngineContext itself.
+#ifndef CQAC_SERVE_SESSION_H_
+#define CQAC_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/stats.h"
+#include "src/eval/database.h"
+#include "src/ir/parser.h"
+#include "src/ir/view.h"
+
+namespace cqac {
+namespace serve {
+
+/// Accounting for one session.
+struct SessionStats {
+  uint64_t requests = 0;        // requests executed (including failed ones)
+  uint64_t errors = 0;          // requests answered with an error
+  StatsSnapshot engine;         // summed engine-stat deltas of this session
+};
+
+/// One client-visible session.
+struct Session {
+  explicit Session(std::string name_in) : name(std::move(name_in)) {}
+
+  std::string name;
+  ViewSet views;
+  std::vector<ParsedQuery> view_sources;  // parallel to views, with spans
+  Database db;
+  SessionStats stats;
+};
+
+/// Owns every live session. Bounded: GetOrCreate fails with
+/// kResourceExhausted once `max_sessions` distinct names exist (a stray
+/// client enumerating session names must not exhaust server memory).
+class SessionManager {
+ public:
+  explicit SessionManager(size_t max_sessions = 256)
+      : max_sessions_(max_sessions) {}
+
+  /// The session named `name`, created on first use.
+  Result<Session*> GetOrCreate(const std::string& name);
+
+  /// The session named `name`, or nullptr when it was never created.
+  Session* Find(const std::string& name);
+
+  /// Drops the session (views, facts, stats). False when absent.
+  bool Drop(const std::string& name);
+
+  size_t size() const { return sessions_.size(); }
+  const std::map<std::string, std::unique_ptr<Session>>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  size_t max_sessions_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace serve
+}  // namespace cqac
+
+#endif  // CQAC_SERVE_SESSION_H_

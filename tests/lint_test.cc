@@ -167,21 +167,17 @@ TEST(ClassifyTest, RecommendsAnAlgorithmForEveryClass) {
 
 // ---- golden files -----------------------------------------------------------
 
-// Reproduces cqac_lint's plain-program mode: recovered parse errors come out
-// as P001 lines, then the lint diagnostics, exactly as the CLI renders them
+// Lints a corpus file through the library entry point the CLI and the serve
+// `lint` op use (LintFileText: shell-script auto-detection, span remapping,
+// P001 parse recovery), rendering each diagnostic exactly as the CLI does
 // (minus the file-name prefix).
 std::vector<std::string> LintFileLines(const std::filesystem::path& path) {
   std::ifstream in(path);
   EXPECT_TRUE(in.good()) << path;
   std::ostringstream buf;
   buf << in.rdbuf();
-  ParsedProgram program = ParseProgramWithDiagnostics(buf.str());
   std::vector<std::string> lines;
-  for (const ParseDiagnostic& e : program.errors)
-    lines.push_back(
-        LintDiagnostic{"P001", LintSeverity::kError, e.span, 0, e.message}
-            .ToString());
-  for (const LintDiagnostic& d : LintProgram(program.rules))
+  for (const LintDiagnostic& d : LintFileText(buf.str()))
     lines.push_back(d.ToString());
   return lines;
 }
@@ -210,9 +206,9 @@ TEST(LintGoldenTest, CorpusMatchesExpectedOutput) {
         << "golden mismatch for " << entry.path();
     ++cases;
   }
-  // One corpus file per lint code, the parse-recovery case, and the clean
-  // program.
-  EXPECT_GE(cases, 14u);
+  // One corpus file per lint code, the parse-recovery case, the clean
+  // program, and the failing shell script (badscript).
+  EXPECT_GE(cases, 15u);
 }
 
 TEST(LintGoldenTest, EveryLintCodeHasACorpusFile) {

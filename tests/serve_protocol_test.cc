@@ -1,0 +1,348 @@
+// Transport-free serve tests: the JSON reader, the request envelope, and the
+// Service op layer (src/serve/service.cc) driven by direct Execute calls.
+// Socket-level behavior (framing, drain, cancellation, concurrency) lives in
+// serve_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/strings.h"
+#include "src/engine/context.h"
+#include "src/ir/json.h"
+#include "src/serve/json_value.h"
+#include "src/serve/protocol.h"
+#include "src/serve/service.h"
+
+namespace cqac {
+namespace serve {
+namespace {
+
+// ---- JSON reader ----------------------------------------------------------
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_EQ(ParseJson("42").value().number_value(), 42.0);
+  EXPECT_EQ(ParseJson("-2.5e2").value().number_value(), -250.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonValueTest, ParsesContainersAndKeepsObjectOrder) {
+  JsonValue v = ParseJson("{\"b\": [1, 2], \"a\": {\"x\": null}}").value();
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object_items().size(), 2u);
+  EXPECT_EQ(v.object_items()[0].first, "b");
+  EXPECT_EQ(v.object_items()[1].first, "a");
+  ASSERT_TRUE(v.Find("b")->is_array());
+  EXPECT_EQ(v.Find("b")->array_items().size(), 2u);
+  EXPECT_TRUE(v.Find("a")->Find("x")->is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DuplicateKeysResolveToFirst) {
+  JsonValue v = ParseJson("{\"k\": 1, \"k\": 2}").value();
+  EXPECT_EQ(v.Find("k")->number_value(), 1.0);
+}
+
+TEST(JsonValueTest, DecodesEscapes) {
+  JsonValue v = ParseJson("\"a\\n\\t\\\"\\\\\\/b\"").value();
+  EXPECT_EQ(v.string_value(), "a\n\t\"\\/b");
+  // \u escapes decode to UTF-8, including surrogate pairs.
+  EXPECT_EQ(ParseJson("\"\\u0041\"").value().string_value(), "A");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"").value().string_value(), "\xc3\xa9");
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").value().string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());         // trailing input
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());  // trailing comma
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("\"\\q\"").ok());        // unknown escape
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());    // unpaired surrogate
+  EXPECT_FALSE(ParseJson("\"raw\ntext\"").ok());  // raw control char
+  EXPECT_FALSE(ParseJson("01").ok());
+}
+
+TEST(JsonValueTest, RejectsHostileNestingDepth) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  Result<JsonValue> r = ParseJson(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // A depth inside the cap still parses.
+  std::string ok(32, '[');
+  ok += "1";
+  ok += std::string(32, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+// ---- request envelope -----------------------------------------------------
+
+TEST(ProtocolTest, EnvelopeDefaultsAndFields) {
+  Request req =
+      ParseRequestEnvelope(
+          ParseJson(
+              "{\"op\":\"ping\",\"session\":\"s1\",\"id\":7,"
+              "\"timeout_ms\":250,\"query\":\"q() :- r(X).\"}")
+              .value())
+          .value();
+  EXPECT_EQ(req.op, "ping");
+  EXPECT_EQ(req.session, "s1");
+  EXPECT_EQ(req.id_json, "7");
+  ASSERT_TRUE(req.timeout.has_value());
+  EXPECT_EQ(req.timeout->count(), 250);
+  EXPECT_EQ(req.GetString("query").value(), "q() :- r(X).");
+  EXPECT_FALSE(req.GetString("absent").ok());
+  EXPECT_EQ(req.GetStringOr("absent", "fb").value(), "fb");
+
+  Request bare = ParseRequestEnvelope(ParseJson("{\"op\":\"x\"}").value())
+                     .value();
+  EXPECT_EQ(bare.session, "default");
+  EXPECT_TRUE(bare.id_json.empty());
+  EXPECT_FALSE(bare.timeout.has_value());
+}
+
+TEST(ProtocolTest, EnvelopeRejectsBadShapes) {
+  auto reject = [](const std::string& text) {
+    Result<JsonValue> json = ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    EXPECT_FALSE(ParseRequestEnvelope(std::move(json).value()).ok()) << text;
+  };
+  reject("[1]");                                  // not an object
+  reject("{}");                                   // missing op
+  reject("{\"op\":3}");                           // op not a string
+  reject("{\"op\":\"x\",\"session\":1}");         // session not a string
+  reject("{\"op\":\"x\",\"id\":[1]}");            // id not scalar
+  reject("{\"op\":\"x\",\"timeout_ms\":-1}");     // negative timeout
+  reject("{\"op\":\"x\",\"timeout_ms\":\"5\"}");  // timeout not a number
+  reject("{\"op\":\"x\",\"timeout_ms\":1.5}");    // non-integer timeout
+}
+
+TEST(ProtocolTest, ResponseRendering) {
+  Request req = ParseRequestEnvelope(
+                    ParseJson("{\"op\":\"ping\",\"id\":\"a\"}").value())
+                    .value();
+  std::string out = BeginResponse(req);
+  JsonField(&out, "n", "3");
+  JsonClose(&out);
+  EXPECT_EQ(out, "{\"ok\":true,\"op\":\"ping\",\"id\":\"a\",\"n\":3}\n");
+
+  EXPECT_EQ(ErrorResponse(nullptr, ServeErrorCode::kParseError, "bad"),
+            "{\"ok\":false,\"error\":{\"code\":\"parse_error\","
+            "\"message\":\"bad\"}}\n");
+  std::string err =
+      ErrorResponse(req, Status::ResourceExhausted("deadline exceeded"));
+  EXPECT_NE(err.find("\"code\":\"resource_exhausted\""), std::string::npos);
+  EXPECT_NE(err.find("\"id\":\"a\""), std::string::npos);
+}
+
+TEST(ProtocolTest, ErrorCodeNamesAreStable) {
+  // Wire strings are API: clients switch on them.
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kParseError),
+               "parse_error");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kInvalidRequest),
+               "invalid_request");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kUnknownOp), "unknown_op");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kInconsistent),
+               "inconsistent");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kUnsupported),
+               "unsupported");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kTooLarge), "too_large");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kOverloaded),
+               "overloaded");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kShuttingDown),
+               "shutting_down");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kInternal), "internal");
+}
+
+// ---- Service op layer -----------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : service_(ctx_, ServiceOptions{}) {}
+
+  /// Runs one request line, expecting an "ok":true response.
+  std::string Ok(const std::string& line) {
+    std::string response = service_.Execute(line, &shutdown_);
+    EXPECT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+    return response;
+  }
+
+  /// Runs one request line, expecting a structured error with `code`.
+  std::string Err(const std::string& line, const std::string& code) {
+    std::string response = service_.Execute(line, &shutdown_);
+    EXPECT_EQ(response.rfind("{\"ok\":false", 0), 0u) << response;
+    EXPECT_NE(response.find(StrCat("\"code\":\"", code, "\"")),
+              std::string::npos)
+        << response;
+    return response;
+  }
+
+  EngineContext ctx_;
+  Service service_;
+  bool shutdown_ = false;
+};
+
+TEST_F(ServiceTest, PingEchoesIdAndOp) {
+  EXPECT_EQ(Ok("{\"op\":\"ping\",\"id\":9}"),
+            "{\"ok\":true,\"op\":\"ping\",\"id\":9}\n");
+}
+
+TEST_F(ServiceTest, ErrorLayersGetDistinctCodes) {
+  Err("this is not json", "parse_error");
+  Err("{\"op\":5}", "invalid_request");
+  Err("{\"op\":\"frobnicate\"}", "unknown_op");
+  Err("{\"op\":\"rewrite\"}", "invalid_argument");  // missing "query"
+  Err("{\"op\":\"view\",\"rule\":\"v1(X) :- r(X\"}", "invalid_argument");
+  Err("{\"op\":\"stats\",\"scope\":\"session\",\"session\":\"nope\"}",
+      "not_found");
+}
+
+TEST_F(ServiceTest, ViewRewriteEvalRoundTrip) {
+  Ok("{\"op\":\"view\",\"rule\":\"v1(Y, Z) :- r(X), s(Y, Z), Y <= X, "
+     "X <= Z.\"}");
+  Ok("{\"op\":\"view\",\"rule\":\"v2(Y, Z) :- r(X), s(Y, Z), Y <= X, "
+     "X < Z.\"}");
+  std::string rewrite =
+      Ok("{\"op\":\"rewrite\",\"query\":\"q1(A) :- r(A), A < 4.\"}");
+  EXPECT_NE(rewrite.find("\"kind\":\"mcr\""), std::string::npos) << rewrite;
+  Ok("{\"op\":\"fact\",\"facts\":\"r(2). s(2, 2). s(9, 9).\"}");
+  std::string answers =
+      Ok("{\"op\":\"answers\",\"query\":\"q1(A) :- r(A), A < 4.\"}");
+  EXPECT_NE(answers.find("\"tuples\":[[\"2\"]]"), std::string::npos)
+      << answers;
+}
+
+TEST_F(ServiceTest, SessionsIsolateViewsAndFacts) {
+  Ok("{\"op\":\"view\",\"session\":\"a\",\"rule\":\"v(X) :- r(X).\"}");
+  Ok("{\"op\":\"fact\",\"session\":\"a\",\"facts\":\"r(1).\"}");
+  // Session "b" starts empty: same eval sees no tuples, stats sees no views.
+  std::string eval_a =
+      Ok("{\"op\":\"eval\",\"session\":\"a\",\"query\":\"q(X) :- r(X).\"}");
+  EXPECT_NE(eval_a.find("\"count\":1"), std::string::npos) << eval_a;
+  std::string eval_b =
+      Ok("{\"op\":\"eval\",\"session\":\"b\",\"query\":\"q(X) :- r(X).\"}");
+  EXPECT_NE(eval_b.find("\"count\":0"), std::string::npos) << eval_b;
+
+  std::string stats =
+      Ok("{\"op\":\"stats\",\"scope\":\"session\",\"session\":\"a\"}");
+  EXPECT_NE(stats.find("\"views\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"facts\":1"), std::string::npos) << stats;
+
+  // reset drops exactly one session.
+  std::string reset = Ok("{\"op\":\"reset\",\"session\":\"a\"}");
+  EXPECT_NE(reset.find("\"existed\":true"), std::string::npos);
+  Err("{\"op\":\"stats\",\"scope\":\"session\",\"session\":\"a\"}",
+      "not_found");
+  Ok("{\"op\":\"stats\",\"scope\":\"session\",\"session\":\"b\"}");
+}
+
+TEST_F(ServiceTest, SessionStatsAttributeEngineWork) {
+  Ok("{\"op\":\"view\",\"session\":\"s\",\"rule\":\"v(X, Y) :- r(X, Y), "
+     "X < 5.\"}");
+  Ok("{\"op\":\"rewrite\",\"session\":\"s\",\"query\":\"q(X) :- r(X, Y), "
+     "X < 3.\"}");
+  std::string stats =
+      Ok("{\"op\":\"stats\",\"scope\":\"session\",\"session\":\"s\"}");
+  // The rewrite ran containment checks; its work lands on session "s".
+  EXPECT_EQ(stats.find("\"containment_calls\":0,"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"requests\":2"), std::string::npos) << stats;
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineSurfacesAsResourceExhausted) {
+  // The budget_deadline_test workload: mapping a 14-atom chain into a dense
+  // 4-node digraph enumerates millions of walks, none satisfying the
+  // trailing comparison. timeout_ms 0 (already expired) must abort promptly
+  // with the structured resource_exhausted error, and the next request must
+  // run with a fresh deadline (the per-request budget was restored).
+  std::string candidate =
+      "q(A) :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D), r(C,A), "
+      "r(D,B), r(B,A), r(D,C)";
+  std::string query = "q(X0) :- ";
+  for (int i = 0; i < 14; ++i)
+    query += StrCat(i ? ", " : "", "r(X", i, ", X", i + 1, ")");
+  query += ", X0 < X14";
+  Err(StrCat("{\"op\":\"contain\",\"timeout_ms\":0,\"query\":",
+             JsonQuote(query), ",\"candidate\":", JsonQuote(candidate), "}"),
+      "resource_exhausted");
+  EXPECT_GT(uint64_t{ctx_.stats().budget_exhaustions}, 0u);
+  Ok("{\"op\":\"ping\"}");
+  Ok("{\"op\":\"classify\",\"query\":\"q(X) :- r(X, Y), X < 3.\"}");
+}
+
+TEST_F(ServiceTest, LintReportsDiagnostics) {
+  std::string clean =
+      Ok("{\"op\":\"lint\",\"program\":\"q(X) :- r(X, Y), X < 3.\"}");
+  EXPECT_NE(clean.find("\"errors\":0"), std::string::npos) << clean;
+  std::string bad = Ok("{\"op\":\"lint\",\"program\":\"q(X) :- r(X.\"}");
+  EXPECT_NE(bad.find("\"code\":\"P001\""), std::string::npos) << bad;
+  EXPECT_NE(bad.find("\"max_severity\":\"error\""), std::string::npos) << bad;
+}
+
+TEST_F(ServiceTest, ShutdownSetsFlagAndResponds) {
+  std::string response = Ok("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(shutdown_);
+  EXPECT_NE(response.find("\"draining\":true"), std::string::npos);
+}
+
+TEST_F(ServiceTest, MaxSessionsIsEnforced) {
+  ServiceOptions options;
+  options.max_sessions = 2;
+  Service small(ctx_, options);
+  bool shutdown = false;
+  auto view = [&](const std::string& session) {
+    return small.Execute(StrCat("{\"op\":\"view\",\"session\":\"", session,
+                                "\",\"rule\":\"v(X) :- r(X).\"}"),
+                         &shutdown);
+  };
+  EXPECT_EQ(view("a").rfind("{\"ok\":true", 0), 0u);
+  EXPECT_EQ(view("b").rfind("{\"ok\":true", 0), 0u);
+  std::string full = view("c");
+  EXPECT_NE(full.find("\"code\":\"resource_exhausted\""), std::string::npos)
+      << full;
+}
+
+TEST_F(ServiceTest, WarmupReplaysShellScripts) {
+  // The demo.cqac shape: views + facts + a rewrite against the current
+  // query; shell-only commands are counted but ignored.
+  Result<WarmupSummary> warm = service_.Warmup(
+      "% comment\n"
+      "view v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.\n"
+      "view v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z.\n"
+      "query q1(A) :- r(A), A < 4.\n"
+      "classify\n"
+      "rewrite\n"
+      "fact r(2).\n"
+      "help\n");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm.value().views, 2u);
+  EXPECT_EQ(warm.value().facts, 1u);
+  EXPECT_EQ(warm.value().rewrites, 1u);
+  EXPECT_EQ(warm.value().ignored, 2u);  // classify, help
+
+  // The warm-up populated the default session and primed the cache: the
+  // same rewrite now hits the memoized containment decisions.
+  StatsSnapshot before = ctx_.stats().Snapshot();
+  Ok("{\"op\":\"rewrite\",\"query\":\"q1(A) :- r(A), A < 4.\"}");
+  StatsSnapshot delta = ctx_.stats().Snapshot() - before;
+  EXPECT_GT(delta.containment_cache_hits, 0u);
+  EXPECT_EQ(delta.containment_cache_misses, 0u);
+
+  EXPECT_FALSE(service_.Warmup("view broken( :- r(X).\n").ok());
+  EXPECT_FALSE(service_.Warmup("rewrite\n").ok());  // no current query
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cqac

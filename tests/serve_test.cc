@@ -1,0 +1,343 @@
+// Socket-level tests for the cqac_serve server (src/serve/server.h): framing
+// and error codes over a real loopback connection, graceful drain, in-flight
+// cancellation on client disconnect, and the determinism guarantees — serve
+// responses byte-identical to direct library calls, and concurrent clients
+// byte-identical to a serial replay.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/base/task_pool.h"
+#include "src/ir/json.h"
+#include "src/ir/parser.h"
+#include "src/ir/view.h"
+#include "src/rewriting/rewrite_lsi.h"
+#include "src/serve/json_value.h"
+#include "src/serve/server.h"
+
+namespace cqac {
+namespace serve {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// A blocking line-oriented loopback client.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one response line; empty string on EOF.
+  std::string RecvLine() {
+    size_t pos;
+    while ((pos = acc_.find('\n')) == std::string::npos) {
+      char buf[4096];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      acc_.append(buf, static_cast<size_t>(n));
+    }
+    std::string line = acc_.substr(0, pos);
+    acc_.erase(0, pos + 1);
+    return line;
+  }
+
+  std::string RoundTrip(const std::string& line) {
+    EXPECT_TRUE(SendLine(line));
+    return RecvLine();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string acc_;
+};
+
+/// Extracts a string field from a response line via the serve JSON reader.
+std::string Field(const std::string& response, const std::string& key) {
+  Result<JsonValue> json = ParseJson(response);
+  if (!json.ok()) return "";
+  const JsonValue* v = json.value().Find(key);
+  return v != nullptr && v->is_string() ? v->string_value() : "";
+}
+
+TEST(ServeTest, LoopbackRoundTrips) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\",\"id\":1}"),
+            "{\"ok\":true,\"op\":\"ping\",\"id\":1}");
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"view\",\"rule\":\"v1(X, Y) :- "
+                             "r(X, Y), X < 5.\"}"),
+            "{\"ok\":true,\"op\":\"view\",\"view\":\"v1(X, Y) :- r(X, Y), "
+            "X < 5\",\"views\":1}");
+  std::string rewrite = client.RoundTrip(
+      "{\"op\":\"rewrite\",\"query\":\"q(X) :- r(X, Y), X < 3.\"}");
+  EXPECT_EQ(rewrite.rfind("{\"ok\":true,\"op\":\"rewrite\"", 0), 0u)
+      << rewrite;
+  EXPECT_EQ(Field(rewrite, "text"), "q(X) :- v1(X, Y), X < 3");
+}
+
+TEST(ServeTest, MalformedAndOversizedRequestsGetStructuredErrors) {
+  ServerOptions options;
+  options.max_request_bytes = 64;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient bad(server.port());
+  std::string parse_error = bad.RoundTrip("this is not json");
+  EXPECT_NE(parse_error.find("\"code\":\"parse_error\""), std::string::npos)
+      << parse_error;
+  // The connection survives a parse error.
+  EXPECT_EQ(bad.RoundTrip("{\"op\":\"ping\"}"), "{\"ok\":true,\"op\":\"ping\"}");
+
+  // An oversized line is answered with too_large, then the connection is
+  // closed (framing past the cap is unrecoverable).
+  TestClient big(server.port());
+  std::string oversized(100, 'x');
+  std::string too_large = big.RoundTrip(oversized);
+  EXPECT_NE(too_large.find("\"code\":\"too_large\""), std::string::npos)
+      << too_large;
+  EXPECT_EQ(big.RecvLine(), "");  // EOF: server closed the connection
+}
+
+TEST(ServeTest, ExpiredDeadlineOverTheWire) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // budget_deadline_test's adversarial containment instance with an
+  // already-expired deadline: the structured error must come back promptly
+  // and the server must stay healthy for the next request.
+  std::string candidate =
+      "q(A) :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D), r(C,A), "
+      "r(D,B), r(B,A), r(D,C)";
+  std::string query = "q(X0) :- ";
+  for (int i = 0; i < 14; ++i)
+    query += StrCat(i ? ", " : "", "r(X", i, ", X", i + 1, ")");
+  query += ", X0 < X14";
+
+  TestClient client(server.port());
+  auto start = steady_clock::now();
+  std::string response = client.RoundTrip(
+      StrCat("{\"op\":\"contain\",\"timeout_ms\":0,\"query\":",
+             JsonQuote(query), ",\"candidate\":", JsonQuote(candidate), "}"));
+  auto elapsed = steady_clock::now() - start;
+  EXPECT_NE(response.find("\"code\":\"resource_exhausted\""),
+            std::string::npos)
+      << response;
+  EXPECT_LT(elapsed, milliseconds(5000));
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"ping\"}"),
+            "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST(ServeTest, RewriteMatchesDirectLibraryCallByteForByte) {
+  // The demo.cqac workload: serve's rewrite "text" must be exactly the
+  // UnionQuery::ToString() a direct library call (and hence cqac_shell)
+  // produces.
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string v1 = "v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.";
+  const std::string v2 = "v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z.";
+  const std::string q1 = "q1(A) :- r(A), A < 4.";
+
+  TestClient client(server.port());
+  client.RoundTrip(StrCat("{\"op\":\"view\",\"rule\":", JsonQuote(v1), "}"));
+  client.RoundTrip(StrCat("{\"op\":\"view\",\"rule\":", JsonQuote(v2), "}"));
+  std::string response = client.RoundTrip(
+      StrCat("{\"op\":\"rewrite\",\"query\":", JsonQuote(q1), "}"));
+
+  EngineContext ctx;
+  ViewSet views;
+  ASSERT_TRUE(views.Add(MustParseQuery(v1)).ok());
+  ASSERT_TRUE(views.Add(MustParseQuery(v2)).ok());
+  Result<UnionQuery> expected =
+      RewriteLsiQuery(ctx, MustParseQuery(q1), views);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_FALSE(expected.value().empty());
+  EXPECT_EQ(Field(response, "text"), expected.value().ToString());
+}
+
+TEST(ServeTest, ConcurrentClientsMatchSerialReplayByteForByte) {
+  // Eight clients, each in its own session, each running the same request
+  // program. Requests are serialized on the engine thread and sessions are
+  // isolated, so every client must receive exactly the byte sequence a
+  // serial single-client replay produces — and zero protocol errors.
+  TaskPool pool(4);
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto program = [](const std::string& session) {
+    std::vector<std::string> lines;
+    auto add = [&](const std::string& body) {
+      lines.push_back(
+          StrCat("{\"op\":\"", body, ",\"session\":\"", session, "\"}"));
+    };
+    add("view\",\"rule\":\"v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.\"");
+    add("view\",\"rule\":\"v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z.\"");
+    add("classify\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("rewrite\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("fact\",\"facts\":\"r(2). s(2, 2). s(9, 9). s(1, 5).\"");
+    add("answers\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("contain\",\"query\":\"q1(A) :- r(A), A < 4.\","
+        "\"candidate\":\"p(A) :- v1(A, A), A < 4\"");
+    return lines;
+  };
+
+  // Serial baseline in session "serial". Responses only differ across
+  // sessions in the echoed envelope, which session-independent bodies keep
+  // identical — the program carries no "id" and no session-named fields.
+  std::vector<std::string> baseline;
+  {
+    TestClient client(server.port());
+    for (const std::string& line : program("serial"))
+      baseline.push_back(client.RoundTrip(line));
+  }
+  for (const std::string& response : baseline)
+    EXPECT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server.port());
+      for (const std::string& line : program(StrCat("client", c)))
+        got[c].push_back(client.RoundTrip(line));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i)
+      EXPECT_EQ(got[c][i], baseline[i]) << "client " << c << " request " << i;
+  }
+}
+
+TEST(ServeTest, ClientDisconnectCancelsInFlightRequest) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Park an adversarial containment on the engine thread with a generous
+  // deadline, then vanish. The reader thread must flag cancellation, the
+  // engine must abandon the request at the next checkpoint, and a new
+  // client's ping must answer long before the 20s deadline would expire.
+  std::string candidate =
+      "q(A) :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D), r(C,A), "
+      "r(D,B), r(B,A), r(D,C)";
+  std::string query = "q(X0) :- ";
+  for (int i = 0; i < 14; ++i)
+    query += StrCat(i ? ", " : "", "r(X", i, ", X", i + 1, ")");
+  query += ", X0 < X14";
+
+  TestClient doomed(server.port());
+  EXPECT_EQ(doomed.RoundTrip("{\"op\":\"ping\"}"),
+            "{\"ok\":true,\"op\":\"ping\"}");
+  EXPECT_TRUE(doomed.SendLine(
+      StrCat("{\"op\":\"contain\",\"timeout_ms\":20000,\"query\":",
+             JsonQuote(query), ",\"candidate\":", JsonQuote(candidate),
+             "}")));
+  // Give the engine thread time to dequeue the request (it is idle, so this
+  // is ample), then disconnect without reading the answer.
+  std::this_thread::sleep_for(milliseconds(300));
+  doomed.Close();
+
+  TestClient next(server.port());
+  auto start = steady_clock::now();
+  EXPECT_EQ(next.RoundTrip("{\"op\":\"ping\"}"),
+            "{\"ok\":true,\"op\":\"ping\"}");
+  EXPECT_LT(steady_clock::now() - start, milliseconds(10000))
+      << "disconnect did not cancel the in-flight request";
+}
+
+TEST(ServeTest, ShutdownOpDrainsGracefully) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  TestClient client(port);
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"shutdown\"}"),
+            "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}");
+  server.Wait();
+  server.Stop();
+
+  // The listener is gone: a fresh connection must be refused.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_NE(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
+TEST(ServeTest, WarmupPrimesTheSharedCache) {
+  Server server(ServerOptions{});
+  Result<WarmupSummary> warm = server.Warmup(
+      "view v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.\n"
+      "view v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z.\n"
+      "query q1(A) :- r(A), A < 4.\n"
+      "rewrite\n");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm.value().views, 2u);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  StatsSnapshot before = server.context().stats().Snapshot();
+  std::string response = client.RoundTrip(
+      "{\"op\":\"rewrite\",\"query\":\"q1(A) :- r(A), A < 4.\"}");
+  EXPECT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+  StatsSnapshot delta = server.context().stats().Snapshot() - before;
+  EXPECT_GT(delta.containment_cache_hits, 0u);
+  EXPECT_EQ(delta.containment_cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cqac

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Lint every fenced ```cqac example in the docs.
+
+Extracts each fenced code block tagged `cqac` from README.md,
+docs/TUTORIAL.md, and docs/SYNTAX.md, writes it to a temp file, and runs
+`cqac_lint` over it. A documentation example must lint clean (exit 0 —
+informational notes are fine; warnings and errors are not): the docs
+promise the reader working input, so a broken example is a docs bug.
+
+Usage: check_docs_examples.py /path/to/cqac_lint
+
+Exit status: 0 if every block lints clean, 1 if any fails or no blocks
+were found (an empty sweep would hide a tagging regression), 2 on usage
+errors. No third-party dependencies.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FENCE_OPEN_RE = re.compile(r"^```(\w*)\s*$")
+
+DOC_FILES = ["README.md", "docs/TUTORIAL.md", "docs/SYNTAX.md"]
+
+
+def extract_blocks(path: Path):
+    """Yields (first_line_number, text) for each ```cqac fenced block."""
+    lang = None
+    start = 0
+    buf = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        m = FENCE_OPEN_RE.match(line)
+        if lang is None:
+            if m:
+                lang = m.group(1)
+                start = lineno + 1
+                buf = []
+        elif line.strip() == "```":
+            if lang == "cqac":
+                yield start, "\n".join(buf) + "\n"
+            lang = None
+        else:
+            buf.append(line)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    linter = Path(sys.argv[1])
+    if not linter.exists():
+        print(f"check_docs_examples: no such linter: {linter}",
+              file=sys.stderr)
+        return 2
+    root = Path(__file__).resolve().parent.parent
+    checked = 0
+    failures = 0
+    for rel in DOC_FILES:
+        doc = root / rel
+        for lineno, text in extract_blocks(doc):
+            checked += 1
+            with tempfile.NamedTemporaryFile(
+                    mode="w", suffix=".cqac", delete=False) as tmp:
+                tmp.write(text)
+                tmp_path = tmp.name
+            proc = subprocess.run([str(linter), tmp_path],
+                                  capture_output=True, text=True)
+            Path(tmp_path).unlink()
+            if proc.returncode != 0:
+                failures += 1
+                print(f"{rel}:{lineno}: cqac example fails lint "
+                      f"(exit {proc.returncode}):")
+                for out_line in (proc.stdout + proc.stderr).splitlines():
+                    print(f"  {out_line}")
+    print(f"check_docs_examples: {checked} block(s) checked, "
+          f"{failures} failure(s)")
+    if checked == 0:
+        print("check_docs_examples: no ```cqac blocks found — "
+              "tagging regression?", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Link-check the Markdown docs.
+
+Scans README.md and docs/*.md for Markdown links and verifies that
+
+  * every relative link resolves to an existing file (or directory), and
+  * every fragment (`file.md#anchor`, or `#anchor` within the same file)
+    names a heading that actually exists in the target, using GitHub's
+    heading-to-anchor slug rules.
+
+External links (http/https/mailto) are not fetched — the docs are meant
+to be readable offline, so anything load-bearing must be in-repo anyway.
+
+Exit status: 0 if every link checks out, 1 otherwise (each problem is
+reported as `file:line: message`). No third-party dependencies.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — skip images' leading `!`, tolerate titles after a space.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: strip markup, lowercase, drop punctuation
+    (keeping word characters, spaces, and hyphens), then spaces→hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"\*", "", text)                        # emphasis (`_` in
+    # identifiers like cqac_shell survives into GitHub anchors, so only `*`
+    # markers are stripped here)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    """All valid fragment anchors in `path` (headings + explicit ids)."""
+    if path in cache:
+        return cache[path]
+    slugs = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> list:
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            base, _, fragment = target.partition("#")
+            dest = path if not base else (path.parent / base).resolve()
+            where = f"{path.relative_to(root)}:{lineno}"
+            if base and not dest.exists():
+                problems.append(f"{where}: broken link '{target}' "
+                                f"(no such file {base})")
+                continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors only checked inside Markdown
+                if fragment not in anchors_of(dest):
+                    problems.append(f"{where}: broken anchor '{target}' "
+                                    f"(no heading '#{fragment}' in "
+                                    f"{dest.relative_to(root)})")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems = []
+    for f in files:
+        problems.extend(check_file(f, root))
+    for p in problems:
+        print(p)
+    print(f"check_docs_links: {len(files)} files, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+// cqac_client — a line-oriented client for cqac_serve.
+//
+// Usage:
+//   cqac_client --port N [--host H] [--check] [file | -]
+//
+// Reads request lines (one JSON object per line; blank lines and lines
+// starting with '#' are skipped) from the file or stdin, sends each to the
+// server in strict request/response lockstep, and prints each response line
+// to stdout. With --check, exits 1 if any response carries "ok":false
+// (otherwise the exit status only reflects transport failures).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cqac {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cqac_client --port N [--host H] [--check] [file | -]\n");
+  return 3;
+}
+
+/// Connects to host:port; returns the socket fd or -1.
+int Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line into *line (newline stripped); `acc`
+/// carries bytes read past the previous line.
+bool RecvLine(int fd, std::string* acc, std::string* line) {
+  size_t pos;
+  while ((pos = acc->find('\n')) == std::string::npos) {
+    char buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    acc->append(buf, static_cast<size_t>(n));
+  }
+  *line = acc->substr(0, pos);
+  acc->erase(0, pos + 1);
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string input = "-";
+  uint16_t port = 0;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--port") {
+      if (i + 1 >= argc) return Usage();
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n == 0 || n > 65535)
+        return Usage();
+      port = static_cast<uint16_t>(n);
+    } else if (arg == "--host") {
+      if (i + 1 >= argc) return Usage();
+      host = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "-" || arg[0] != '-') {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "cqac_client: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (port == 0) return Usage();
+
+  std::string text;
+  if (input == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "cqac_client: cannot open %s\n", input.c_str());
+      return 3;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  int fd = Connect(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cqac_client: cannot connect to %s:%u\n",
+                 host.c_str(), static_cast<unsigned>(port));
+    return 2;
+  }
+
+  int rc = 0;
+  std::string acc;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::string response;
+    if (!SendAll(fd, line + "\n") || !RecvLine(fd, &acc, &response)) {
+      std::fprintf(stderr, "cqac_client: connection lost\n");
+      ::close(fd);
+      return 2;
+    }
+    std::printf("%s\n", response.c_str());
+    if (check && response.rfind("{\"ok\":false", 0) == 0) rc = 1;
+  }
+  ::close(fd);
+  return rc;
+}
+
+}  // namespace
+}  // namespace cqac
+
+int main(int argc, char** argv) { return cqac::Run(argc, argv); }

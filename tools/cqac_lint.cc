@@ -29,111 +29,10 @@
 namespace cqac {
 namespace {
 
-// Codes outside the L-registry used for parse failures.
-constexpr char kParseCode[] = "P001";
-
 struct FileDiagnostic {
   std::string file;
   LintDiagnostic diag;
 };
-
-// ---- shell-script detection and extraction --------------------------------
-
-const char* const kShellCommands[] = {
-    "view",     "query", "fact",      "classify", "rewrite", "er",
-    "minimize", "eval",  "answers",   "contained", "explain", "intervals",
-    "stats",    "reset", "help"};
-
-bool IsShellCommandWord(const std::string& word) {
-  for (const char* cmd : kShellCommands)
-    if (word == cmd) return true;
-  return false;
-}
-
-// A cqac_shell script's first effective line starts with a command word; a
-// plain program's starts with a rule head (`p(...) :- ...`).
-bool LooksLikeShellScript(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
-    size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '%') continue;
-    size_t end = line.find_first_of(" \t\r", start);
-    std::string word = line.substr(
-        start, end == std::string::npos ? std::string::npos : end - start);
-    return IsShellCommandWord(word);
-  }
-  return false;
-}
-
-// Shifts a single-line span parsed from a line fragment back to its position
-// in the whole file: the fragment starts at 1-based column `col0` of line
-// `line_no`.
-SourceSpan Remap(SourceSpan span, int line_no, int col0) {
-  if (!span.valid()) return span;
-  span.begin.line = line_no;
-  span.begin.col += col0 - 1;
-  if (span.end.valid()) {
-    span.end.line = line_no;
-    span.end.col += col0 - 1;
-  }
-  return span;
-}
-
-// ---- linting one input ----------------------------------------------------
-
-void LintPlainText(const std::string& file, const std::string& text,
-                   const LintOptions& options,
-                   std::vector<FileDiagnostic>* out) {
-  ParsedProgram program = ParseProgramWithDiagnostics(text);
-  for (const ParseDiagnostic& e : program.errors)
-    out->push_back({file,
-                    {kParseCode, LintSeverity::kError, e.span, 0, e.message}});
-  for (const LintDiagnostic& d : LintProgram(program.rules, options))
-    out->push_back({file, d});
-}
-
-void LintShellScript(const std::string& file, const std::string& text,
-                     const LintOptions& options,
-                     std::vector<FileDiagnostic>* out) {
-  std::vector<ParsedQuery> rules;
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '%') continue;
-    size_t end = line.find_first_of(" \t\r", start);
-    if (end == std::string::npos) continue;  // no-argument command
-    std::string word = line.substr(start, end - start);
-    if (word != "view" && word != "query" && word != "fact" &&
-        word != "contained" && word != "explain")
-      continue;  // not a rule-carrying command
-    size_t rule_start = line.find_first_not_of(" \t\r", end);
-    if (rule_start == std::string::npos) continue;
-    std::string rule_text = line.substr(rule_start);
-    int col0 = static_cast<int>(rule_start) + 1;
-    ParsedProgram parsed = ParseProgramWithDiagnostics(rule_text);
-    for (const ParseDiagnostic& e : parsed.errors)
-      out->push_back({file,
-                      {kParseCode, LintSeverity::kError,
-                       Remap(e.span, line_no, col0), 0, e.message}});
-    for (ParsedQuery& pq : parsed.rules) {
-      QuerySourceInfo& info = pq.info;
-      info.rule = Remap(info.rule, line_no, col0);
-      info.head = Remap(info.head, line_no, col0);
-      for (SourceSpan& s : info.body) s = Remap(s, line_no, col0);
-      for (SourceSpan& s : info.comparisons) s = Remap(s, line_no, col0);
-      for (SourceSpan& s : info.var_first_use) s = Remap(s, line_no, col0);
-      rules.push_back(std::move(pq));
-    }
-  }
-  // Spans were remapped before linting, so diagnostics come out already
-  // pointing at the right file positions.
-  for (const LintDiagnostic& d : LintProgram(rules, options))
-    out->push_back({file, d});
-}
 
 // ---- output ---------------------------------------------------------------
 
@@ -182,7 +81,7 @@ void ListChecks() {
   for (const LintCheckInfo& c : LintChecks())
     std::printf("%s  %-7s  %s\n", c.code, LintSeverityName(c.severity),
                 c.summary);
-  std::printf("%s  %-7s  %s\n", kParseCode, "error",
+  std::printf("%s  %-7s  %s\n", kLintParseCode, "error",
               "parse error (reported with recovery: every error in the "
               "file, not just the first)");
 }
@@ -261,10 +160,10 @@ int Run(int argc, char** argv) {
   TaskPool pool(threads);
   std::vector<std::vector<FileDiagnostic>> per_file(files.size());
   pool.ParallelFor(files.size(), [&](size_t i) {
-    if (LooksLikeShellScript(texts[i]))
-      LintShellScript(names[i], texts[i], options, &per_file[i]);
-    else
-      LintPlainText(names[i], texts[i], options, &per_file[i]);
+    // Shell-script auto-detection and span remapping live in the library
+    // (LintFileText), shared with the serve `lint` op and the test corpus.
+    for (LintDiagnostic& d : LintFileText(texts[i], options))
+      per_file[i].push_back({names[i], std::move(d)});
   });
   std::vector<FileDiagnostic> diags;
   for (std::vector<FileDiagnostic>& fd : per_file)

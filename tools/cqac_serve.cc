@@ -1,0 +1,171 @@
+// cqac_serve — a long-lived rewriting server.
+//
+// Speaks the newline-delimited JSON protocol documented in docs/serve.md on
+// a plain TCP socket bound to 127.0.0.1. One shared EngineContext (interner
+// + containment cache) is reused across every request, so repeated queries
+// against the same view set answer from warm state; per-session view
+// registries and databases isolate concurrent clients' definitions.
+//
+// Usage:
+//   cqac_serve [--port N] [--threads N] [--warmup FILE]
+//              [--default-timeout-ms N] [--max-timeout-ms N]
+//              [--max-queue N] [--max-request-bytes N] [--max-sessions N]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// printed as the first stdout line:  cqac_serve listening on 127.0.0.1:PORT
+//
+// Shutdown: SIGTERM / SIGINT or a `{"op":"shutdown"}` request drains
+// gracefully — the listener closes, queued requests are answered, then the
+// process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/base/task_pool.h"
+#include "src/serve/server.h"
+
+namespace cqac {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cqac_serve [--port N] [--threads N] [--warmup FILE]\n"
+      "                  [--default-timeout-ms N] [--max-timeout-ms N]\n"
+      "                  [--max-queue N] [--max-request-bytes N]\n"
+      "                  [--max-sessions N]\n");
+  return 3;
+}
+
+bool ParseSize(const char* text, size_t* out) {
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  serve::ServerOptions options;
+  size_t threads = 0;
+  std::string warmup_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    size_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n) || n > 65535) return Usage();
+      options.port = static_cast<uint16_t>(n);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n)) return Usage();
+      threads = n;
+    } else if (arg == "--warmup") {
+      const char* v = next();
+      if (!v) return Usage();
+      warmup_file = v;
+    } else if (arg == "--default-timeout-ms") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n)) return Usage();
+      options.service.default_timeout = std::chrono::milliseconds(n);
+    } else if (arg == "--max-timeout-ms") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n)) return Usage();
+      options.service.max_timeout = std::chrono::milliseconds(n);
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n) || n == 0) return Usage();
+      options.max_queue = n;
+    } else if (arg == "--max-request-bytes") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n) || n == 0) return Usage();
+      options.max_request_bytes = n;
+    } else if (arg == "--max-sessions") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n) || n == 0) return Usage();
+      options.service.max_sessions = n;
+    } else {
+      std::fprintf(stderr, "cqac_serve: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  // Block the termination signals in every thread; a dedicated watcher
+  // receives them via sigwait and triggers the graceful drain.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  TaskPool pool(threads);
+  options.pool = &pool;
+  serve::Server server(std::move(options));
+
+  if (!warmup_file.empty()) {
+    std::ifstream in(warmup_file);
+    if (!in) {
+      std::fprintf(stderr, "cqac_serve: cannot open warmup file %s\n",
+                   warmup_file.c_str());
+      return 3;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<serve::WarmupSummary> warm = server.Warmup(buf.str());
+    if (!warm.ok()) {
+      std::fprintf(stderr, "cqac_serve: warmup failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "cqac_serve: warmup %s\n",
+                 warm.value().ToString().c_str());
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cqac_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("cqac_serve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::atomic<bool> watcher_exit{false};
+  std::thread watcher([&] {
+    while (true) {
+      int sig = 0;
+      if (sigwait(&sigs, &sig) != 0) return;
+      if (watcher_exit.load(std::memory_order_acquire)) return;
+      std::fprintf(stderr, "cqac_serve: signal %d, draining\n", sig);
+      server.RequestDrain();
+    }
+  });
+
+  server.Wait();
+  watcher_exit.store(true, std::memory_order_release);
+  // Unblock the watcher's sigwait: the signal must be process-directed —
+  // raise() targets the calling thread, where SIGTERM is blocked and would
+  // just sit pending forever.
+  kill(getpid(), SIGTERM);
+  watcher.join();
+  server.Stop();
+  std::fprintf(stderr, "cqac_serve: drained, exiting\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cqac
+
+int main(int argc, char** argv) { return cqac::Run(argc, argv); }
