@@ -264,4 +264,4 @@ BENCHMARK(BM_ServeConcurrentClients)
 }  // namespace
 }  // namespace cqac
 
-CQAC_BENCHMARK_MAIN()
+CQAC_BENCHMARK_MAIN_WITH_JSON("serve")

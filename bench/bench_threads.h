@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/base/task_pool.h"
 #include "src/engine/context.h"
@@ -110,6 +112,30 @@ void RecordSpeedup(benchmark::State& state, Fn&& workload) {
   RecordParallelCounters(state, pctx);
 }
 
+// Injects `--benchmark_out=BENCH_<tag>.json --benchmark_out_format=json`
+// unless the caller already passed --benchmark_out, so binaries built with
+// CQAC_BENCHMARK_MAIN_WITH_JSON always leave a machine-readable result file
+// (the CI bench-smoke step uploads them as artifacts). Counters land in the
+// JSON verbatim, so speedup/maintained/etc. are diffable across runs.
+// Returns an argv whose storage outlives benchmark::Initialize (statics).
+inline char** InjectJsonOutFlag(const char* tag, int* argc, char** argv) {
+  static std::vector<std::string> owned;
+  static std::vector<char*> args;
+  bool has_out = false;
+  for (int i = 1; i < *argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  for (int i = 0; i < *argc; ++i) args.push_back(argv[i]);
+  if (!has_out) {
+    owned.reserve(2);
+    owned.push_back(std::string("--benchmark_out=BENCH_") + tag + ".json");
+    owned.push_back("--benchmark_out_format=json");
+    for (std::string& s : owned) args.push_back(s.data());
+  }
+  args.push_back(nullptr);
+  *argc = static_cast<int>(args.size()) - 1;
+  return args.data();
+}
+
 }  // namespace bench
 }  // namespace cqac
 
@@ -118,6 +144,20 @@ void RecordSpeedup(benchmark::State& state, Fn&& workload) {
     cqac::bench::StripThreadsFlag(&argc, argv);                     \
     benchmark::Initialize(&argc, argv);                             \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                            \
+    benchmark::Shutdown();                                          \
+    return 0;                                                       \
+  }
+
+// Like CQAC_BENCHMARK_MAIN, but the run also writes BENCH_<tag>.json to the
+// working directory (google-benchmark's JSON reporter; console output is
+// unchanged).
+#define CQAC_BENCHMARK_MAIN_WITH_JSON(tag)                          \
+  int main(int argc, char** argv) {                                 \
+    cqac::bench::StripThreadsFlag(&argc, argv);                     \
+    char** args = cqac::bench::InjectJsonOutFlag(tag, &argc, argv); \
+    benchmark::Initialize(&argc, args);                             \
+    if (benchmark::ReportUnrecognizedArguments(argc, args)) return 1; \
     benchmark::RunSpecifiedBenchmarks();                            \
     benchmark::Shutdown();                                          \
     return 0;                                                       \

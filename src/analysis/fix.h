@@ -1,0 +1,56 @@
+// Autofixes for the mechanical lint codes (cqac_lint --fix):
+//
+//   L010  comparisons force two terms equal       -> substitute and clean up
+//   L008  duplicate subgoal                       -> drop the later copy
+//   L006  comparison implied by the remaining ones -> drop it
+//
+// Fixes are applied greedily to a fixpoint, one rewrite at a time, in the
+// order L010 -> L008 -> L006: substitution (L010) routinely *creates*
+// duplicate subgoals and redundant comparisons, which the later passes then
+// remove. Every individual rewrite preserves logical equivalence, so the
+// fixed rule denotes the same relation on every database.
+//
+// The fixer edits source text surgically: only the byte range of a rule that
+// actually changed is replaced (with the rule reserialized canonically);
+// comments, blank lines, terminators and everything around the rule are kept
+// verbatim. Shell scripts (view/query/fact/retract/contained/explain lines)
+// are fixed per line. Files with parse errors are returned unchanged —
+// fixing around unparsed text is not safe.
+#ifndef CQAC_ANALYSIS_FIX_H_
+#define CQAC_ANALYSIS_FIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/query.h"
+
+namespace cqac {
+
+/// One applied rewrite.
+struct FixEdit {
+  std::string code;     // "L006", "L008" or "L010"
+  int rule_index = 0;   // rule ordinal in the file (0-based)
+  std::string message;  // human-readable description of the rewrite
+
+  std::string ToString() const;
+};
+
+/// The outcome of fixing one file.
+struct FixResult {
+  std::string text;            // fixed text (== input when nothing applied)
+  std::vector<FixEdit> edits;  // applied rewrites, in application order
+
+  bool changed() const { return !edits.empty(); }
+};
+
+/// Applies every available autofix to one rule in place. Appends a FixEdit
+/// per rewrite. Returns true when anything changed.
+bool FixQuery(Query* q, int rule_index, std::vector<FixEdit>* edits);
+
+/// Fixes a whole file (plain rule program or cqac_shell script,
+/// auto-detected exactly like LintFileText).
+FixResult FixFileText(const std::string& text);
+
+}  // namespace cqac
+
+#endif  // CQAC_ANALYSIS_FIX_H_

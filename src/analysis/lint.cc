@@ -398,9 +398,9 @@ namespace {
 // Every cqac_shell command word (tools/cqac_shell.cc Dispatch), used for
 // script auto-detection.
 const char* const kShellCommands[] = {
-    "view",  "query",    "fact",      "classify", "rewrite",   "er",
-    "minimize", "eval",  "answers",   "contained", "explain",  "intervals",
-    "lint",  "verify",   "stats",     "reset",     "help"};
+    "view",  "query",    "fact",      "retract",   "classify", "rewrite",
+    "er",    "minimize", "eval",      "answers",   "contained", "explain",
+    "intervals", "lint", "verify",    "stats",     "reset",     "help"};
 
 bool IsShellCommandWord(const std::string& word) {
   for (const char* cmd : kShellCommands)
@@ -449,7 +449,7 @@ std::vector<LintDiagnostic> LintShellText(const std::string& text,
     if (end == std::string::npos) continue;  // no-argument command
     std::string word = line.substr(start, end - start);
     if (word != "view" && word != "query" && word != "fact" &&
-        word != "contained" && word != "explain")
+        word != "retract" && word != "contained" && word != "explain")
       continue;  // not a rule-carrying command
     size_t rule_start = line.find_first_not_of(" \t\r", end);
     if (rule_start == std::string::npos) continue;

@@ -49,6 +49,68 @@ Engine::Engine(const Program& program)
 Engine::Engine(std::vector<EngineRule> rules, std::string query_predicate)
     : rules_(std::move(rules)), query_predicate_(std::move(query_predicate)) {}
 
+namespace {
+
+// Instantiates the head of `er` (including Skolem terms) for one satisfying
+// body assignment.
+Status InstantiateHead(const EngineRule& er,
+                       const std::vector<std::optional<Value>>& binding,
+                       Tuple* head) {
+  head->clear();
+  head->reserve(er.rule.head().args.size());
+  for (const Term& t : er.rule.head().args) {
+    if (t.is_const()) {
+      head->push_back(t.value());
+      continue;
+    }
+    auto sk = er.skolems.find(t.var());
+    if (sk != er.skolems.end()) {
+      std::vector<std::string> parts;
+      for (int arg : sk->second.arg_vars) {
+        if (!binding[arg].has_value())
+          return Status::Internal("unbound skolem argument");
+        parts.push_back(binding[arg]->ToString());
+      }
+      head->push_back(
+          Value(StrCat("sk", sk->second.fn_id, "(", Join(parts, ","), ")")));
+      continue;
+    }
+    if (!binding[t.var()].has_value())
+      return Status::Internal("unbound head variable");
+    head->push_back(*binding[t.var()]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::set<std::string> Engine::IdbPredicates() const {
+  std::set<std::string> idb;
+  for (const EngineRule& er : rules_) idb.insert(er.rule.head().predicate);
+  return idb;
+}
+
+Status Engine::FireRule(
+    size_t rule_index, const std::vector<const Relation*>& relations,
+    FunctionRef<void(const std::string&, Tuple)> emit) const {
+  if (rule_index >= rules_.size())
+    return Status::InvalidArgument("rule index out of range");
+  const EngineRule& er = rules_[rule_index];
+  if (relations.size() != er.rule.body().size())
+    return Status::InvalidArgument(
+        "FireRule: one relation required per body atom");
+  Status fire_status = Status::OK();
+  JoinBody(er.rule, relations,
+           [&](const std::vector<std::optional<Value>>& binding) {
+             if (!fire_status.ok()) return;
+             Tuple head;
+             fire_status = InstantiateHead(er, binding, &head);
+             if (fire_status.ok())
+               emit(er.rule.head().predicate, std::move(head));
+           });
+  return fire_status;
+}
+
 Status Engine::ValidateRules() const {
   for (const EngineRule& er : rules_) {
     const Rule& r = er.rule;
@@ -93,28 +155,7 @@ Result<Database> Engine::Evaluate(const Database& edb,
                   const std::vector<std::optional<Value>>& binding,
                   std::map<std::string, Relation>* out) -> Status {
     Tuple head;
-    head.reserve(er.rule.head().args.size());
-    for (const Term& t : er.rule.head().args) {
-      if (t.is_const()) {
-        head.push_back(t.value());
-        continue;
-      }
-      auto sk = er.skolems.find(t.var());
-      if (sk != er.skolems.end()) {
-        std::vector<std::string> parts;
-        for (int arg : sk->second.arg_vars) {
-          if (!binding[arg].has_value())
-            return Status::Internal("unbound skolem argument");
-          parts.push_back(binding[arg]->ToString());
-        }
-        head.push_back(Value(
-            StrCat("sk", sk->second.fn_id, "(", Join(parts, ","), ")")));
-        continue;
-      }
-      if (!binding[t.var()].has_value())
-        return Status::Internal("unbound head variable");
-      head.push_back(*binding[t.var()]);
-    }
+    CQAC_RETURN_IF_ERROR(InstantiateHead(er, binding, &head));
     const std::string& pred = er.rule.head().predicate;
     if (!full[pred].count(head) && (*out)[pred].insert(std::move(head)).second)
       ++total;

@@ -28,7 +28,14 @@ namespace cqac {
   X(rewrite_verified_rejects)                                               \
   X(parallel_sections)                                                      \
   X(parallel_tasks)                                                         \
-  X(parallel_wall_ns)
+  X(parallel_wall_ns)                                                       \
+  X(ivm_applies)                                                            \
+  X(ivm_incremental_applies)                                                \
+  X(ivm_rebuild_fallbacks)                                                  \
+  X(ivm_base_delta_tuples)                                                  \
+  X(ivm_view_delta_tuples)                                                  \
+  X(ivm_overdeletions)                                                      \
+  X(ivm_rederivations)
 
 StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& o) const {
   StatsSnapshot d;
@@ -107,7 +114,14 @@ std::string EngineStats::ToString() const {
       uint64_t{rewrite_verified_rejects}, " verified rejects\n",
       "parallel: ", uint64_t{parallel_sections}, " sections, ",
       uint64_t{parallel_tasks}, " tasks, ",
-      uint64_t{parallel_wall_ns} / 1000000, " ms fan-out wall time");
+      uint64_t{parallel_wall_ns} / 1000000, " ms fan-out wall time\n",
+      "ivm: ", uint64_t{ivm_applies}, " applies (",
+      uint64_t{ivm_incremental_applies}, " incremental, ",
+      uint64_t{ivm_rebuild_fallbacks}, " rebuilds), ",
+      uint64_t{ivm_base_delta_tuples}, " base delta tuples, ",
+      uint64_t{ivm_view_delta_tuples}, " view delta tuples, ",
+      uint64_t{ivm_overdeletions}, " overdeletions, ",
+      uint64_t{ivm_rederivations}, " rederivations");
 }
 
 }  // namespace cqac

@@ -69,6 +69,13 @@ struct StatsSnapshot {
   uint64_t parallel_sections = 0;
   uint64_t parallel_tasks = 0;
   uint64_t parallel_wall_ns = 0;
+  uint64_t ivm_applies = 0;
+  uint64_t ivm_incremental_applies = 0;
+  uint64_t ivm_rebuild_fallbacks = 0;
+  uint64_t ivm_base_delta_tuples = 0;
+  uint64_t ivm_view_delta_tuples = 0;
+  uint64_t ivm_overdeletions = 0;
+  uint64_t ivm_rederivations = 0;
 
   /// Counter-wise difference (`after - before`). Counters only grow, so a
   /// later-minus-earlier snapshot of the same stats block never underflows.
@@ -121,6 +128,15 @@ struct EngineStats {
   StatCounter parallel_sections;
   StatCounter parallel_tasks;
   StatCounter parallel_wall_ns;  // wall-clock summed over sections
+
+  // Incremental view maintenance (src/ivm).
+  StatCounter ivm_applies;              // delta batches applied
+  StatCounter ivm_incremental_applies;  // ... maintained incrementally
+  StatCounter ivm_rebuild_fallbacks;    // ... that fell back to rebuild
+  StatCounter ivm_base_delta_tuples;    // base tuples inserted + retracted
+  StatCounter ivm_view_delta_tuples;    // view tuples added + removed
+  StatCounter ivm_overdeletions;        // DRed tuples speculatively deleted
+  StatCounter ivm_rederivations;        // DRed tuples rescued by re-derive
 
   void Reset();
 

@@ -18,6 +18,12 @@ Status Database::Insert(const std::string& predicate, Tuple tuple) {
   return Status::OK();
 }
 
+bool Database::Remove(const std::string& predicate, const Tuple& tuple) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second.erase(tuple) > 0;
+}
+
 const Relation& Database::Get(const std::string& predicate) const {
   auto it = relations_.find(predicate);
   return it == relations_.end() ? kEmpty : it->second;

@@ -32,6 +32,16 @@ class Database {
   /// Inserts `tuple` into relation `predicate`; enforces consistent arity.
   Status Insert(const std::string& predicate, Tuple tuple);
 
+  /// Removes `tuple` from relation `predicate`. Returns true when the tuple
+  /// was present. An emptied relation keeps its (empty) entry so arity
+  /// bookkeeping and iteration order stay stable.
+  bool Remove(const std::string& predicate, const Tuple& tuple);
+
+  /// True iff `tuple` is present in relation `predicate`.
+  bool Contains(const std::string& predicate, const Tuple& tuple) const {
+    return Get(predicate).count(tuple) > 0;
+  }
+
   /// Returns the relation for `predicate` (empty relation if absent).
   const Relation& Get(const std::string& predicate) const;
 

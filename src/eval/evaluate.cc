@@ -60,7 +60,7 @@ namespace {
 bool JoinBodyCore(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
-    FunctionRef<bool()> checkpoint) {
+    FunctionRef<bool()> checkpoint, const JoinIndexSource* ext = nullptr) {
   std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
   JoinIndexes indexes(relations);
   bool stop = false;
@@ -121,11 +121,15 @@ bool JoinBodyCore(
     };
 
     // Prefer an index probe on the first argument whose value is already
-    // determined; fall back to a full scan.
+    // determined (the caller's persistent index when it covers this atom,
+    // else the internal lazy one); fall back to a full scan.
     Value probe{0};
     for (size_t i = 0; i < atom.args.size(); ++i) {
       if (term_value(atom.args[i], &probe)) {
-        for (const Tuple* t : indexes.Probe(atom_idx, i, probe)) {
+        const std::vector<const Tuple*>* hits =
+            ext == nullptr ? nullptr : ext->Probe(atom_idx, i, probe);
+        if (hits == nullptr) hits = &indexes.Probe(atom_idx, i, probe);
+        for (const Tuple* t : *hits) {
           if (stop) return;
           try_tuple(*t);
         }
@@ -147,6 +151,13 @@ void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
   JoinBodyCore(q, relations, cb, [] { return true; });
+}
+
+bool JoinBodyAbortable(
+    const Query& q, const std::vector<const Relation*>& relations,
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
+    FunctionRef<bool()> checkpoint, const JoinIndexSource* indexes) {
+  return JoinBodyCore(q, relations, cb, checkpoint, indexes);
 }
 
 namespace {

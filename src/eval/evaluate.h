@@ -47,6 +47,22 @@ Result<Database> MaterializeViews(const ViewSet& views, const Database& db);
 Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
                                   const Database& db);
 
+/// Optional caller-owned column indexes for one JoinBody call. The join
+/// probes `Probe(atom, col, v)` for the tuples of body atom `atom` whose
+/// column `col` equals `v`; returning nullptr means this source carries no
+/// index for that (atom, col) and the join falls back to its internal lazy
+/// per-call index. A source that does cover an (atom, col) must return a
+/// (possibly empty) vector for *every* value, and the vectors must enumerate
+/// exactly the matching tuples of *relations[atom]. Lets long-lived callers
+/// (incremental view maintenance) amortize index construction across many
+/// joins instead of paying O(|relation|) per call.
+class JoinIndexSource {
+ public:
+  virtual ~JoinIndexSource() = default;
+  virtual const std::vector<const Tuple*>* Probe(size_t atom, size_t col,
+                                                 const Value& v) const = 0;
+};
+
 /// Low-level join used by the Datalog engine: evaluates `q`'s body where
 /// body atom i reads tuples from *relations[i] (so callers can point
 /// different atoms at full/delta relations). Comparisons of `q` filter
@@ -55,6 +71,16 @@ Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
 void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb);
+
+/// JoinBody with an abort checkpoint polled every few thousand candidate
+/// tuples. Returns false iff the checkpoint aborted the search (in which
+/// case `cb` may have seen only a prefix of the satisfying assignments).
+/// `indexes`, when non-null, serves column probes for the atoms it covers.
+bool JoinBodyAbortable(
+    const Query& q, const std::vector<const Relation*>& relations,
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
+    FunctionRef<bool()> checkpoint,
+    const JoinIndexSource* indexes = nullptr);
 
 }  // namespace cqac
 

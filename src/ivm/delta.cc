@@ -1,0 +1,56 @@
+#include "src/ivm/delta.h"
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace ivm {
+
+Status DeltaDatabase::CheckArity(const std::string& predicate,
+                                 const Tuple& tuple) const {
+  const Relation& rel = base_->Get(predicate);
+  if (!rel.empty() && rel.begin()->size() != tuple.size())
+    return Status::InvalidArgument(
+        StrCat("arity mismatch staging into '", predicate, "': got ",
+               tuple.size(), ", base relation has ", rel.begin()->size()));
+  return Status::OK();
+}
+
+Status DeltaDatabase::StageInsert(const std::string& predicate, Tuple tuple) {
+  CQAC_RETURN_IF_ERROR(CheckArity(predicate, tuple));
+  if (minus_.Remove(predicate, tuple)) return Status::OK();  // cancels retract
+  if (base_->Contains(predicate, tuple)) return Status::OK();
+  return plus_.Insert(predicate, std::move(tuple));
+}
+
+Status DeltaDatabase::StageRetract(const std::string& predicate, Tuple tuple) {
+  CQAC_RETURN_IF_ERROR(CheckArity(predicate, tuple));
+  if (plus_.Remove(predicate, tuple)) return Status::OK();  // cancels insert
+  if (!base_->Contains(predicate, tuple)) return Status::OK();
+  return minus_.Insert(predicate, std::move(tuple));
+}
+
+Status DeltaDatabase::StageInsertAll(const Database& facts) {
+  for (const auto& [pred, rel] : facts.relations())
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(StageInsert(pred, t));
+  return Status::OK();
+}
+
+Status DeltaDatabase::StageRetractAll(const Database& facts) {
+  for (const auto& [pred, rel] : facts.relations())
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(StageRetract(pred, t));
+  return Status::OK();
+}
+
+Status DeltaDatabase::CommitTo(Database* out) const {
+  for (const auto& [pred, rel] : minus_.relations())
+    for (const Tuple& t : rel)
+      if (!out->Remove(pred, t))
+        return Status::Internal(
+            StrCat("staged retraction of absent tuple in '", pred, "'"));
+  for (const auto& [pred, rel] : plus_.relations())
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(out->Insert(pred, t));
+  return Status::OK();
+}
+
+}  // namespace ivm
+}  // namespace cqac

@@ -1,0 +1,891 @@
+#include "src/ivm/maintain.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "src/base/strings.h"
+#include "src/base/task_pool.h"
+#include "src/engine/parallel.h"
+#include "src/eval/evaluate.h"
+
+namespace cqac {
+namespace ivm {
+
+namespace {
+
+/// Projects one satisfying binding onto q's head; false when some head
+/// variable is unbound (yields no tuple, mirroring EvaluateQuery).
+bool ProjectHead(const Query& q,
+                 const std::vector<std::optional<Value>>& binding,
+                 Tuple* head) {
+  head->clear();
+  head->reserve(q.head().args.size());
+  for (const Term& t : q.head().args) {
+    if (t.is_const()) {
+      head->push_back(t.value());
+    } else if (binding[t.var()].has_value()) {
+      head->push_back(*binding[t.var()]);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Adapts the persistent base indexes to one task's reordered body: delta
+/// positions carry no entry (nullptr — the join builds its internal lazy
+/// index over the tiny delta relation), base positions resolve probes
+/// straight from the maintained ColumnIndexes.
+class BaseIndexSource final : public JoinIndexSource {
+ public:
+  std::vector<const PredicateIndex*> per_atom;
+
+  const std::vector<const Tuple*>* Probe(size_t atom, size_t col,
+                                         const Value& v) const override {
+    if (atom >= per_atom.size() || per_atom[atom] == nullptr) return nullptr;
+    auto cit = per_atom[atom]->find(col);
+    if (cit == per_atom[atom]->end()) return nullptr;
+    auto hit = cit->second.find(v);
+    return hit == cit->second.end() ? &kNoHits : &hit->second;
+  }
+
+ private:
+  static const std::vector<const Tuple*> kNoHits;
+};
+
+const std::vector<const Tuple*> BaseIndexSource::kNoHits;
+
+bool ContainsIn(const std::map<std::string, Relation>& m, const std::string& p,
+                const Tuple& t) {
+  auto it = m.find(p);
+  return it != m.end() && it->second.count(t) > 0;
+}
+
+/// Counts tuples appearing on exactly one side, per predicate.
+void DiffTuples(const Database& before, const Database& after, size_t* added,
+                size_t* removed) {
+  std::set<std::string> preds;
+  for (const auto& [p, r] : before.relations()) preds.insert(p);
+  for (const auto& [p, r] : after.relations()) preds.insert(p);
+  for (const std::string& p : preds) {
+    const Relation& b = before.Get(p);
+    const Relation& a = after.Get(p);
+    for (const Tuple& t : a)
+      if (!b.count(t)) ++*added;
+    for (const Tuple& t : b)
+      if (!a.count(t)) ++*removed;
+  }
+}
+
+/// Work estimate for one delta phase of `q`: sum over pivot positions of
+/// |delta(pivot)| x product of the other body relations' sizes. Doubles so
+/// wide joins saturate gracefully instead of overflowing.
+double PivotEstimate(const Query& q, const Database& delta_side,
+                     FunctionRef<size_t(const std::string&)> rel_size) {
+  double total = 0;
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    size_t d = delta_side.Get(q.body()[i].predicate).size();
+    if (d == 0) continue;
+    double prod = static_cast<double>(d);
+    for (size_t j = 0; j < q.body().size(); ++j) {
+      if (j == i) continue;
+      prod *= static_cast<double>(
+          std::max<size_t>(1, rel_size(q.body()[j].predicate)));
+    }
+    total += prod;
+  }
+  return total;
+}
+
+/// Full-join estimate for `q`.
+double FullJoinEstimate(const Query& q,
+                        FunctionRef<size_t(const std::string&)> rel_size) {
+  double prod = 1;
+  for (const Atom& a : q.body())
+    prod *= static_cast<double>(std::max<size_t>(1, rel_size(a.predicate)));
+  return prod;
+}
+
+/// Work models for the counting maintainer, whose joins probe persistent
+/// base indexes. An incremental phase costs about one O(1) probe per delta
+/// tuple per body position, so it is linear in the delta; a rebuild's lazy
+/// per-join indexes make the full join roughly linear in its input
+/// relations. (Both models ignore output size, which the two paths share.)
+double IndexedDeltaEstimate(const Query& q, const Database& delta_side) {
+  double total = 0;
+  for (const Atom& a : q.body()) {
+    size_t d = delta_side.Get(a.predicate).size();
+    if (d > 0)
+      total += static_cast<double>(d) * static_cast<double>(q.body().size());
+  }
+  return total;
+}
+
+double IndexedRebuildEstimate(
+    const Query& q, FunctionRef<size_t(const std::string&)> rel_size) {
+  double total = 0;
+  for (const Atom& a : q.body())
+    total += static_cast<double>(rel_size(a.predicate));
+  return total;
+}
+
+Status BudgetExhausted(EngineContext& ctx) {
+  ++ctx.stats().budget_exhaustions;
+  return Status::ResourceExhausted("ivm maintenance exceeded the budget");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MaterializedViewSet
+// ---------------------------------------------------------------------------
+
+Status MaterializedViewSet::AddView(EngineContext& ctx, const Query& view) {
+  CQAC_RETURN_IF_ERROR(view.Validate());
+  for (const Query& q : view_queries_)
+    if (q.head().predicate == view.head().predicate)
+      return Status::InvalidArgument(StrCat("view '", view.head().predicate,
+                                            "' is already materialized"));
+  view_queries_.push_back(view);
+  counts_.emplace_back();
+  Status st = RebuildView(ctx, view_queries_.size() - 1);
+  if (!st.ok()) {
+    view_queries_.pop_back();
+    counts_.pop_back();
+  }
+  return st;
+}
+
+Status MaterializedViewSet::ResetViews(EngineContext& ctx,
+                                       const ViewSet& views) {
+  view_queries_.clear();
+  counts_.clear();
+  views_ = Database();
+  for (const Query& v : views.views()) CQAC_RETURN_IF_ERROR(AddView(ctx, v));
+  return Status::OK();
+}
+
+void MaterializedViewSet::Reset() {
+  base_ = Database();
+  views_ = Database();
+  view_queries_.clear();
+  counts_.clear();
+  base_index_.clear();
+  maintained_ = false;
+}
+
+Status MaterializedViewSet::RebuildView(EngineContext& ctx, size_t i) {
+  const Query& q = view_queries_[i];
+  std::vector<const Relation*> rels;
+  rels.reserve(q.body().size());
+  for (const Atom& a : q.body()) rels.push_back(&base_.Get(a.predicate));
+
+  CountMap counts;
+  Tuple head;
+  bool completed = JoinBodyAbortable(
+      q, rels,
+      [&](const std::vector<std::optional<Value>>& binding) {
+        if (ProjectHead(q, binding, &head)) ++counts[head];
+      },
+      [&ctx] { return !ctx.ShouldStop(); });
+  if (!completed) return BudgetExhausted(ctx);
+
+  counts_[i] = std::move(counts);
+  for (const auto& [t, c] : counts_[i])
+    CQAC_RETURN_IF_ERROR(views_.Insert(q.head().predicate, t));
+  return Status::OK();
+}
+
+Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
+                                                const DeltaDatabase& delta,
+                                                const MaintainOptions& options) {
+  if (&delta.base() != &base_)
+    return Status::InvalidArgument(
+        "delta was staged against a different database");
+  ApplySummary summary;
+  if (delta.empty()) {
+    summary.incremental = true;
+    return summary;
+  }
+  ++ctx.stats().ivm_applies;
+  ctx.stats().ivm_base_delta_tuples += delta.delta_tuples();
+  summary.inserted = delta.plus().TotalTuples();
+  summary.retracted = delta.minus().TotalTuples();
+
+  bool rebuild = options.force_rebuild;
+  if (!rebuild && !options.force_incremental) {
+    auto size_of = [this](const std::string& p) {
+      return base_.Get(p).size();
+    };
+    double incremental = 0;
+    double full = 0;
+    size_t max_touched = 0;
+    for (const Query& q : view_queries_) {
+      incremental += IndexedDeltaEstimate(q, delta.plus()) +
+                     IndexedDeltaEstimate(q, delta.minus());
+      full += IndexedRebuildEstimate(q, size_of);
+      for (const Database* side : {&delta.plus(), &delta.minus()}) {
+        size_t touched = 0;
+        for (const Atom& a : q.body())
+          if (!side->Get(a.predicate).empty()) ++touched;
+        max_touched = std::max(max_touched, touched);
+      }
+    }
+    // A delta side touching k positions of one body expands into 2^k - 1
+    // subset joins; past ~10 the expansion alone outweighs a rebuild.
+    rebuild = incremental > options.rebuild_bias * full || max_touched > 10;
+  }
+
+  if (rebuild) {
+    ++ctx.stats().ivm_rebuild_fallbacks;
+    // The wholesale commit bypasses the index-patching path; drop the
+    // persistent indexes and let the next incremental batch rebuild them.
+    base_index_.clear();
+    CQAC_RETURN_IF_ERROR(delta.CommitTo(&base_));
+    Database old_views = std::move(views_);
+    views_ = Database();
+    for (size_t i = 0; i < view_queries_.size(); ++i)
+      CQAC_RETURN_IF_ERROR(RebuildView(ctx, i));
+    DiffTuples(old_views, views_, &summary.view_tuples_added,
+               &summary.view_tuples_removed);
+    ctx.stats().ivm_view_delta_tuples +=
+        summary.view_tuples_added + summary.view_tuples_removed;
+    maintained_ = false;
+    summary.incremental = false;
+    return summary;
+  }
+
+  ++ctx.stats().ivm_incremental_applies;
+  EnsureBaseIndexes();
+
+  // One phase = one side of the delta counted via subset expansion: tasks
+  // fan out over (view, touched-position subset, delta chunk) and
+  // accumulate per-slot count maps. Positions in the subset read the staged
+  // side, every other position reads the plain base_ through the persistent
+  // column indexes — the insert phase runs before its commit (old base) and
+  // the retract phase after (post base), which is exactly what the
+  // expansion (B±D)^n - B^n needs. No overlay relation is copied and no
+  // per-join index is built over base-sized input, so a small batch is
+  // O(delta) work end to end. Counts are additive, so the merge commutes
+  // and the result is identical at every thread count; slots are still
+  // merged in task order for good measure.
+  auto run_phase = [&](const Database& delta_side,
+                       int64_t sign) -> Result<std::vector<CountMap>> {
+    struct Task {
+      size_t view;
+      const Query* q;  // view query with the delta positions joined first
+      std::vector<const Relation*> rels;
+      const JoinIndexSource* indexes;
+    };
+    std::deque<Relation> chunk_store;  // stable addresses for chunked deltas
+    std::deque<Query> query_store;     // stable addresses for reordered queries
+    std::deque<BaseIndexSource> source_store;
+    std::vector<Task> tasks;
+    const size_t max_chunks =
+        ctx.parallelism() > 0 && !TaskPool::InPoolTask()
+            ? 4 * (ctx.parallelism() + 1)
+            : 1;
+    for (size_t v = 0; v < view_queries_.size(); ++v) {
+      const Query& q = view_queries_[v];
+      std::vector<size_t> touched;
+      for (size_t i = 0; i < q.body().size(); ++i)
+        if (!delta_side.Get(q.body()[i].predicate).empty()) touched.push_back(i);
+      if (touched.empty()) continue;
+      for (uint64_t mask = 1; mask < (uint64_t{1} << touched.size()); ++mask) {
+        std::vector<char> from_delta(q.body().size(), 0);
+        for (size_t b = 0; b < touched.size(); ++b)
+          if ((mask >> b) & 1) from_delta[touched[b]] = 1;
+
+        // Delta-first join order: the (tiny) delta positions bind their
+        // variables immediately, so every base position becomes an indexed
+        // probe instead of a leading full scan. The binding is by variable
+        // id, so reordering never changes the counted set.
+        std::vector<size_t> order;
+        order.reserve(q.body().size());
+        for (size_t i = 0; i < q.body().size(); ++i)
+          if (from_delta[i]) order.push_back(i);
+        for (size_t i = 0; i < q.body().size(); ++i)
+          if (!from_delta[i]) order.push_back(i);
+        query_store.push_back(q);
+        Query& rq = query_store.back();
+        rq.body().clear();
+        for (size_t i : order) rq.body().push_back(q.body()[i]);
+
+        source_store.emplace_back();
+        BaseIndexSource& source = source_store.back();
+        std::vector<const Relation*> rels;
+        rels.reserve(order.size());
+        for (size_t i : order) {
+          const std::string& p = q.body()[i].predicate;
+          if (from_delta[i]) {
+            rels.push_back(&delta_side.Get(p));
+            source.per_atom.push_back(nullptr);
+          } else {
+            rels.push_back(&base_.Get(p));
+            source.per_atom.push_back(&base_index_.at(p));
+          }
+        }
+
+        // Chunk the leading delta relation for pool fan-out.
+        const Relation& d = *rels[0];
+        std::vector<const Relation*> pivots;
+        if (max_chunks <= 1 || d.size() < 2 * max_chunks) {
+          pivots.push_back(&d);
+        } else {
+          const size_t num_chunks = std::min(d.size(), max_chunks);
+          std::vector<Relation*> chunks;
+          for (size_t c = 0; c < num_chunks; ++c) {
+            chunk_store.emplace_back();
+            chunks.push_back(&chunk_store.back());
+          }
+          size_t idx = 0;
+          for (const Tuple& t : d) chunks[idx++ % num_chunks]->insert(t);
+          pivots.assign(chunks.begin(), chunks.end());
+        }
+        for (const Relation* pivot : pivots) {
+          Task task;
+          task.view = v;
+          task.q = &rq;
+          task.rels = rels;
+          task.rels[0] = pivot;
+          task.indexes = &source;
+          tasks.push_back(std::move(task));
+        }
+      }
+    }
+
+    std::vector<CountMap> slots(tasks.size());
+    std::vector<char> aborted(tasks.size(), 0);
+    CtxParallelFor(ctx, tasks.size(), [&](size_t t) {
+      const Query& q = *tasks[t].q;
+      Tuple head;
+      bool completed = JoinBodyAbortable(
+          q, tasks[t].rels,
+          [&](const std::vector<std::optional<Value>>& binding) {
+            if (ProjectHead(q, binding, &head)) slots[t][head] += sign;
+          },
+          [&ctx] { return !ctx.ShouldStop(); }, tasks[t].indexes);
+      if (!completed) aborted[t] = 1;
+    });
+    for (char a : aborted)
+      if (a) return BudgetExhausted(ctx);
+
+    std::vector<CountMap> merged(view_queries_.size());
+    for (size_t t = 0; t < tasks.size(); ++t)
+      for (const auto& [tuple, d] : slots[t]) merged[tasks[t].view][tuple] += d;
+    return merged;
+  };
+
+  // Retract phase: commit the removals first (patching the persistent
+  // indexes tuple by tuple), then count the lost derivations against the
+  // post-delete base.
+  if (summary.retracted > 0) {
+    for (const auto& [pred, rel] : delta.minus().relations())
+      for (const Tuple& t : rel) {
+        IndexRemovedTuple(pred, t);
+        if (!base_.Remove(pred, t))
+          return Status::Internal("staged retraction of absent tuple");
+      }
+    Result<std::vector<CountMap>> merged = run_phase(delta.minus(), -1);
+    if (!merged.ok()) {
+      // O(delta) rollback: an aborted phase must leave base and views in
+      // agreement, so put the removed tuples (and their index entries)
+      // back before reporting the abort.
+      for (const auto& [pred, rel] : delta.minus().relations())
+        for (const Tuple& t : rel)
+          if (base_.Insert(pred, t).ok()) IndexInsertedTuple(pred, t);
+      return merged.status();
+    }
+    for (size_t i = 0; i < view_queries_.size(); ++i)
+      CQAC_RETURN_IF_ERROR(FoldCounts(i, merged.value()[i], &summary));
+  }
+
+  // Insert phase: count against the post-retract, pre-insert base (the
+  // expansion reads the old base on non-delta positions), then commit the
+  // insertions and patch the indexes.
+  if (summary.inserted > 0) {
+    CQAC_ASSIGN_OR_RETURN(std::vector<CountMap> merged,
+                          run_phase(delta.plus(), +1));
+    for (const auto& [pred, rel] : delta.plus().relations())
+      for (const Tuple& t : rel) {
+        CQAC_RETURN_IF_ERROR(base_.Insert(pred, t));
+        IndexInsertedTuple(pred, t);
+      }
+    for (size_t i = 0; i < view_queries_.size(); ++i)
+      CQAC_RETURN_IF_ERROR(FoldCounts(i, merged[i], &summary));
+  }
+
+  ctx.stats().ivm_view_delta_tuples +=
+      summary.view_tuples_added + summary.view_tuples_removed;
+  maintained_ = true;
+  summary.incremental = true;
+  return summary;
+}
+
+Status MaterializedViewSet::FoldCounts(size_t i, const CountMap& delta,
+                                       ApplySummary* summary) {
+  const std::string& pred = view_queries_[i].head().predicate;
+  for (const auto& [tuple, d] : delta) {
+    if (d == 0) continue;
+    auto it = counts_[i].find(tuple);
+    const int64_t old_count = it == counts_[i].end() ? 0 : it->second;
+    const int64_t new_count = old_count + d;
+    if (new_count < 0)
+      return Status::Internal(
+          StrCat("negative derivation count for view '", pred, "'"));
+    if (old_count == 0 && new_count > 0) {
+      counts_[i].emplace(tuple, new_count);
+      CQAC_RETURN_IF_ERROR(views_.Insert(pred, tuple));
+      ++summary->view_tuples_added;
+    } else if (old_count > 0 && new_count == 0) {
+      counts_[i].erase(it);
+      views_.Remove(pred, tuple);
+      ++summary->view_tuples_removed;
+    } else if (old_count > 0) {
+      it->second = new_count;
+    }
+  }
+  return Status::OK();
+}
+
+void MaterializedViewSet::EnsureBaseIndexes() {
+  for (const Query& q : view_queries_) {
+    for (const Atom& a : q.body()) {
+      PredicateIndex& pi = base_index_[a.predicate];
+      for (size_t col = 0; col < a.args.size(); ++col) {
+        if (pi.count(col)) continue;
+        ColumnIndex index;
+        for (const Tuple& t : base_.Get(a.predicate))
+          if (col < t.size()) index[t[col]].push_back(&t);
+        pi.emplace(col, std::move(index));
+      }
+    }
+  }
+}
+
+void MaterializedViewSet::IndexInsertedTuple(const std::string& pred,
+                                             const Tuple& t) {
+  auto pit = base_index_.find(pred);
+  if (pit == base_index_.end()) return;
+  const Relation& rel = base_.Get(pred);
+  auto it = rel.find(t);
+  if (it == rel.end()) return;
+  const Tuple* stored = &*it;
+  for (auto& [col, index] : pit->second)
+    if (col < t.size()) index[t[col]].push_back(stored);
+}
+
+void MaterializedViewSet::IndexRemovedTuple(const std::string& pred,
+                                            const Tuple& t) {
+  auto pit = base_index_.find(pred);
+  if (pit == base_index_.end()) return;
+  const Relation& rel = base_.Get(pred);
+  auto it = rel.find(t);
+  if (it == rel.end()) return;
+  const Tuple* stored = &*it;
+  for (auto& [col, index] : pit->second) {
+    if (col >= t.size()) continue;
+    auto hit = index.find(t[col]);
+    if (hit == index.end()) continue;
+    std::vector<const Tuple*>& vec = hit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), stored), vec.end());
+    if (vec.empty()) index.erase(hit);
+  }
+}
+
+Result<ApplySummary> MaterializedViewSet::ApplyInsert(
+    EngineContext& ctx, const Database& facts, const MaintainOptions& options) {
+  DeltaDatabase delta(&base_);
+  CQAC_RETURN_IF_ERROR(delta.StageInsertAll(facts));
+  return Apply(ctx, delta, options);
+}
+
+Result<ApplySummary> MaterializedViewSet::ApplyRetract(
+    EngineContext& ctx, const Database& facts, const MaintainOptions& options) {
+  DeltaDatabase delta(&base_);
+  CQAC_RETURN_IF_ERROR(delta.StageRetractAll(facts));
+  return Apply(ctx, delta, options);
+}
+
+// ---------------------------------------------------------------------------
+// MaintainedProgram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One rule firing with a fixed relation assignment; the unit the DRed and
+/// resume rounds fan out over the context's pool.
+struct FireTask {
+  size_t rule;
+  std::vector<const Relation*> rels;
+};
+
+/// Runs every task (possibly in parallel), keeping emitted head tuples that
+/// pass `keep` (which must be safe to call concurrently and read-only), and
+/// merges per-slot results into `*out` in task order. Sets are merged, so
+/// the content is scheduling-independent.
+Status RunFireTasks(EngineContext& ctx, const datalog::Engine& engine,
+                    const std::vector<FireTask>& tasks,
+                    FunctionRef<bool(const std::string&, const Tuple&)> keep,
+                    std::map<std::string, Relation>* out) {
+  std::vector<std::map<std::string, Relation>> slots(tasks.size());
+  std::vector<Status> statuses(tasks.size(), Status::OK());
+  std::vector<char> aborted(tasks.size(), 0);
+  CtxParallelFor(ctx, tasks.size(), [&](size_t t) {
+    if (ctx.ShouldStop()) {
+      aborted[t] = 1;
+      return;
+    }
+    statuses[t] = engine.FireRule(
+        tasks[t].rule, tasks[t].rels,
+        [&](const std::string& pred, Tuple tuple) {
+          if (keep(pred, tuple)) slots[t][pred].insert(std::move(tuple));
+        });
+  });
+  for (char a : aborted)
+    if (a) return BudgetExhausted(ctx);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    CQAC_RETURN_IF_ERROR(statuses[t]);
+    for (auto& [pred, rel] : slots[t])
+      (*out)[pred].insert(rel.begin(), rel.end());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MaintainedProgram::MaintainedProgram(datalog::Engine engine,
+                                     datalog::EvalOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      idb_preds_(engine_.IdbPredicates()) {}
+
+Status MaintainedProgram::Initialize(EngineContext& ctx, const Database& edb) {
+  (void)ctx;
+  CQAC_ASSIGN_OR_RETURN(idb_, engine_.Evaluate(edb, options_));
+  edb_ = edb;
+  maintained_ = false;
+  return Status::OK();
+}
+
+Relation MaintainedProgram::QueryAnswers() const {
+  Relation out;
+  for (const Tuple& t : idb_.Get(engine_.query_predicate())) {
+    bool has_skolem = false;
+    for (const Value& v : t)
+      if (datalog::IsSkolemValue(v)) has_skolem = true;
+    if (!has_skolem) out.insert(t);
+  }
+  return out;
+}
+
+Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
+                                              const DeltaDatabase& delta,
+                                              const MaintainOptions& options) {
+  if (&delta.base() != &edb_)
+    return Status::InvalidArgument(
+        "delta was staged against a different database");
+  for (const Database* side : {&delta.plus(), &delta.minus()})
+    for (const auto& [pred, rel] : side->relations())
+      if (!rel.empty() && idb_preds_.count(pred))
+        return Status::InvalidArgument(
+            StrCat("cannot stage changes to IDB predicate '", pred, "'"));
+
+  ApplySummary summary;
+  if (delta.empty()) {
+    summary.incremental = true;
+    return summary;
+  }
+  ++ctx.stats().ivm_applies;
+  ctx.stats().ivm_base_delta_tuples += delta.delta_tuples();
+  summary.inserted = delta.plus().TotalTuples();
+  summary.retracted = delta.minus().TotalTuples();
+
+  auto size_of = [this](const std::string& p) {
+    return idb_preds_.count(p) ? idb_.Get(p).size() : edb_.Get(p).size();
+  };
+  bool rebuild = options.force_rebuild;
+  if (!rebuild && !options.force_incremental) {
+    double incremental = 0;
+    double full = 0;
+    for (const datalog::EngineRule& er : engine_.rules()) {
+      incremental += PivotEstimate(er.rule, delta.plus(), size_of) +
+                     PivotEstimate(er.rule, delta.minus(), size_of);
+      full += FullJoinEstimate(er.rule, size_of);
+    }
+    rebuild = incremental > options.rebuild_bias * full;
+  }
+
+  if (rebuild) {
+    ++ctx.stats().ivm_rebuild_fallbacks;
+    CQAC_RETURN_IF_ERROR(delta.CommitTo(&edb_));
+    Database old_idb = std::move(idb_);
+    idb_ = Database();
+    CQAC_ASSIGN_OR_RETURN(idb_, engine_.Evaluate(edb_, options_));
+    DiffTuples(old_idb, idb_, &summary.view_tuples_added,
+               &summary.view_tuples_removed);
+    ctx.stats().ivm_view_delta_tuples +=
+        summary.view_tuples_added + summary.view_tuples_removed;
+    maintained_ = false;
+    summary.incremental = false;
+    return summary;
+  }
+
+  ++ctx.stats().ivm_incremental_applies;
+  CQAC_RETURN_IF_ERROR(ApplyDeletes(ctx, delta.minus(), &summary));
+  CQAC_RETURN_IF_ERROR(ApplyInserts(ctx, delta.plus(), &summary));
+  ctx.stats().ivm_view_delta_tuples +=
+      summary.view_tuples_added + summary.view_tuples_removed;
+  maintained_ = true;
+  summary.incremental = true;
+  return summary;
+}
+
+Status MaintainedProgram::Resume(EngineContext& ctx,
+                                 std::map<std::string, Relation> delta) {
+  const std::vector<datalog::EngineRule>& rules = engine_.rules();
+  auto rel_for = [this](const std::string& p) -> const Relation& {
+    return idb_preds_.count(p) ? idb_.Get(p) : edb_.Get(p);
+  };
+  size_t iterations = 0;
+  while (true) {
+    size_t delta_size = 0;
+    for (const auto& [p, r] : delta) delta_size += r.size();
+    if (delta_size == 0) break;
+    if (++iterations > options_.max_iterations)
+      return Status::ResourceExhausted("ivm resume iteration limit");
+    if (ctx.ShouldStop()) return BudgetExhausted(ctx);
+
+    std::vector<FireTask> tasks;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const Rule& rule = rules[r].rule;
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const std::string& p = rule.body()[i].predicate;
+        if (!idb_preds_.count(p)) continue;
+        auto it = delta.find(p);
+        if (it == delta.end() || it->second.empty()) continue;
+        FireTask task;
+        task.rule = r;
+        for (size_t j = 0; j < rule.body().size(); ++j)
+          task.rels.push_back(j == i ? &it->second
+                                     : &rel_for(rule.body()[j].predicate));
+        tasks.push_back(std::move(task));
+      }
+    }
+    std::map<std::string, Relation> next;
+    CQAC_RETURN_IF_ERROR(RunFireTasks(
+        ctx, engine_, tasks,
+        [this](const std::string& pred, const Tuple& t) {
+          return !idb_.Contains(pred, t);
+        },
+        &next));
+    for (const auto& [pred, rel] : next)
+      for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(idb_.Insert(pred, t));
+    delta = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status MaintainedProgram::ApplyInserts(EngineContext& ctx,
+                                       const Database& plus,
+                                       ApplySummary* summary) {
+  if (plus.TotalTuples() == 0) return Status::OK();
+  const std::vector<datalog::EngineRule>& rules = engine_.rules();
+  auto rel_for = [this](const std::string& p) -> const Relation& {
+    return idb_preds_.count(p) ? idb_.Get(p) : edb_.Get(p);
+  };
+
+  // Post-insert overlay for the touched EDB relations.
+  std::map<std::string, Relation> post;
+  for (const auto& [pred, rel] : plus.relations()) {
+    if (rel.empty()) continue;
+    Relation r = edb_.Get(pred);
+    r.insert(rel.begin(), rel.end());
+    post[pred] = std::move(r);
+  }
+
+  // Seed round: pivot each EDB body position on the inserted tuples,
+  // positions before it pre-insert, positions after it post-insert.
+  std::vector<FireTask> tasks;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r].rule;
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      const Relation& d = plus.Get(rule.body()[i].predicate);
+      if (d.empty()) continue;
+      FireTask task;
+      task.rule = r;
+      for (size_t j = 0; j < rule.body().size(); ++j) {
+        const std::string& p = rule.body()[j].predicate;
+        if (j == i) {
+          task.rels.push_back(&d);
+        } else if (j > i && post.count(p)) {
+          task.rels.push_back(&post.at(p));
+        } else {
+          task.rels.push_back(&rel_for(p));
+        }
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  std::map<std::string, Relation> seed;
+  CQAC_RETURN_IF_ERROR(RunFireTasks(
+      ctx, engine_, tasks,
+      [this](const std::string& pred, const Tuple& t) {
+        return !idb_.Contains(pred, t);
+      },
+      &seed));
+
+  for (const auto& [pred, rel] : plus.relations())
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(edb_.Insert(pred, t));
+  for (const auto& [pred, rel] : seed) {
+    for (const Tuple& t : rel) CQAC_RETURN_IF_ERROR(idb_.Insert(pred, t));
+    summary->view_tuples_added += rel.size();
+  }
+
+  const size_t idb_before = idb_.TotalTuples();
+  CQAC_RETURN_IF_ERROR(Resume(ctx, std::move(seed)));
+  summary->view_tuples_added += idb_.TotalTuples() - idb_before;
+  return Status::OK();
+}
+
+Status MaintainedProgram::ApplyDeletes(EngineContext& ctx,
+                                       const Database& minus,
+                                       ApplySummary* summary) {
+  if (minus.TotalTuples() == 0) return Status::OK();
+  const std::vector<datalog::EngineRule>& rules = engine_.rules();
+  auto rel_for = [this](const std::string& p) -> const Relation& {
+    return idb_preds_.count(p) ? idb_.Get(p) : edb_.Get(p);
+  };
+
+  // 1. Over-delete: everything transitively derivable through a retracted
+  // tuple, computed against the PRE-delete relations (the standard DRed
+  // over-approximation).
+  std::map<std::string, Relation> deleted;
+  std::map<std::string, Relation> frontier;
+  bool first_round = true;
+  size_t iterations = 0;
+  while (true) {
+    if (++iterations > options_.max_iterations)
+      return Status::ResourceExhausted("ivm over-delete iteration limit");
+    if (ctx.ShouldStop()) return BudgetExhausted(ctx);
+    std::vector<FireTask> tasks;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const Rule& rule = rules[r].rule;
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const std::string& p = rule.body()[i].predicate;
+        const Relation* pivot = nullptr;
+        if (first_round) {
+          if (!idb_preds_.count(p) && !minus.Get(p).empty())
+            pivot = &minus.Get(p);
+        } else {
+          auto it = frontier.find(p);
+          if (it != frontier.end() && !it->second.empty())
+            pivot = &it->second;
+        }
+        if (pivot == nullptr) continue;
+        FireTask task;
+        task.rule = r;
+        for (size_t j = 0; j < rule.body().size(); ++j)
+          task.rels.push_back(j == i ? pivot
+                                     : &rel_for(rule.body()[j].predicate));
+        tasks.push_back(std::move(task));
+      }
+    }
+    if (tasks.empty()) break;
+    std::map<std::string, Relation> over;
+    CQAC_RETURN_IF_ERROR(RunFireTasks(
+        ctx, engine_, tasks,
+        [this, &deleted](const std::string& pred, const Tuple& t) {
+          return idb_.Contains(pred, t) && !ContainsIn(deleted, pred, t);
+        },
+        &over));
+    size_t new_deleted = 0;
+    for (const auto& [pred, rel] : over) {
+      for (const Tuple& t : rel)
+        if (deleted[pred].insert(t).second) ++new_deleted;
+    }
+    first_round = false;
+    if (new_deleted == 0) break;
+    frontier = std::move(over);
+  }
+
+  // 2. Commit: drop the retracted EDB tuples and the over-deleted IDB set.
+  for (const auto& [pred, rel] : minus.relations())
+    for (const Tuple& t : rel)
+      if (!edb_.Remove(pred, t))
+        return Status::Internal("staged retraction of absent tuple");
+  size_t overdeleted = 0;
+  for (const auto& [pred, rel] : deleted)
+    for (const Tuple& t : rel) {
+      idb_.Remove(pred, t);
+      ++overdeleted;
+    }
+  ctx.stats().ivm_overdeletions += overdeleted;
+
+  // 3. Re-derive: rescue over-deleted tuples with alternative derivations
+  // in the surviving facts. First a full pass over rules whose heads have
+  // pending tuples; then semi-naive rounds pivoting on the rescued set.
+  std::map<std::string, Relation> pending = deleted;
+  size_t rescued_total = 0;
+  auto keep_pending = [this, &pending](const std::string& pred,
+                                       const Tuple& t) {
+    return ContainsIn(pending, pred, t) && !idb_.Contains(pred, t);
+  };
+  std::vector<FireTask> tasks;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r].rule;
+    auto it = pending.find(rule.head().predicate);
+    if (it == pending.end() || it->second.empty()) continue;
+    FireTask task;
+    task.rule = r;
+    for (const Atom& a : rule.body()) task.rels.push_back(&rel_for(a.predicate));
+    tasks.push_back(std::move(task));
+  }
+  std::map<std::string, Relation> rescued;
+  CQAC_RETURN_IF_ERROR(
+      RunFireTasks(ctx, engine_, tasks, keep_pending, &rescued));
+  iterations = 0;
+  while (true) {
+    size_t n = 0;
+    for (const auto& [pred, rel] : rescued) n += rel.size();
+    if (n == 0) break;
+    if (++iterations > options_.max_iterations)
+      return Status::ResourceExhausted("ivm re-derive iteration limit");
+    if (ctx.ShouldStop()) return BudgetExhausted(ctx);
+    for (const auto& [pred, rel] : rescued) {
+      for (const Tuple& t : rel) {
+        CQAC_RETURN_IF_ERROR(idb_.Insert(pred, t));
+        pending[pred].erase(t);
+      }
+    }
+    rescued_total += n;
+    std::vector<FireTask> round_tasks;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const Rule& rule = rules[r].rule;
+      auto hp = pending.find(rule.head().predicate);
+      if (hp == pending.end() || hp->second.empty()) continue;
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const std::string& p = rule.body()[i].predicate;
+        auto it = rescued.find(p);
+        if (it == rescued.end() || it->second.empty()) continue;
+        FireTask task;
+        task.rule = r;
+        for (size_t j = 0; j < rule.body().size(); ++j)
+          task.rels.push_back(j == i ? &it->second
+                                     : &rel_for(rule.body()[j].predicate));
+        round_tasks.push_back(std::move(task));
+      }
+    }
+    std::map<std::string, Relation> next;
+    CQAC_RETURN_IF_ERROR(
+        RunFireTasks(ctx, engine_, round_tasks, keep_pending, &next));
+    rescued = std::move(next);
+  }
+  ctx.stats().ivm_rederivations += rescued_total;
+  summary->view_tuples_removed += overdeleted - rescued_total;
+  return Status::OK();
+}
+
+}  // namespace ivm
+}  // namespace cqac

@@ -1,0 +1,217 @@
+// Incremental view maintenance: keep materialized query results consistent
+// with a stream of base-relation inserts and retracts without rebuilding
+// from scratch.
+//
+// Two maintainers, one per program class (docs/ivm.md):
+//
+//   * MaterializedViewSet — non-recursive CQAC view sets, counting-based.
+//     Each view tuple carries its derivation count (number of satisfying
+//     body assignments), so a retraction decrements counts and deletes a
+//     tuple exactly when its last derivation disappears — no re-derivation
+//     needed. Count deltas come from the subset expansion of the join: for
+//     insert delta D+ over old base B, (B+D+)^n - B^n = the sum over every
+//     nonempty subset S of delta-touched body positions of the join where
+//     S-positions read D+ and the rest read B. Retractions mirror this
+//     against the post-delete base with sign -1. Because the non-delta
+//     positions always read the plain owned base (never a base-union-delta
+//     overlay), they are served by persistent per-column hash indexes that
+//     are built once and patched in O(delta) as batches commit — a
+//     single-fact apply does O(delta) work, not O(base).
+//
+//   * MaintainedProgram — recursive Datalog programs (the Section 5 MCRs),
+//     DRed-style: inserts seed a semi-naive resume of the existing engine;
+//     deletes over-delete everything transitively touching a retracted
+//     tuple, then re-derive the survivors from the remaining facts.
+//
+// Both maintainers estimate the incremental work per batch and fall back to
+// a full rebuild when a large delta would cost more than recomputing
+// (MaintainOptions::rebuild_bias). Both thread an EngineContext through:
+// budget/deadline/cancel abort the apply with kResourceExhausted, ivm_*
+// stat counters record the maintenance work, and the counting maintainer
+// fans delta chunks out over the context's TaskPool — derivation counts are
+// additive, so chunk merges commute and the maintained state is
+// byte-identical at every thread count.
+#ifndef CQAC_IVM_MAINTAIN_H_
+#define CQAC_IVM_MAINTAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/datalog/engine.h"
+#include "src/engine/context.h"
+#include "src/eval/database.h"
+#include "src/ir/query.h"
+#include "src/ir/view.h"
+#include "src/ivm/delta.h"
+
+namespace cqac {
+namespace ivm {
+
+/// value -> the base tuples whose indexed column holds it. The pointers
+/// reference tuples inside the owning Database's relation sets; std::set
+/// nodes are address-stable, so unrelated inserts/erases never invalidate
+/// them.
+using ColumnIndex = std::unordered_map<Value, std::vector<const Tuple*>>;
+
+/// column -> ColumnIndex, covering every column a view body can probe.
+using PredicateIndex = std::map<size_t, ColumnIndex>;
+
+/// Per-batch policy knobs.
+struct MaintainOptions {
+  /// Fall back to a full rebuild when the incremental work estimate exceeds
+  /// rebuild_bias × the rebuild estimate.
+  double rebuild_bias = 1.0;
+
+  /// Force one path regardless of the estimates (benchmarks, tests).
+  bool force_incremental = false;
+  bool force_rebuild = false;
+};
+
+/// What one Apply did.
+struct ApplySummary {
+  size_t inserted = 0;            ///< base tuples added
+  size_t retracted = 0;           ///< base tuples removed
+  size_t view_tuples_added = 0;   ///< derived tuples that appeared
+  size_t view_tuples_removed = 0; ///< derived tuples that disappeared
+  bool incremental = false;       ///< false when this batch was rebuilt
+};
+
+/// A set of non-recursive CQAC views materialized over an owned base
+/// database, maintained under insert/retract batches via per-tuple
+/// derivation counts.
+///
+/// Thread-compatible: one coordinator mutates it at a time (Apply itself
+/// fans out internally over the context's pool).
+class MaterializedViewSet {
+ public:
+  MaterializedViewSet() = default;
+
+  /// Registers `view` and materializes it (with counts) over the current
+  /// base. Fails if a view with the same head predicate is registered.
+  Status AddView(EngineContext& ctx, const Query& view);
+
+  /// Replaces the registered views wholesale and re-materializes.
+  Status ResetViews(EngineContext& ctx, const ViewSet& views);
+
+  /// Applies one staged batch. The delta must have been staged against
+  /// base(). On kResourceExhausted the batch may be partially applied (the
+  /// retract half may have landed while the insert half did not; an aborted
+  /// half is rolled back), but base and views always agree.
+  Result<ApplySummary> Apply(EngineContext& ctx, const DeltaDatabase& delta,
+                             const MaintainOptions& options = {});
+
+  /// Convenience: stages every fact of `facts` and applies.
+  Result<ApplySummary> ApplyInsert(EngineContext& ctx, const Database& facts,
+                                   const MaintainOptions& options = {});
+  Result<ApplySummary> ApplyRetract(EngineContext& ctx, const Database& facts,
+                                    const MaintainOptions& options = {});
+
+  /// The owned base database (read-only; mutate via Apply).
+  const Database& base() const { return base_; }
+
+  /// The materialized view database {v_i -> v_i(base)}. Always exactly
+  /// equal to MaterializeViews(view set, base()).
+  const Database& views() const { return views_; }
+
+  const std::vector<Query>& view_queries() const { return view_queries_; }
+
+  /// True while the state is incrementally maintained: the most recent
+  /// Apply (if any) took the incremental path. A fallback rebuild resets
+  /// it to false until the next incremental batch.
+  bool maintained() const { return maintained_; }
+
+  /// Drops all state: base, views, counts.
+  void Reset();
+
+ private:
+  using CountMap = std::map<Tuple, int64_t>;
+
+  /// Recomputes counts_[i] and views_ entries for view i from base_.
+  Status RebuildView(EngineContext& ctx, size_t i);
+
+  /// Folds one view's count delta into counts_/views_.
+  Status FoldCounts(size_t i, const CountMap& delta, ApplySummary* summary);
+
+  /// Builds any missing persistent column index over base_ for the
+  /// (predicate, column) pairs the registered view bodies can probe.
+  /// O(base) per missing column, a no-op once built.
+  void EnsureBaseIndexes();
+
+  /// Patches base_index_ for one committed tuple. IndexRemovedTuple must
+  /// run while the tuple is still in base_ (it resolves the stored
+  /// address); IndexInsertedTuple after the insert landed.
+  void IndexInsertedTuple(const std::string& pred, const Tuple& t);
+  void IndexRemovedTuple(const std::string& pred, const Tuple& t);
+
+  Database base_;
+  Database views_;
+  std::vector<Query> view_queries_;
+  std::vector<CountMap> counts_;
+
+  /// Persistent single-column hash indexes over base_ for every column some
+  /// view body reads. Built lazily (first incremental Apply), patched in
+  /// O(delta) as batches commit, and dropped whenever base_ changes without
+  /// going through the patching commits (rebuild fallback, Reset).
+  std::map<std::string, PredicateIndex> base_index_;
+  bool maintained_ = false;
+};
+
+/// A recursive Datalog program (datalog::Engine rules) maintained to
+/// fixpoint over an owned EDB, DRed-style.
+///
+/// On a non-OK Apply the internal state is unspecified; call Initialize
+/// again before further use.
+class MaintainedProgram {
+ public:
+  explicit MaintainedProgram(datalog::Engine engine,
+                             datalog::EvalOptions options = {});
+
+  /// (Re)runs the program to fixpoint over `edb` and adopts it as the
+  /// maintained state.
+  Status Initialize(EngineContext& ctx, const Database& edb);
+
+  /// Applies one staged batch of EDB changes (the delta must have been
+  /// staged against edb()). Staging changes to IDB predicates is an error.
+  Result<ApplySummary> Apply(EngineContext& ctx, const DeltaDatabase& delta,
+                             const MaintainOptions& options = {});
+
+  const Database& edb() const { return edb_; }
+  const Database& idb() const { return idb_; }
+
+  /// The query predicate's relation with Skolem-carrying tuples removed
+  /// (same convention as datalog::Engine::Query).
+  Relation QueryAnswers() const;
+
+  /// True while the most recent Apply (if any) was incremental.
+  bool maintained() const { return maintained_; }
+
+ private:
+  /// One semi-naive continuation: runs rounds pivoting on `delta` IDB
+  /// relations until empty, folding new tuples into idb_.
+  Status Resume(EngineContext& ctx, std::map<std::string, Relation> delta);
+
+  /// DRed delete phase for `minus` (a subset of edb_).
+  Status ApplyDeletes(EngineContext& ctx, const Database& minus,
+                      ApplySummary* summary);
+
+  /// Seed-and-resume insert phase for `plus` (disjoint from edb_).
+  Status ApplyInserts(EngineContext& ctx, const Database& plus,
+                      ApplySummary* summary);
+
+  datalog::Engine engine_;
+  datalog::EvalOptions options_;
+  std::set<std::string> idb_preds_;
+  Database edb_;
+  Database idb_;
+  bool maintained_ = false;
+};
+
+}  // namespace ivm
+}  // namespace cqac
+
+#endif  // CQAC_IVM_MAINTAIN_H_

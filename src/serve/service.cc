@@ -116,6 +116,7 @@ std::string Service::Dispatch(const Request& req, bool* shutdown_requested) {
   if (req.op == "ping") return HandlePing(req);
   if (req.op == "view") return HandleView(req);
   if (req.op == "fact") return HandleFact(req);
+  if (req.op == "retract") return HandleRetract(req);
   if (req.op == "classify") return HandleClassify(req);
   if (req.op == "rewrite") return HandleRewrite(req);
   if (req.op == "contain") return HandleContain(req);
@@ -151,6 +152,10 @@ std::string Service::HandleView(const Request& req) {
   if (!v.ok()) return ErrorResponse(req, v.status());
   Status st = session.value()->views.Add(v.value().query);
   if (!st.ok()) return ErrorResponse(req, st);
+  // Materialize the new view over the session's base now, so later fact /
+  // retract ops maintain it incrementally (src/ivm).
+  st = session.value()->store.AddView(ctx_, v.value().query);
+  if (!st.ok()) return ErrorResponse(req, st);
   session.value()->view_sources.push_back(std::move(v).value());
 
   const ViewSet& views = session.value()->views;
@@ -169,14 +174,32 @@ std::string Service::HandleFact(const Request& req) {
 
   Result<Database> parsed = Database::FromFacts(facts.value());
   if (!parsed.ok()) return ErrorResponse(req, parsed.status());
-  Database& db = session.value()->db;
-  size_t before = db.TotalTuples();
-  Status st = db.Merge(parsed.value());
-  if (!st.ok()) return ErrorResponse(req, st);
+  ivm::MaterializedViewSet& store = session.value()->store;
+  Result<ivm::ApplySummary> summary = store.ApplyInsert(ctx_, parsed.value());
+  if (!summary.ok()) return ErrorResponse(req, summary.status());
 
   std::string out = BeginResponse(req);
-  JsonField(&out, "tuples_added", StrCat(db.TotalTuples() - before));
-  JsonField(&out, "total_tuples", StrCat(db.TotalTuples()));
+  JsonField(&out, "tuples_added", StrCat(summary.value().inserted));
+  JsonField(&out, "total_tuples", StrCat(store.base().TotalTuples()));
+  JsonClose(&out);
+  return out;
+}
+
+std::string Service::HandleRetract(const Request& req) {
+  Result<std::string> facts = req.GetString("facts");
+  if (!facts.ok()) return ErrorResponse(req, facts.status());
+  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  if (!session.ok()) return ErrorResponse(req, session.status());
+
+  Result<Database> parsed = Database::FromFacts(facts.value());
+  if (!parsed.ok()) return ErrorResponse(req, parsed.status());
+  ivm::MaterializedViewSet& store = session.value()->store;
+  Result<ivm::ApplySummary> summary = store.ApplyRetract(ctx_, parsed.value());
+  if (!summary.ok()) return ErrorResponse(req, summary.status());
+
+  std::string out = BeginResponse(req);
+  JsonField(&out, "tuples_removed", StrCat(summary.value().retracted));
+  JsonField(&out, "total_tuples", StrCat(store.base().TotalTuples()));
   JsonClose(&out);
   return out;
 }
@@ -288,12 +311,15 @@ std::string Service::HandleEval(const Request& req) {
   Status valid = q.value().Validate();
   if (!valid.ok()) return ErrorResponse(req, valid);
 
-  Result<Relation> r = EvaluateQuery(ctx_, q.value(), session.value()->db);
+  Result<Relation> r =
+      EvaluateQuery(ctx_, q.value(), session.value()->store.base());
   if (!r.ok()) return ErrorResponse(req, r.status());
 
   std::string out = BeginResponse(req);
   JsonField(&out, "count", StrCat(r.value().size()));
   JsonField(&out, "tuples", RelationToJson(r.value()));
+  JsonField(&out, "maintained",
+            session.value()->store.maintained() ? "true" : "false");
   JsonClose(&out);
   return out;
 }
@@ -329,16 +355,19 @@ std::string Service::HandleAnswers(const Request& req) {
                          "no contained rewriting exists for this query over "
                          "the session's views");
 
-  Result<Database> vdb =
-      MaterializeViews(ctx_, views, session.value()->db);
-  if (!vdb.ok()) return ErrorResponse(req, vdb.status());
-  Result<Relation> r = EvaluateUnion(ctx_, mcr.value(), vdb.value());
+  // The session's store keeps the view database maintained under fact /
+  // retract, so answers read warm state instead of rematerializing every
+  // view per request.
+  Result<Relation> r =
+      EvaluateUnion(ctx_, mcr.value(), session.value()->store.views());
   if (!r.ok()) return ErrorResponse(req, r.status());
 
   std::string out = BeginResponse(req);
   JsonField(&out, "count", StrCat(r.value().size()));
   JsonField(&out, "tuples", RelationToJson(r.value()));
   JsonField(&out, "rewriting_count", StrCat(mcr.value().disjuncts.size()));
+  JsonField(&out, "maintained",
+            session.value()->store.maintained() ? "true" : "false");
   JsonClose(&out);
   return out;
 }
@@ -385,7 +414,7 @@ std::string Service::HandleStats(const Request& req) {
     JsonField(&out, "scope", "\"session\"");
     JsonField(&out, "session", JsonQuote(session->name));
     JsonField(&out, "views", StrCat(session->views.size()));
-    JsonField(&out, "facts", StrCat(session->db.TotalTuples()));
+    JsonField(&out, "facts", StrCat(session->store.base().TotalTuples()));
     JsonField(&out, "requests", StrCat(session->stats.requests));
     JsonField(&out, "errors", StrCat(session->stats.errors));
     JsonField(&out, "engine", session->stats.engine.ToJson());
@@ -450,6 +479,10 @@ Result<WarmupSummary> Service::Warmup(const std::string& script) {
     } else if (cmd == "fact") {
       request_line =
           StrCat("{\"op\":\"fact\",\"facts\":", JsonQuote(rest), "}");
+      ++summary.facts;
+    } else if (cmd == "retract") {
+      request_line =
+          StrCat("{\"op\":\"retract\",\"facts\":", JsonQuote(rest), "}");
       ++summary.facts;
     } else if (cmd == "query") {
       current_query = rest;

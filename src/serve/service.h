@@ -64,8 +64,9 @@ class Service {
   /// op; the transport reacts after writing the response.
   std::string Execute(const std::string& line, bool* shutdown_requested);
 
-  /// Preloads the "default" session from a shell-style script: `view` and
-  /// `fact` lines are replayed, `query <rule>` sets the current query, and
+  /// Preloads the "default" session from a shell-style script: `view`,
+  /// `fact`, and `retract` lines are replayed, `query <rule>` sets the
+  /// current query, and
   /// `rewrite` (bare, or with an inline query) runs a rewrite to prime the
   /// interner and the decision cache. Other shell commands are counted as
   /// ignored. Fails fast on the first failing line.
@@ -84,6 +85,7 @@ class Service {
   std::string HandlePing(const Request& req);
   std::string HandleView(const Request& req);
   std::string HandleFact(const Request& req);
+  std::string HandleRetract(const Request& req);
   std::string HandleClassify(const Request& req);
   std::string HandleRewrite(const Request& req);
   std::string HandleContain(const Request& req);

@@ -22,6 +22,7 @@
 #include "src/eval/database.h"
 #include "src/ir/parser.h"
 #include "src/ir/view.h"
+#include "src/ivm/maintain.h"
 
 namespace cqac {
 namespace serve {
@@ -40,7 +41,12 @@ struct Session {
   std::string name;
   ViewSet views;
   std::vector<ParsedQuery> view_sources;  // parallel to views, with spans
-  Database db;
+
+  /// Base facts plus incrementally maintained materializations of `views`
+  /// (src/ivm): `fact`/`retract` ops pay O(delta), and `answers` reads the
+  /// warm state instead of rematerializing per request.
+  ivm::MaterializedViewSet store;
+
   SessionStats stats;
 };
 

@@ -1,5 +1,6 @@
-// Unit and golden-file tests for the semantic linter (src/analysis/lint.h)
-// and the class-inference helper (src/analysis/classify.h).
+// Unit and golden-file tests for the semantic linter (src/analysis/lint.h),
+// the autofixer (src/analysis/fix.h), and the class-inference helper
+// (src/analysis/classify.h).
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "src/analysis/classify.h"
+#include "src/analysis/fix.h"
 #include "src/analysis/lint.h"
 #include "src/ir/parser.h"
 
@@ -124,6 +126,135 @@ TEST(LintTest, RegistryIsSortedAndUnique) {
     EXPECT_LT(std::string(checks[i - 1].code), checks[i].code);
 }
 
+// ---- autofixes (--fix) ------------------------------------------------------
+
+TEST(FixTest, DropsRedundantComparison) {
+  FixResult r = FixFileText("q(X) :- r(X), X < 4, X < 5.\n");
+  EXPECT_EQ(r.text, "q(X) :- r(X), X < 4.\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L006");
+}
+
+TEST(FixTest, DropsDuplicateSubgoal) {
+  FixResult r = FixFileText("q(X) :- r(X, Y), r(X, Y).\n");
+  EXPECT_EQ(r.text, "q(X) :- r(X, Y).\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L008");
+}
+
+TEST(FixTest, SubstitutesForcedEquality) {
+  FixResult r = FixFileText("q(X, Y) :- r(X, Y), X <= Y, Y <= X.\n");
+  EXPECT_EQ(r.text, "q(X, X) :- r(X, X).\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L010");
+}
+
+TEST(FixTest, SubstitutesForcedConstant) {
+  FixResult r = FixFileText("q(X) :- r(X), 3 <= X, X <= 3.\n");
+  EXPECT_EQ(r.text, "q(3) :- r(3).\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L010");
+}
+
+TEST(FixTest, SubstitutionCascadesIntoDuplicateRemoval) {
+  // Merging Y := X turns the two subgoals into exact duplicates; the L008
+  // pass then removes the second.
+  FixResult r = FixFileText("q(X) :- r(X, Y), r(Y, X), X <= Y, Y <= X.\n");
+  EXPECT_EQ(r.text, "q(X) :- r(X, X).\n");
+  ASSERT_EQ(r.edits.size(), 2u);
+  EXPECT_EQ(r.edits[0].code, "L010");
+  EXPECT_EQ(r.edits[1].code, "L008");
+}
+
+TEST(FixTest, LeavesExplicitEqualityAlone) {
+  const char* text = "q(X, Y) :- r(X, Y), X = Y.\n";
+  FixResult r = FixFileText(text);
+  EXPECT_FALSE(r.changed());
+  EXPECT_EQ(r.text, text);
+}
+
+TEST(FixTest, LeavesGroundComparisonsToL007) {
+  const char* text = "q(X) :- r(X), 1 < 2.\n";
+  FixResult r = FixFileText(text);
+  EXPECT_FALSE(r.changed());
+  EXPECT_EQ(r.text, text);
+}
+
+TEST(FixTest, SymbolComparisonGatesImplicationFixes) {
+  // L004 territory: the ordered symbol comparison makes the implication
+  // engine inapplicable, so no L006/L010 rewrite may fire. (The duplicate
+  // subgoal is still structural and safe to drop.)
+  FixResult r = FixFileText("q(X) :- r(X), r(X), X < red, X < 3, X < 4.\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L008");
+}
+
+TEST(FixTest, UnsatisfiableQueryIsNotRewritten) {
+  // Everything is implied by an inconsistent set; dropping comparisons there
+  // would silently change the (empty) query into a nonempty one.
+  const char* text = "q(X) :- r(X), X < 3, 4 < X.\n";
+  FixResult r = FixFileText(text);
+  EXPECT_FALSE(r.changed());
+}
+
+TEST(FixTest, ParseErrorsLeaveTheFileUntouched) {
+  const char* text = "q(X :- r(X), X < 4, X < 5.\n";
+  FixResult r = FixFileText(text);
+  EXPECT_FALSE(r.changed());
+  EXPECT_EQ(r.text, text);
+}
+
+TEST(FixTest, PreservesSurroundingTextAndComments) {
+  FixResult r = FixFileText(
+      "% keep this comment\nq(X) :- r(X), X < 4, X < 5.\n\n"
+      "p(Y) :- s(Y).  % untouched rule\n");
+  EXPECT_EQ(r.text,
+            "% keep this comment\nq(X) :- r(X), X < 4.\n\n"
+            "p(Y) :- s(Y).  % untouched rule\n");
+}
+
+TEST(FixTest, FixesShellScriptLines) {
+  FixResult r = FixFileText(
+      "view v(X, Y) :- r(X, Y), r(X, Y).\n"
+      "fact r(1, 2).\n"
+      "retract r(1, 2).\n"
+      "eval\n");
+  EXPECT_EQ(r.text,
+            "view v(X, Y) :- r(X, Y).\n"
+            "fact r(1, 2).\n"
+            "retract r(1, 2).\n"
+            "eval\n");
+  ASSERT_EQ(r.edits.size(), 1u);
+  EXPECT_EQ(r.edits[0].code, "L008");
+}
+
+TEST(FixTest, FixedOutputIsIdempotent) {
+  const char* inputs[] = {
+      "q(X) :- r(X), X < 4, X < 5.\n",
+      "q(X, Y) :- r(X, Y), X <= Y, Y <= X.\n",
+      "q(X) :- r(X, Y), r(Y, X), X <= Y, Y <= X.\n",
+  };
+  for (const char* text : inputs) {
+    FixResult once = FixFileText(text);
+    FixResult twice = FixFileText(once.text);
+    EXPECT_FALSE(twice.changed()) << text;
+    EXPECT_EQ(twice.text, once.text) << text;
+  }
+}
+
+TEST(FixTest, FixedRuleStillLintsWithoutTheFixedCodes) {
+  const char* inputs[] = {
+      "q(X) :- r(X), X < 4, X < 5.\n",
+      "q(Z) :- r(Z, W), r(Z, W).\n",
+  };
+  for (const char* text : inputs) {
+    FixResult r = FixFileText(text);
+    for (const LintDiagnostic& d : LintFileText(r.text))
+      EXPECT_TRUE(d.code != "L006" && d.code != "L008" && d.code != "L010")
+          << text << " -> " << d.ToString();
+  }
+}
+
 // ---- class inference --------------------------------------------------------
 
 ClassInfo ClassOf(const std::string& text) {
@@ -218,6 +349,46 @@ TEST(LintGoldenTest, EveryLintCodeHasACorpusFile) {
     std::filesystem::path file = dir / (std::string(check.code) + ".cqac");
     EXPECT_TRUE(std::filesystem::exists(file)) << file;
   }
+}
+
+// Every <code>.fixed sibling is the exact cqac_lint --fix output for its
+// <code>.cqac corpus file, and fixing is idempotent on it.
+TEST(LintGoldenTest, FixGoldensMatchAndAreStable) {
+  std::filesystem::path dir =
+      std::filesystem::path(CQAC_SOURCE_DIR) / "examples" / "lint";
+  size_t cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fixed") continue;
+    std::filesystem::path input = entry.path();
+    input.replace_extension(".cqac");
+    ASSERT_TRUE(std::filesystem::exists(input))
+        << "orphan fix golden " << entry.path();
+    std::ifstream in(input), want(entry.path());
+    std::ostringstream in_buf, want_buf;
+    in_buf << in.rdbuf();
+    want_buf << want.rdbuf();
+    FixResult r = FixFileText(in_buf.str());
+    EXPECT_TRUE(r.changed()) << input;
+    EXPECT_EQ(r.text, want_buf.str()) << "fix golden mismatch for " << input;
+    EXPECT_FALSE(FixFileText(r.text).changed())
+        << "fix not idempotent for " << input;
+    ++cases;
+  }
+  // One golden per autofixable code (L006, L008, L010).
+  EXPECT_GE(cases, 3u);
+}
+
+// Autofixing the clean corpus program must be the identity.
+TEST(LintGoldenTest, FixLeavesCleanCorpusUntouched) {
+  std::filesystem::path file = std::filesystem::path(CQAC_SOURCE_DIR) /
+                               "examples" / "lint" / "clean.cqac";
+  std::ifstream in(file);
+  ASSERT_TRUE(in.good()) << file;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  FixResult r = FixFileText(buf.str());
+  EXPECT_FALSE(r.changed());
+  EXPECT_EQ(r.text, buf.str());
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ from pathlib import Path
 
 FENCE_OPEN_RE = re.compile(r"^```(\w*)\s*$")
 
-DOC_FILES = ["README.md", "docs/TUTORIAL.md", "docs/SYNTAX.md"]
+DOC_FILES = ["README.md", "docs/TUTORIAL.md", "docs/SYNTAX.md", "docs/ivm.md"]
 
 
 def extract_blocks(path: Path):

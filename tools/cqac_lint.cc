@@ -1,17 +1,25 @@
 // cqac_lint — semantic static analysis for CQAC programs.
 //
 // Usage:
-//   cqac_lint [--json] [--no-notes] [--list-checks] [--threads N]
+//   cqac_lint [--fix] [--json] [--no-notes] [--list-checks] [--threads N]
 //             [file ... | -]
 //
 // Each input is either a plain '.'-terminated rule program or a cqac_shell
 // script (auto-detected by its first command word); shell scripts are linted
-// by extracting the rule text of every view/query/fact/contained/explain
-// line and remapping diagnostics back to the original line and column.
+// by extracting the rule text of every view/query/fact/retract/contained/
+// explain line and remapping diagnostics back to the original line and
+// column.
 //
 // Diagnostics go to stdout as `file:line:col: severity: message [code]`, or
 // as a JSON array with --json. Exit status: 0 clean (or notes only),
 // 1 warnings, 2 errors (lint or parse), 3 usage / I-O failure.
+//
+// --fix applies the mechanical autofixes (L006 drop redundant comparison,
+// L008 drop duplicate subgoal, L010 substitute forced equalities; see
+// src/analysis/fix.h). Named files are rewritten in place; for stdin the
+// fixed text goes to stdout and diagnostics are suppressed. A one-line
+// summary of each applied rewrite goes to stderr. Linting then runs on the
+// fixed text, so the exit status reflects what remains.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/fix.h"
 #include "src/analysis/lint.h"
 #include "src/base/strings.h"
 #include "src/base/task_pool.h"
@@ -88,6 +97,7 @@ void ListChecks() {
 
 int Run(int argc, char** argv) {
   bool json = false;
+  bool fix = false;
   size_t threads = 0;
   LintOptions options;
   std::vector<std::string> files;
@@ -95,6 +105,8 @@ int Run(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--no-notes") {
       options.notes = false;
     } else if (arg == "--list-checks") {
@@ -121,7 +133,7 @@ int Run(int argc, char** argv) {
       threads = static_cast<size_t>(n);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: cqac_lint [--json] [--no-notes] [--list-checks] "
+          "usage: cqac_lint [--fix] [--json] [--no-notes] [--list-checks] "
           "[--threads N] [file ... | -]\n");
       return 0;
     } else if (arg == "-" || arg[0] != '-') {
@@ -157,6 +169,32 @@ int Run(int argc, char** argv) {
     names[i] = f == "-" ? "<stdin>" : f;
   }
 
+  // --fix rewrites each input before linting: files in place, stdin to
+  // stdout (so the tool composes as a filter). Diagnostics below then
+  // describe the fixed text.
+  bool stdout_taken_by_fix = false;
+  if (fix) {
+    for (size_t i = 0; i < files.size(); ++i) {
+      FixResult fixed = FixFileText(texts[i]);
+      for (const FixEdit& e : fixed.edits)
+        std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
+                     e.ToString().c_str());
+      if (files[i] == "-") {
+        std::fwrite(fixed.text.data(), 1, fixed.text.size(), stdout);
+        stdout_taken_by_fix = true;
+      } else if (fixed.changed()) {
+        std::ofstream out(files[i], std::ios::trunc | std::ios::binary);
+        out << fixed.text;
+        if (!out) {
+          std::fprintf(stderr, "cqac_lint: cannot write %s\n",
+                       files[i].c_str());
+          return 3;
+        }
+      }
+      texts[i] = std::move(fixed.text);
+    }
+  }
+
   TaskPool pool(threads);
   std::vector<std::vector<FileDiagnostic>> per_file(files.size());
   pool.ParallelFor(files.size(), [&](size_t i) {
@@ -169,10 +207,13 @@ int Run(int argc, char** argv) {
   for (std::vector<FileDiagnostic>& fd : per_file)
     for (FileDiagnostic& d : fd) diags.push_back(std::move(d));
 
-  if (json)
+  if (stdout_taken_by_fix) {
+    // stdout carries the fixed text; keep it clean for redirection.
+  } else if (json) {
     PrintJson(diags);
-  else
+  } else {
     PrintText(diags);
+  }
 
   LintSeverity max = LintSeverity::kNote;
   bool any_above_note = false;

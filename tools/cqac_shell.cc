@@ -5,7 +5,9 @@
 //
 //   view <rule>            declare a view
 //   query <rule>           set the current query
-//   fact <atom>            add a tuple to the base database
+//   fact <atom>            add a tuple to the base database (materialized
+//                          views update incrementally, src/ivm)
+//   retract <atom>         remove a tuple from the base database
 //   classify               print the query's comparison class
 //   rewrite                print the MCR (auto-dispatches: LSI/RSI ->
 //                          RewriteLSIQuery; CQAC-SI + SI views -> recursive
@@ -43,6 +45,7 @@
 #include "src/eval/evaluate.h"
 #include "src/ir/expansion.h"
 #include "src/ir/parser.h"
+#include "src/ivm/maintain.h"
 #include "src/rewriting/bucket.h"
 #include "src/rewriting/er_search.h"
 #include "src/rewriting/rewrite_lsi.h"
@@ -89,6 +92,7 @@ class Shell {
     if (cmd == "view") return AddView(rest);
     if (cmd == "query") return SetQuery(rest);
     if (cmd == "fact") return AddFact(rest);
+    if (cmd == "retract") return RetractFact(rest);
     if (cmd == "classify") return Classify();
     if (cmd == "rewrite") return Rewrite();
     if (cmd == "er") return FindEr();
@@ -106,10 +110,10 @@ class Shell {
 
   bool Help() {
     std::printf(
-        "commands: view <rule> | query <rule> | fact <atom> | classify |\n"
-        "          rewrite | er | minimize | eval | answers |\n"
-        "          contained <rule> | explain <rule> | intervals |\n"
-        "          lint | verify | stats | reset | help\n");
+        "commands: view <rule> | query <rule> | fact <atom> |\n"
+        "          retract <atom> | classify | rewrite | er | minimize |\n"
+        "          eval | answers | contained <rule> | explain <rule> |\n"
+        "          intervals | lint | verify | stats | reset | help\n");
     return true;
   }
 
@@ -122,6 +126,10 @@ class Shell {
     Result<ParsedQuery> v = ParseQueryWithInfo(text);
     if (!v.ok()) return Fail(v.status().ToString());
     Status st = views_.Add(v.value().query);
+    if (!st.ok()) return Fail(st.ToString());
+    // Materialize the new view over the current base so later facts only
+    // pay for their deltas.
+    st = store_.AddView(*ctx_, v.value().query);
     if (!st.ok()) return Fail(st.ToString());
     view_sources_.push_back(std::move(v).value());
     std::printf("ok: view %s\n",
@@ -144,8 +152,16 @@ class Shell {
   bool AddFact(const std::string& text) {
     Result<Database> one = Database::FromFacts(text);
     if (!one.ok()) return Fail(one.status().ToString());
-    Status st = db_.Merge(one.value());
-    if (!st.ok()) return Fail(st.ToString());
+    Result<ivm::ApplySummary> s = store_.ApplyInsert(*ctx_, one.value());
+    if (!s.ok()) return Fail(s.status().ToString());
+    return true;
+  }
+
+  bool RetractFact(const std::string& text) {
+    Result<Database> one = Database::FromFacts(text);
+    if (!one.ok()) return Fail(one.status().ToString());
+    Result<ivm::ApplySummary> s = store_.ApplyRetract(*ctx_, one.value());
+    if (!s.ok()) return Fail(s.status().ToString());
     return true;
   }
 
@@ -222,7 +238,7 @@ class Shell {
 
   bool Evaluate() {
     if (!NeedQuery()) return false;
-    Result<Relation> r = EvaluateQuery(query_, db_);
+    Result<Relation> r = EvaluateQuery(query_, store_.base());
     if (!r.ok()) return Fail(r.status().ToString());
     PrintRelation(r.value());
     return true;
@@ -234,9 +250,10 @@ class Shell {
       if (!Rewrite()) return false;
       if (!have_mcr_) return Fail("no rewriting available");
     }
-    Result<Database> vdb = MaterializeViews(views_, db_);
-    if (!vdb.ok()) return Fail(vdb.status().ToString());
-    Result<Relation> r = EvaluateUnion(last_mcr_, vdb.value());
+    // The store's maintained view database is exactly
+    // MaterializeViews(views_, base) — kept current by fact/retract, so no
+    // per-command rematerialization.
+    Result<Relation> r = EvaluateUnion(last_mcr_, store_.views());
     if (!r.ok()) return Fail(r.status().ToString());
     PrintRelation(r.value());
     return true;
@@ -351,7 +368,7 @@ class Shell {
   Query query_;
   ParsedQuery query_source_;
   bool have_query_ = false;
-  Database db_;
+  ivm::MaterializedViewSet store_;  // base facts + maintained views
   UnionQuery last_mcr_;
   bool have_mcr_ = false;
 };
