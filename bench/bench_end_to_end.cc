@@ -130,4 +130,4 @@ BENCHMARK(BM_RewriteSharedContext);
 }  // namespace
 }  // namespace cqac
 
-CQAC_BENCHMARK_MAIN()
+CQAC_BENCHMARK_MAIN_WITH_JSON("eval")

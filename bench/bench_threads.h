@@ -90,6 +90,10 @@ inline void RecordParallelCounters(benchmark::State& state,
       static_cast<double>(uint64_t{ctx.stats().parallel_tasks});
   state.counters["parallel_wall_ms"] =
       static_cast<double>(uint64_t{ctx.stats().parallel_wall_ns}) / 1e6;
+  state.counters["eval_batches"] =
+      static_cast<double>(uint64_t{ctx.stats().eval_batches});
+  state.counters["eval_smallint_fallbacks"] =
+      static_cast<double>(uint64_t{ctx.stats().eval_smallint_fallbacks});
 }
 
 // Runs `workload(ctx)` once against a fresh serial context and once against

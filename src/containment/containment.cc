@@ -377,8 +377,7 @@ Result<bool> IsContainedByCanonicalDatabases(const Query& q2,
       q2, q1_constants, nullptr,
       [&](const Database& db, const Tuple& head) -> Result<bool> {
         if (q1_inconsistent) return false;
-        CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(q1p, db));
-        return r.count(head) > 0;
+        return QueryYieldsTuple(q1p, db, head);
       });
 }
 
@@ -439,9 +438,11 @@ Result<bool> IsContainedInUnion(EngineContext& ctx, const Query& q,
         ctx, batch.size(),
         [&](size_t i) -> Result<bool> {
           for (const Query& d : prepped) {
-            CQAC_ASSIGN_OR_RETURN(Relation r,
-                                  EvaluateQuery(d, batch[i].first));
-            if (r.count(batch[i].second) > 0) return true;
+            CQAC_ASSIGN_OR_RETURN(
+                bool covered,
+                QueryYieldsTuple(d, batch[i].first, batch[i].second,
+                                 &ctx.stats()));
+            if (covered) return true;
           }
           return false;
         },

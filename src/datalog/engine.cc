@@ -51,10 +51,12 @@ Engine::Engine(std::vector<EngineRule> rules, std::string query_predicate)
 
 namespace {
 
-// Instantiates the head of `er` (including Skolem terms) for one satisfying
-// body assignment.
-Status InstantiateHead(const EngineRule& er,
-                       const std::vector<std::optional<Value>>& binding,
+// Instantiates the head of `er` (including Skolem terms) for row `row` of a
+// batch of satisfying body assignments. *head is a reused buffer: the
+// caller copies it on keep, so firing a rule allocates nothing per row
+// beyond what the output set itself requires.
+Status InstantiateHead(const EngineRule& er, const Batch& b,
+                       const std::vector<int>& var_col, size_t row,
                        Tuple* head) {
   head->clear();
   head->reserve(er.rule.head().args.size());
@@ -67,17 +69,17 @@ Status InstantiateHead(const EngineRule& er,
     if (sk != er.skolems.end()) {
       std::vector<std::string> parts;
       for (int arg : sk->second.arg_vars) {
-        if (!binding[arg].has_value())
+        if (var_col[arg] < 0)
           return Status::Internal("unbound skolem argument");
-        parts.push_back(binding[arg]->ToString());
+        parts.push_back(b.cols[var_col[arg]].At(row).ToString());
       }
       head->push_back(
           Value(StrCat("sk", sk->second.fn_id, "(", Join(parts, ","), ")")));
       continue;
     }
-    if (!binding[t.var()].has_value())
+    if (var_col[t.var()] < 0)
       return Status::Internal("unbound head variable");
-    head->push_back(*binding[t.var()]);
+    head->push_back(b.cols[var_col[t.var()]].At(row));
   }
   return Status::OK();
 }
@@ -100,14 +102,18 @@ Status Engine::FireRule(
     return Status::InvalidArgument(
         "FireRule: one relation required per body atom");
   Status fire_status = Status::OK();
-  JoinBody(er.rule, relations,
-           [&](const std::vector<std::optional<Value>>& binding) {
-             if (!fire_status.ok()) return;
-             Tuple head;
-             fire_status = InstantiateHead(er, binding, &head);
-             if (fire_status.ok())
-               emit(er.rule.head().predicate, std::move(head));
-           });
+  Tuple head;
+  JoinBodyBatches(
+      er.rule, relations,
+      [&](const Batch& b, const std::vector<int>& var_col) {
+        for (size_t row = 0; row < b.rows; ++row) {
+          fire_status = InstantiateHead(er, b, var_col, row, &head);
+          if (!fire_status.ok()) return false;
+          emit(er.rule.head().predicate, head);
+        }
+        return true;
+      },
+      [] { return true; });
   return fire_status;
 }
 
@@ -149,17 +155,29 @@ Result<Database> Engine::Evaluate(const Database& edb,
   }
   size_t total = 0;
 
-  // Instantiates the head of `er` for one satisfying body assignment and
-  // inserts a new tuple into `out` if unseen in `full`.
-  auto fire = [&](const EngineRule& er,
-                  const std::vector<std::optional<Value>>& binding,
-                  std::map<std::string, Relation>* out) -> Status {
-    Tuple head;
-    CQAC_RETURN_IF_ERROR(InstantiateHead(er, binding, &head));
+  // Runs the body join of `er` over `rels` and inserts every instantiated
+  // head into `out` unless it is already known in `full`.
+  Tuple head_buf;
+  auto fire_rule = [&](const EngineRule& er,
+                       const std::vector<const Relation*>& rels,
+                       std::map<std::string, Relation>* out) -> Status {
+    Status st = Status::OK();
     const std::string& pred = er.rule.head().predicate;
-    if (!full[pred].count(head) && (*out)[pred].insert(std::move(head)).second)
-      ++total;
-    return Status::OK();
+    const Relation& known = full[pred];
+    Relation& sink = (*out)[pred];
+    JoinBodyBatches(
+        er.rule, rels,
+        [&](const Batch& b, const std::vector<int>& var_col) {
+          for (size_t row = 0; row < b.rows; ++row) {
+            st = InstantiateHead(er, b, var_col, row, &head_buf);
+            if (!st.ok()) return false;
+            if (!known.count(head_buf) && sink.insert(head_buf).second)
+              ++total;
+          }
+          return true;
+        },
+        [] { return true; });
+    return st;
   };
 
   // Relation selector: IDB reads `full` (or delta when flagged), EDB reads
@@ -171,8 +189,6 @@ Result<Database> Engine::Evaluate(const Database& edb,
     return &edb.Get(a.predicate);
   };
 
-  Status fire_status = Status::OK();
-
   // Round 0: every rule evaluated with IDB relations empty contributes only
   // if it has no IDB body atoms.
   for (const EngineRule& er : rules_) {
@@ -182,11 +198,7 @@ Result<Database> Engine::Evaluate(const Database& edb,
     if (has_idb) continue;
     std::vector<const Relation*> rels;
     for (const Atom& a : er.rule.body()) rels.push_back(relation_for(a, nullptr));
-    JoinBody(er.rule, rels,
-             [&](const std::vector<std::optional<Value>>& binding) {
-               if (fire_status.ok()) fire_status = fire(er, binding, &delta);
-             });
-    CQAC_RETURN_IF_ERROR(fire_status);
+    CQAC_RETURN_IF_ERROR(fire_rule(er, rels, &delta));
   }
   for (const std::string& p : idb)
     full[p].insert(delta[p].begin(), delta[p].end());
@@ -216,11 +228,7 @@ Result<Database> Engine::Evaluate(const Database& edb,
           rels.push_back(relation_for(
               er.rule.body()[j],
               j == i ? &delta[er.rule.body()[j].predicate] : nullptr));
-        JoinBody(er.rule, rels,
-                 [&](const std::vector<std::optional<Value>>& binding) {
-                   if (fire_status.ok()) fire_status = fire(er, binding, &next);
-                 });
-        CQAC_RETURN_IF_ERROR(fire_status);
+        CQAC_RETURN_IF_ERROR(fire_rule(er, rels, &next));
       }
     }
     for (const std::string& p : idb)

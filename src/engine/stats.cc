@@ -24,6 +24,8 @@ namespace cqac {
   X(cache_evictions)                                                        \
   X(cache_flushes)                                                          \
   X(budget_exhaustions)                                                     \
+  X(eval_batches)                                                           \
+  X(eval_smallint_fallbacks)                                                \
   X(rewrite_candidates)                                                     \
   X(rewrite_verified_rejects)                                               \
   X(parallel_sections)                                                      \
@@ -110,6 +112,8 @@ std::string EngineStats::ToString() const {
       "cache: ", uint64_t{cache_evictions}, " evictions, ",
       uint64_t{cache_flushes}, " flushes\n",
       "budget: ", uint64_t{budget_exhaustions}, " exhaustions\n",
+      "eval: ", uint64_t{eval_batches}, " batches, ",
+      uint64_t{eval_smallint_fallbacks}, " small-int fallbacks\n",
       "rewriting: ", uint64_t{rewrite_candidates}, " candidates, ",
       uint64_t{rewrite_verified_rejects}, " verified rejects\n",
       "parallel: ", uint64_t{parallel_sections}, " sections, ",

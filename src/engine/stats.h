@@ -64,6 +64,8 @@ struct StatsSnapshot {
   uint64_t cache_evictions = 0;
   uint64_t cache_flushes = 0;
   uint64_t budget_exhaustions = 0;
+  uint64_t eval_batches = 0;
+  uint64_t eval_smallint_fallbacks = 0;
   uint64_t rewrite_candidates = 0;
   uint64_t rewrite_verified_rejects = 0;
   uint64_t parallel_sections = 0;
@@ -119,6 +121,10 @@ struct EngineStats {
 
   // Budget enforcement.
   StatCounter budget_exhaustions;
+
+  // Columnar join evaluation (src/eval/batch.h).
+  StatCounter eval_batches;              // non-empty batches emitted
+  StatCounter eval_smallint_fallbacks;   // column promotions off the i64 path
 
   // Rewriting layer.
   StatCounter rewrite_candidates;

@@ -1,0 +1,198 @@
+#include "src/eval/batch.h"
+
+#include "src/eval/evaluate.h"
+
+namespace cqac {
+
+void Column::Reserve(size_t n) {
+  if (small_int_)
+    ints_.reserve(n);
+  else
+    vals_.reserve(n);
+}
+
+void Column::Promote() {
+  vals_.reserve(ints_.size());
+  for (int64_t v : ints_) vals_.emplace_back(Rational(v));
+  ints_.clear();
+  ints_.shrink_to_fit();
+  small_int_ = false;
+}
+
+void Column::Append(const Value& v) {
+  if (small_int_) {
+    if (v.is_number() && v.number().is_integer()) {
+      ints_.push_back(v.number().num());
+      return;
+    }
+    // A non-integral rational is a genuine exact-arithmetic fallback, as is
+    // any value arriving after integers already landed on the fast path. A
+    // symbol opening an empty column just types it general.
+    if (v.is_number() || !ints_.empty()) ++promotions_;
+    Promote();
+  }
+  vals_.push_back(v);
+}
+
+void Column::AppendGather(const Column& src, const SelVector& sel) {
+  if (small_int_ && !src.small_int_) Promote();
+  if (small_int_) {
+    ints_.reserve(ints_.size() + sel.size());
+    for (uint32_t i : sel) ints_.push_back(src.ints_[i]);
+  } else if (src.small_int_) {
+    vals_.reserve(vals_.size() + sel.size());
+    for (uint32_t i : sel) vals_.emplace_back(Rational(src.ints_[i]));
+  } else {
+    vals_.reserve(vals_.size() + sel.size());
+    for (uint32_t i : sel) vals_.push_back(src.vals_[i]);
+  }
+}
+
+void Column::GatherInPlace(const SelVector& sel) {
+  if (small_int_) {
+    for (size_t j = 0; j < sel.size(); ++j) ints_[j] = ints_[sel[j]];
+    ints_.resize(sel.size());
+  } else {
+    for (size_t j = 0; j < sel.size(); ++j)
+      if (j != sel[j]) vals_[j] = std::move(vals_[sel[j]]);
+    vals_.erase(vals_.begin() + static_cast<ptrdiff_t>(sel.size()),
+                vals_.end());
+  }
+}
+
+void Batch::Filter(const SelVector& sel) {
+  if (sel.size() == rows) return;
+  for (Column& c : cols) c.GatherInPlace(sel);
+  rows = sel.size();
+}
+
+uint64_t Batch::TotalPromotions() const {
+  uint64_t total = 0;
+  for (const Column& c : cols) total += c.promotions();
+  return total;
+}
+
+namespace {
+
+/// Compacts *sel in place, keeping index i iff pred(i). The loop is
+/// branch-free: the slot is written unconditionally and the write cursor
+/// advances by the predicate's value.
+template <typename Pred>
+void FilterSel(SelVector* sel, Pred pred) {
+  SelVector& s = *sel;
+  size_t out = 0;
+  for (size_t j = 0; j < s.size(); ++j) {
+    const uint32_t i = s[j];
+    s[out] = i;
+    out += static_cast<size_t>(pred(i));
+  }
+  s.resize(out);
+}
+
+/// Exact `a op p/q` on the fast path: cross-multiplied in 128-bit
+/// intermediates (den > 0 by Rational's invariant), so no overflow for any
+/// representable operands.
+inline bool IntVsRational(int64_t a, CompOp op, int64_t p, int64_t q) {
+  const __int128 lhs = static_cast<__int128>(a) * q;
+  if (op == CompOp::kLt) return lhs < p;
+  if (op == CompOp::kLe) return lhs <= p;
+  return lhs == p;
+}
+
+}  // namespace
+
+void FilterColumnColumn(const Column& lhs, CompOp op, const Column& rhs,
+                        SelVector* sel) {
+  if (lhs.small_int() && rhs.small_int()) {
+    switch (op) {
+      case CompOp::kLt:
+        FilterSel(sel, [&](uint32_t i) {
+          return lhs.SmallIntAt(i) < rhs.SmallIntAt(i);
+        });
+        return;
+      case CompOp::kLe:
+        FilterSel(sel, [&](uint32_t i) {
+          return lhs.SmallIntAt(i) <= rhs.SmallIntAt(i);
+        });
+        return;
+      case CompOp::kEq:
+        FilterSel(sel, [&](uint32_t i) {
+          return lhs.SmallIntAt(i) == rhs.SmallIntAt(i);
+        });
+        return;
+    }
+  }
+  FilterSel(sel, [&](uint32_t i) {
+    return EvaluateGroundComparison(lhs.At(i), op, rhs.At(i));
+  });
+}
+
+void FilterColumnConst(const Column& lhs, CompOp op, const Value& c,
+                       SelVector* sel) {
+  if (lhs.small_int()) {
+    if (!c.is_number()) {
+      // A number never orders against (or equals) a symbol.
+      sel->clear();
+      return;
+    }
+    const int64_t p = c.number().num();
+    const int64_t q = c.number().den();
+    if (q == 1) {
+      switch (op) {
+        case CompOp::kLt:
+          FilterSel(sel, [&](uint32_t i) { return lhs.SmallIntAt(i) < p; });
+          return;
+        case CompOp::kLe:
+          FilterSel(sel, [&](uint32_t i) { return lhs.SmallIntAt(i) <= p; });
+          return;
+        case CompOp::kEq:
+          FilterSel(sel, [&](uint32_t i) { return lhs.SmallIntAt(i) == p; });
+          return;
+      }
+    }
+    FilterSel(sel,
+              [&](uint32_t i) { return IntVsRational(lhs.SmallIntAt(i), op, p, q); });
+    return;
+  }
+  FilterSel(sel, [&](uint32_t i) {
+    return EvaluateGroundComparison(lhs.At(i), op, c);
+  });
+}
+
+void FilterConstColumn(const Value& c, CompOp op, const Column& rhs,
+                       SelVector* sel) {
+  if (rhs.small_int()) {
+    if (!c.is_number()) {
+      sel->clear();
+      return;
+    }
+    const int64_t p = c.number().num();
+    const int64_t q = c.number().den();
+    if (q == 1) {
+      switch (op) {
+        case CompOp::kLt:
+          FilterSel(sel, [&](uint32_t i) { return p < rhs.SmallIntAt(i); });
+          return;
+        case CompOp::kLe:
+          FilterSel(sel, [&](uint32_t i) { return p <= rhs.SmallIntAt(i); });
+          return;
+        case CompOp::kEq:
+          FilterSel(sel, [&](uint32_t i) { return p == rhs.SmallIntAt(i); });
+          return;
+      }
+    }
+    // p/q op b  <=>  p op b*q.
+    FilterSel(sel, [&](uint32_t i) {
+      const __int128 scaled = static_cast<__int128>(rhs.SmallIntAt(i)) * q;
+      if (op == CompOp::kLt) return static_cast<__int128>(p) < scaled;
+      if (op == CompOp::kLe) return static_cast<__int128>(p) <= scaled;
+      return static_cast<__int128>(p) == scaled;
+    });
+    return;
+  }
+  FilterSel(sel, [&](uint32_t i) {
+    return EvaluateGroundComparison(c, op, rhs.At(i));
+  });
+}
+
+}  // namespace cqac

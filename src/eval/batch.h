@@ -1,0 +1,117 @@
+// Columnar batches for the vectorized join evaluator (docs/eval.md).
+//
+// A Batch is a set of rows stored column-major. Every column starts on the
+// small-integer fast path: while all of its values are integral Rationals,
+// they live in a raw int64_t vector and comparison filters run branch-free
+// on machine words. The first non-integral rational (or a symbol arriving
+// after integers) promotes the column to exact Value storage — the engine
+// counts those promotions as `eval_smallint_fallbacks`. Columns whose first
+// value is a symbol are typed general from the start (symbols are not a
+// fallback, they are simply never on the numeric fast path).
+//
+// Comparison filters consume and produce selection vectors (row-index
+// lists), so a chain of AC predicates narrows one shared selection instead
+// of copying rows per predicate. All numeric comparisons are exact: the
+// small-int-vs-rational case cross-multiplies in 128-bit intermediates, so
+// the fast path never overflows into a wrong answer.
+#ifndef CQAC_EVAL_BATCH_H_
+#define CQAC_EVAL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/atom.h"
+#include "src/ir/term.h"
+
+namespace cqac {
+
+/// Indices of the rows a filter kept, in ascending order.
+using SelVector = std::vector<uint32_t>;
+
+/// One column of a Batch: tagged int64 fast path, exact Value fallback.
+class Column {
+ public:
+  Column() = default;
+
+  bool small_int() const { return small_int_; }
+  size_t size() const { return small_int_ ? ints_.size() : vals_.size(); }
+
+  /// Promotions from the small-int path to Value storage over this column's
+  /// lifetime (summed into the eval_smallint_fallbacks stat counter).
+  uint64_t promotions() const { return promotions_; }
+
+  void Reserve(size_t n);
+
+  /// Appends `v`, promoting to general storage when it leaves the
+  /// small-int domain.
+  void Append(const Value& v);
+
+  /// Fast-path accessor; valid only while small_int().
+  int64_t SmallIntAt(size_t i) const { return ints_[i]; }
+
+  /// Row i as a Value (materialized from the int on the fast path).
+  Value At(size_t i) const {
+    return small_int_ ? Value(Rational(ints_[i])) : vals_[i];
+  }
+
+  /// True iff row i equals `v` — no Value is materialized on the fast path.
+  bool EqualsAt(size_t i, const Value& v) const {
+    if (small_int_)
+      return v.is_number() && v.number().is_integer() &&
+             v.number().num() == ints_[i];
+    return vals_[i] == v;
+  }
+
+  /// Appends rows sel[0..] of `src` to this column (adopting src's storage
+  /// kind first, so gathering never counts as a promotion).
+  void AppendGather(const Column& src, const SelVector& sel);
+
+  /// Keeps exactly the rows named by `sel`, in order.
+  void GatherInPlace(const SelVector& sel);
+
+ private:
+  void Promote();
+
+  std::vector<int64_t> ints_;
+  std::vector<Value> vals_;
+  bool small_int_ = true;
+  uint64_t promotions_ = 0;
+};
+
+/// A column-major batch of rows. The meaning of each column (which query
+/// variable it binds) is carried separately by the join's var->column map.
+struct Batch {
+  std::vector<Column> cols;
+  size_t rows = 0;
+
+  /// Keeps exactly the rows named by `sel` in every column.
+  void Filter(const SelVector& sel);
+
+  /// Sum of per-column small-int promotions.
+  uint64_t TotalPromotions() const;
+};
+
+// --- Vectorized comparison filters -----------------------------------------
+//
+// Each filter narrows *sel in place: a row index survives iff the predicate
+// holds on that row. When both operands are on the small-int path the inner
+// loop is branch-free (write index, advance by predicate); otherwise the
+// filter falls back to exact per-row Value comparison with the same
+// semantics as EvaluateGroundComparison (ordered comparisons involving a
+// symbol are false; equality is exact).
+
+/// Keeps rows where `lhs[i] op rhs[i]`.
+void FilterColumnColumn(const Column& lhs, CompOp op, const Column& rhs,
+                        SelVector* sel);
+
+/// Keeps rows where `lhs[i] op c`.
+void FilterColumnConst(const Column& lhs, CompOp op, const Value& c,
+                       SelVector* sel);
+
+/// Keeps rows where `c op rhs[i]`.
+void FilterConstColumn(const Value& c, CompOp op, const Column& rhs,
+                       SelVector* sel);
+
+}  // namespace cqac
+
+#endif  // CQAC_EVAL_BATCH_H_

@@ -18,6 +18,29 @@ Status Database::Insert(const std::string& predicate, Tuple tuple) {
   return Status::OK();
 }
 
+Status Database::InsertRelation(const std::string& predicate, Relation rel) {
+  if (rel.empty()) return Status::OK();
+  const size_t arity = rel.begin()->size();
+  for (const Tuple& t : rel)
+    if (t.size() != arity)
+      return Status::InvalidArgument(
+          StrCat("arity mismatch inserting into '", predicate, "': got ",
+                 t.size(), ", relation has ", arity));
+  auto [it, inserted] = relations_.try_emplace(predicate, std::move(rel));
+  if (inserted) return Status::OK();
+  Relation& dst = it->second;
+  if (!dst.empty() && dst.begin()->size() != arity)
+    return Status::InvalidArgument(
+        StrCat("arity mismatch inserting into '", predicate, "': got ", arity,
+               ", relation has ", dst.begin()->size()));
+  if (dst.empty()) {
+    dst = std::move(rel);
+  } else {
+    dst.merge(std::move(rel));
+  }
+  return Status::OK();
+}
+
 bool Database::Remove(const std::string& predicate, const Tuple& tuple) {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return false;

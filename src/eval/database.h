@@ -32,6 +32,12 @@ class Database {
   /// Inserts `tuple` into relation `predicate`; enforces consistent arity.
   Status Insert(const std::string& predicate, Tuple tuple);
 
+  /// Bulk Insert: merges the whole of `rel` into relation `predicate` with
+  /// the same arity enforcement, moving the set in wholesale when the
+  /// relation does not exist yet (the MaterializeViews fast path — no
+  /// per-tuple copy or re-balancing). An empty `rel` is a no-op.
+  Status InsertRelation(const std::string& predicate, Relation rel);
+
   /// Removes `tuple` from relation `predicate`. Returns true when the tuple
   /// was present. An emptied relation keeps its (empty) entry so arity
   /// bookkeeping and iteration order stay stable.

@@ -1,5 +1,7 @@
 #include "src/eval/evaluate.h"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 #include "src/base/strings.h"
@@ -16,14 +18,87 @@ bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs) {
 
 namespace {
 
+/// Packed single-column index over integral keys: tuple pointers grouped by
+/// key in one contiguous array, located through an open-addressing table.
+/// Building is two contiguous passes (collect + sort) with zero per-key
+/// allocations — an order of magnitude fewer heap hits than a
+/// map-of-vectors — and probing is one multiplicative hash plus a short
+/// linear scan. Tuples whose key column is a symbol or a non-integral
+/// rational can never equal an integral probe, so the index omits them.
+class FlatIntIndex {
+ public:
+  void Build(const Relation& rel, size_t col) {
+    std::vector<std::pair<int64_t, const Tuple*>> entries;
+    entries.reserve(rel.size());
+    for (const Tuple& t : rel)
+      if (col < t.size() && t[col].is_number() && t[col].number().is_integer())
+        entries.emplace_back(t[col].number().num(), &t);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    slots_.reserve(entries.size());
+    for (const auto& [k, t] : entries) slots_.push_back(t);
+    for (size_t i = 0; i < entries.size();) {
+      size_t j = i;
+      while (j < entries.size() && entries[j].first == entries[i].first) ++j;
+      groups_.push_back(Group{entries[i].first, static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(j - i)});
+      i = j;
+    }
+
+    size_t cap = 2;
+    while (cap < groups_.size() * 2) cap <<= 1;  // load factor <= 0.5
+    mask_ = cap - 1;
+    table_.assign(cap, -1);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      size_t i = Hash(groups_[g].key) & mask_;
+      while (table_[i] != -1) i = (i + 1) & mask_;
+      table_[i] = static_cast<int32_t>(g);
+    }
+  }
+
+  /// Points *data at the tuples keyed `k` (*len of them; 0 on miss).
+  void Probe(int64_t k, const Tuple* const** data, size_t* len) const {
+    size_t i = Hash(k) & mask_;
+    while (table_[i] != -1) {
+      const Group& g = groups_[table_[i]];
+      if (g.key == k) {
+        *data = slots_.data() + g.start;
+        *len = g.len;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    *len = 0;
+  }
+
+ private:
+  struct Group {
+    int64_t key;
+    uint32_t start;
+    uint32_t len;
+  };
+
+  static uint64_t Hash(int64_t k) {
+    uint64_t x = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    return x ^ (x >> 29);
+  }
+
+  std::vector<Group> groups_;
+  std::vector<int32_t> table_;
+  std::vector<const Tuple*> slots_;
+  size_t mask_ = 1;
+};
+
 /// Lazy single-column hash indexes over the relations of one join. Built on
-/// first probe of a (atom, column) pair, amortized across the whole
-/// backtracking search — this is what turns chain joins from quadratic scans
-/// into hash lookups.
+/// first probe of a (atom, column) pair, amortized across the whole join —
+/// this is what turns chain joins from quadratic scans into hash lookups.
 class JoinIndexes {
  public:
   explicit JoinIndexes(const std::vector<const Relation*>& relations)
-      : relations_(relations), per_atom_(relations.size()) {}
+      : relations_(relations),
+        per_atom_(relations.size()),
+        int_per_atom_(relations.size()) {}
 
   const std::vector<const Tuple*>& Probe(size_t atom, size_t col,
                                          const Value& v) {
@@ -39,6 +114,19 @@ class JoinIndexes {
     return hit == it->second.end() ? kEmpty : hit->second;
   }
 
+  /// Probe for an integral key from a small-int batch column: no Value is
+  /// materialized and the lookup goes through the packed FlatIntIndex.
+  void ProbeInt(size_t atom, size_t col, int64_t v, const Tuple* const** data,
+                size_t* len) {
+    auto& cols = int_per_atom_[atom];
+    auto it = cols.find(col);
+    if (it == cols.end()) {
+      it = cols.emplace(col, FlatIntIndex()).first;
+      it->second.Build(*relations_[atom], col);
+    }
+    it->second.Probe(v, data, len);
+  }
+
  private:
   using ColumnIndex =
       std::unordered_map<Value, std::vector<const Tuple*>>;
@@ -46,103 +134,375 @@ class JoinIndexes {
 
   const std::vector<const Relation*>& relations_;
   std::vector<std::unordered_map<size_t, ColumnIndex>> per_atom_;
+  std::vector<std::unordered_map<size_t, FlatIntIndex>> int_per_atom_;
 };
 
 const std::vector<const Tuple*> JoinIndexes::kEmpty;
 
+/// Rows per output batch before it flushes into the next atom. Large enough
+/// to amortize per-batch planning and keep filter loops vectorizable, small
+/// enough that a deep join never holds more than atoms × kBatchRows rows of
+/// intermediate state.
+constexpr size_t kBatchRows = 1024;
+
+/// The batch-at-a-time join core behind JoinBodyBatches. One AtomPlan per
+/// body atom, compiled once per call: which position to probe on, which
+/// positions to check against constants / already-bound columns / duplicate
+/// in-atom occurrences, which positions bind new columns, and which
+/// comparisons become ground after this atom (they filter here, eagerly —
+/// same pruning as the row engine's comparisons_hold after every atom).
+/// Execution is segmented depth-first: each atom accumulates up to
+/// kBatchRows matches, builds the extended output batch, vector-filters it
+/// through this atom's comparisons, and recurses.
+class BatchJoiner {
+ public:
+  BatchJoiner(const Query& q, const std::vector<const Relation*>& relations,
+              FunctionRef<bool(const Batch&, const std::vector<int>&)> sink,
+              FunctionRef<bool()> checkpoint, const JoinIndexSource* ext,
+              EngineStats* stats)
+      : q_(q),
+        relations_(relations),
+        sink_(sink),
+        checkpoint_(checkpoint),
+        ext_(ext),
+        stats_(stats),
+        indexes_(relations) {}
+
+  /// Returns false iff the checkpoint aborted the join.
+  bool Run() {
+    if (Plan()) {
+      Batch unit;
+      unit.rows = 1;
+      if (q_.body().empty()) {
+        Emit(unit);
+      } else {
+        Process(0, unit);
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->eval_batches += batches_;
+      stats_->eval_smallint_fallbacks += fallbacks_;
+    }
+    return !aborted_;
+  }
+
+ private:
+  struct CompPlan {
+    CompOp op;
+    int lhs_col = -1;  // -1: lhs is the constant *lhs_const
+    int rhs_col = -1;
+    const Value* lhs_const = nullptr;
+    const Value* rhs_const = nullptr;
+  };
+
+  struct AtomPlan {
+    size_t arity = 0;
+    int probe_pos = -1;  // -1: full scan of the relation
+    int probe_col = -1;  // -1 with probe_pos >= 0: constant probe
+    const Value* probe_const = nullptr;
+    std::vector<std::pair<size_t, const Value*>> const_checks;
+    std::vector<std::pair<size_t, int>> bound_checks;   // (pos, batch col)
+    std::vector<std::pair<size_t, size_t>> dup_checks;  // (first pos, pos)
+    std::vector<std::pair<size_t, int>> new_positions;  // (pos, var)
+    size_t in_cols = 0;  // batch width entering this atom
+    std::vector<CompPlan> comps;
+  };
+
+  /// Compiles the per-atom plans. Returns false when a constant-constant
+  /// comparison is already false (the join has no results).
+  bool Plan() {
+    var_col_.assign(q_.num_vars(), -1);
+    const auto& comps = q_.comparisons();
+    std::vector<char> comp_done(comps.size(), 0);
+    for (size_t ci = 0; ci < comps.size(); ++ci) {
+      if (comps[ci].lhs.is_const() && comps[ci].rhs.is_const()) {
+        comp_done[ci] = 1;
+        if (!EvaluateGroundComparison(comps[ci].lhs.value(), comps[ci].op,
+                                      comps[ci].rhs.value()))
+          return false;
+      }
+    }
+
+    int width = 0;
+    plans_.resize(q_.body().size());
+    for (size_t a = 0; a < q_.body().size(); ++a) {
+      const Atom& atom = q_.body()[a];
+      AtomPlan& p = plans_[a];
+      p.arity = atom.args.size();
+      p.in_cols = static_cast<size_t>(width);
+      std::unordered_map<int, size_t> first_pos_of_new;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_const()) {
+          if (p.probe_pos < 0) {
+            p.probe_pos = static_cast<int>(i);
+            p.probe_const = &t.value();
+          } else {
+            p.const_checks.emplace_back(i, &t.value());
+          }
+        } else if (var_col_[t.var()] >= 0) {
+          // Bound by an earlier atom.
+          if (p.probe_pos < 0) {
+            p.probe_pos = static_cast<int>(i);
+            p.probe_col = var_col_[t.var()];
+          } else {
+            p.bound_checks.emplace_back(i, var_col_[t.var()]);
+          }
+        } else if (auto it = first_pos_of_new.find(t.var());
+                   it != first_pos_of_new.end()) {
+          // Repeated new variable within this atom: equality of positions.
+          p.dup_checks.emplace_back(it->second, i);
+        } else {
+          first_pos_of_new.emplace(t.var(), i);
+          p.new_positions.emplace_back(i, t.var());
+        }
+      }
+      for (const auto& [pos, var] : p.new_positions) var_col_[var] = width++;
+
+      // Comparisons whose sides are all determined after this atom filter
+      // here; ones with a never-bound side are skipped (treated true), same
+      // as the row engine.
+      for (size_t ci = 0; ci < comps.size(); ++ci) {
+        if (comp_done[ci]) continue;
+        const Comparison& c = comps[ci];
+        const bool lhs_ready = c.lhs.is_const() || var_col_[c.lhs.var()] >= 0;
+        const bool rhs_ready = c.rhs.is_const() || var_col_[c.rhs.var()] >= 0;
+        if (!lhs_ready || !rhs_ready) continue;
+        comp_done[ci] = 1;
+        CompPlan cp;
+        cp.op = c.op;
+        if (c.lhs.is_const())
+          cp.lhs_const = &c.lhs.value();
+        else
+          cp.lhs_col = var_col_[c.lhs.var()];
+        if (c.rhs.is_const())
+          cp.rhs_const = &c.rhs.value();
+        else
+          cp.rhs_col = var_col_[c.rhs.var()];
+        p.comps.push_back(cp);
+      }
+    }
+    return true;
+  }
+
+  void Process(size_t atom_idx, const Batch& in) {
+    const AtomPlan& p = plans_[atom_idx];
+    SelVector src_rows;
+    std::vector<const Tuple*> matches;
+    src_rows.reserve(kBatchRows);
+    matches.reserve(kBatchRows);
+
+    auto consider = [&](uint32_t row, const Tuple& t) {
+      if ((++steps_ & 0xFFF) == 0 && !checkpoint_()) {
+        aborted_ = true;
+        return;
+      }
+      if (t.size() != p.arity) return;
+      for (const auto& [pos, cv] : p.const_checks)
+        if (!(t[pos] == *cv)) return;
+      for (const auto& [pos, col] : p.bound_checks)
+        if (!in.cols[col].EqualsAt(row, t[pos])) return;
+      for (const auto& [p1, p2] : p.dup_checks)
+        if (!(t[p1] == t[p2])) return;
+      src_rows.push_back(row);
+      matches.push_back(&t);
+      if (src_rows.size() == kBatchRows) {
+        Flush(atom_idx, in, src_rows, matches);
+        src_rows.clear();
+        matches.clear();
+      }
+    };
+
+    // A constant probe hits the same tuple list for every input row.
+    const std::vector<const Tuple*>* const_hits = nullptr;
+    if (p.probe_pos >= 0 && p.probe_col < 0) {
+      const size_t pos = static_cast<size_t>(p.probe_pos);
+      const_hits =
+          ext_ == nullptr ? nullptr : ext_->Probe(atom_idx, pos, *p.probe_const);
+      if (const_hits == nullptr)
+        const_hits = &indexes_.Probe(atom_idx, pos, *p.probe_const);
+    }
+
+    // `ext_maybe` clears as soon as one probe shows the source does not
+    // cover this (atom, col) — coverage is per column, not per value, so
+    // later rows go straight to the internal index (the int64-keyed one
+    // when the probe column is on the small-int path).
+    bool ext_maybe = ext_ != nullptr;
+    for (uint32_t row = 0; row < in.rows; ++row) {
+      if (stop_ || aborted_) return;
+      if (p.probe_pos >= 0) {
+        const Tuple* const* hit_data = nullptr;
+        size_t hit_len = 0;
+        if (const_hits != nullptr) {
+          hit_data = const_hits->data();
+          hit_len = const_hits->size();
+        } else {
+          const size_t pos = static_cast<size_t>(p.probe_pos);
+          const Column& pcol = in.cols[p.probe_col];
+          if (ext_maybe) {
+            const Value v = pcol.At(row);
+            const std::vector<const Tuple*>* hits =
+                ext_->Probe(atom_idx, pos, v);
+            if (hits != nullptr) {
+              hit_data = hits->data();
+              hit_len = hits->size();
+            } else {
+              ext_maybe = false;
+              const std::vector<const Tuple*>& h =
+                  indexes_.Probe(atom_idx, pos, v);
+              hit_data = h.data();
+              hit_len = h.size();
+            }
+          } else if (pcol.small_int()) {
+            indexes_.ProbeInt(atom_idx, pos, pcol.SmallIntAt(row), &hit_data,
+                              &hit_len);
+          } else {
+            const std::vector<const Tuple*>& h =
+                indexes_.Probe(atom_idx, pos, pcol.At(row));
+            hit_data = h.data();
+            hit_len = h.size();
+          }
+        }
+        // The index (caller-provided or internal) returns exact matches on
+        // the probe position, so no equality recheck is planned for it.
+        for (size_t h = 0; h < hit_len; ++h) {
+          if (stop_ || aborted_) return;
+          consider(row, *hit_data[h]);
+        }
+      } else {
+        for (const Tuple& t : *relations_[atom_idx]) {
+          if (stop_ || aborted_) return;
+          consider(row, t);
+        }
+      }
+    }
+    if (!src_rows.empty()) Flush(atom_idx, in, src_rows, matches);
+  }
+
+  /// Builds the extended batch for the accumulated matches, filters it
+  /// through this atom's comparisons, and feeds it to the next atom (or the
+  /// sink after the last one).
+  void Flush(size_t atom_idx, const Batch& in, const SelVector& src_rows,
+             const std::vector<const Tuple*>& matches) {
+    const AtomPlan& p = plans_[atom_idx];
+    Batch out;
+    out.cols.reserve(p.in_cols + p.new_positions.size());
+    for (size_t c = 0; c < p.in_cols; ++c) {
+      Column col;
+      col.AppendGather(in.cols[c], src_rows);
+      out.cols.push_back(std::move(col));
+    }
+    for (const auto& [pos, var] : p.new_positions) {
+      Column col;
+      col.Reserve(matches.size());
+      for (const Tuple* t : matches) col.Append((*t)[pos]);
+      out.cols.push_back(std::move(col));
+    }
+    out.rows = src_rows.size();
+    fallbacks_ += out.TotalPromotions();
+
+    if (!p.comps.empty()) {
+      SelVector sel(out.rows);
+      std::iota(sel.begin(), sel.end(), 0);
+      for (const CompPlan& cp : p.comps) {
+        if (sel.empty()) break;
+        if (cp.lhs_col >= 0 && cp.rhs_col >= 0) {
+          FilterColumnColumn(out.cols[cp.lhs_col], cp.op, out.cols[cp.rhs_col],
+                             &sel);
+        } else if (cp.lhs_col >= 0) {
+          FilterColumnConst(out.cols[cp.lhs_col], cp.op, *cp.rhs_const, &sel);
+        } else {
+          FilterConstColumn(*cp.lhs_const, cp.op, out.cols[cp.rhs_col], &sel);
+        }
+      }
+      out.Filter(sel);
+    }
+    if (out.rows == 0) return;
+    if (atom_idx + 1 == q_.body().size()) {
+      Emit(out);
+    } else {
+      Process(atom_idx + 1, out);
+    }
+  }
+
+  void Emit(const Batch& b) {
+    if (b.rows == 0) return;
+    ++batches_;
+    if (!sink_(b, var_col_)) stop_ = true;
+  }
+
+  const Query& q_;
+  const std::vector<const Relation*>& relations_;
+  FunctionRef<bool(const Batch&, const std::vector<int>&)> sink_;
+  FunctionRef<bool()> checkpoint_;
+  const JoinIndexSource* ext_;
+  EngineStats* stats_;
+  JoinIndexes indexes_;
+
+  std::vector<AtomPlan> plans_;
+  std::vector<int> var_col_;
+  bool stop_ = false;
+  bool aborted_ = false;
+  uint64_t steps_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t fallbacks_ = 0;
+};
+
 }  // namespace
+
+bool JoinBodyBatches(const Query& q,
+                     const std::vector<const Relation*>& relations,
+                     FunctionRef<bool(const Batch&, const std::vector<int>&)> sink,
+                     FunctionRef<bool()> checkpoint,
+                     const JoinIndexSource* indexes, EngineStats* stats) {
+  return BatchJoiner(q, relations, sink, checkpoint, indexes, stats).Run();
+}
+
+void BatchHeadProjector::ForEachHead(const Batch& b,
+                                     const std::vector<int>& var_col,
+                                     FunctionRef<void(const Tuple&)> fn) {
+  const auto& args = q_.head().args;
+  // Resolve each head argument to a batch column (or a constant) once per
+  // batch. A head variable no atom binds makes every row unprojectable.
+  std::vector<int> arg_col(args.size(), -1);
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].is_const()) continue;
+    arg_col[i] = var_col[args[i].var()];
+    if (arg_col[i] < 0) return;
+  }
+  for (size_t row = 0; row < b.rows; ++row) {
+    buf_.clear();
+    buf_.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (arg_col[i] < 0)
+        buf_.push_back(args[i].value());
+      else
+        buf_.push_back(b.cols[arg_col[i]].At(row));
+    }
+    fn(buf_);
+  }
+}
 
 namespace {
 
-/// The backtracking core behind JoinBody and the context-aware evaluators.
-/// `checkpoint` is polled every 4096 candidate tuples; returning false
-/// aborts the search (deadline / cancellation). Returns false iff aborted.
-bool JoinBodyCore(
-    const Query& q, const std::vector<const Relation*>& relations,
-    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
-    FunctionRef<bool()> checkpoint, const JoinIndexSource* ext = nullptr) {
+/// Row-callback compatibility layer over the batch engine: one reused
+/// binding buffer, bound variables overwritten per row (unbound ones never
+/// touched — the var->column map is fixed for the whole join).
+bool RowShim(const Query& q, const std::vector<const Relation*>& relations,
+             FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
+             FunctionRef<bool()> checkpoint, const JoinIndexSource* ext) {
   std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
-  JoinIndexes indexes(relations);
-  bool stop = false;
-  uint64_t steps = 0;
-
-  auto term_value = [&binding](const Term& t, Value* out) {
-    if (t.is_const()) {
-      *out = t.value();
-      return true;
-    }
-    if (binding[t.var()].has_value()) {
-      *out = *binding[t.var()];
-      return true;
-    }
-    return false;
-  };
-  auto comparisons_hold = [&]() {
-    for (const Comparison& c : q.comparisons()) {
-      Value a{0}, b{0};
-      if (!term_value(c.lhs, &a) || !term_value(c.rhs, &b)) continue;
-      if (!EvaluateGroundComparison(a, c.op, b)) return false;
-    }
-    return true;
-  };
-
-  // Attempts to unify atom `atom_idx` with `tuple`; on success recurses and
-  // always restores the binding. Self-passing lambda: recursion without a
-  // std::function allocation on this hot path.
-  auto extend = [&](auto&& self, size_t atom_idx) -> void {
-    if (atom_idx == q.body().size()) {
-      if (comparisons_hold()) cb(binding);
-      return;
-    }
-    const Atom& atom = q.body()[atom_idx];
-
-    auto try_tuple = [&](const Tuple& tuple) {
-      if (stop) return;
-      if ((++steps & 0xFFF) == 0 && !checkpoint()) {
-        stop = true;
-        return;
-      }
-      if (tuple.size() != atom.args.size()) return;
-      std::vector<int> bound_here;
-      bool ok = true;
-      for (size_t i = 0; i < tuple.size() && ok; ++i) {
-        const Term& t = atom.args[i];
-        if (t.is_const()) {
-          ok = (t.value() == tuple[i]);
-        } else if (binding[t.var()].has_value()) {
-          ok = (*binding[t.var()] == tuple[i]);
-        } else {
-          binding[t.var()] = tuple[i];
-          bound_here.push_back(t.var());
+  return JoinBodyBatches(
+      q, relations,
+      [&](const Batch& b, const std::vector<int>& var_col) {
+        for (size_t row = 0; row < b.rows; ++row) {
+          for (size_t v = 0; v < var_col.size(); ++v)
+            if (var_col[v] >= 0) binding[v] = b.cols[var_col[v]].At(row);
+          cb(binding);
         }
-      }
-      if (ok && comparisons_hold()) self(self, atom_idx + 1);
-      for (int v : bound_here) binding[v] = std::nullopt;
-    };
-
-    // Prefer an index probe on the first argument whose value is already
-    // determined (the caller's persistent index when it covers this atom,
-    // else the internal lazy one); fall back to a full scan.
-    Value probe{0};
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      if (term_value(atom.args[i], &probe)) {
-        const std::vector<const Tuple*>* hits =
-            ext == nullptr ? nullptr : ext->Probe(atom_idx, i, probe);
-        if (hits == nullptr) hits = &indexes.Probe(atom_idx, i, probe);
-        for (const Tuple* t : *hits) {
-          if (stop) return;
-          try_tuple(*t);
-        }
-        return;
-      }
-    }
-    for (const Tuple& tuple : *relations[atom_idx]) {
-      if (stop) return;
-      try_tuple(tuple);
-    }
-  };
-  extend(extend, 0);
-  return !stop;
+        return true;
+      },
+      checkpoint, ext);
 }
 
 }  // namespace
@@ -150,48 +510,72 @@ bool JoinBodyCore(
 void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
-  JoinBodyCore(q, relations, cb, [] { return true; });
+  RowShim(q, relations, cb, [] { return true; }, nullptr);
 }
 
 bool JoinBodyAbortable(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb,
     FunctionRef<bool()> checkpoint, const JoinIndexSource* indexes) {
-  return JoinBodyCore(q, relations, cb, checkpoint, indexes);
+  return RowShim(q, relations, cb, checkpoint, indexes);
 }
 
 namespace {
 
-/// Projects one satisfying binding onto q's head; false when some head
-/// variable is unbound (unsafe head: the binding yields no tuple).
-bool ProjectHead(const Query& q,
-                 const std::vector<std::optional<Value>>& binding,
-                 Tuple* head) {
-  head->clear();
-  head->reserve(q.head().args.size());
-  for (const Term& t : q.head().args) {
-    if (t.is_const()) {
-      head->push_back(t.value());
-    } else if (binding[t.var()].has_value()) {
-      head->push_back(*binding[t.var()]);
-    } else {
-      return false;
-    }
+/// Accumulates result tuples in a flat vector and builds the Relation once
+/// at the end: contiguous sort + unique beats per-tuple red-black inserts,
+/// and the final set is spliced together from an already-sorted range.
+/// Periodic compaction (at a doubling watermark) bounds memory at roughly
+/// twice the distinct-tuple count even under highly duplicating projections.
+class RelationBuilder {
+ public:
+  void Add(const Tuple& t) {
+    rows_.push_back(t);
+    if (rows_.size() >= watermark_) Compact();
   }
-  return true;
-}
 
-/// Joins q over `relations` into *results; returns false when the
-/// checkpoint aborted the search.
+  /// Moves the accumulated tuples into *out (merging with any existing
+  /// content).
+  void MoveInto(Relation* out) {
+    Compact();
+    Relation built(std::make_move_iterator(rows_.begin()),
+                   std::make_move_iterator(rows_.end()));
+    rows_.clear();
+    if (out->empty())
+      *out = std::move(built);
+    else
+      out->merge(std::move(built));
+  }
+
+ private:
+  void Compact() {
+    std::sort(rows_.begin(), rows_.end());
+    rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+    watermark_ = std::max<size_t>(kMinWatermark, rows_.size() * 2);
+  }
+
+  static constexpr size_t kMinWatermark = 4096;
+  std::vector<Tuple> rows_;
+  size_t watermark_ = kMinWatermark;
+};
+
+/// Joins q over `relations` into *results batch-at-a-time; returns false
+/// when the checkpoint aborted the search.
 bool JoinInto(const Query& q, const std::vector<const Relation*>& relations,
-              FunctionRef<bool()> checkpoint, Relation* results) {
-  return JoinBodyCore(
+              FunctionRef<bool()> checkpoint, Relation* results,
+              EngineStats* stats = nullptr) {
+  BatchHeadProjector proj(q);
+  RelationBuilder builder;
+  const bool ok = JoinBodyBatches(
       q, relations,
-      [&](const std::vector<std::optional<Value>>& binding) {
-        Tuple head;
-        if (ProjectHead(q, binding, &head)) results->insert(std::move(head));
+      [&](const Batch& b, const std::vector<int>& var_col) {
+        proj.ForEachHead(b, var_col,
+                         [&](const Tuple& head) { builder.Add(head); });
+        return true;
       },
-      checkpoint);
+      checkpoint, nullptr, stats);
+  if (ok) builder.MoveInto(results);
+  return ok;
 }
 
 }  // namespace
@@ -224,7 +608,7 @@ Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
                        relations[0]->size() >= 2 * (ctx.parallelism() + 1);
   if (!fan_out) {
     Relation results;
-    if (!JoinInto(q, relations, checkpoint, &results)) {
+    if (!JoinInto(q, relations, checkpoint, &results, &ctx.stats())) {
       ++ctx.stats().budget_exhaustions;
       return Status::ResourceExhausted("join evaluation exceeded the budget");
     }
@@ -247,7 +631,7 @@ Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
       sub.insert(*first[i]);
     std::vector<const Relation*> rels = relations;
     rels[0] = &sub;
-    if (!JoinInto(q, rels, checkpoint, &chunk_results[c]))
+    if (!JoinInto(q, rels, checkpoint, &chunk_results[c], &ctx.stats()))
       chunk_aborted[c] = 1;
   });
 
@@ -257,16 +641,155 @@ Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
       return Status::ResourceExhausted("join evaluation exceeded the budget");
     }
   Relation results;
-  for (Relation& r : chunk_results)
-    results.insert(r.begin(), r.end());
+  for (Relation& r : chunk_results) {
+    if (results.empty())
+      results = std::move(r);
+    else
+      results.merge(std::move(r));
+  }
   return results;
+}
+
+namespace {
+
+/// Projects one satisfying binding onto q's head; false when some head
+/// variable is unbound (unsafe head: the binding yields no tuple).
+bool ProjectHead(const Query& q,
+                 const std::vector<std::optional<Value>>& binding,
+                 Tuple* head) {
+  head->clear();
+  head->reserve(q.head().args.size());
+  for (const Term& t : q.head().args) {
+    if (t.is_const()) {
+      head->push_back(t.value());
+    } else if (binding[t.var()].has_value()) {
+      head->push_back(*binding[t.var()]);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The pre-columnar tuple-at-a-time backtracking core, kept as the
+/// differential-testing oracle behind EvaluateQueryReference.
+void RowJoinReference(
+    const Query& q, const std::vector<const Relation*>& relations,
+    FunctionRef<void(const std::vector<std::optional<Value>>&)> cb) {
+  std::vector<std::optional<Value>> binding(q.num_vars(), std::nullopt);
+  JoinIndexes indexes(relations);
+
+  auto term_value = [&binding](const Term& t, Value* out) {
+    if (t.is_const()) {
+      *out = t.value();
+      return true;
+    }
+    if (binding[t.var()].has_value()) {
+      *out = *binding[t.var()];
+      return true;
+    }
+    return false;
+  };
+  auto comparisons_hold = [&]() {
+    for (const Comparison& c : q.comparisons()) {
+      Value a{0}, b{0};
+      if (!term_value(c.lhs, &a) || !term_value(c.rhs, &b)) continue;
+      if (!EvaluateGroundComparison(a, c.op, b)) return false;
+    }
+    return true;
+  };
+
+  // Attempts to unify atom `atom_idx` with `tuple`; on success recurses and
+  // always restores the binding. Self-passing lambda: recursion without a
+  // std::function allocation.
+  auto extend = [&](auto&& self, size_t atom_idx) -> void {
+    if (atom_idx == q.body().size()) {
+      if (comparisons_hold()) cb(binding);
+      return;
+    }
+    const Atom& atom = q.body()[atom_idx];
+
+    auto try_tuple = [&](const Tuple& tuple) {
+      if (tuple.size() != atom.args.size()) return;
+      std::vector<int> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < tuple.size() && ok; ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_const()) {
+          ok = (t.value() == tuple[i]);
+        } else if (binding[t.var()].has_value()) {
+          ok = (*binding[t.var()] == tuple[i]);
+        } else {
+          binding[t.var()] = tuple[i];
+          bound_here.push_back(t.var());
+        }
+      }
+      if (ok && comparisons_hold()) self(self, atom_idx + 1);
+      for (int v : bound_here) binding[v] = std::nullopt;
+    };
+
+    // Prefer an index probe on the first argument whose value is already
+    // determined; fall back to a full scan.
+    Value probe{0};
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (term_value(atom.args[i], &probe)) {
+        for (const Tuple* t : indexes.Probe(atom_idx, i, probe))
+          try_tuple(*t);
+        return;
+      }
+    }
+    for (const Tuple& tuple : *relations[atom_idx]) try_tuple(tuple);
+  };
+  extend(extend, 0);
+}
+
+}  // namespace
+
+Result<Relation> EvaluateQueryReference(const Query& q, const Database& db) {
+  CQAC_RETURN_IF_ERROR(q.Validate());
+  std::vector<const Relation*> relations;
+  relations.reserve(q.body().size());
+  for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));
+
+  Relation results;
+  Tuple head;
+  RowJoinReference(q, relations,
+                   [&](const std::vector<std::optional<Value>>& binding) {
+                     if (ProjectHead(q, binding, &head)) results.insert(head);
+                   });
+  return results;
+}
+
+Result<bool> QueryYieldsTuple(const Query& q, const Database& db,
+                              const Tuple& head, EngineStats* stats) {
+  CQAC_RETURN_IF_ERROR(q.Validate());
+  if (q.head().args.size() != head.size()) return false;
+  std::vector<const Relation*> relations;
+  relations.reserve(q.body().size());
+  for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));
+
+  bool found = false;
+  BatchHeadProjector proj(q);
+  JoinBodyBatches(
+      q, relations,
+      [&](const Batch& b, const std::vector<int>& var_col) {
+        proj.ForEachHead(b, var_col, [&](const Tuple& t) {
+          if (t == head) found = true;
+        });
+        return !found;
+      },
+      [] { return true; }, nullptr, stats);
+  return found;
 }
 
 Result<Relation> EvaluateUnion(const UnionQuery& u, const Database& db) {
   Relation out;
   for (const Query& q : u.disjuncts) {
     CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(q, db));
-    out.insert(r.begin(), r.end());
+    if (out.empty())
+      out = std::move(r);
+    else
+      out.merge(std::move(r));
   }
   return out;
 }
@@ -283,7 +806,10 @@ Result<Relation> EvaluateUnion(EngineContext& ctx, const UnionQuery& u,
   for (size_t i = 0; i < u.disjuncts.size(); ++i) {
     Result<Relation>& r = outcomes.Get(i);
     if (!r.ok()) return r.status();
-    out.insert(r.value().begin(), r.value().end());
+    if (out.empty())
+      out = std::move(r.value());
+    else
+      out.merge(std::move(r.value()));
   }
   return out;
 }
@@ -292,8 +818,7 @@ Result<Database> MaterializeViews(const ViewSet& views, const Database& db) {
   Database out;
   for (const Query& v : views.views()) {
     CQAC_ASSIGN_OR_RETURN(Relation r, EvaluateQuery(v, db));
-    for (const Tuple& t : r)
-      CQAC_RETURN_IF_ERROR(out.Insert(v.head().predicate, t));
+    CQAC_RETURN_IF_ERROR(out.InsertRelation(v.head().predicate, std::move(r)));
   }
   return out;
 }
@@ -308,8 +833,8 @@ Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
   for (size_t i = 0; i < views.size(); ++i) {
     Result<Relation>& r = outcomes.Get(i);
     if (!r.ok()) return r.status();
-    for (const Tuple& t : r.value())
-      CQAC_RETURN_IF_ERROR(out.Insert(views[i].head().predicate, t));
+    CQAC_RETURN_IF_ERROR(
+        out.InsertRelation(views[i].head().predicate, std::move(r.value())));
   }
   return out;
 }

@@ -1,7 +1,14 @@
 // Evaluation of CQAC queries and unions over a Database.
 //
-// A straightforward backtracking join with eager comparison filtering —
-// adequate for validation and for the paper-scale benchmark workloads.
+// The join engine is columnar and batch-at-a-time (docs/eval.md): partial
+// join results travel as Batches (per-variable value columns with a tagged
+// int64 fast path for integral Rationals), comparison predicates run as
+// vectorized selection-vector filters, and each body atom extends the batch
+// through a hash probe — the caller's persistent JoinIndexSource when it
+// covers the atom, an internal lazy per-call index otherwise. The
+// row-callback JoinBody API is kept as a thin shim over the batch engine,
+// and the pre-columnar tuple-at-a-time evaluator survives as
+// EvaluateQueryReference for differential testing.
 #ifndef CQAC_EVAL_EVALUATE_H_
 #define CQAC_EVAL_EVALUATE_H_
 
@@ -10,6 +17,7 @@
 #include "src/base/function_ref.h"
 #include "src/base/status.h"
 #include "src/engine/context.h"
+#include "src/eval/batch.h"
 #include "src/eval/database.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
@@ -25,11 +33,18 @@ bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs);
 Result<Relation> EvaluateQuery(const Query& q, const Database& db);
 
 /// Context-aware variant: honours the budget deadline / cancellation flag
-/// (kResourceExhausted on abort) and fans the join out over the context's
-/// task pool by partitioning the first body atom's tuples. The result set
-/// is identical at every thread count.
+/// (kResourceExhausted on abort), records eval_batches /
+/// eval_smallint_fallbacks stats, and fans the join out over the context's
+/// task pool by dealing the first body atom's tuples round-robin into
+/// chunks. The result set is identical at every thread count.
 Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
                                const Database& db);
+
+/// The pre-columnar tuple-at-a-time backtracking evaluator, kept verbatim as
+/// the differential-testing oracle: EvaluateQuery must return a byte-
+/// identical relation (tests/eval_columnar_test.cc sweeps this at thread
+/// counts 0/1/4/8).
+Result<Relation> EvaluateQueryReference(const Query& q, const Database& db);
 
 /// Evaluates each disjunct and unions the results (all head arities must
 /// agree).
@@ -47,10 +62,19 @@ Result<Database> MaterializeViews(const ViewSet& views, const Database& db);
 Result<Database> MaterializeViews(EngineContext& ctx, const ViewSet& views,
                                   const Database& db);
 
-/// Optional caller-owned column indexes for one JoinBody call. The join
-/// probes `Probe(atom, col, v)` for the tuples of body atom `atom` whose
-/// column `col` equals `v`; returning nullptr means this source carries no
-/// index for that (atom, col) and the join falls back to its internal lazy
+/// True iff `head` is among q's result tuples on `db` — the canonical-
+/// database containment probe. Evaluates the join batch-at-a-time with an
+/// early exit as soon as one satisfying assignment projects onto `head`,
+/// instead of materializing the full result. `stats`, when non-null,
+/// receives eval_batches / eval_smallint_fallbacks increments.
+Result<bool> QueryYieldsTuple(const Query& q, const Database& db,
+                              const Tuple& head,
+                              EngineStats* stats = nullptr);
+
+/// Optional caller-owned column indexes for one join call. The join probes
+/// `Probe(atom, col, v)` for the tuples of body atom `atom` whose column
+/// `col` equals `v`; returning nullptr means this source carries no index
+/// for that (atom, col) and the join falls back to its internal lazy
 /// per-call index. A source that does cover an (atom, col) must return a
 /// (possibly empty) vector for *every* value, and the vectors must enumerate
 /// exactly the matching tuples of *relations[atom]. Lets long-lived callers
@@ -63,11 +87,53 @@ class JoinIndexSource {
                                                  const Value& v) const = 0;
 };
 
-/// Low-level join used by the Datalog engine: evaluates `q`'s body where
-/// body atom i reads tuples from *relations[i] (so callers can point
-/// different atoms at full/delta relations). Comparisons of `q` filter
-/// eagerly. Invokes `cb` once per satisfying assignment with the per-variable
-/// binding (index = variable id; unbound variables stay nullopt).
+/// The batch-native join: evaluates `q`'s body where body atom i reads
+/// tuples from *relations[i], filtering comparisons eagerly (vectorized, as
+/// soon as both sides are bound). `sink` is invoked once per non-empty
+/// output batch with the batch and the variable -> column map (length
+/// q.num_vars(); -1 for variables no atom binds); returning false stops the
+/// enumeration early (a normal stop, not an abort). `checkpoint` is polled
+/// every few thousand candidate tuples; returning false aborts the join, in
+/// which case JoinBodyBatches returns false and the sink may have seen only
+/// a prefix of the satisfying assignments. `indexes`, when non-null, serves
+/// column probes for the atoms it covers. `stats`, when non-null, receives
+/// eval_batches / eval_smallint_fallbacks increments. Batch boundaries and
+/// row order within a batch are unspecified; only the multiset of rows is
+/// contractual (it equals the satisfying assignments exactly).
+bool JoinBodyBatches(const Query& q,
+                     const std::vector<const Relation*>& relations,
+                     FunctionRef<bool(const Batch&, const std::vector<int>&)> sink,
+                     FunctionRef<bool()> checkpoint,
+                     const JoinIndexSource* indexes = nullptr,
+                     EngineStats* stats = nullptr);
+
+/// Projects batches of satisfying assignments onto a query head. The head
+/// layout (constant vs column per argument) is resolved once per batch, and
+/// every projected row is written into one reused tuple buffer — callers
+/// copy out of it (set/map inserts do) instead of paying a fresh allocation
+/// per emitted tuple. Rows are skipped when some head variable is unbound
+/// (unsafe head: the assignment yields no tuple).
+class BatchHeadProjector {
+ public:
+  explicit BatchHeadProjector(const Query& q) : q_(q) {}
+
+  /// Calls fn(head) once per projectable row of `b`.
+  void ForEachHead(const Batch& b, const std::vector<int>& var_col,
+                   FunctionRef<void(const Tuple&)> fn);
+
+ private:
+  const Query& q_;
+  Tuple buf_;
+};
+
+/// Row-callback shim over the batch engine, used by the Datalog engine:
+/// evaluates `q`'s body where body atom i reads tuples from *relations[i]
+/// (so callers can point different atoms at full/delta relations).
+/// Comparisons of `q` filter eagerly. Invokes `cb` once per satisfying
+/// assignment with the per-variable binding (index = variable id; unbound
+/// variables stay nullopt). The binding buffer is reused across
+/// invocations; callers must copy what they keep. Callback order is
+/// unspecified.
 void JoinBody(
     const Query& q, const std::vector<const Relation*>& relations,
     FunctionRef<void(const std::vector<std::optional<Value>>&)> cb);

@@ -14,23 +14,92 @@ namespace ivm {
 
 namespace {
 
-/// Projects one satisfying binding onto q's head; false when some head
-/// variable is unbound (yields no tuple, mirroring EvaluateQuery).
-bool ProjectHead(const Query& q,
-                 const std::vector<std::optional<Value>>& binding,
-                 Tuple* head) {
-  head->clear();
-  head->reserve(q.head().args.size());
-  for (const Term& t : q.head().args) {
-    if (t.is_const()) {
-      head->push_back(t.value());
-    } else if (binding[t.var()].has_value()) {
-      head->push_back(*binding[t.var()]);
-    } else {
-      return false;
-    }
+/// Accumulates head-tuple multiplicities in flat sorted runs instead of a
+/// per-row std::map insert: pending tuples sort in contiguous memory, equal
+/// runs collapse to (tuple, count) pairs, and successive flushes merge two
+/// sorted lists. The final map splices together from the sorted pairs with
+/// an end hint. Periodic compaction bounds memory at roughly twice the
+/// distinct-tuple count.
+class CountBuilder {
+ public:
+  void Add(const Tuple& t) {
+    pending_.push_back(t);
+    if (pending_.size() >= watermark_) Compact();
   }
-  return true;
+
+  /// Folds sign x multiplicity into *counts and resets the builder.
+  void MoveInto(int64_t sign, std::map<Tuple, int64_t>* counts) {
+    Compact();
+    if (counts->empty()) {
+      for (auto& [t, c] : acc_)
+        counts->emplace_hint(counts->end(), std::move(t), sign * c);
+    } else {
+      for (const auto& [t, c] : acc_) (*counts)[t] += sign * c;
+    }
+    acc_.clear();
+  }
+
+ private:
+  void Compact() {
+    if (pending_.empty()) return;
+    std::sort(pending_.begin(), pending_.end());
+    std::vector<std::pair<Tuple, int64_t>> runs;
+    for (Tuple& t : pending_) {
+      if (!runs.empty() && runs.back().first == t)
+        ++runs.back().second;
+      else
+        runs.emplace_back(std::move(t), 1);
+    }
+    pending_.clear();
+    if (acc_.empty()) {
+      acc_ = std::move(runs);
+    } else {
+      std::vector<std::pair<Tuple, int64_t>> merged;
+      merged.reserve(acc_.size() + runs.size());
+      size_t i = 0, j = 0;
+      while (i < acc_.size() && j < runs.size()) {
+        if (acc_[i].first < runs[j].first) {
+          merged.push_back(std::move(acc_[i++]));
+        } else if (runs[j].first < acc_[i].first) {
+          merged.push_back(std::move(runs[j++]));
+        } else {
+          acc_[i].second += runs[j++].second;
+          merged.push_back(std::move(acc_[i++]));
+        }
+      }
+      for (; i < acc_.size(); ++i) merged.push_back(std::move(acc_[i]));
+      for (; j < runs.size(); ++j) merged.push_back(std::move(runs[j]));
+      acc_ = std::move(merged);
+    }
+    watermark_ = std::max<size_t>(kMinWatermark, 2 * acc_.size());
+  }
+
+  static constexpr size_t kMinWatermark = 4096;
+  std::vector<Tuple> pending_;
+  std::vector<std::pair<Tuple, int64_t>> acc_;
+  size_t watermark_ = kMinWatermark;
+};
+
+/// Joins `q` over `rels` batch-at-a-time and folds `sign` into *counts for
+/// every satisfying head projection — the one join shape both the rebuild
+/// path and the subset-expansion delta phases count with. Returns false iff
+/// the context aborted the join.
+bool CountJoin(EngineContext& ctx, const Query& q,
+               const std::vector<const Relation*>& rels,
+               const JoinIndexSource* indexes, int64_t sign,
+               std::map<Tuple, int64_t>* counts) {
+  BatchHeadProjector proj(q);
+  CountBuilder builder;
+  const bool ok = JoinBodyBatches(
+      q, rels,
+      [&](const Batch& b, const std::vector<int>& var_col) {
+        proj.ForEachHead(b, var_col,
+                         [&](const Tuple& head) { builder.Add(head); });
+        return true;
+      },
+      [&ctx] { return !ctx.ShouldStop(); }, indexes, &ctx.stats());
+  if (ok) builder.MoveInto(sign, counts);
+  return ok;
 }
 
 /// Adapts the persistent base indexes to one task's reordered body: delta
@@ -62,7 +131,8 @@ bool ContainsIn(const std::map<std::string, Relation>& m, const std::string& p,
   return it != m.end() && it->second.count(t) > 0;
 }
 
-/// Counts tuples appearing on exactly one side, per predicate.
+/// Counts tuples appearing on exactly one side, per predicate. Both sides
+/// are ordered sets, so one linear merge-walk replaces per-tuple lookups.
 void DiffTuples(const Database& before, const Database& after, size_t* added,
                 size_t* removed) {
   std::set<std::string> preds;
@@ -71,10 +141,22 @@ void DiffTuples(const Database& before, const Database& after, size_t* added,
   for (const std::string& p : preds) {
     const Relation& b = before.Get(p);
     const Relation& a = after.Get(p);
-    for (const Tuple& t : a)
-      if (!b.count(t)) ++*added;
-    for (const Tuple& t : b)
-      if (!a.count(t)) ++*removed;
+    auto ib = b.begin();
+    auto ia = a.begin();
+    while (ib != b.end() && ia != a.end()) {
+      if (*ib < *ia) {
+        ++*removed;
+        ++ib;
+      } else if (*ia < *ib) {
+        ++*added;
+        ++ia;
+      } else {
+        ++ib;
+        ++ia;
+      }
+    }
+    *removed += static_cast<size_t>(std::distance(ib, b.end()));
+    *added += static_cast<size_t>(std::distance(ia, a.end()));
   }
 }
 
@@ -182,18 +264,16 @@ Status MaterializedViewSet::RebuildView(EngineContext& ctx, size_t i) {
   for (const Atom& a : q.body()) rels.push_back(&base_.Get(a.predicate));
 
   CountMap counts;
-  Tuple head;
-  bool completed = JoinBodyAbortable(
-      q, rels,
-      [&](const std::vector<std::optional<Value>>& binding) {
-        if (ProjectHead(q, binding, &head)) ++counts[head];
-      },
-      [&ctx] { return !ctx.ShouldStop(); });
-  if (!completed) return BudgetExhausted(ctx);
+  if (!CountJoin(ctx, q, rels, nullptr, 1, &counts))
+    return BudgetExhausted(ctx);
 
   counts_[i] = std::move(counts);
-  for (const auto& [t, c] : counts_[i])
-    CQAC_RETURN_IF_ERROR(views_.Insert(q.head().predicate, t));
+  // The count map is keyed in tuple order, so the view relation splices
+  // together from the already-sorted key range.
+  Relation tuples;
+  for (const auto& [t, c] : counts_[i]) tuples.insert(tuples.end(), t);
+  CQAC_RETURN_IF_ERROR(
+      views_.InsertRelation(q.head().predicate, std::move(tuples)));
   return Status::OK();
 }
 
@@ -358,15 +438,9 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
     std::vector<CountMap> slots(tasks.size());
     std::vector<char> aborted(tasks.size(), 0);
     CtxParallelFor(ctx, tasks.size(), [&](size_t t) {
-      const Query& q = *tasks[t].q;
-      Tuple head;
-      bool completed = JoinBodyAbortable(
-          q, tasks[t].rels,
-          [&](const std::vector<std::optional<Value>>& binding) {
-            if (ProjectHead(q, binding, &head)) slots[t][head] += sign;
-          },
-          [&ctx] { return !ctx.ShouldStop(); }, tasks[t].indexes);
-      if (!completed) aborted[t] = 1;
+      if (!CountJoin(ctx, *tasks[t].q, tasks[t].rels, tasks[t].indexes, sign,
+                     &slots[t]))
+        aborted[t] = 1;
     });
     for (char a : aborted)
       if (a) return BudgetExhausted(ctx);

@@ -80,10 +80,12 @@ std::string RunStream(const Workload& w, uint64_t seed, Mode mode,
 
   ivm::MaterializedViewSet store;
   ViewSet views;
+  std::vector<Query> view_queries;
   for (const char* v : w.views) {
     Query q = MustParseQuery(v);
     EXPECT_TRUE(views.Add(q).ok());
     EXPECT_TRUE(store.AddView(ctx, q).ok());
+    view_queries.push_back(std::move(q));
   }
 
   ivm::MaintainOptions options;
@@ -102,6 +104,17 @@ std::string RunStream(const Workload& w, uint64_t seed, Mode mode,
     EXPECT_TRUE(reference.ok()) << reference.status();
     EXPECT_EQ(store.views().ToString(), reference.value().ToString())
         << w.name << " seed=" << seed << " step=" << step;
+
+    // Cross-check the maintained state against the pre-columnar row-path
+    // evaluator: count maintenance and batch materialization must land on
+    // exactly the tuples the tuple-at-a-time oracle derives.
+    for (const Query& q : view_queries) {
+      auto row_path = EvaluateQueryReference(q, store.base());
+      EXPECT_TRUE(row_path.ok()) << row_path.status();
+      EXPECT_EQ(store.views().Get(q.head().predicate), row_path.value())
+          << w.name << " seed=" << seed << " step=" << step
+          << " view=" << q.head().predicate;
+    }
 
     out += store.base().ToString();
     out += "\n--\n";

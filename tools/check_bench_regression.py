@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Guard against benchmark regressions in CI.
+
+Compares a fresh google-benchmark JSON result file against a checked-in
+baseline (bench/baselines/) and fails when the geometric mean of the
+per-benchmark time ratios (current / baseline) exceeds --max-ratio.
+
+Only benchmarks present in *both* files are compared (aggregate rows like
+`_mean`/`_stddev` are skipped), so adding or removing a benchmark never
+breaks the guard by itself. Times are normalized to nanoseconds using each
+entry's `time_unit` before forming ratios, so the two files may use
+different units.
+
+The default --max-ratio of 1.5 deliberately leaves headroom for shared CI
+runners: the guard is meant to catch structural regressions (an index
+dropped, a fast path lost — typically 2x or worse), not scheduling noise.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json [--max-ratio 1.5]
+
+Exit status: 0 when the geomean ratio is within bounds, 1 on a regression
+or when the files share no benchmarks, 2 on usage errors. No third-party
+dependencies.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times_ns(path):
+    """Maps benchmark name -> real_time in nanoseconds."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench_regression: cannot read {path}: {e}")
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name")
+        if not name or entry.get("run_type") == "aggregate":
+            continue
+        unit = entry.get("time_unit", "ns")
+        if unit not in _NS_PER_UNIT:
+            sys.exit(f"check_bench_regression: {path}: unknown time_unit "
+                     f"'{unit}' for {name}")
+        try:
+            t = float(entry["real_time"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if t > 0:
+            times[name] = t * _NS_PER_UNIT[unit]
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="fresh benchmark JSON")
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("--max-ratio", type=float, default=1.5,
+                    help="fail when geomean(current/baseline) exceeds this "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    cur = load_times_ns(args.current)
+    base = load_times_ns(args.baseline)
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        print("check_bench_regression: no shared benchmarks between "
+              f"{args.current} and {args.baseline}", file=sys.stderr)
+        return 1
+
+    log_sum = 0.0
+    for name in shared:
+        ratio = cur[name] / base[name]
+        log_sum += math.log(ratio)
+        print(f"  {name}: {ratio:.3f}x "
+              f"({cur[name] / 1e6:.3f} ms vs {base[name] / 1e6:.3f} ms)")
+    geomean = math.exp(log_sum / len(shared))
+    verdict = "ok" if geomean <= args.max_ratio else "REGRESSION"
+    print(f"check_bench_regression: geomean {geomean:.3f}x over "
+          f"{len(shared)} benchmark(s), max allowed {args.max_ratio}x "
+          f"-> {verdict}")
+    return 0 if geomean <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
