@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bench/bench_threads.h"
+#include "src/analysis/audit/audit.h"
 #include "src/base/rng.h"
 #include "src/base/strings.h"
 #include "src/eval/database.h"
@@ -202,6 +203,56 @@ BENCHMARK(BM_IvmBatchSweep)
     ->Arg(16)
     ->Arg(256)
     ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- certified apply: maintenance plus the independent audit replay -------
+
+// The price of certainty: each insert emits a MaintenanceCertificate
+// (O(state) snapshotting inside Apply) and the auditor replays it against a
+// from-scratch reference evaluation. `audit_overhead` is the ratio of audit
+// time to apply time; the audit_* counters land in BENCH_ivm.json so CI can
+// watch the certification cost alongside the maintenance cost.
+void BM_IvmCertifiedApply(benchmark::State& state) {
+  const size_t kTuples = static_cast<size_t>(state.range(0));
+  EngineContext ctx;
+  bench::AttachPool(ctx);
+  ivm::MaterializedViewSet store = MakeStore(ctx, kTuples);
+  WarmIncremental(ctx, store);
+  ivm::MaintainOptions incremental;
+  incremental.force_incremental = true;
+
+  double apply_total = 0, audit_total = 0;
+  int64_t rounds = 0;
+  int64_t v = 5;
+  for (auto _ : state) {
+    Database fact = OneFact("r", v, (v + 9) % static_cast<int64_t>(kTuples));
+    ivm::MaintenanceCertificate cert;
+    apply_total += bench::TimeOnceMs([&] {
+      if (!store.ApplyInsert(ctx, fact, incremental, &cert).ok())
+        std::abort();
+    });
+    audit_total += bench::TimeOnceMs([&] {
+      Status st = audit::CheckMaintenance(ctx, store.view_queries(), cert,
+                                          store.base(), store.views());
+      if (!st.ok()) std::abort();
+    });
+    if (!store.ApplyRetract(ctx, fact, incremental).ok()) std::abort();
+    v += 17;
+    ++rounds;
+  }
+  state.counters["apply_ms"] = apply_total / static_cast<double>(rounds);
+  state.counters["audit_ms"] = audit_total / static_cast<double>(rounds);
+  state.counters["audit_overhead"] =
+      apply_total > 0 ? audit_total / apply_total : 0;
+  state.counters["audit_replayed_tuples"] =
+      static_cast<double>(uint64_t{ctx.stats().audit_replayed_tuples});
+  state.counters["audit_failures"] =
+      static_cast<double>(uint64_t{ctx.stats().audit_failures});
+  bench::RecordParallelCounters(state, ctx);
+}
+BENCHMARK(BM_IvmCertifiedApply)
+    ->Arg(500)
+    ->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
 // ---- DRed: recursive transitive closure under an edge stream --------------

@@ -69,4 +69,67 @@ ClassInfo ClassifyQuery(const Query& q) {
   return info;
 }
 
+const char* CompKindName(CompKind k) {
+  switch (k) {
+    case CompKind::kEquality:
+      return "equality";
+    case CompKind::kLsi:
+      return "lsi";
+    case CompKind::kRsi:
+      return "rsi";
+    case CompKind::kVarVar:
+      return "var-var";
+    case CompKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+ClassificationEvidence ClassifyQueryWithEvidence(const Query& q) {
+  ClassificationEvidence ev;
+  ev.info = ClassifyQuery(q);
+  ev.kinds.reserve(q.comparisons().size());
+  for (const Comparison& c : q.comparisons()) {
+    if (c.op == CompOp::kEq)
+      ev.kinds.push_back(CompKind::kEquality);
+    else if (c.IsLsi())
+      ev.kinds.push_back(CompKind::kLsi);
+    else if (c.IsRsi())
+      ev.kinds.push_back(CompKind::kRsi);
+    else if (c.IsVarVar())
+      ev.kinds.push_back(CompKind::kVarVar);
+    else
+      ev.kinds.push_back(CompKind::kOther);
+  }
+  switch (ev.info.ac_class) {
+    case AcClass::kNone:
+      break;
+    case AcClass::kLsi:
+    case AcClass::kRsi:
+      // Every bound participates in the class decision.
+      for (size_t i = 0; i < ev.kinds.size(); ++i) ev.deciding.push_back(i);
+      break;
+    case AcClass::kSi: {
+      // The first bound of each direction together force SI (neither pure
+      // LSI nor pure RSI).
+      for (CompKind want : {CompKind::kLsi, CompKind::kRsi})
+        for (size_t i = 0; i < ev.kinds.size(); ++i)
+          if (ev.kinds[i] == want) {
+            ev.deciding.push_back(i);
+            break;
+          }
+      break;
+    }
+    case AcClass::kGeneral:
+      // The first non-semi-interval comparison forces the general class.
+      for (size_t i = 0; i < ev.kinds.size(); ++i)
+        if (ev.kinds[i] != CompKind::kLsi && ev.kinds[i] != CompKind::kRsi) {
+          ev.deciding.push_back(i);
+          break;
+        }
+      break;
+  }
+  return ev;
+}
+
 }  // namespace cqac

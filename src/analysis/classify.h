@@ -27,6 +27,7 @@
 #define CQAC_ANALYSIS_CLASSIFY_H_
 
 #include <string>
+#include <vector>
 
 #include "src/ir/query.h"
 
@@ -52,6 +53,36 @@ struct ClassInfo {
 
 /// Classifies `q`. Pure syntax; never fails.
 ClassInfo ClassifyQuery(const Query& q);
+
+/// The syntactic role of one comparison in the class decision.
+enum class CompKind {
+  kEquality,  // X = t — not semi-interval, so it forces the general class
+              // (Preprocess collapses equalities before classification)
+  kLsi,       // X < c / X <= c — upper bound on a single variable
+  kRsi,       // c < X / c <= X — lower bound on a single variable
+  kVarVar,    // X < Y — forces the general CQAC class
+  kOther,     // anything else (e.g. symbol or constant-vs-constant residue)
+};
+
+const char* CompKindName(CompKind k);
+
+/// A classification with the per-comparison evidence that produced it. The
+/// evidence is what makes the dispatch decision itself checkable: the
+/// auditor recomputes each comparison's kind from the comparison structure
+/// alone and re-derives the class from the kinds via the lattice rules,
+/// independently of Query::Classify().
+struct ClassificationEvidence {
+  ClassInfo info;
+  /// One entry per comparison of the query, in order.
+  std::vector<CompKind> kinds;
+  /// Indices (into the query's comparison list) of the comparisons that
+  /// decided the class: for LSI/RSI every bound, for SI/CQAC the first
+  /// comparison that forced the promotion. Empty for CQ.
+  std::vector<size_t> deciding;
+};
+
+/// Classifies `q` and records the per-comparison evidence.
+ClassificationEvidence ClassifyQueryWithEvidence(const Query& q);
 
 }  // namespace cqac
 

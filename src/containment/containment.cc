@@ -502,10 +502,13 @@ Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
   return UnionIsContained(ctx, u, q1, options);
 }
 
-Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u) {
+Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u,
+                                 UnionMinimizationWitness* witness) {
   // Greedy: repeatedly try to drop one disjunct; a disjunct is droppable
   // when it is contained in the union of the remaining ones.
   std::vector<Query> kept = u.disjuncts;
+  std::vector<size_t> kept_idx(kept.size());
+  for (size_t i = 0; i < kept_idx.size(); ++i) kept_idx[i] = i;
   bool changed = true;
   while (changed && kept.size() > 1) {
     changed = false;
@@ -517,13 +520,26 @@ Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u) {
                             IsContainedInUnion(ctx, kept[i], rest));
       if (covered) {
         kept.erase(kept.begin() + i);
+        kept_idx.erase(kept_idx.begin() + i);
         changed = true;
         break;
       }
     }
   }
   UnionQuery out;
-  out.disjuncts = std::move(kept);
+  out.disjuncts = kept;
+  if (witness != nullptr) {
+    witness->original = u;
+    witness->minimized = out;
+    witness->kept = kept_idx;
+    witness->dropped.clear();
+    for (size_t i = 0, k = 0; i < u.disjuncts.size(); ++i) {
+      if (k < kept_idx.size() && kept_idx[k] == i)
+        ++k;
+      else
+        witness->dropped.push_back(i);
+    }
+  }
   return out;
 }
 

@@ -93,11 +93,25 @@ Result<bool> UnionIsContained(EngineContext& ctx, const UnionQuery& u,
 Result<bool> UnionIsContained(const UnionQuery& u, const Query& q1,
                               const ContainmentOptions& options = {});
 
+/// A machine-checkable record of one MinimizeUnion run. Although the greedy
+/// loop drops each disjunct against the disjuncts still standing *at that
+/// moment*, coverage is transitive through later drops, so every dropped
+/// disjunct is contained in the union of the FINAL kept set — which is what
+/// the auditor re-decides from scratch (src/analysis/audit).
+struct UnionMinimizationWitness {
+  UnionQuery original;
+  UnionQuery minimized;
+  std::vector<size_t> kept;     // indices into original.disjuncts, ascending
+  std::vector<size_t> dropped;  // indices into original.disjuncts, ascending
+};
+
 /// Removes disjuncts contained in the union of the remaining ones (greedy,
 /// deterministic). The resulting union is equivalent to `u`. Note that with
 /// comparisons a disjunct can be redundant without being contained in any
 /// single other disjunct, so the per-disjunct test uses IsContainedInUnion.
-Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u);
+/// When `witness` is non-null it is filled with the kept/dropped partition.
+Result<UnionQuery> MinimizeUnion(EngineContext& ctx, const UnionQuery& u,
+                                 UnionMinimizationWitness* witness = nullptr);
 Result<UnionQuery> MinimizeUnion(const UnionQuery& u);
 
 }  // namespace cqac

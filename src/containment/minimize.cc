@@ -20,8 +20,10 @@ Query WithoutAtom(const Query& q, size_t drop) {
 
 }  // namespace
 
-Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q) {
+Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q,
+                            MinimizationWitness* witness) {
   CQAC_ASSIGN_OR_RETURN(Query cur, Preprocess(q));
+  Query prepped = cur;
   CQAC_RETURN_IF_ERROR(cur.Validate());
 
   bool changed = true;
@@ -65,12 +67,30 @@ Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q) {
       }
     }
   }
-  return RemoveRedundantComparisons(cur);
+  Query out = RemoveRedundantComparisons(cur);
+  if (witness != nullptr) {
+    witness->original = prepped;
+    witness->minimized = out;
+    // Recompute both directions with witness capture (the witness parameter
+    // bypasses the decision cache, so the mappings are genuinely fresh).
+    CQAC_ASSIGN_OR_RETURN(
+        bool fwd, IsContained(ctx, prepped, out, {}, &witness->forward));
+    CQAC_ASSIGN_OR_RETURN(
+        bool bwd, IsContained(ctx, out, prepped, {}, &witness->backward));
+    if (!fwd || !bwd)
+      return Status::Internal(
+          "minimization result is not equivalent to its input");
+  }
+  return out;
+}
+
+Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q) {
+  return MinimizeQuery(ctx, q, nullptr);
 }
 
 Result<Query> MinimizeQuery(const Query& q) {
   EngineContext ctx;
-  return MinimizeQuery(ctx, q);
+  return MinimizeQuery(ctx, q, nullptr);
 }
 
 }  // namespace cqac

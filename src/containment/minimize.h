@@ -10,16 +10,33 @@
 #define CQAC_CONTAINMENT_MINIMIZE_H_
 
 #include "src/base/status.h"
+#include "src/containment/containment.h"
 #include "src/engine/context.h"
 #include "src/ir/query.h"
 
 namespace cqac {
+
+/// A machine-checkable equivalence proof for one MinimizeQuery run: witness
+/// homomorphisms in both directions between the preprocessed input and the
+/// minimized output. The auditor (src/analysis/audit) re-validates both with
+/// CheckContainmentWitness — independent of the greedy fold that produced
+/// the minimization.
+struct MinimizationWitness {
+  Query original;   // the preprocessed input query
+  Query minimized;  // the minimization result
+  ContainmentWitness forward;   // original ⊆ minimized
+  ContainmentWitness backward;  // minimized ⊆ original
+};
 
 /// Returns an equivalent query with a minimal set of ordinary subgoals
 /// (greedy, deterministic: tries dropping subgoals in order, keeping the
 /// query equivalent at every step) and with redundant comparisons removed.
 /// The context overload memoizes the many pairwise containment checks the
 /// greedy fold performs (they repeat across candidate drops).
+/// When `witness` is non-null, both equivalence directions are recomputed
+/// with witness capture after the fold converges.
+Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q,
+                            MinimizationWitness* witness);
 Result<Query> MinimizeQuery(EngineContext& ctx, const Query& q);
 Result<Query> MinimizeQuery(const Query& q);
 

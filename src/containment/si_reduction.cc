@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "src/base/strings.h"
 #include "src/constraints/implication.h"
@@ -163,6 +164,23 @@ Result<Program> BuildQdatalog(const Query& q1) {
                                ? std::string("q")
                                : q1p.head().predicate);
 
+  // Head pins. The I/J recursion discharges a comparison by case analysis:
+  // "if the comparison fails, some OTHER body match satisfies the query".
+  // For a boolean query any match suffices, but for a distinguished head
+  // the alternative match must produce the SAME answer tuple — otherwise
+  // the program derives q(a) from a witness for q(b). Every I/J predicate
+  // therefore carries the query's head terms in front of its comparison
+  // variable, pinning the whole case tree to one answer. An empty head
+  // degenerates to the paper's Section 5.3 program verbatim.
+  const std::vector<Term>& pins = q1p.head().args;
+  auto pinned = [&pins](const std::string& pred, const Term& x) {
+    Atom a;
+    a.predicate = pred;
+    a.args = pins;
+    a.args.push_back(x);
+    return a;
+  };
+
   // --- Query rule: ordinary subgoals + I-atom per comparison. -------------
   Rule query_rule;
   query_rule.head() = q1p.head();
@@ -173,10 +191,7 @@ Result<Program> BuildQdatalog(const Query& q1) {
   for (const Comparison& c : q1p.comparisons()) {
     SiForm f = SiFormOf(c);
     const Term& x = c.lhs.is_var() ? c.lhs : c.rhs;
-    Atom i_atom;
-    i_atom.predicate = StrCat("I_", f.PredicateSuffix());
-    i_atom.args.push_back(x);
-    query_rule.AddBodyAtom(std::move(i_atom));
+    query_rule.AddBodyAtom(pinned(StrCat("I_", f.PredicateSuffix()), x));
   }
   prog.AddRule(std::move(query_rule));
 
@@ -192,6 +207,7 @@ Result<Program> BuildQdatalog(const Query& q1) {
     rule.head().predicate = StrCat("J_", fe.PredicateSuffix());
     for (const std::string& name : q1p.var_names())
       rule.FindOrAddVariable(name);
+    rule.head().args = pins;
     rule.head().args.push_back(xe);
     rule.body() = q1p.body();
     for (size_t o = 0; o < num_acs; ++o) {
@@ -199,10 +215,7 @@ Result<Program> BuildQdatalog(const Query& q1) {
       const Comparison& co = q1p.comparisons()[o];
       SiForm fo = SiFormOf(co);
       const Term& xo = co.lhs.is_var() ? co.lhs : co.rhs;
-      Atom i_atom;
-      i_atom.predicate = StrCat("I_", fo.PredicateSuffix());
-      i_atom.args.push_back(xo);
-      rule.AddBodyAtom(std::move(i_atom));
+      rule.AddBodyAtom(pinned(StrCat("I_", fo.PredicateSuffix()), xo));
     }
     prog.AddRule(std::move(rule));
   }
@@ -216,29 +229,86 @@ Result<Program> BuildQdatalog(const Query& q1) {
       for (const auto& [head_f, body_f] :
            {std::make_pair(f1, f2), std::make_pair(f2, f1)}) {
         Rule rule;
-        int w = rule.AddVariable("W");
-        rule.head().predicate = StrCat("I_", head_f.PredicateSuffix());
-        rule.head().args.push_back(Term::Var(w));
         Atom j;
         j.predicate = StrCat("J_", body_f.PredicateSuffix());
-        j.args.push_back(Term::Var(w));
+        for (size_t hi = 0; hi < pins.size(); ++hi)
+          j.args.push_back(
+              Term::Var(rule.AddVariable(StrCat("H", hi))));
+        j.args.push_back(Term::Var(rule.AddVariable("W")));
+        rule.head().predicate = StrCat("I_", head_f.PredicateSuffix());
+        rule.head().args = j.args;
         rule.AddBodyAtom(std::move(j));
         prog.AddRule(std::move(rule));
       }
     }
   }
 
-  // --- Initialization rules: I_f(A) :- U_f(A). -----------------------------
+  // --- Initialization rules: I_f(H..., A) :- U_f(A) [, dom(H)...]. --------
+  // The pinned head variables are unconstrained here (a literally-true
+  // comparison discharges regardless of the answer tuple), so each distinct
+  // pin variable is range-restricted by the dom relation below.
   for (const SiForm& f : forms) {
     Rule rule;
-    int a = rule.AddVariable("A");
-    rule.head().predicate = StrCat("I_", f.PredicateSuffix());
-    rule.head().args.push_back(Term::Var(a));
-    Atom u;
-    u.predicate = StrCat("U_", f.PredicateSuffix());
-    u.args.push_back(Term::Var(a));
-    rule.AddBodyAtom(std::move(u));
+    if (pins.empty()) {
+      int a = rule.AddVariable("A");
+      rule.head().predicate = StrCat("I_", f.PredicateSuffix());
+      rule.head().args.push_back(Term::Var(a));
+      Atom u;
+      u.predicate = StrCat("U_", f.PredicateSuffix());
+      u.args.push_back(Term::Var(a));
+      rule.AddBodyAtom(std::move(u));
+    } else {
+      for (const std::string& name : q1p.var_names())
+        rule.FindOrAddVariable(name);
+      std::string fresh = "A";
+      while (rule.FindVariable(fresh) >= 0) fresh += "_";
+      int a = rule.FindOrAddVariable(fresh);
+      rule.head().predicate = StrCat("I_", f.PredicateSuffix());
+      rule.head().args = pins;
+      rule.head().args.push_back(Term::Var(a));
+      Atom u;
+      u.predicate = StrCat("U_", f.PredicateSuffix());
+      u.args.push_back(Term::Var(a));
+      rule.AddBodyAtom(std::move(u));
+      std::vector<int> restricted;
+      for (const Term& t : pins) {
+        if (!t.is_var()) continue;
+        if (std::find(restricted.begin(), restricted.end(), t.var()) !=
+            restricted.end())
+          continue;
+        restricted.push_back(t.var());
+        Atom dom;
+        dom.predicate = "dom";
+        dom.args.push_back(t);
+        rule.AddBodyAtom(std::move(dom));
+      }
+    }
     prog.AddRule(std::move(rule));
+  }
+
+  // --- Domain rules for the pins: dom projects every variable position of
+  // the query's own body predicates (in the MCR composition these are
+  // derived from inverse rules, so dom also ranges over Skolem terms —
+  // harmless, since Skolem-headed answers are discarded). ------------------
+  if (!pins.empty()) {
+    std::set<std::string> dom_emitted;
+    for (const Atom& atom : q1p.body()) {
+      for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+        if (!atom.args[pos].is_var()) continue;
+        std::string key = StrCat(atom.predicate, "#", pos);
+        if (!dom_emitted.insert(key).second) continue;
+        Rule rule;
+        rule.head().predicate = "dom";
+        Atom body;
+        body.predicate = atom.predicate;
+        for (size_t j = 0; j < atom.args.size(); ++j)
+          body.args.push_back(
+              Term::Var(rule.FindOrAddVariable(StrCat("X", j))));
+        rule.head().args.push_back(body.args[pos]);
+        rule.AddBodyAtom(std::move(body));
+        prog.AddRule(std::move(rule));
+      }
+    }
   }
   return prog;
 }

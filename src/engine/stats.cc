@@ -37,7 +37,12 @@ namespace cqac {
   X(ivm_base_delta_tuples)                                                  \
   X(ivm_view_delta_tuples)                                                  \
   X(ivm_overdeletions)                                                      \
-  X(ivm_rederivations)
+  X(ivm_rederivations)                                                      \
+  X(audit_obligations)                                                      \
+  X(audit_failures)                                                         \
+  X(audit_unfold_disjuncts)                                                 \
+  X(audit_replayed_tuples)                                                  \
+  X(audit_wall_ns)
 
 StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& o) const {
   StatsSnapshot d;
@@ -125,7 +130,12 @@ std::string EngineStats::ToString() const {
       uint64_t{ivm_base_delta_tuples}, " base delta tuples, ",
       uint64_t{ivm_view_delta_tuples}, " view delta tuples, ",
       uint64_t{ivm_overdeletions}, " overdeletions, ",
-      uint64_t{ivm_rederivations}, " rederivations");
+      uint64_t{ivm_rederivations}, " rederivations\n",
+      "audit: ", uint64_t{audit_obligations}, " obligations, ",
+      uint64_t{audit_failures}, " failures, ",
+      uint64_t{audit_unfold_disjuncts}, " unfold disjuncts, ",
+      uint64_t{audit_replayed_tuples}, " replayed tuples, ",
+      uint64_t{audit_wall_ns} / 1000000, " ms audit wall time");
 }
 
 }  // namespace cqac

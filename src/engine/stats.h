@@ -78,6 +78,11 @@ struct StatsSnapshot {
   uint64_t ivm_view_delta_tuples = 0;
   uint64_t ivm_overdeletions = 0;
   uint64_t ivm_rederivations = 0;
+  uint64_t audit_obligations = 0;
+  uint64_t audit_failures = 0;
+  uint64_t audit_unfold_disjuncts = 0;
+  uint64_t audit_replayed_tuples = 0;
+  uint64_t audit_wall_ns = 0;
 
   /// Counter-wise difference (`after - before`). Counters only grow, so a
   /// later-minus-earlier snapshot of the same stats block never underflows.
@@ -143,6 +148,13 @@ struct EngineStats {
   StatCounter ivm_view_delta_tuples;    // view tuples added + removed
   StatCounter ivm_overdeletions;        // DRed tuples speculatively deleted
   StatCounter ivm_rederivations;        // DRed tuples rescued by re-derive
+
+  // Independent audit pass (src/analysis/audit).
+  StatCounter audit_obligations;       // proof obligations checked
+  StatCounter audit_failures;          // ... that were rejected
+  StatCounter audit_unfold_disjuncts;  // MCR unfolding disjuncts certified
+  StatCounter audit_replayed_tuples;   // IVM tuples replayed vs the oracle
+  StatCounter audit_wall_ns;           // wall-clock spent auditing
 
   void Reset();
 

@@ -217,6 +217,42 @@ Status BudgetExhausted(EngineContext& ctx) {
   return Status::ResourceExhausted("ivm maintenance exceeded the budget");
 }
 
+/// Merge-walks two ordered count maps into the touched-tuple set (entries
+/// whose count changed; absence means 0).
+std::vector<TupleCountDelta> DiffCounts(const std::map<Tuple, int64_t>& before,
+                                        const std::map<Tuple, int64_t>& after) {
+  std::vector<TupleCountDelta> out;
+  auto ib = before.begin();
+  auto ia = after.begin();
+  while (ib != before.end() || ia != after.end()) {
+    TupleCountDelta d;
+    if (ia == after.end() || (ib != before.end() && ib->first < ia->first)) {
+      d.tuple = ib->first;
+      d.old_count = ib->second;
+      ++ib;
+    } else if (ib == before.end() || ia->first < ib->first) {
+      d.tuple = ia->first;
+      d.new_count = ia->second;
+      ++ia;
+    } else {
+      d.tuple = ib->first;
+      d.old_count = ib->second;
+      d.new_count = ia->second;
+      ++ib;
+      ++ia;
+    }
+    if (d.old_count != d.new_count) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// A relation as a 0/1-presence count map (the DRed certificate view).
+std::map<Tuple, int64_t> PresenceCounts(const Relation& rel) {
+  std::map<Tuple, int64_t> out;
+  for (const Tuple& t : rel) out.emplace_hint(out.end(), t, 1);
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -279,13 +315,32 @@ Status MaterializedViewSet::RebuildView(EngineContext& ctx, size_t i) {
 
 Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
                                                 const DeltaDatabase& delta,
-                                                const MaintainOptions& options) {
+                                                const MaintainOptions& options,
+                                                MaintenanceCertificate* cert) {
   if (&delta.base() != &base_)
     return Status::InvalidArgument(
         "delta was staged against a different database");
+  // Certified applies diff the pre/post count maps; the snapshot is
+  // O(state), which is the price of an independently checkable commit.
+  std::vector<CountMap> before;
+  if (cert != nullptr) before = counts_;
+  auto fill_cert = [&](const ApplySummary& s) {
+    if (cert == nullptr) return;
+    cert->views.clear();
+    cert->summary = s;
+    cert->counting = true;
+    for (size_t i = 0; i < view_queries_.size(); ++i) {
+      ViewDelta vd;
+      vd.predicate = view_queries_[i].head().predicate;
+      vd.deltas =
+          DiffCounts(i < before.size() ? before[i] : CountMap{}, counts_[i]);
+      cert->views.push_back(std::move(vd));
+    }
+  };
   ApplySummary summary;
   if (delta.empty()) {
     summary.incremental = true;
+    fill_cert(summary);
     return summary;
   }
   ++ctx.stats().ivm_applies;
@@ -333,6 +388,7 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
         summary.view_tuples_added + summary.view_tuples_removed;
     maintained_ = false;
     summary.incremental = false;
+    fill_cert(summary);
     return summary;
   }
 
@@ -494,6 +550,7 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
       summary.view_tuples_added + summary.view_tuples_removed;
   maintained_ = true;
   summary.incremental = true;
+  fill_cert(summary);
   return summary;
 }
 
@@ -569,17 +626,19 @@ void MaterializedViewSet::IndexRemovedTuple(const std::string& pred,
 }
 
 Result<ApplySummary> MaterializedViewSet::ApplyInsert(
-    EngineContext& ctx, const Database& facts, const MaintainOptions& options) {
+    EngineContext& ctx, const Database& facts, const MaintainOptions& options,
+    MaintenanceCertificate* cert) {
   DeltaDatabase delta(&base_);
   CQAC_RETURN_IF_ERROR(delta.StageInsertAll(facts));
-  return Apply(ctx, delta, options);
+  return Apply(ctx, delta, options, cert);
 }
 
 Result<ApplySummary> MaterializedViewSet::ApplyRetract(
-    EngineContext& ctx, const Database& facts, const MaintainOptions& options) {
+    EngineContext& ctx, const Database& facts, const MaintainOptions& options,
+    MaintenanceCertificate* cert) {
   DeltaDatabase delta(&base_);
   CQAC_RETURN_IF_ERROR(delta.StageRetractAll(facts));
-  return Apply(ctx, delta, options);
+  return Apply(ctx, delta, options, cert);
 }
 
 // ---------------------------------------------------------------------------
@@ -656,7 +715,8 @@ Relation MaintainedProgram::QueryAnswers() const {
 
 Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
                                               const DeltaDatabase& delta,
-                                              const MaintainOptions& options) {
+                                              const MaintainOptions& options,
+                                              MaintenanceCertificate* cert) {
   if (&delta.base() != &edb_)
     return Status::InvalidArgument(
         "delta was staged against a different database");
@@ -666,9 +726,29 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
         return Status::InvalidArgument(
             StrCat("cannot stage changes to IDB predicate '", pred, "'"));
 
+  // Certified applies diff pre/post IDB presence (tuples are derived or
+  // not — DRed keeps no counts).
+  std::map<std::string, std::map<Tuple, int64_t>> before;
+  if (cert != nullptr)
+    for (const std::string& p : idb_preds_)
+      before.emplace(p, PresenceCounts(idb_.Get(p)));
+  auto fill_cert = [&](const ApplySummary& s) {
+    if (cert == nullptr) return;
+    cert->views.clear();
+    cert->summary = s;
+    cert->counting = false;
+    for (const std::string& p : idb_preds_) {
+      ViewDelta vd;
+      vd.predicate = p;
+      vd.deltas = DiffCounts(before[p], PresenceCounts(idb_.Get(p)));
+      cert->views.push_back(std::move(vd));
+    }
+  };
+
   ApplySummary summary;
   if (delta.empty()) {
     summary.incremental = true;
+    fill_cert(summary);
     return summary;
   }
   ++ctx.stats().ivm_applies;
@@ -703,6 +783,7 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
         summary.view_tuples_added + summary.view_tuples_removed;
     maintained_ = false;
     summary.incremental = false;
+    fill_cert(summary);
     return summary;
   }
 
@@ -713,6 +794,7 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
       summary.view_tuples_added + summary.view_tuples_removed;
   maintained_ = true;
   summary.incremental = true;
+  fill_cert(summary);
   return summary;
 }
 

@@ -81,6 +81,34 @@ struct ApplySummary {
   bool incremental = false;       ///< false when this batch was rebuilt
 };
 
+/// One touched tuple's count transition across a certified Apply. For the
+/// counting maintainer the counts are derivation counts; for DRed they are
+/// 0/1 presence.
+struct TupleCountDelta {
+  Tuple tuple;
+  int64_t old_count = 0;
+  int64_t new_count = 0;
+};
+
+/// The touched-tuple set of one view (or IDB predicate) across one Apply.
+struct ViewDelta {
+  std::string predicate;
+  std::vector<TupleCountDelta> deltas;  ///< ascending tuple order
+};
+
+/// A machine-checkable record of one committed Apply: every touched tuple
+/// of every maintained relation with its before/after count, plus the
+/// summary the caller saw. The auditor (src/analysis/audit) replays it
+/// against a from-scratch re-evaluation of the post-commit database —
+/// independent of the O(delta) maintenance that produced it. Emission is
+/// opt-in (the `cert` out-parameter) because snapshotting the counts is
+/// O(state), not O(delta).
+struct MaintenanceCertificate {
+  std::vector<ViewDelta> views;  ///< one entry per maintained predicate
+  ApplySummary summary;
+  bool counting = false;  ///< true: derivation counts; false: 0/1 presence
+};
+
 /// A set of non-recursive CQAC views materialized over an owned base
 /// database, maintained under insert/retract batches via per-tuple
 /// derivation counts.
@@ -102,14 +130,19 @@ class MaterializedViewSet {
   /// base(). On kResourceExhausted the batch may be partially applied (the
   /// retract half may have landed while the insert half did not; an aborted
   /// half is rolled back), but base and views always agree.
+  /// When `cert` is non-null, a successful Apply fills it with the exact
+  /// per-tuple count transitions of this batch (O(state) snapshotting).
   Result<ApplySummary> Apply(EngineContext& ctx, const DeltaDatabase& delta,
-                             const MaintainOptions& options = {});
+                             const MaintainOptions& options = {},
+                             MaintenanceCertificate* cert = nullptr);
 
   /// Convenience: stages every fact of `facts` and applies.
   Result<ApplySummary> ApplyInsert(EngineContext& ctx, const Database& facts,
-                                   const MaintainOptions& options = {});
+                                   const MaintainOptions& options = {},
+                                   MaintenanceCertificate* cert = nullptr);
   Result<ApplySummary> ApplyRetract(EngineContext& ctx, const Database& facts,
-                                    const MaintainOptions& options = {});
+                                    const MaintainOptions& options = {},
+                                    MaintenanceCertificate* cert = nullptr);
 
   /// The owned base database (read-only; mutate via Apply).
   const Database& base() const { return base_; }
@@ -177,11 +210,18 @@ class MaintainedProgram {
 
   /// Applies one staged batch of EDB changes (the delta must have been
   /// staged against edb()). Staging changes to IDB predicates is an error.
+  /// When `cert` is non-null, a successful Apply fills it with the 0/1
+  /// presence transitions of every touched IDB tuple.
   Result<ApplySummary> Apply(EngineContext& ctx, const DeltaDatabase& delta,
-                             const MaintainOptions& options = {});
+                             const MaintainOptions& options = {},
+                             MaintenanceCertificate* cert = nullptr);
 
   const Database& edb() const { return edb_; }
   const Database& idb() const { return idb_; }
+
+  /// The maintained program's engine (for auditors that re-evaluate from
+  /// scratch).
+  const datalog::Engine& engine() const { return engine_; }
 
   /// The query predicate's relation with Skolem-carrying tuples removed
   /// (same convention as datalog::Engine::Query).

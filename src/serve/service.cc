@@ -1,10 +1,12 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "src/analysis/audit/audit.h"
 #include "src/analysis/classify.h"
 #include "src/analysis/lint.h"
 #include "src/base/strings.h"
@@ -20,6 +22,33 @@
 namespace cqac {
 namespace serve {
 namespace {
+
+// True when the request opts into the audit pass ("certify": true). The
+// flag is ignored unless it is a literal JSON boolean.
+bool CertifyRequested(const Request& req) {
+  const JsonValue* v = req.body.Find("certify");
+  return v != nullptr && v->is_bool() && v->bool_value();
+}
+
+// Appends one obligation to `report` with AuditAll's counter convention
+// (src/analysis/audit/audit.cc): wall time, obligation and failure counts.
+template <typename Fn>
+void RecordObligation(EngineContext& ctx, audit::AuditReport* report,
+                      audit::ObligationKind kind, std::string label, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = fn();
+  ctx.stats().audit_wall_ns +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ++ctx.stats().audit_obligations;
+  audit::Obligation o;
+  o.kind = kind;
+  o.label = std::move(label);
+  o.status = std::move(s);
+  if (o.failed()) ++ctx.stats().audit_failures;
+  report->obligations.push_back(std::move(o));
+}
 
 // Renders a relation as a JSON array of tuples, each tuple an array of
 // value strings (rationals render exactly: "7/2", not a float).
@@ -174,13 +203,26 @@ std::string Service::HandleFact(const Request& req) {
 
   Result<Database> parsed = Database::FromFacts(facts.value());
   if (!parsed.ok()) return ErrorResponse(req, parsed.status());
+  const bool certify = CertifyRequested(req);
   ivm::MaterializedViewSet& store = session.value()->store;
-  Result<ivm::ApplySummary> summary = store.ApplyInsert(ctx_, parsed.value());
+  ivm::MaintenanceCertificate cert;
+  Result<ivm::ApplySummary> summary =
+      store.ApplyInsert(ctx_, parsed.value(), {}, certify ? &cert : nullptr);
   if (!summary.ok()) return ErrorResponse(req, summary.status());
 
   std::string out = BeginResponse(req);
   JsonField(&out, "tuples_added", StrCat(summary.value().inserted));
   JsonField(&out, "total_tuples", StrCat(store.base().TotalTuples()));
+  if (certify) {
+    audit::AuditReport report;
+    RecordObligation(ctx_, &report, audit::ObligationKind::kIvmCommit,
+                     "fact", [&] {
+                       return audit::CheckMaintenance(
+                           ctx_, store.view_queries(), cert, store.base(),
+                           store.views());
+                     });
+    JsonField(&out, "audit", report.ToJson());
+  }
   JsonClose(&out);
   return out;
 }
@@ -193,13 +235,26 @@ std::string Service::HandleRetract(const Request& req) {
 
   Result<Database> parsed = Database::FromFacts(facts.value());
   if (!parsed.ok()) return ErrorResponse(req, parsed.status());
+  const bool certify = CertifyRequested(req);
   ivm::MaterializedViewSet& store = session.value()->store;
-  Result<ivm::ApplySummary> summary = store.ApplyRetract(ctx_, parsed.value());
+  ivm::MaintenanceCertificate cert;
+  Result<ivm::ApplySummary> summary =
+      store.ApplyRetract(ctx_, parsed.value(), {}, certify ? &cert : nullptr);
   if (!summary.ok()) return ErrorResponse(req, summary.status());
 
   std::string out = BeginResponse(req);
   JsonField(&out, "tuples_removed", StrCat(summary.value().retracted));
   JsonField(&out, "total_tuples", StrCat(store.base().TotalTuples()));
+  if (certify) {
+    audit::AuditReport report;
+    RecordObligation(ctx_, &report, audit::ObligationKind::kIvmCommit,
+                     "retract", [&] {
+                       return audit::CheckMaintenance(
+                           ctx_, store.view_queries(), cert, store.base(),
+                           store.views());
+                     });
+    JsonField(&out, "audit", report.ToJson());
+  }
   JsonClose(&out);
   return out;
 }
@@ -236,6 +291,23 @@ std::string Service::HandleRewrite(const Request& req) {
   const Query& query = q.value();
   const ViewSet& views = session.value()->views;
 
+  // With "certify": true, the static obligations (classification, the
+  // rewriting witness or the SI-MCR rules + bounded unfolding, both
+  // minimizations) are re-proved by the independent auditor and attached.
+  std::string audit_json;
+  if (CertifyRequested(req)) {
+    audit::AuditInputs inputs;
+    inputs.query = query;
+    inputs.views = views;
+    audit::AuditOptions opts;
+    opts.audit_ivm = false;
+    opts.audit_eval = false;
+    audit::AuditReport report;
+    Status st = audit::AuditAll(ctx_, inputs, opts, &report);
+    if (!st.ok()) return ErrorResponse(req, st);
+    audit_json = report.ToJson();
+  }
+
   // Exactly the shell's dispatch (tools/cqac_shell.cc Rewrite): this is
   // what keeps serve-mode output byte-identical to shell output.
   AcClass cls = query.Classify();
@@ -248,6 +320,7 @@ std::string Service::HandleRewrite(const Request& req) {
     JsonField(&out, "kind", "\"datalog\"");
     JsonField(&out, "count", StrCat(mcr.value().rules.size()));
     JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
+    if (!audit_json.empty()) JsonField(&out, "audit", audit_json);
     JsonClose(&out);
     return out;
   }
@@ -261,6 +334,7 @@ std::string Service::HandleRewrite(const Request& req) {
   JsonField(&out, "count", StrCat(mcr.value().disjuncts.size()));
   JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
   JsonField(&out, "json", UnionQueryToJson(mcr.value()));
+  if (!audit_json.empty()) JsonField(&out, "audit", audit_json);
   JsonClose(&out);
   return out;
 }
@@ -320,6 +394,24 @@ std::string Service::HandleEval(const Request& req) {
   JsonField(&out, "tuples", RelationToJson(r.value()));
   JsonField(&out, "maintained",
             session.value()->store.maintained() ? "true" : "false");
+  if (CertifyRequested(req)) {
+    // The engine result is certified against the naive reference evaluator.
+    audit::AuditReport report;
+    RecordObligation(
+        ctx_, &report, audit::ObligationKind::kEval, text.value(),
+        [&]() -> Status {
+          Result<Relation> ref = EvaluateQueryReference(
+              q.value(), session.value()->store.base());
+          CQAC_RETURN_IF_ERROR(ref.status());
+          if (ref.value() != r.value())
+            return Status::InvalidArgument(
+                StrCat("certificate rejected: engine evaluation returned ",
+                       r.value().size(), " tuples, the reference returned ",
+                       ref.value().size()));
+          return Status::OK();
+        });
+    JsonField(&out, "audit", report.ToJson());
+  }
   JsonClose(&out);
   return out;
 }

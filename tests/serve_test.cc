@@ -338,6 +338,52 @@ TEST(ServeTest, WarmupPrimesTheSharedCache) {
   EXPECT_EQ(delta.containment_cache_misses, 0u);
 }
 
+TEST(ServeTest, CertifyFlagAttachesAuditReports) {
+  Server server(ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+
+  ASSERT_EQ(client.RoundTrip("{\"op\":\"view\",\"rule\":\"v1(X, Y) :- "
+                             "r(X, Y), X < 5.\"}")
+                .rfind("{\"ok\":true", 0),
+            0u);
+
+  // Certified fact commit: the maintenance certificate is replayed and the
+  // audit report is attached with zero failures.
+  std::string fact = client.RoundTrip(
+      "{\"op\":\"fact\",\"facts\":\"r(1, 2). r(4, 7).\",\"certify\":true}");
+  EXPECT_NE(fact.find("\"audit\":{\"obligations\":["), std::string::npos)
+      << fact;
+  EXPECT_NE(fact.find("\"kind\":\"ivm-commit\""), std::string::npos) << fact;
+  EXPECT_NE(fact.find("\"failures\":0"), std::string::npos) << fact;
+
+  // Certified rewrite: the static obligations ride along.
+  std::string rewrite = client.RoundTrip(
+      "{\"op\":\"rewrite\",\"query\":\"q(X) :- r(X, Y), X < 3.\","
+      "\"certify\":true}");
+  EXPECT_NE(rewrite.find("\"audit\":{\"obligations\":["), std::string::npos)
+      << rewrite;
+  EXPECT_NE(rewrite.find("\"failures\":0"), std::string::npos) << rewrite;
+  // Without the flag the response carries no audit field.
+  std::string plain = client.RoundTrip(
+      "{\"op\":\"rewrite\",\"query\":\"q(X) :- r(X, Y), X < 3.\"}");
+  EXPECT_EQ(plain.find("\"audit\""), std::string::npos) << plain;
+
+  // Certified eval: engine vs reference evaluation.
+  std::string eval = client.RoundTrip(
+      "{\"op\":\"eval\",\"query\":\"q(X) :- r(X, Y), X < 3.\","
+      "\"certify\":true}");
+  EXPECT_NE(eval.find("\"kind\":\"eval\""), std::string::npos) << eval;
+  EXPECT_NE(eval.find("\"verdict\":\"certified\""), std::string::npos) << eval;
+
+  // Certified retract keeps base and views agreeing.
+  std::string retract = client.RoundTrip(
+      "{\"op\":\"retract\",\"facts\":\"r(1, 2).\",\"certify\":true}");
+  EXPECT_NE(retract.find("\"kind\":\"ivm-commit\""), std::string::npos)
+      << retract;
+  EXPECT_NE(retract.find("\"failures\":0"), std::string::npos) << retract;
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace cqac

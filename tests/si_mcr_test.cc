@@ -234,5 +234,30 @@ TEST(SiMcrTest, DistinguishedValuesSatisfyComparisonsDirectly) {
   EXPECT_TRUE(ans2.value().empty());
 }
 
+TEST(SiMcrTest, DistinguishedHeadChainsArePinnedToTheAnswer) {
+  // Regression for an unsoundness the whole-program auditor caught: with a
+  // distinguished head, the I/J case-split must not certify q(a) from a
+  // chain whose own witness yields q(b). Here the path 9 -> 1 -> 3 -> 4 ->
+  // 5 satisfies the boolean version of the query (9 > 5 and 5 < 8 two hops
+  // later), but q(3) is NOT a certain answer — 3 > 5 fails — and only q(9)
+  // is. The unpinned program derived both.
+  Query q = MustParseQuery("q(X) :- e(X, Y), e(Y, Z), 5 < X, Z < 8");
+  ViewSet views;
+  ASSERT_TRUE(views.Add(MustParseQuery("v3(A, B) :- e(A, B)")).ok());
+  auto mcr = RewriteSiQueryDatalog(q, views);
+  ASSERT_TRUE(mcr.ok()) << mcr.status();
+  Database db =
+      Database::FromFacts("e(9, 1). e(1, 3). e(3, 4). e(4, 5). e(5, 0).")
+          .value();
+  auto vdb = MaterializeViews(views, db);
+  ASSERT_TRUE(vdb.ok());
+  auto ans = mcr.value().MakeEngine().Query(vdb.value());
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  auto truth = EvaluateQuery(q, db);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(ans.value(), truth.value());
+  EXPECT_EQ(ans.value().size(), 1u);
+}
+
 }  // namespace
 }  // namespace cqac

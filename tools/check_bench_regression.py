@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Guard against benchmark regressions in CI.
 
-Compares a fresh google-benchmark JSON result file against a checked-in
-baseline (bench/baselines/) and fails when the geometric mean of the
-per-benchmark time ratios (current / baseline) exceeds --max-ratio.
+Compares fresh google-benchmark JSON result files against checked-in
+baselines (bench/baselines/) and fails when, for any CURRENT/BASELINE
+pair, the geometric mean of the per-benchmark time ratios
+(current / baseline) exceeds --max-ratio.
 
-Only benchmarks present in *both* files are compared (aggregate rows like
-`_mean`/`_stddev` are skipped), so adding or removing a benchmark never
-breaks the guard by itself. Times are normalized to nanoseconds using each
-entry's `time_unit` before forming ratios, so the two files may use
+Only benchmarks present in *both* files of a pair are compared (aggregate
+rows like `_mean`/`_stddev` are skipped), so adding or removing a benchmark
+never breaks the guard by itself. Times are normalized to nanoseconds using
+each entry's `time_unit` before forming ratios, so the two files may use
 different units.
 
 The default --max-ratio of 1.5 deliberately leaves headroom for shared CI
@@ -16,11 +17,12 @@ runners: the guard is meant to catch structural regressions (an index
 dropped, a fast path lost — typically 2x or worse), not scheduling noise.
 
 Usage:
-  check_bench_regression.py CURRENT.json BASELINE.json [--max-ratio 1.5]
+  check_bench_regression.py CURRENT.json BASELINE.json \
+      [CURRENT2.json BASELINE2.json ...] [--max-ratio 1.5]
 
-Exit status: 0 when the geomean ratio is within bounds, 1 on a regression
-or when the files share no benchmarks, 2 on usage errors. No third-party
-dependencies.
+Exit status: 0 when every pair's geomean ratio is within bounds, 1 on a
+regression or when a pair shares no benchmarks, 2 on usage errors. No
+third-party dependencies.
 """
 
 import argparse
@@ -56,22 +58,15 @@ def load_times_ns(path):
     return times
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("current", help="fresh benchmark JSON")
-    ap.add_argument("baseline", help="checked-in baseline JSON")
-    ap.add_argument("--max-ratio", type=float, default=1.5,
-                    help="fail when geomean(current/baseline) exceeds this "
-                         "(default: %(default)s)")
-    args = ap.parse_args()
-
-    cur = load_times_ns(args.current)
-    base = load_times_ns(args.baseline)
+def check_pair(current, baseline, max_ratio):
+    """Prints the per-benchmark ratios of one pair; returns True when ok."""
+    cur = load_times_ns(current)
+    base = load_times_ns(baseline)
     shared = sorted(set(cur) & set(base))
     if not shared:
         print("check_bench_regression: no shared benchmarks between "
-              f"{args.current} and {args.baseline}", file=sys.stderr)
-        return 1
+              f"{current} and {baseline}", file=sys.stderr)
+        return False
 
     log_sum = 0.0
     for name in shared:
@@ -80,11 +75,31 @@ def main():
         print(f"  {name}: {ratio:.3f}x "
               f"({cur[name] / 1e6:.3f} ms vs {base[name] / 1e6:.3f} ms)")
     geomean = math.exp(log_sum / len(shared))
-    verdict = "ok" if geomean <= args.max_ratio else "REGRESSION"
-    print(f"check_bench_regression: geomean {geomean:.3f}x over "
-          f"{len(shared)} benchmark(s), max allowed {args.max_ratio}x "
-          f"-> {verdict}")
-    return 0 if geomean <= args.max_ratio else 1
+    ok = geomean <= max_ratio
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"check_bench_regression: {current} vs {baseline}: geomean "
+          f"{geomean:.3f}x over {len(shared)} benchmark(s), max allowed "
+          f"{max_ratio}x -> {verdict}")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("pairs", nargs="+", metavar="JSON",
+                    help="alternating CURRENT.json BASELINE.json files")
+    ap.add_argument("--max-ratio", type=float, default=1.5,
+                    help="fail when any pair's geomean(current/baseline) "
+                         "exceeds this (default: %(default)s)")
+    args = ap.parse_args()
+    if len(args.pairs) % 2 != 0:
+        ap.error("expected an even number of files "
+                 "(CURRENT BASELINE [CURRENT2 BASELINE2 ...])")
+
+    ok = True
+    for i in range(0, len(args.pairs), 2):
+        if not check_pair(args.pairs[i], args.pairs[i + 1], args.max_ratio):
+            ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -176,6 +176,20 @@ int Run(int argc, char** argv) {
   if (fix) {
     for (size_t i = 0; i < files.size(); ++i) {
       FixResult fixed = FixFileText(texts[i]);
+      // Fixpoint check: one --fix pass must converge — running the fixer
+      // again over its own output has to be a byte-identical no-op. A
+      // divergence means two autofixes interact; fail loudly (and write
+      // nothing) instead of shipping a rewrite that a second run would
+      // change again.
+      FixResult again = FixFileText(fixed.text);
+      if (again.changed() || again.text != fixed.text) {
+        std::fprintf(stderr,
+                     "cqac_lint: autofix did not reach a fixpoint on %s (a "
+                     "second pass would still rewrite the text); no changes "
+                     "written\n",
+                     names[i].c_str());
+        return 3;
+      }
       for (const FixEdit& e : fixed.edits)
         std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
                      e.ToString().c_str());

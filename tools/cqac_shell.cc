@@ -20,6 +20,9 @@
 //   lint                   run the semantic linter over the views + query
 //   verify                 recompute the rewriting with witnesses and
 //                          re-validate it with the certificate checker
+//   audit                  run the whole-program audit pass: every engine
+//                          result re-proved by independent reference
+//                          procedures (src/analysis/audit)
 //   stats                  print engine counters (cache hits, budgets, ...)
 //   reset                  clear all state
 //   help                   print this summary
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/audit/audit.h"
 #include "src/analysis/certificate.h"
 #include "src/analysis/lint.h"
 #include "src/base/strings.h"
@@ -102,6 +106,7 @@ class Shell {
     if (cmd == "contained") return Contained(rest);
     if (cmd == "lint") return Lint();
     if (cmd == "verify") return Verify();
+    if (cmd == "audit") return Audit();
     if (cmd == "explain") return Explain(rest);
     if (cmd == "intervals") return Intervals();
     if (cmd == "stats" || cmd == "\\stats") return Stats();
@@ -113,7 +118,7 @@ class Shell {
         "commands: view <rule> | query <rule> | fact <atom> |\n"
         "          retract <atom> | classify | rewrite | er | minimize |\n"
         "          eval | answers | contained <rule> | explain <rule> |\n"
-        "          intervals | lint | verify | stats | reset | help\n");
+        "          intervals | lint | verify | audit | stats | reset | help\n");
     return true;
   }
 
@@ -329,6 +334,22 @@ class Shell {
                 mcr.value().disjuncts.size(),
                 mcr.value().disjuncts.size() == 1 ? "" : "s");
     return true;
+  }
+
+  // Runs the whole-program audit pass (src/analysis/audit) over the current
+  // query, views and base facts: every applicable engine result is re-proved
+  // by the independent reference procedures.
+  bool Audit() {
+    if (!NeedQuery()) return false;
+    audit::AuditInputs in;
+    in.query = query_;
+    in.views = views_;
+    in.facts = store_.base();
+    audit::AuditReport report;
+    Status st = audit::AuditAll(*ctx_, in, {}, &report);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("%s", report.ToString().c_str());
+    return report.ok();
   }
 
   bool Explain(const std::string& text) {
