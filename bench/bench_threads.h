@@ -94,6 +94,14 @@ inline void RecordParallelCounters(benchmark::State& state,
       static_cast<double>(uint64_t{ctx.stats().eval_batches});
   state.counters["eval_smallint_fallbacks"] =
       static_cast<double>(uint64_t{ctx.stats().eval_smallint_fallbacks});
+  state.counters["plan_decisions"] =
+      static_cast<double>(uint64_t{ctx.stats().plan_decisions});
+  state.counters["plan_join_reorders"] =
+      static_cast<double>(uint64_t{ctx.stats().plan_join_reorders});
+  state.counters["plan_unions_pruned"] =
+      static_cast<double>(uint64_t{ctx.stats().plan_unions_pruned});
+  state.counters["plan_retunes"] =
+      static_cast<double>(uint64_t{ctx.stats().plan_retunes});
 }
 
 // Runs `workload(ctx)` once against a fresh serial context and once against

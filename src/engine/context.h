@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/base/task_pool.h"
+#include "src/engine/adaptive.h"
 #include "src/engine/budget.h"
 #include "src/engine/cache.h"
 #include "src/engine/stats.h"
@@ -60,6 +61,13 @@ class EngineContext {
 
   EngineStats& stats() { return stats_; }
   const EngineStats& stats() const { return stats_; }
+
+  /// Self-tuning planner constants (src/plan). NOT internally synchronized:
+  /// mutated only by the coordinating thread at deterministic points (never
+  /// from inside a parallel section), which is what keeps plans
+  /// byte-identical at every thread count — see src/engine/adaptive.h.
+  AdaptiveState& adaptive() { return adaptive_; }
+  const AdaptiveState& adaptive() const { return adaptive_; }
 
   /// Attaches a task pool (not owned; must outlive the context's use of
   /// it). Null or a 0-thread pool means every engine loop runs serially.
@@ -126,6 +134,7 @@ class EngineContext {
 
   Budget budget_;
   EngineStats stats_;
+  AdaptiveState adaptive_;
   bool caching_enabled_ = true;
 
   TaskPool* pool_ = nullptr;  // not owned

@@ -26,6 +26,10 @@ namespace cqac {
   X(budget_exhaustions)                                                     \
   X(eval_batches)                                                           \
   X(eval_smallint_fallbacks)                                                \
+  X(plan_decisions)                                                         \
+  X(plan_join_reorders)                                                     \
+  X(plan_unions_pruned)                                                     \
+  X(plan_retunes)                                                           \
   X(rewrite_candidates)                                                     \
   X(rewrite_verified_rejects)                                               \
   X(parallel_sections)                                                      \
@@ -119,6 +123,10 @@ std::string EngineStats::ToString() const {
       "budget: ", uint64_t{budget_exhaustions}, " exhaustions\n",
       "eval: ", uint64_t{eval_batches}, " batches, ",
       uint64_t{eval_smallint_fallbacks}, " small-int fallbacks\n",
+      "plan: ", uint64_t{plan_decisions}, " decisions, ",
+      uint64_t{plan_join_reorders}, " join reorders, ",
+      uint64_t{plan_unions_pruned}, " union disjuncts pruned, ",
+      uint64_t{plan_retunes}, " retunes\n",
       "rewriting: ", uint64_t{rewrite_candidates}, " candidates, ",
       uint64_t{rewrite_verified_rejects}, " verified rejects\n",
       "parallel: ", uint64_t{parallel_sections}, " sections, ",

@@ -66,6 +66,10 @@ struct StatsSnapshot {
   uint64_t budget_exhaustions = 0;
   uint64_t eval_batches = 0;
   uint64_t eval_smallint_fallbacks = 0;
+  uint64_t plan_decisions = 0;
+  uint64_t plan_join_reorders = 0;
+  uint64_t plan_unions_pruned = 0;
+  uint64_t plan_retunes = 0;
   uint64_t rewrite_candidates = 0;
   uint64_t rewrite_verified_rejects = 0;
   uint64_t parallel_sections = 0;
@@ -130,6 +134,12 @@ struct EngineStats {
   // Columnar join evaluation (src/eval/batch.h).
   StatCounter eval_batches;              // non-empty batches emitted
   StatCounter eval_smallint_fallbacks;   // column promotions off the i64 path
+
+  // Cost-based planner (src/plan).
+  StatCounter plan_decisions;      // cost comparisons made
+  StatCounter plan_join_reorders;  // evaluations that left syntactic order
+  StatCounter plan_unions_pruned;  // union disjuncts pruned before eval
+  StatCounter plan_retunes;        // adaptive-threshold re-estimations
 
   // Rewriting layer.
   StatCounter rewrite_candidates;

@@ -14,6 +14,7 @@ Status Database::Insert(const std::string& predicate, Tuple tuple) {
     return Status::InvalidArgument(
         StrCat("arity mismatch inserting into '", predicate, "': got ",
                tuple.size(), ", relation has ", it->second.begin()->size()));
+  stats_.OnInsert(predicate, tuple);
   relations_[predicate].insert(std::move(tuple));
   return Status::OK();
 }
@@ -26,17 +27,21 @@ Status Database::InsertRelation(const std::string& predicate, Relation rel) {
       return Status::InvalidArgument(
           StrCat("arity mismatch inserting into '", predicate, "': got ",
                  t.size(), ", relation has ", arity));
-  auto [it, inserted] = relations_.try_emplace(predicate, std::move(rel));
-  if (inserted) return Status::OK();
-  Relation& dst = it->second;
-  if (!dst.empty() && dst.begin()->size() != arity)
+  auto it = relations_.find(predicate);
+  if (it != relations_.end() && !it->second.empty() &&
+      it->second.begin()->size() != arity)
     return Status::InvalidArgument(
         StrCat("arity mismatch inserting into '", predicate, "': got ", arity,
-               ", relation has ", dst.begin()->size()));
-  if (dst.empty()) {
-    dst = std::move(rel);
+               ", relation has ", it->second.begin()->size()));
+  // Observe before the set is moved in wholesale; re-observing tuples the
+  // merge later discards as duplicates is a no-op on the sketches.
+  for (const Tuple& t : rel) stats_.OnInsert(predicate, t);
+  if (it == relations_.end()) {
+    relations_.emplace(predicate, std::move(rel));
+  } else if (it->second.empty()) {
+    it->second = std::move(rel);
   } else {
-    dst.merge(std::move(rel));
+    it->second.merge(std::move(rel));
   }
   return Status::OK();
 }
@@ -56,6 +61,20 @@ size_t Database::TotalTuples() const {
   size_t n = 0;
   for (const auto& [name, rel] : relations_) n += rel.size();
   return n;
+}
+
+plan::StatsView Database::PlanStats() const {
+  plan::StatsView view;
+  for (const auto& [name, rel] : relations_) {
+    plan::StatsView::RelStat stat;
+    stat.rows = rel.size();
+    const size_t arity = rel.empty() ? 0 : rel.begin()->size();
+    stat.distinct.reserve(arity);
+    for (size_t c = 0; c < arity; ++c)
+      stat.distinct.push_back(stats_.DistinctEstimate(name, c));
+    view.Set(name, std::move(stat));
+  }
+  return view;
 }
 
 Status Database::Merge(const Database& other) {

@@ -14,6 +14,7 @@
 
 #include "src/base/status.h"
 #include "src/ir/term.h"
+#include "src/plan/stats.h"
 
 namespace cqac {
 
@@ -61,6 +62,15 @@ class Database {
 
   size_t TotalTuples() const;
 
+  /// Per-column distinct-count sketches, maintained O(1) amortized on the
+  /// insert paths for the cost-based planner. Insert-monotone: retractions
+  /// leave them as upper bounds on the live distinct counts (src/plan).
+  const plan::RelationStats& stats() const { return stats_; }
+
+  /// Snapshots rows + distinct estimates for every relation into a
+  /// deterministic StatsView (the shell `plan` / serve `plan` surface).
+  plan::StatsView PlanStats() const;
+
   /// Merges all tuples of `other` into this database.
   Status Merge(const Database& other);
 
@@ -71,6 +81,7 @@ class Database {
 
  private:
   std::map<std::string, Relation> relations_;
+  plan::RelationStats stats_;
   static const Relation kEmpty;
 };
 

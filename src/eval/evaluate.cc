@@ -6,6 +6,7 @@
 
 #include "src/base/strings.h"
 #include "src/engine/parallel.h"
+#include "src/plan/planner.h"
 
 namespace cqac {
 
@@ -593,7 +594,39 @@ Result<Relation> EvaluateQuery(const Query& q, const Database& db) {
 
 Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
                                const Database& db) {
-  CQAC_RETURN_IF_ERROR(q.Validate());
+  return EvaluateQuery(ctx, q, db, EvalOptions{});
+}
+
+Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& qin,
+                               const Database& db,
+                               const EvalOptions& options) {
+  CQAC_RETURN_IF_ERROR(qin.Validate());
+
+  // Plan the atom order up front, from the database alone: the permuted
+  // body binds the same variables and filters the same comparisons, so the
+  // result set is unchanged, and the choice precedes any fan-out, so it is
+  // identical at every thread count.
+  Query planned;
+  const Query* pq = &qin;
+  if (options.join_order == EvalOptions::JoinOrder::kPlanned &&
+      qin.body().size() > 1) {
+    auto rows = [&db](const std::string& p) { return db.Get(p).size(); };
+    auto distinct = [&db](const std::string& p, size_t c) {
+      return db.stats().DistinctEstimate(p, c);
+    };
+    plan::JoinOrderPlan jp =
+        plan::PlanJoinOrder(qin, plan::Cardinalities{rows, distinct});
+    ++ctx.stats().plan_decisions;
+    if (jp.reordered) {
+      ++ctx.stats().plan_join_reorders;
+      planned = qin;
+      planned.body().clear();
+      for (size_t i : jp.order) planned.body().push_back(qin.body()[i]);
+      pq = &planned;
+    }
+  }
+  const Query& q = *pq;
+
   std::vector<const Relation*> relations;
   relations.reserve(q.body().size());
   for (const Atom& a : q.body()) relations.push_back(&db.Get(a.predicate));

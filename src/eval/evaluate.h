@@ -32,13 +32,30 @@ bool EvaluateGroundComparison(const Value& lhs, CompOp op, const Value& rhs);
 /// Returns the set of head tuples of `q` on `db`.
 Result<Relation> EvaluateQuery(const Query& q, const Database& db);
 
+/// Per-call evaluation knobs — the planner seam.
+struct EvalOptions {
+  /// kPlanned (default): the body executes in the atom order chosen by
+  /// plan::PlanJoinOrder over the database's cardinality stats. Joins over
+  /// set-semantics relations are order-independent, so every order returns
+  /// the identical relation; kSyntactic pins the written order (tests,
+  /// ablations — tests/plan_equivalence_test.cc sweeps both against every
+  /// body permutation).
+  enum class JoinOrder { kPlanned, kSyntactic };
+  JoinOrder join_order = JoinOrder::kPlanned;
+};
+
 /// Context-aware variant: honours the budget deadline / cancellation flag
 /// (kResourceExhausted on abort), records eval_batches /
-/// eval_smallint_fallbacks stats, and fans the join out over the context's
-/// task pool by dealing the first body atom's tuples round-robin into
-/// chunks. The result set is identical at every thread count.
+/// eval_smallint_fallbacks / plan_* stats, plans the body atom order (see
+/// EvalOptions), and fans the join out over the context's task pool by
+/// dealing the first planned atom's tuples round-robin into chunks. The
+/// order is chosen from the database alone, before any fan-out, so the
+/// result set is identical at every thread count.
 Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
                                const Database& db);
+Result<Relation> EvaluateQuery(EngineContext& ctx, const Query& q,
+                               const Database& db,
+                               const EvalOptions& options);
 
 /// The pre-columnar tuple-at-a-time backtracking evaluator, kept verbatim as
 /// the differential-testing oracle: EvaluateQuery must return a byte-

@@ -8,6 +8,7 @@
 #include "src/base/task_pool.h"
 #include "src/engine/parallel.h"
 #include "src/eval/evaluate.h"
+#include "src/plan/planner.h"
 
 namespace cqac {
 namespace ivm {
@@ -160,58 +161,6 @@ void DiffTuples(const Database& before, const Database& after, size_t* added,
   }
 }
 
-/// Work estimate for one delta phase of `q`: sum over pivot positions of
-/// |delta(pivot)| x product of the other body relations' sizes. Doubles so
-/// wide joins saturate gracefully instead of overflowing.
-double PivotEstimate(const Query& q, const Database& delta_side,
-                     FunctionRef<size_t(const std::string&)> rel_size) {
-  double total = 0;
-  for (size_t i = 0; i < q.body().size(); ++i) {
-    size_t d = delta_side.Get(q.body()[i].predicate).size();
-    if (d == 0) continue;
-    double prod = static_cast<double>(d);
-    for (size_t j = 0; j < q.body().size(); ++j) {
-      if (j == i) continue;
-      prod *= static_cast<double>(
-          std::max<size_t>(1, rel_size(q.body()[j].predicate)));
-    }
-    total += prod;
-  }
-  return total;
-}
-
-/// Full-join estimate for `q`.
-double FullJoinEstimate(const Query& q,
-                        FunctionRef<size_t(const std::string&)> rel_size) {
-  double prod = 1;
-  for (const Atom& a : q.body())
-    prod *= static_cast<double>(std::max<size_t>(1, rel_size(a.predicate)));
-  return prod;
-}
-
-/// Work models for the counting maintainer, whose joins probe persistent
-/// base indexes. An incremental phase costs about one O(1) probe per delta
-/// tuple per body position, so it is linear in the delta; a rebuild's lazy
-/// per-join indexes make the full join roughly linear in its input
-/// relations. (Both models ignore output size, which the two paths share.)
-double IndexedDeltaEstimate(const Query& q, const Database& delta_side) {
-  double total = 0;
-  for (const Atom& a : q.body()) {
-    size_t d = delta_side.Get(a.predicate).size();
-    if (d > 0)
-      total += static_cast<double>(d) * static_cast<double>(q.body().size());
-  }
-  return total;
-}
-
-double IndexedRebuildEstimate(
-    const Query& q, FunctionRef<size_t(const std::string&)> rel_size) {
-  double total = 0;
-  for (const Atom& a : q.body())
-    total += static_cast<double>(rel_size(a.predicate));
-  return total;
-}
-
 Status BudgetExhausted(EngineContext& ctx) {
   ++ctx.stats().budget_exhaustions;
   return Status::ResourceExhausted("ivm maintenance exceeded the budget");
@@ -348,31 +297,36 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
   summary.inserted = delta.plus().TotalTuples();
   summary.retracted = delta.minus().TotalTuples();
 
-  bool rebuild = options.force_rebuild;
-  if (!rebuild && !options.force_incremental) {
-    auto size_of = [this](const std::string& p) {
-      return base_.Get(p).size();
-    };
-    double incremental = 0;
-    double full = 0;
-    size_t max_touched = 0;
-    for (const Query& q : view_queries_) {
-      incremental += IndexedDeltaEstimate(q, delta.plus()) +
-                     IndexedDeltaEstimate(q, delta.minus());
-      full += IndexedRebuildEstimate(q, size_of);
-      for (const Database* side : {&delta.plus(), &delta.minus()}) {
-        size_t touched = 0;
-        for (const Atom& a : q.body())
-          if (!side->Get(a.predicate).empty()) ++touched;
-        max_touched = std::max(max_touched, touched);
-      }
+  // Route the incremental-vs-rebuild choice through the planner: raw work
+  // estimates from the cost model, pins and the subset-expansion cap from
+  // the options, calibration factors from ctx.adaptive().
+  auto size_of = [this](const std::string& p) { return base_.Get(p).size(); };
+  auto plus_size = [&delta](const std::string& p) {
+    return delta.plus().Get(p).size();
+  };
+  auto minus_size = [&delta](const std::string& p) {
+    return delta.minus().Get(p).size();
+  };
+  double incremental = 0;
+  double full = 0;
+  size_t max_touched = 0;
+  for (const Query& q : view_queries_) {
+    incremental += plan::CountingDeltaEstimate(q, plus_size) +
+                   plan::CountingDeltaEstimate(q, minus_size);
+    full += plan::CountingRebuildEstimate(q, size_of);
+    for (const Database* side : {&delta.plus(), &delta.minus()}) {
+      size_t touched = 0;
+      for (const Atom& a : q.body())
+        if (!side->Get(a.predicate).empty()) ++touched;
+      max_touched = std::max(max_touched, touched);
     }
-    // A delta side touching k positions of one body expands into 2^k - 1
-    // subset joins; past ~10 the expansion alone outweighs a rebuild.
-    rebuild = incremental > options.rebuild_bias * full || max_touched > 10;
   }
+  const plan::IvmPathChoice choice = plan::ChooseIvmPath(
+      ctx, plan::IvmKind::kCounting, incremental, full, options.rebuild_bias,
+      max_touched, options.max_subset_positions, options.force_incremental,
+      options.force_rebuild);
 
-  if (rebuild) {
+  if (choice.rebuild) {
     ++ctx.stats().ivm_rebuild_fallbacks;
     // The wholesale commit bypasses the index-patching path; drop the
     // persistent indexes and let the next incremental batch rebuild them.
@@ -388,6 +342,12 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
         summary.view_tuples_added + summary.view_tuples_removed;
     maintained_ = false;
     summary.incremental = false;
+    // Calibration feedback: a rebuild's work is linear in the scanned base
+    // plus the rewritten view tuples (thread-invariant counts).
+    plan::ObserveIvmOutcome(
+        ctx, plan::IvmKind::kCounting, choice,
+        static_cast<double>(base_.TotalTuples() + summary.view_tuples_added +
+                            summary.view_tuples_removed));
     fill_cert(summary);
     return summary;
   }
@@ -550,6 +510,12 @@ Result<ApplySummary> MaterializedViewSet::Apply(EngineContext& ctx,
       summary.view_tuples_added + summary.view_tuples_removed;
   maintained_ = true;
   summary.incremental = true;
+  // Calibration feedback: incremental work is linear in the delta plus the
+  // view tuples it touched (thread-invariant counts).
+  plan::ObserveIvmOutcome(
+      ctx, plan::IvmKind::kCounting, choice,
+      static_cast<double>(delta.delta_tuples() + summary.view_tuples_added +
+                          summary.view_tuples_removed));
   fill_cert(summary);
   return summary;
 }
@@ -759,19 +725,25 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
   auto size_of = [this](const std::string& p) {
     return idb_preds_.count(p) ? idb_.Get(p).size() : edb_.Get(p).size();
   };
-  bool rebuild = options.force_rebuild;
-  if (!rebuild && !options.force_incremental) {
-    double incremental = 0;
-    double full = 0;
-    for (const datalog::EngineRule& er : engine_.rules()) {
-      incremental += PivotEstimate(er.rule, delta.plus(), size_of) +
-                     PivotEstimate(er.rule, delta.minus(), size_of);
-      full += FullJoinEstimate(er.rule, size_of);
-    }
-    rebuild = incremental > options.rebuild_bias * full;
+  auto plus_size = [&delta](const std::string& p) {
+    return delta.plus().Get(p).size();
+  };
+  auto minus_size = [&delta](const std::string& p) {
+    return delta.minus().Get(p).size();
+  };
+  double incremental = 0;
+  double full = 0;
+  for (const datalog::EngineRule& er : engine_.rules()) {
+    incremental += plan::DredDeltaEstimate(er.rule, plus_size, size_of) +
+                   plan::DredDeltaEstimate(er.rule, minus_size, size_of);
+    full += plan::DredRebuildEstimate(er.rule, size_of);
   }
+  const plan::IvmPathChoice choice = plan::ChooseIvmPath(
+      ctx, plan::IvmKind::kDred, incremental, full, options.rebuild_bias,
+      /*max_touched=*/0, /*max_subset_positions=*/0, options.force_incremental,
+      options.force_rebuild);
 
-  if (rebuild) {
+  if (choice.rebuild) {
     ++ctx.stats().ivm_rebuild_fallbacks;
     CQAC_RETURN_IF_ERROR(delta.CommitTo(&edb_));
     Database old_idb = std::move(idb_);
@@ -783,6 +755,9 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
         summary.view_tuples_added + summary.view_tuples_removed;
     maintained_ = false;
     summary.incremental = false;
+    plan::ObserveIvmOutcome(
+        ctx, plan::IvmKind::kDred, choice,
+        static_cast<double>(edb_.TotalTuples() + idb_.TotalTuples()));
     fill_cert(summary);
     return summary;
   }
@@ -794,6 +769,10 @@ Result<ApplySummary> MaintainedProgram::Apply(EngineContext& ctx,
       summary.view_tuples_added + summary.view_tuples_removed;
   maintained_ = true;
   summary.incremental = true;
+  plan::ObserveIvmOutcome(
+      ctx, plan::IvmKind::kDred, choice,
+      static_cast<double>(delta.delta_tuples() + summary.view_tuples_added +
+                          summary.view_tuples_removed));
   fill_cert(summary);
   return summary;
 }

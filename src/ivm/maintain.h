@@ -61,11 +61,21 @@ using ColumnIndex = std::unordered_map<Value, std::vector<const Tuple*>>;
 /// column -> ColumnIndex, covering every column a view body can probe.
 using PredicateIndex = std::map<size_t, ColumnIndex>;
 
-/// Per-batch policy knobs.
+/// Per-batch policy knobs. The incremental-vs-rebuild choice itself is made
+/// by the planner (plan::ChooseIvmPath), which combines these pins with the
+/// work estimates and the context's self-tuning calibration factors.
 struct MaintainOptions {
-  /// Fall back to a full rebuild when the incremental work estimate exceeds
-  /// rebuild_bias × the rebuild estimate.
+  /// Fall back to a full rebuild when the (calibrated) incremental work
+  /// estimate exceeds rebuild_bias × the (calibrated) rebuild estimate.
   double rebuild_bias = 1.0;
+
+  /// Cap on the number of delta-touched body positions the counting
+  /// maintainer will expand incrementally: a delta side touching k
+  /// positions of one view body expands into 2^k - 1 subset joins, so past
+  /// the cap Apply falls back to a rebuild regardless of the cost
+  /// estimates. The default preserves the historical cutoff; 0 disables
+  /// incremental maintenance for any delta that touches a body at all.
+  size_t max_subset_positions = 10;
 
   /// Force one path regardless of the estimates (benchmarks, tests).
   bool force_incremental = false;

@@ -1,0 +1,347 @@
+#include "src/plan/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/base/strings.h"
+
+namespace cqac {
+namespace plan {
+namespace {
+
+/// Deterministic double rendering for decisions and surfaced plans.
+std::string Est(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string Fac(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// Model cost of one containment check during union pruning, in the same
+/// "tuple probes" unit the eval estimates use. The checks are symbolic
+/// (homomorphism search over a handful of subgoals) and memoized per
+/// context, so a flat constant is the right granularity.
+constexpr double kContainmentCheckCost = 256.0;
+
+/// Estimated rows of `a` after crediting constant-bound columns with their
+/// distinct-count selectivity (unknown distincts give no credit).
+double EffectiveRows(const Atom& a, const Cardinalities& cards) {
+  double rows = static_cast<double>(cards.rows(a.predicate));
+  for (size_t c = 0; c < a.args.size(); ++c) {
+    if (!a.args[c].is_const()) continue;
+    size_t d = cards.distinct(a.predicate, c);
+    if (d > 1) rows /= static_cast<double>(d);
+  }
+  return rows;
+}
+
+/// Estimated growth factor of joining `a` into an intermediate that already
+/// binds the variables flagged in `bound`: effective rows divided by the
+/// distinct count of every join-bound column (the independence-assumption
+/// staple).
+double GrowthFactor(const Atom& a, const Cardinalities& cards,
+                    const std::vector<bool>& bound) {
+  double g = EffectiveRows(a, cards);
+  for (size_t c = 0; c < a.args.size(); ++c) {
+    const Term& t = a.args[c];
+    if (!t.is_var()) continue;
+    if (t.var() >= static_cast<int>(bound.size()) || !bound[t.var()]) continue;
+    size_t d = cards.distinct(a.predicate, c);
+    if (d > 1) g /= static_cast<double>(d);
+  }
+  return g;
+}
+
+void BindAtomVars(const Atom& a, std::vector<bool>* bound) {
+  for (const Term& t : a.args)
+    if (t.is_var() && t.var() < static_cast<int>(bound->size()))
+      (*bound)[t.var()] = true;
+}
+
+/// Summed intermediate-result sizes of executing `q`'s body in `order`.
+double OrderCost(const Query& q, const std::vector<size_t>& order,
+                 const Cardinalities& cards) {
+  std::vector<bool> bound(q.num_vars(), false);
+  double inter = 1;
+  double cost = 0;
+  for (size_t i : order) {
+    const Atom& a = q.body()[i];
+    inter *= GrowthFactor(a, cards, bound);
+    cost += inter;
+    BindAtomVars(a, &bound);
+  }
+  return cost;
+}
+
+std::string OrderToString(const std::vector<size_t>& order) {
+  std::vector<std::string> parts;
+  parts.reserve(order.size());
+  for (size_t i : order) parts.push_back(StrCat(i));
+  return StrCat("[", Join(parts, ", "), "]");
+}
+
+ArmCalibration& IvmArm(EngineContext& ctx, IvmKind kind, bool rebuild) {
+  AdaptiveState& a = ctx.adaptive();
+  if (kind == IvmKind::kCounting)
+    return rebuild ? a.ivm_rebuild : a.ivm_incremental;
+  return rebuild ? a.dred_rebuild : a.dred_incremental;
+}
+
+}  // namespace
+
+std::string Decision::ToString() const {
+  std::string s = StrCat(kind, ": ", choice, " (est ", Est(est_chosen),
+                         " vs ", Est(est_alternative), ")");
+  if (forced) s += " [forced]";
+  if (!detail.empty()) s += StrCat(" — ", detail);
+  return s;
+}
+
+std::string Decision::ToJson() const {
+  return StrCat("{\"kind\":\"", kind, "\",\"choice\":\"", choice,
+                "\",\"est_chosen\":", Est(est_chosen),
+                ",\"est_alternative\":", Est(est_alternative),
+                ",\"forced\":", forced ? "true" : "false", ",\"detail\":\"",
+                detail, "\"}");
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  for (const Decision& d : decisions) out += StrCat("  ", d.ToString(), "\n");
+  return out;
+}
+
+std::string Plan::ToJson() const {
+  std::string out = "{\"decisions\":[";
+  for (size_t i = 0; i < decisions.size(); ++i)
+    out += StrCat(i ? "," : "", decisions[i].ToJson());
+  out += "]}";
+  return out;
+}
+
+JoinOrderPlan PlanJoinOrder(const Query& q, const Cardinalities& cards) {
+  const size_t n = q.body().size();
+  JoinOrderPlan p;
+  p.order.resize(n);
+  std::iota(p.order.begin(), p.order.end(), size_t{0});
+  p.est_syntactic = OrderCost(q, p.order, cards);
+  p.est_planned = p.est_syntactic;
+  if (n < 2) return p;
+
+  // Greedy: repeatedly take the unused atom with the smallest estimated
+  // growth against the variables bound so far. Ties break on the original
+  // index, which keeps the choice deterministic and identity-favoring.
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.num_vars(), false);
+  std::vector<size_t> greedy;
+  greedy.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    double best_growth = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      double g = GrowthFactor(q.body()[i], cards, bound);
+      if (best == n || g < best_growth) {
+        best = i;
+        best_growth = g;
+      }
+    }
+    used[best] = true;
+    greedy.push_back(best);
+    BindAtomVars(q.body()[best], &bound);
+  }
+
+  const double greedy_cost = OrderCost(q, greedy, cards);
+  // Keep the syntactic order unless the model strictly prefers the greedy
+  // one — "matches or beats" by construction, and no churn on ties.
+  if (greedy != p.order && greedy_cost < p.est_syntactic) {
+    p.order = std::move(greedy);
+    p.est_planned = greedy_cost;
+    p.reordered = true;
+  }
+  return p;
+}
+
+JoinOrderPlan PlanJoinOrder(const Query& q, const StatsView& stats) {
+  auto rows = [&stats](const std::string& p) { return stats.Rows(p); };
+  auto distinct = [&stats](const std::string& p, size_t c) {
+    return stats.DistinctEstimate(p, c);
+  };
+  return PlanJoinOrder(q, Cardinalities{rows, distinct});
+}
+
+double EstimateEvalCost(const Query& q, const Cardinalities& cards) {
+  std::vector<size_t> identity(q.body().size());
+  std::iota(identity.begin(), identity.end(), size_t{0});
+  return OrderCost(q, identity, cards);
+}
+
+std::string JoinOrderPlan::ToString() const {
+  return StrCat(reordered ? OrderToString(order) : "syntactic", " est ",
+                Est(est_planned), " (syntactic ", Est(est_syntactic), ")");
+}
+
+Decision JoinOrderPlan::ToDecision() const {
+  Decision d;
+  d.kind = "join-order";
+  d.choice = reordered ? OrderToString(order) : "syntactic";
+  d.est_chosen = est_planned;
+  d.est_alternative = est_syntactic;
+  return d;
+}
+
+double DredDeltaEstimate(const Query& q,
+                         FunctionRef<size_t(const std::string&)> delta_size,
+                         FunctionRef<size_t(const std::string&)> rel_size) {
+  double total = 0;
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    size_t d = delta_size(q.body()[i].predicate);
+    if (d == 0) continue;
+    double prod = static_cast<double>(d);
+    for (size_t j = 0; j < q.body().size(); ++j) {
+      if (j == i) continue;
+      prod *= static_cast<double>(
+          std::max<size_t>(1, rel_size(q.body()[j].predicate)));
+    }
+    total += prod;
+  }
+  return total;
+}
+
+double DredRebuildEstimate(const Query& q,
+                           FunctionRef<size_t(const std::string&)> rel_size) {
+  double prod = 1;
+  for (const Atom& a : q.body())
+    prod *= static_cast<double>(std::max<size_t>(1, rel_size(a.predicate)));
+  return prod;
+}
+
+double CountingDeltaEstimate(
+    const Query& q, FunctionRef<size_t(const std::string&)> delta_size) {
+  double total = 0;
+  for (const Atom& a : q.body()) {
+    size_t d = delta_size(a.predicate);
+    if (d > 0)
+      total += static_cast<double>(d) * static_cast<double>(q.body().size());
+  }
+  return total;
+}
+
+double CountingRebuildEstimate(
+    const Query& q, FunctionRef<size_t(const std::string&)> rel_size) {
+  double total = 0;
+  for (const Atom& a : q.body())
+    total += static_cast<double>(rel_size(a.predicate));
+  return total;
+}
+
+Decision IvmPathChoice::ToDecision() const {
+  Decision d;
+  d.kind = "ivm-path";
+  d.choice = rebuild ? "rebuild" : "incremental";
+  d.est_chosen = rebuild ? est_rebuild : est_incremental;
+  d.est_alternative = rebuild ? est_incremental : est_rebuild;
+  d.forced = forced;
+  d.detail = StrCat("bias ", Fac(rebuild_bias), ", calibration ",
+                    Fac(incremental_factor), "/", Fac(rebuild_factor));
+  if (max_subset_positions > 0)
+    d.detail += StrCat(", touched ", max_touched, "/", max_subset_positions);
+  return d;
+}
+
+IvmPathChoice ChooseIvmPath(EngineContext& ctx, IvmKind kind,
+                            double est_incremental, double est_rebuild,
+                            double rebuild_bias, size_t max_touched,
+                            size_t max_subset_positions,
+                            bool force_incremental, bool force_rebuild) {
+  ++ctx.stats().plan_decisions;
+  IvmPathChoice c;
+  c.est_incremental = est_incremental;
+  c.est_rebuild = est_rebuild;
+  c.rebuild_bias = rebuild_bias;
+  c.max_touched = max_touched;
+  c.max_subset_positions = max_subset_positions;
+  c.incremental_factor = IvmArm(ctx, kind, /*rebuild=*/false).factor;
+  c.rebuild_factor = IvmArm(ctx, kind, /*rebuild=*/true).factor;
+  if (force_rebuild) {
+    c.rebuild = true;
+    c.forced = true;
+    return c;
+  }
+  if (force_incremental) {
+    c.forced = true;
+    return c;
+  }
+  if (max_subset_positions > 0 && max_touched > max_subset_positions) {
+    // Structural guard, not a cost call: the subset expansion alone would
+    // dwarf a rebuild (see MaintainOptions::max_subset_positions).
+    c.rebuild = true;
+    c.forced = true;
+    return c;
+  }
+  c.rebuild = est_incremental * c.incremental_factor >
+              rebuild_bias * est_rebuild * c.rebuild_factor;
+  return c;
+}
+
+void ObserveIvmOutcome(EngineContext& ctx, IvmKind kind,
+                       const IvmPathChoice& choice, double observed_work) {
+  const double est = choice.rebuild ? choice.est_rebuild
+                                    : choice.est_incremental;
+  const double ratio = observed_work / std::max(1.0, est);
+  if (IvmArm(ctx, kind, choice.rebuild).Observe(ratio))
+    ++ctx.stats().plan_retunes;
+}
+
+Decision UnionEvalChoice::ToDecision() const {
+  Decision d;
+  d.kind = "union-eval";
+  d.choice = prune ? "prune" : "direct";
+  const double prune_total =
+      est_prune_cost + (1.0 - expected_fraction) * est_eval;
+  d.est_chosen = prune ? prune_total : est_eval;
+  d.est_alternative = prune ? est_eval : prune_total;
+  d.forced = forced;
+  d.detail = StrCat(disjuncts, " disjuncts, expected prunable fraction ",
+                    Fac(expected_fraction));
+  return d;
+}
+
+UnionEvalChoice ChooseUnionEval(EngineContext& ctx, size_t disjuncts,
+                                double est_eval, UnionEvalPin pin) {
+  ++ctx.stats().plan_decisions;
+  UnionEvalChoice c;
+  c.disjuncts = disjuncts;
+  c.est_eval = est_eval;
+  c.expected_fraction = ctx.adaptive().union_prune.factor;
+  // Greedy pruning checks each disjunct against the kept ones: ~n^2/2
+  // memoized containment calls.
+  c.est_prune_cost = kContainmentCheckCost * static_cast<double>(disjuncts) *
+                     static_cast<double>(disjuncts) / 2.0;
+  if (pin != UnionEvalPin::kAuto) {
+    c.prune = pin == UnionEvalPin::kForcePrune;
+    c.forced = true;
+    return c;
+  }
+  c.prune = disjuncts >= 2 &&
+            c.expected_fraction * est_eval > c.est_prune_cost;
+  return c;
+}
+
+void ObserveUnionPrune(EngineContext& ctx, size_t disjuncts, size_t pruned) {
+  if (disjuncts == 0) return;
+  ctx.stats().plan_unions_pruned += pruned;
+  const double fraction =
+      static_cast<double>(pruned) / static_cast<double>(disjuncts);
+  if (ctx.adaptive().union_prune.Observe(fraction))
+    ++ctx.stats().plan_retunes;
+}
+
+}  // namespace plan
+}  // namespace cqac

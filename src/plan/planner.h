@@ -1,0 +1,188 @@
+// The planner: one place for every cost decision the engine makes.
+//
+// Callers that used to choose ad hoc — the rewriting dispatcher
+// (src/rewriting/answer.cc), the batch join evaluator's atom order
+// (src/eval/evaluate.cc), the IVM incremental-vs-rebuild heuristics
+// (src/ivm/maintain.cc) — now ask the planner, which consumes cardinality
+// statistics (src/plan/stats.h) plus the self-tuning calibration factors in
+// EngineContext::adaptive() and records every comparison as an explicit
+// Decision. Decisions are *advisory about cost only*: each offered choice
+// is result-invariant, so forcing any arm yields byte-identical answers
+// (tests/plan_equivalence_test.cc proves it at several thread counts).
+//
+// Layering: this library depends only on ir/base/engine. Relation sizes
+// arrive through FunctionRef callbacks and containment-based pruning is
+// *decided* here but *executed* by the caller, so plan never links eval or
+// containment and every layer above can link plan.
+#ifndef CQAC_PLAN_PLANNER_H_
+#define CQAC_PLAN_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/function_ref.h"
+#include "src/engine/context.h"
+#include "src/ir/query.h"
+#include "src/plan/stats.h"
+
+namespace cqac {
+namespace plan {
+
+/// One recorded cost comparison. `forced` marks decisions dictated by
+/// soundness (the AC-class lattice), a force_* pin, or a structural guard
+/// rather than by the estimates.
+struct Decision {
+  std::string kind;    // "algorithm" | "join-order" | "union-eval" | "ivm-path"
+  std::string choice;
+  double est_chosen = 0;
+  double est_alternative = 0;
+  bool forced = false;
+  std::string detail;  // free-form: class name, order, calibration factors
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// The explicit plan value: every decision made for one unit of work, in
+/// the order they were taken.
+struct Plan {
+  std::vector<Decision> decisions;
+
+  std::string ToString() const;  // one indented line per decision
+  std::string ToJson() const;    // {"decisions":[...]}
+};
+
+/// Cardinality callbacks the cost model reads. Both are borrowed for the
+/// duration of one planner call (FunctionRef semantics): `rows` returns the
+/// live relation size, `distinct` a per-column distinct estimate (0 =
+/// unknown, which the model treats as "no selectivity credit").
+struct Cardinalities {
+  FunctionRef<size_t(const std::string&)> rows;
+  FunctionRef<size_t(const std::string&, size_t)> distinct;
+};
+
+// ---- Join atom order ------------------------------------------------------
+
+/// A planned execution order for a query body. Joins over set-semantics
+/// relations are order-independent, so any order is result-invariant; the
+/// planner picks one greedily (smallest estimated intermediate growth
+/// first, constants credited by the distinct sketches) and keeps the
+/// syntactic order whenever the model does not strictly prefer another.
+struct JoinOrderPlan {
+  std::vector<size_t> order;  // body-atom indexes in execution order
+  double est_planned = 0;     // summed intermediate sizes under `order`
+  double est_syntactic = 0;   // same model over the syntactic order
+  bool reordered = false;     // order differs from the identity
+
+  std::string ToString() const;  // "[2, 0, 1] est 12 (syntactic 40)"
+  Decision ToDecision() const;
+};
+
+JoinOrderPlan PlanJoinOrder(const Query& q, const Cardinalities& cards);
+
+/// Convenience overload reading a snapshot.
+JoinOrderPlan PlanJoinOrder(const Query& q, const StatsView& stats);
+
+/// The model's cost of evaluating `q` in syntactic order (used to price a
+/// union before deciding whether pruning pays).
+double EstimateEvalCost(const Query& q, const Cardinalities& cards);
+
+// ---- IVM incremental-vs-rebuild -------------------------------------------
+
+/// Which maintainer is asking (they calibrate independently: the counting
+/// maintainer probes persistent indexes, DRed re-joins with lazy ones).
+enum class IvmKind { kCounting, kDred };
+
+/// Work estimate for one delta phase of `q` under lazy per-join indexes:
+/// sum over pivot positions of |delta(pivot)| x the product of the other
+/// body relations' sizes. Doubles so wide joins saturate instead of
+/// overflowing. (Formerly PivotEstimate in src/ivm/maintain.cc.)
+double DredDeltaEstimate(const Query& q,
+                         FunctionRef<size_t(const std::string&)> delta_size,
+                         FunctionRef<size_t(const std::string&)> rel_size);
+
+/// Full-join estimate for `q`: the product of its body relation sizes.
+/// (Formerly FullJoinEstimate.)
+double DredRebuildEstimate(const Query& q,
+                           FunctionRef<size_t(const std::string&)> rel_size);
+
+/// Work models for the counting maintainer, whose joins probe persistent
+/// base indexes: an incremental phase costs about one O(1) probe per delta
+/// tuple per body position, so it is linear in the delta; a rebuild's lazy
+/// per-join indexes make the full join roughly linear in its input
+/// relations. Both ignore output size, which the two paths share.
+/// (Formerly IndexedDeltaEstimate / IndexedRebuildEstimate.)
+double CountingDeltaEstimate(const Query& q,
+                             FunctionRef<size_t(const std::string&)> delta_size);
+double CountingRebuildEstimate(const Query& q,
+                               FunctionRef<size_t(const std::string&)> rel_size);
+
+/// The incremental-vs-rebuild decision with its inputs and the calibration
+/// factors that were applied, for surfacing and for the outcome feedback.
+struct IvmPathChoice {
+  bool rebuild = false;
+  bool forced = false;
+  double est_incremental = 0;       // raw model estimates
+  double est_rebuild = 0;
+  double rebuild_bias = 1.0;
+  double incremental_factor = 1.0;  // adaptive calibration applied
+  double rebuild_factor = 1.0;
+  size_t max_touched = 0;           // delta-touched positions (counting only)
+  size_t max_subset_positions = 0;
+
+  Decision ToDecision() const;
+};
+
+/// Chooses the maintenance path: pins win, then the counting maintainer's
+/// subset-expansion cap (a side touching k positions expands into 2^k - 1
+/// subset joins, so past the cap the expansion alone outweighs a rebuild),
+/// then the calibrated cost comparison
+///   est_incremental x incr_factor  >  bias x est_rebuild x rebuild_factor.
+/// Reads ctx.adaptive() and bumps plan_decisions; coordinator-only.
+IvmPathChoice ChooseIvmPath(EngineContext& ctx, IvmKind kind,
+                            double est_incremental, double est_rebuild,
+                            double rebuild_bias, size_t max_touched,
+                            size_t max_subset_positions,
+                            bool force_incremental, bool force_rebuild);
+
+/// Feeds the executed path's observed work (thread-invariant tuple counts)
+/// back into the matching calibration histogram; bumps plan_retunes when
+/// the observation triggered a re-estimation. Coordinator-only.
+void ObserveIvmOutcome(EngineContext& ctx, IvmKind kind,
+                       const IvmPathChoice& choice, double observed_work);
+
+// ---- Union evaluation -----------------------------------------------------
+
+/// Pin for the union-evaluation strategy (tests, benches, shell flags).
+enum class UnionEvalPin { kAuto, kForceDirect, kForcePrune };
+
+/// Direct union evaluation vs containment-pruning the disjuncts first.
+/// Pruning a disjunct contained in a kept one never changes the union
+/// (eval of the contained disjunct is a subset on every instance), so both
+/// arms are result-invariant; the trade is containment-check work against
+/// the evaluation cost of redundant disjuncts.
+struct UnionEvalChoice {
+  bool prune = false;
+  bool forced = false;
+  size_t disjuncts = 0;
+  double est_eval = 0;            // full-union evaluation estimate
+  double est_prune_cost = 0;      // model cost of the containment checks
+  double expected_fraction = 0;   // calibrated prunable fraction
+
+  Decision ToDecision() const;
+};
+
+/// Chooses the strategy from the calibrated expected prune fraction; bumps
+/// plan_decisions. Coordinator-only.
+UnionEvalChoice ChooseUnionEval(EngineContext& ctx, size_t disjuncts,
+                                double est_eval, UnionEvalPin pin);
+
+/// Feeds the observed pruned fraction back; bumps plan_unions_pruned by
+/// `pruned` and plan_retunes on a re-estimation. Coordinator-only.
+void ObserveUnionPrune(EngineContext& ctx, size_t disjuncts, size_t pruned);
+
+}  // namespace plan
+}  // namespace cqac
+
+#endif  // CQAC_PLAN_PLANNER_H_

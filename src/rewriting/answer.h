@@ -17,6 +17,7 @@
 #include "src/eval/database.h"
 #include "src/ir/query.h"
 #include "src/ir/view.h"
+#include "src/plan/planner.h"
 #include "src/rewriting/si_mcr.h"
 
 namespace cqac {
@@ -28,14 +29,35 @@ enum class PlanKind {
   kDatalog,      // recursive Datalog program (Section 5)
 };
 
+/// Options for the context-aware ViewPlan::Answer.
+struct AnswerOptions {
+  plan::UnionEvalPin union_eval = plan::UnionEvalPin::kAuto;
+};
+
 /// A compiled view-based plan for one query.
 struct ViewPlan {
   PlanKind kind = PlanKind::kEmpty;
   UnionQuery union_plan;          // set iff kind == kFiniteUnion
   std::optional<SiMcr> datalog;   // set iff kind == kDatalog
 
+  /// The planner's record of how this plan was chosen (the algorithm
+  /// decision from PlanForQuery; Answer appends its union-eval decision).
+  plan::Plan plan;
+
   /// Evaluates the plan over a view instance, returning certain answers.
   Result<Relation> Answer(const Database& view_instance) const;
+
+  /// Context-aware evaluation. For finite-union plans the planner chooses
+  /// between direct evaluation and containment-pruning redundant disjuncts
+  /// first — a disjunct contained in a kept one contributes only a subset
+  /// of its tuples on every instance, so both arms return the identical
+  /// relation and the choice is pure cost (estimates from the view
+  /// instance's cardinality stats, the expected prunable fraction from
+  /// ctx.adaptive()). The decision taken is appended to `plan_out` when
+  /// non-null.
+  Result<Relation> Answer(EngineContext& ctx, const Database& view_instance,
+                          const AnswerOptions& options = {},
+                          plan::Plan* plan_out = nullptr) const;
 
   std::string ToString() const;
 };

@@ -15,6 +15,8 @@
 #include "src/ir/expansion.h"
 #include "src/ir/json.h"
 #include "src/ir/parser.h"
+#include "src/plan/planner.h"
+#include "src/rewriting/answer.h"
 #include "src/rewriting/bucket.h"
 #include "src/rewriting/rewrite_lsi.h"
 #include "src/rewriting/si_mcr.h"
@@ -308,32 +310,32 @@ std::string Service::HandleRewrite(const Request& req) {
     audit_json = report.ToJson();
   }
 
-  // Exactly the shell's dispatch (tools/cqac_shell.cc Rewrite): this is
-  // what keeps serve-mode output byte-identical to shell output.
-  AcClass cls = query.Classify();
-  if (query.IsCqacSi() && !query.IsConjunctiveOnly() &&
-      cls != AcClass::kNone && cls != AcClass::kLsi && cls != AcClass::kRsi &&
-      views.AllSiOnly()) {
-    Result<SiMcr> mcr = RewriteSiQueryDatalog(ctx_, query, views);
-    if (!mcr.ok()) return ErrorResponse(req, mcr.status());
+  // The planner's unified dispatch (src/rewriting/answer.cc PlanForQuery):
+  // the same class-dictated engine choice the shell's `rewrite` makes, so
+  // serve-mode output stays byte-identical to shell output — and it returns
+  // the explicit Plan record surfaced as the "plan" field.
+  Result<ViewPlan> vp = PlanForQuery(ctx_, query, views);
+  if (!vp.ok()) return ErrorResponse(req, vp.status());
+  const ViewPlan& plan = vp.value();
+  if (plan.kind == PlanKind::kDatalog) {
     std::string out = BeginResponse(req);
     JsonField(&out, "kind", "\"datalog\"");
-    JsonField(&out, "count", StrCat(mcr.value().rules.size()));
-    JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
+    JsonField(&out, "count", StrCat(plan.datalog->rules.size()));
+    JsonField(&out, "text", JsonQuote(plan.datalog->ToString()));
+    JsonField(&out, "plan", plan.plan.ToJson());
     if (!audit_json.empty()) JsonField(&out, "audit", audit_json);
     JsonClose(&out);
     return out;
   }
+  AcClass cls = query.Classify();
   bool lsi_path =
       cls == AcClass::kNone || cls == AcClass::kLsi || cls == AcClass::kRsi;
-  Result<UnionQuery> mcr = lsi_path ? RewriteLsiQuery(ctx_, query, views)
-                                    : BucketRewrite(ctx_, query, views);
-  if (!mcr.ok()) return ErrorResponse(req, mcr.status());
   std::string out = BeginResponse(req);
   JsonField(&out, "kind", lsi_path ? "\"mcr\"" : "\"bucket\"");
-  JsonField(&out, "count", StrCat(mcr.value().disjuncts.size()));
-  JsonField(&out, "text", JsonQuote(mcr.value().ToString()));
-  JsonField(&out, "json", UnionQueryToJson(mcr.value()));
+  JsonField(&out, "count", StrCat(plan.union_plan.disjuncts.size()));
+  JsonField(&out, "text", JsonQuote(plan.union_plan.ToString()));
+  JsonField(&out, "json", UnionQueryToJson(plan.union_plan));
+  JsonField(&out, "plan", plan.plan.ToJson());
   if (!audit_json.empty()) JsonField(&out, "audit", audit_json);
   JsonClose(&out);
   return out;
@@ -385,13 +387,26 @@ std::string Service::HandleEval(const Request& req) {
   Status valid = q.value().Validate();
   if (!valid.ok()) return ErrorResponse(req, valid);
 
-  Result<Relation> r =
-      EvaluateQuery(ctx_, q.value(), session.value()->store.base());
+  const Database& base = session.value()->store.base();
+  Result<Relation> r = EvaluateQuery(ctx_, q.value(), base);
   if (!r.ok()) return ErrorResponse(req, r.status());
+
+  // The same join-order decision EvaluateQuery just made (it plans from
+  // the database alone, so recomputing it here is exact), surfaced as an
+  // explicit plan record.
+  auto rows = [&base](const std::string& p) { return base.Get(p).size(); };
+  auto distinct = [&base](const std::string& p, size_t c) {
+    return base.stats().DistinctEstimate(p, c);
+  };
+  plan::Plan eval_plan;
+  eval_plan.decisions.push_back(
+      plan::PlanJoinOrder(q.value(), plan::Cardinalities{rows, distinct})
+          .ToDecision());
 
   std::string out = BeginResponse(req);
   JsonField(&out, "count", StrCat(r.value().size()));
   JsonField(&out, "tuples", RelationToJson(r.value()));
+  JsonField(&out, "plan", eval_plan.ToJson());
   JsonField(&out, "maintained",
             session.value()->store.maintained() ? "true" : "false");
   if (CertifyRequested(req)) {

@@ -23,6 +23,10 @@
 //   audit                  run the whole-program audit pass: every engine
 //                          result re-proved by independent reference
 //                          procedures (src/analysis/audit)
+//   plan                   print the planner's cost decisions for the
+//                          current query: class-dictated algorithm, join
+//                          atom order over the base facts, union-eval
+//                          strategy, and the adaptive calibration state
 //   stats                  print engine counters (cache hits, budgets, ...)
 //   reset                  clear all state
 //   help                   print this summary
@@ -50,6 +54,8 @@
 #include "src/ir/expansion.h"
 #include "src/ir/parser.h"
 #include "src/ivm/maintain.h"
+#include "src/plan/planner.h"
+#include "src/rewriting/answer.h"
 #include "src/rewriting/bucket.h"
 #include "src/rewriting/er_search.h"
 #include "src/rewriting/rewrite_lsi.h"
@@ -108,6 +114,7 @@ class Shell {
     if (cmd == "verify") return Verify();
     if (cmd == "audit") return Audit();
     if (cmd == "explain") return Explain(rest);
+    if (cmd == "plan") return PlanCmd();
     if (cmd == "intervals") return Intervals();
     if (cmd == "stats" || cmd == "\\stats") return Stats();
     return Fail("unknown command '" + cmd + "' (try: help)");
@@ -118,7 +125,8 @@ class Shell {
         "commands: view <rule> | query <rule> | fact <atom> |\n"
         "          retract <atom> | classify | rewrite | er | minimize |\n"
         "          eval | answers | contained <rule> | explain <rule> |\n"
-        "          intervals | lint | verify | audit | stats | reset | help\n");
+        "          intervals | lint | verify | audit | plan | stats |\n"
+        "          reset | help\n");
     return true;
   }
 
@@ -243,7 +251,7 @@ class Shell {
 
   bool Evaluate() {
     if (!NeedQuery()) return false;
-    Result<Relation> r = EvaluateQuery(query_, store_.base());
+    Result<Relation> r = EvaluateQuery(*ctx_, query_, store_.base());
     if (!r.ok()) return Fail(r.status().ToString());
     PrintRelation(r.value());
     return true;
@@ -258,7 +266,7 @@ class Shell {
     // The store's maintained view database is exactly
     // MaterializeViews(views_, base) — kept current by fact/retract, so no
     // per-command rematerialization.
-    Result<Relation> r = EvaluateUnion(last_mcr_, store_.views());
+    Result<Relation> r = EvaluateUnion(*ctx_, last_mcr_, store_.views());
     if (!r.ok()) return Fail(r.status().ToString());
     PrintRelation(r.value());
     return true;
@@ -350,6 +358,51 @@ class Shell {
     if (!st.ok()) return Fail(st.ToString());
     std::printf("%s", report.ToString().c_str());
     return report.ok();
+  }
+
+  // Surfaces the planner's view of the current query without running
+  // anything: the class-dictated rewriting engine, the join order direct
+  // evaluation would use over the base facts, the union-eval strategy over
+  // the maintained view instance, and the adaptive calibration state. The
+  // output is a pure function of the declared state plus the context's
+  // deterministic adaptation, so it is identical at every thread count
+  // (tools/determinism.cqac exercises that).
+  bool PlanCmd() {
+    if (!NeedQuery()) return false;
+    Result<ViewPlan> vp = PlanForQuery(*ctx_, query_, views_);
+    if (!vp.ok()) return Fail(vp.status().ToString());
+    std::printf("plan:\n%s", vp.value().plan.ToString().c_str());
+
+    auto rows = [this](const std::string& p) {
+      return store_.base().Get(p).size();
+    };
+    auto distinct = [this](const std::string& p, size_t c) {
+      return store_.base().stats().DistinctEstimate(p, c);
+    };
+    plan::JoinOrderPlan jp =
+        plan::PlanJoinOrder(query_, plan::Cardinalities{rows, distinct});
+    plan::Decision jd = jp.ToDecision();
+    jd.detail = "direct eval over base facts";
+    std::printf("  %s\n", jd.ToString().c_str());
+
+    if (vp.value().kind == PlanKind::kFiniteUnion) {
+      auto vrows = [this](const std::string& p) {
+        return store_.views().Get(p).size();
+      };
+      auto vdistinct = [this](const std::string& p, size_t c) {
+        return store_.views().stats().DistinctEstimate(p, c);
+      };
+      const plan::Cardinalities vcards{vrows, vdistinct};
+      double est = 0;
+      for (const Query& d : vp.value().union_plan.disjuncts)
+        est += plan::EstimateEvalCost(d, vcards);
+      plan::UnionEvalChoice c = plan::ChooseUnionEval(
+          *ctx_, vp.value().union_plan.disjuncts.size(), est,
+          plan::UnionEvalPin::kAuto);
+      std::printf("  %s\n", c.ToDecision().ToString().c_str());
+    }
+    std::printf("adaptive:\n%s\n", ctx_->adaptive().ToString().c_str());
+    return true;
   }
 
   bool Explain(const std::string& text) {
