@@ -8,13 +8,16 @@
 // end-to-end protocol latency, not just engine time.
 //
 // Throughput: N concurrent clients (each in its own session) pound the
-// server with a mixed request program. Requests serialize on the engine
-// thread, so this measures protocol + dispatch overhead under contention;
-// the benchmark also verifies the serve determinism contract — zero
-// protocol errors and every concurrent client's responses byte-identical
-// to a serial replay.
+// server with a mixed request program. On one shard requests serialize on
+// the single engine thread, so this measures protocol + dispatch overhead
+// under contention; the sharded-scaling benchmark then sweeps --shards
+// 1/2/4/8 with the same population to measure how throughput scales when
+// sessions spread across independent engine workers. Every configuration
+// re-verifies the serve determinism contract — zero protocol errors and
+// every concurrent client's responses byte-identical to a serial replay.
 //
-// Run at --threads 0 / 4 / 8 to measure with and without engine fan-out.
+// Run at --threads 0 / 4 / 8 to measure with and without engine fan-out
+// (in the sharded benchmark --threads is the per-shard pool size).
 #include <benchmark/benchmark.h>
 
 #include <arpa/inet.h>
@@ -258,6 +261,95 @@ void BM_ServeConcurrentClients(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeConcurrentClients)
     ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- sharded scaling curve ------------------------------------------------
+
+// Eight concurrent clients against --shards = Arg engine shards: the
+// capacity-planning curve of docs/serve.md. Sessions pin to shards by name
+// hash, so with more shards the same client population spreads across more
+// engine threads. Alongside throughput this records the per-shard
+// backpressure counters (enqueued / rejected_overloaded / queue-depth
+// peak) that the `stats` op exposes, and re-verifies the determinism
+// contract at every shard count: zero protocol errors, every response
+// byte-identical to a serial replay.
+//
+// Read shard*_enqueued for balance: a skewed session population parks on
+// few shards and the curve flattens no matter how many shards you add.
+void BM_ServeShardedScaling(benchmark::State& state) {
+  const size_t kShards = static_cast<size_t>(state.range(0));
+  constexpr int kClients = 8;
+  ServerOptions options;
+  options.shards = kShards;
+  options.threads_per_shard = static_cast<size_t>(bench::ThreadsFlag());
+  Server server(std::move(options));
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<std::string> baseline;
+  {
+    BenchClient client(server.port());
+    for (const std::string& line : ClientProgram("baseline"))
+      baseline.push_back(client.RoundTrip(line));
+  }
+
+  std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> byte_mismatches{0};
+  int64_t requests = 0;
+  int epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      std::string session = StrCat("e", epoch, "c", c);
+      threads.emplace_back([&, session] {
+        BenchClient client(server.port());
+        std::vector<std::string> program = ClientProgram(session);
+        for (size_t i = 0; i < program.size(); ++i) {
+          std::string response = client.RoundTrip(program[i]);
+          if (!IsOk(response)) protocol_errors.fetch_add(1);
+          if (response != baseline[i]) byte_mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    requests += static_cast<int64_t>(kClients) *
+                static_cast<int64_t>(baseline.size());
+    BenchClient janitor(server.port());
+    for (int c = 0; c < kClients; ++c)
+      janitor.RoundTrip(StrCat("{\"op\":\"reset\",\"session\":\"e", epoch,
+                               "c", c, "\"}"));
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["shards"] = static_cast<double>(kShards);
+  state.counters["clients"] = kClients;
+  state.counters["threads_per_shard"] =
+      static_cast<double>(bench::ThreadsFlag());
+  state.counters["protocol_errors"] =
+      static_cast<double>(protocol_errors.load());
+  state.counters["byte_mismatches"] =
+      static_cast<double>(byte_mismatches.load());
+  for (const serve::ShardSummary& s : server.ShardSummaries()) {
+    std::string prefix = StrCat("shard", s.shard, "_");
+    state.counters[StrCat(prefix, "enqueued")] =
+        static_cast<double>(s.enqueued);
+    state.counters[StrCat(prefix, "rejected")] =
+        static_cast<double>(s.rejected_overloaded);
+    state.counters[StrCat(prefix, "queue_peak")] =
+        static_cast<double>(s.queue_depth_peak);
+  }
+  if (protocol_errors.load() != 0)
+    state.SkipWithError("protocol errors under sharding");
+  if (byte_mismatches.load() != 0)
+    state.SkipWithError("responses diverged from the serial baseline");
+}
+BENCHMARK(BM_ServeShardedScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 

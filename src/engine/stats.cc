@@ -46,7 +46,10 @@ namespace cqac {
   X(audit_failures)                                                         \
   X(audit_unfold_disjuncts)                                                 \
   X(audit_replayed_tuples)                                                  \
-  X(audit_wall_ns)
+  X(audit_wall_ns)                                                          \
+  X(serve_requests)                                                         \
+  X(serve_overload_rejections)                                              \
+  X(serve_queue_peak)
 
 StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& o) const {
   StatsSnapshot d;
@@ -143,7 +146,10 @@ std::string EngineStats::ToString() const {
       uint64_t{audit_failures}, " failures, ",
       uint64_t{audit_unfold_disjuncts}, " unfold disjuncts, ",
       uint64_t{audit_replayed_tuples}, " replayed tuples, ",
-      uint64_t{audit_wall_ns} / 1000000, " ms audit wall time");
+      uint64_t{audit_wall_ns} / 1000000, " ms audit wall time\n",
+      "serve: ", uint64_t{serve_requests}, " requests, ",
+      uint64_t{serve_overload_rejections}, " overload rejections, ",
+      uint64_t{serve_queue_peak}, " queue-depth peak");
 }
 
 }  // namespace cqac

@@ -34,6 +34,16 @@ class StatCounter {
   }
   operator uint64_t() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Raises the counter to `v` if it is currently lower (high-water marks,
+  /// e.g. the serve queue-depth peak). Relaxed CAS loop; monotone like
+  /// every other counter, so snapshot deltas never underflow.
+  void MaxWith(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -87,6 +97,9 @@ struct StatsSnapshot {
   uint64_t audit_unfold_disjuncts = 0;
   uint64_t audit_replayed_tuples = 0;
   uint64_t audit_wall_ns = 0;
+  uint64_t serve_requests = 0;
+  uint64_t serve_overload_rejections = 0;
+  uint64_t serve_queue_peak = 0;
 
   /// Counter-wise difference (`after - before`). Counters only grow, so a
   /// later-minus-earlier snapshot of the same stats block never underflows.
@@ -165,6 +178,12 @@ struct EngineStats {
   StatCounter audit_unfold_disjuncts;  // MCR unfolding disjuncts certified
   StatCounter audit_replayed_tuples;   // IVM tuples replayed vs the oracle
   StatCounter audit_wall_ns;           // wall-clock spent auditing
+
+  // Serve transport (src/serve/server.cc; always zero outside a server —
+  // the shell's `stats` prints them so serve and shell read identically).
+  StatCounter serve_requests;             // requests this shard executed
+  StatCounter serve_overload_rejections;  // lines bounced off a full queue
+  StatCounter serve_queue_peak;           // request-queue high-water mark
 
   void Reset();
 

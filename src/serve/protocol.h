@@ -21,6 +21,15 @@
 //
 // Error codes are STABLE strings (clients switch on them; never renumber):
 // see ServeErrorCode below.
+//
+// Sharding on the wire (the transport is sharded; see server.h): the
+// `stats` op's session scope carries a "shard" field — the shard the
+// session is pinned to — and its global scope carries "shards" (the shard
+// count) plus "shard_stats", an array with one summary object per shard
+// (requests, request_errors, sessions, queue_depth, queue_depth_peak,
+// enqueued, rejected_overloaded, threads, cache, engine). All other ops
+// are shard-transparent: responses never depend on which shard served
+// them.
 #ifndef CQAC_SERVE_PROTOCOL_H_
 #define CQAC_SERVE_PROTOCOL_H_
 

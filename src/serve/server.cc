@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/strings.h"
+#include "src/serve/json_value.h"
 #include "src/serve/protocol.h"
 
 namespace cqac {
@@ -26,11 +27,45 @@ void CloseFd(int& fd) {
   }
 }
 
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-Server::Server(ServerOptions options)
-    : options_(std::move(options)), service_(ctx_, options_.service) {
-  ctx_.set_task_pool(options_.pool);
+size_t ShardForSession(const std::string& session, size_t shards) {
+  if (shards <= 1) return 0;
+  // FNV-1a, 64-bit: stable across platforms and releases — session pinning
+  // is part of the operational contract (docs/serve.md).
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : session) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % shards);
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    if (options_.shards == 1 && options_.pool != nullptr) {
+      shard->ctx.set_task_pool(options_.pool);
+    } else if (options_.threads_per_shard > 0) {
+      shard->owned_pool =
+          std::make_unique<TaskPool>(options_.threads_per_shard);
+      shard->ctx.set_task_pool(shard->owned_pool.get());
+    }
+    shard->service = std::make_unique<Service>(shard->ctx, options_.service);
+    shard->service->set_shard(i, options_.shards);
+    shard->service->set_cluster_view([this] { return ShardSummaries(); });
+    shards_.push_back(std::move(shard));
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -69,9 +104,20 @@ Status Server::Start() {
   }
   port_ = ntohs(bound.sin_port);
 
-  engine_thread_ = std::thread([this] { EngineLoop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->engine_thread = std::thread([this, s] { EngineLoop(*s); });
+    s->writer_thread = std::thread([this, s] { WriterLoop(*s); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+Result<WarmupSummary> Server::Warmup(const std::string& script) {
+  // The warm-up session is "default"; it lives on — and primes — exactly
+  // the shard that will serve it.
+  return shards_[ShardForSession("default", shards_.size())]
+      ->service->Warmup(script);
 }
 
 void Server::RequestDrain() {
@@ -80,12 +126,12 @@ void Server::RequestDrain() {
   // shutdown() (not close()) wakes the thread blocked in accept(); the fd
   // itself is closed in Stop() after the accept thread has been joined.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  queue_cv_.notify_all();
+  for (auto& shard : shards_) shard->queue_cv.notify_all();
 }
 
 void Server::Wait() {
   std::unique_lock<std::mutex> lk(done_mu_);
-  done_cv_.wait(lk, [this] { return engine_done_; });
+  done_cv_.wait(lk, [this] { return shards_done_ == shards_.size(); });
 }
 
 void Server::Stop() {
@@ -95,7 +141,10 @@ void Server::Stop() {
     stopped_ = true;
   }
   RequestDrain();
-  if (engine_thread_.joinable()) engine_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->engine_thread.joinable()) shard->engine_thread.join();
+    if (shard->writer_thread.joinable()) shard->writer_thread.join();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   CloseFd(listen_fd_);
   // Shut down every connection so its reader sees EOF, then join readers.
@@ -115,6 +164,25 @@ void Server::Stop() {
     std::lock_guard<std::mutex> wl(conn->write_mu);
     CloseFd(conn->fd);
   }
+}
+
+std::vector<ShardSummary> Server::ShardSummaries() const {
+  std::vector<ShardSummary> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardSummary s = shard->service->Summary();
+    {
+      std::lock_guard<std::mutex> lk(shard->queue_mu);
+      s.queue_depth = shard->queue.size();
+    }
+    s.queue_depth_peak =
+        shard->queue_depth_peak.load(std::memory_order_relaxed);
+    s.enqueued = shard->enqueued.load(std::memory_order_relaxed);
+    s.rejected_overloaded =
+        shard->rejected_overloaded.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 void Server::AcceptLoop() {
@@ -164,6 +232,10 @@ void Server::ReapFinishedConnections() {
   }
 }
 
+// Stage 1 of the pipeline: framing, byte-cap enforcement, JSON + envelope
+// parsing, sequence stamping, and shard routing — all off the engine
+// threads. Parse and envelope errors are answered here and accounted to
+// shard 0 (no session is known for them).
 void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
   std::string acc;
   char buf[4096];
@@ -178,51 +250,191 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
       acc.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      uint64_t seq = conn->next_request_seq++;
       if (line.size() > options_.max_request_bytes) {
-        WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
-                                       "request line exceeds the size cap"));
+        WriteSequenced(*conn, seq,
+                       ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
+                                     "request line exceeds the size cap"));
         fatal = true;
         break;
       }
       if (draining_.load(std::memory_order_acquire)) {
-        WriteLine(*conn,
-                  ErrorResponse(nullptr, ServeErrorCode::kShuttingDown,
-                                "server is draining; request rejected"));
+        WriteSequenced(*conn, seq,
+                       ErrorResponse(nullptr, ServeErrorCode::kShuttingDown,
+                                     "server is draining; request rejected"));
         continue;
       }
-      bool overloaded = false;
-      {
-        std::lock_guard<std::mutex> lk(queue_mu_);
-        if (queue_.size() >= options_.max_queue)
-          overloaded = true;
-        else
-          queue_.push_back(QueueItem{conn, std::move(line)});
+      Result<JsonValue> json = ParseJson(line);
+      if (!json.ok()) {
+        shards_[0]->service->CountPreparseError();
+        WriteSequenced(*conn, seq,
+                       ErrorResponse(nullptr, ServeErrorCode::kParseError,
+                                     json.status().message()));
+        continue;
       }
-      if (overloaded) {
-        WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kOverloaded,
-                                       "request queue is full; retry later"));
-      } else {
-        queue_cv_.notify_one();
+      Result<Request> parsed = ParseRequestEnvelope(std::move(json).value());
+      if (!parsed.ok()) {
+        shards_[0]->service->CountPreparseError();
+        WriteSequenced(*conn, seq,
+                       ErrorResponse(nullptr, ServeErrorCode::kInvalidRequest,
+                                     parsed.status().message()));
+        continue;
       }
+      EnqueueRequest(conn, seq, std::move(parsed).value());
     }
     // A partial line past the cap can never frame a valid request; fail
     // now instead of buffering without bound.
     if (acc.size() > options_.max_request_bytes) {
-      WriteLine(*conn, ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
-                                     "request line exceeds the size cap"));
+      WriteSequenced(*conn, conn->next_request_seq++,
+                     ErrorResponse(nullptr, ServeErrorCode::kTooLarge,
+                                   "request line exceeds the size cap"));
       fatal = true;
     }
   }
   conn->closed.store(true, std::memory_order_release);
   ::shutdown(conn->fd, SHUT_RDWR);
-  // Cooperative cancellation: if the engine thread is currently executing a
-  // request from this connection, tell it to stop — nobody is left to read
-  // the answer. (Spurious cancels are impossible: the engine thread clears
-  // executing_conn_id_ before it returns, and Service::Execute clears the
-  // cancel flag at the start of the next request.)
-  if (executing_conn_id_.load(std::memory_order_acquire) == conn->id)
-    ctx_.RequestCancel();
+  // Cooperative cancellation: if any shard's engine thread is currently
+  // executing a request from this connection, tell it to stop — nobody is
+  // left to read the answer. (Spurious cancels are impossible: a shard
+  // clears executing_conn_id before it returns, and Service::ExecuteParsed
+  // clears the cancel flag at the start of the next request.)
+  for (auto& shard : shards_)
+    if (shard->executing_conn_id.load(std::memory_order_acquire) == conn->id)
+      shard->ctx.RequestCancel();
   conn->reader_done.store(true, std::memory_order_release);
+}
+
+void Server::EnqueueRequest(const std::shared_ptr<Connection>& conn,
+                            uint64_t seq, Request request) {
+  Shard& shard =
+      *shards_[ShardForSession(request.session, shards_.size())];
+  bool overloaded = false;
+  bool draining = false;
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lk(shard.queue_mu);
+    // The drain check must happen under queue_mu: the engine thread only
+    // exits after observing (draining && queue empty) under this lock, so
+    // a request admitted here is guaranteed to be answered.
+    if (draining_.load(std::memory_order_acquire)) {
+      draining = true;
+    } else if (shard.queue.size() >= options_.max_queue) {
+      overloaded = true;
+    } else {
+      shard.queue.push_back(QueueItem{conn, seq, std::move(request)});
+      depth = shard.queue.size();
+    }
+  }
+  if (draining) {
+    WriteSequenced(*conn, seq,
+                   ErrorResponse(&request, ServeErrorCode::kShuttingDown,
+                                 "server is draining; request rejected"));
+    return;
+  }
+  if (overloaded) {
+    // Per-shard backpressure: only this shard is full; the client can keep
+    // talking to sessions on the other shards.
+    shard.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+    ++shard.ctx.stats().serve_overload_rejections;
+    WriteSequenced(
+        *conn, seq,
+        ErrorResponse(&request, ServeErrorCode::kOverloaded,
+                      StrCat("shard ", shard.index,
+                             " request queue is full; retry later")));
+    return;
+  }
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
+  AtomicMax(shard.queue_depth_peak, depth);
+  shard.ctx.stats().serve_queue_peak.MaxWith(depth);
+  shard.queue_cv.notify_one();
+}
+
+// Stage 2: one engine thread per shard executes that shard's requests
+// strictly in arrival order against the shard-private context and session
+// table, then hands the response to the shard's writer (stage 3) through
+// the bounded respond queue — a full queue blocks here, which is the
+// backpressure toward slow readers.
+void Server::EngineLoop(Shard& shard) {
+  while (true) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lk(shard.queue_mu);
+      shard.queue_cv.wait(lk, [&] {
+        return !shard.queue.empty() ||
+               draining_.load(std::memory_order_acquire);
+      });
+      if (shard.queue.empty()) break;  // draining, nothing left to answer
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    shard.executing_conn_id.store(item.conn->id, std::memory_order_release);
+    bool shutdown_requested = false;
+    std::string response =
+        shard.service->ExecuteParsed(item.request, &shutdown_requested);
+    shard.executing_conn_id.store(0, std::memory_order_release);
+    {
+      std::unique_lock<std::mutex> lk(shard.respond_mu);
+      shard.respond_space_cv.wait(lk, [&] {
+        return shard.respond_queue.size() < options_.max_respond_queue;
+      });
+      shard.respond_queue.push_back(
+          ResponseItem{item.conn, item.seq, std::move(response)});
+    }
+    shard.respond_cv.notify_one();
+    if (shutdown_requested) RequestDrain();
+  }
+  {
+    std::lock_guard<std::mutex> lk(shard.respond_mu);
+    shard.engine_done = true;
+  }
+  shard.respond_cv.notify_all();
+}
+
+// Stage 3: the shard's writer drains the respond queue and releases each
+// response through the owning connection's sequencer, so the engine thread
+// never blocks on a slow client socket.
+void Server::WriterLoop(Shard& shard) {
+  while (true) {
+    ResponseItem item;
+    {
+      std::unique_lock<std::mutex> lk(shard.respond_mu);
+      shard.respond_cv.wait(lk, [&] {
+        return !shard.respond_queue.empty() || shard.engine_done;
+      });
+      if (shard.respond_queue.empty()) break;  // engine done and flushed
+      item = std::move(shard.respond_queue.front());
+      shard.respond_queue.pop_front();
+    }
+    shard.respond_space_cv.notify_one();
+    WriteSequenced(*item.conn, item.seq, std::move(item.line));
+  }
+  std::lock_guard<std::mutex> lk(done_mu_);
+  ++shards_done_;
+  done_cv_.notify_all();
+}
+
+void Server::WriteSequenced(Connection& conn, uint64_t seq,
+                            std::string line) {
+  std::lock_guard<std::mutex> lk(conn.order_mu);
+  if (seq != conn.next_write_seq) {
+    // An earlier response (possibly from another shard) is still pending;
+    // hold this one until the gap closes.
+    conn.held_responses.emplace(seq, std::move(line));
+    return;
+  }
+  // In order: write, then flush any directly following held responses.
+  // WriteLine drops silently on a closed connection, but the sequence
+  // still advances — later responses must never stall behind a vanished
+  // client.
+  WriteLine(conn, line);
+  ++conn.next_write_seq;
+  auto it = conn.held_responses.begin();
+  while (it != conn.held_responses.end() &&
+         it->first == conn.next_write_seq) {
+    WriteLine(conn, it->second);
+    ++conn.next_write_seq;
+    it = conn.held_responses.erase(it);
+  }
 }
 
 void Server::WriteLine(Connection& conn, const std::string& line) {
@@ -239,30 +451,6 @@ void Server::WriteLine(Connection& conn, const std::string& line) {
     }
     sent += static_cast<size_t>(n);
   }
-}
-
-void Server::EngineLoop() {
-  while (true) {
-    QueueItem item;
-    {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] {
-        return !queue_.empty() || draining_.load(std::memory_order_acquire);
-      });
-      if (queue_.empty()) break;  // draining and nothing left to answer
-      item = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    executing_conn_id_.store(item.conn->id, std::memory_order_release);
-    bool shutdown_requested = false;
-    std::string response = service_.Execute(item.line, &shutdown_requested);
-    executing_conn_id_.store(0, std::memory_order_release);
-    WriteLine(*item.conn, response);
-    if (shutdown_requested) RequestDrain();
-  }
-  std::lock_guard<std::mutex> lk(done_mu_);
-  engine_done_ = true;
-  done_cv_.notify_all();
 }
 
 }  // namespace serve

@@ -1,35 +1,63 @@
 // The cqac_serve transport: a long-lived TCP server speaking the
-// newline-delimited JSON protocol (protocol.h) on 127.0.0.1.
+// newline-delimited JSON protocol (protocol.h) on 127.0.0.1, sharded into
+// N independent engine workers.
 //
-// Architecture (one process, three kinds of threads):
+// Architecture (one process; the request path is a pipeline):
 //
 //   accept thread ──► one reader thread per connection
-//                          │  splits bytes into request lines,
-//                          │  enforces the per-line byte cap,
+//                          │  stage 1 — parse: splits bytes into request
+//                          │  lines, enforces the byte cap, parses JSON +
+//                          │  the envelope, stamps a per-connection
+//                          │  sequence number,
 //                          ▼
-//                bounded request queue  (full ⇒ immediate "overloaded")
+//              route by shard = Hash(session) % N      (stable pinning)
 //                          │
-//                          ▼
-//                single engine thread ──► Service::Execute
-//                          │  one request at a time against the shared
-//                          │  EngineContext; the request's engine work
-//                          ▼  fans out across the attached TaskPool
-//                 response written back on the request's connection
+//            ┌─────────────┼─────────────┐
+//            ▼             ▼             ▼
+//      shard 0 queue  shard 1 queue  ...  (bounded; full ⇒ "overloaded"
+//            │             │              for THAT shard only)
+//            ▼             ▼
+//      shard engine   shard engine        stage 2 — execute: classify →
+//        thread         thread            plan → rewrite/eval against the
+//            │             │              shard-private EngineContext +
+//            │             │              session table; engine work fans
+//            │             │              out across the shard's TaskPool
+//            ▼             ▼
+//      respond queue  respond queue       (bounded; full ⇒ the shard
+//            │             │              engine blocks = backpressure)
+//            ▼             ▼
+//      writer thread  writer thread       stage 3 — respond: per-connection
+//                                         sequencer restores arrival order,
+//                                         then writes on the socket
 //
-// Requests are executed strictly in arrival order, which is what makes the
-// shared EngineContext safe (one driver thread, workers beneath it — see
-// src/engine/context.h) and serve output reproducible: a concurrent
-// N-client run produces byte-identical responses to a serial replay.
+// Why this shape:
+//   * Sessions are PINNED to shards by a stable hash of the session name,
+//     so all state a request can touch (views, facts, materialized views,
+//     session stats) is owned by exactly one shard — the hot path takes no
+//     cross-shard locks, and one slow SI-MCR rewrite stalls only the
+//     sessions that share its shard.
+//   * Within a shard, requests execute strictly in arrival order on the
+//     shard's single engine thread. That is what keeps the shard-private
+//     EngineContext safe (one driver thread, TaskPool workers beneath it —
+//     see src/engine/context.h) and serve output reproducible: every
+//     session's response stream is byte-identical to a serial replay of
+//     that session's requests, at every shard count and thread count.
+//   * Responses to one connection are written in request order even when
+//     the connection talks to sessions on different shards: every request
+//     line gets a per-connection sequence number at parse time, and a
+//     per-connection sequencer holds out-of-order responses until the gap
+//     closes.
 //
 // Robustness:
 //   * per-request deadlines (service.h) bound every engine call;
-//   * a client disconnect cancels its in-flight request cooperatively
-//     (EngineContext::RequestCancel), so an abandoned expensive request
-//     stops burning the engine thread;
+//   * a client disconnect cancels its in-flight request on every shard
+//     cooperatively (EngineContext::RequestCancel), so an abandoned
+//     expensive request stops burning that shard's engine thread;
+//   * backpressure is per shard: a full shard queue answers "overloaded"
+//     without touching the other shards;
 //   * RequestDrain() — from SIGTERM or the `shutdown` op — stops accepting
-//     connections, answers queued requests, then stops the engine thread;
-//   * oversized request lines are answered with "too_large" and the
-//     connection is closed (framing is unrecoverable past the cap).
+//     connections, lets every shard answer its queued requests, flushes
+//     the writers, then stops; Wait() returns when the last shard drains.
 #ifndef CQAC_SERVE_SERVER_H_
 #define CQAC_SERVE_SERVER_H_
 
@@ -42,6 +70,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/base/task_pool.h"
 #include "src/engine/context.h"
@@ -50,6 +79,12 @@
 namespace cqac {
 namespace serve {
 
+/// The stable session→shard pinning function: FNV-1a over the session
+/// name, reduced mod `shards`. Exposed so tests (and capacity planning)
+/// can predict placement; changing it invalidates every pinning claim in
+/// docs/serve.md.
+size_t ShardForSession(const std::string& session, size_t shards);
+
 struct ServerOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
   /// back with port() after Start).
@@ -57,9 +92,22 @@ struct ServerOptions {
   /// Hard cap on one request line; longer lines answer "too_large" and
   /// close the connection.
   size_t max_request_bytes = 1 << 20;
-  /// Bounded request queue depth; a full queue answers "overloaded".
+  /// Bounded per-shard request queue depth; a full queue answers
+  /// "overloaded" for that shard without affecting the others.
   size_t max_queue = 256;
-  /// Engine fan-out pool (not owned; may be null for serial execution).
+  /// Bounded per-shard respond queue depth; a full queue blocks the
+  /// shard's engine thread (backpressure toward slow readers).
+  size_t max_respond_queue = 256;
+  /// Number of engine shards. Each shard owns an EngineContext, a session
+  /// table, an engine thread, and a writer thread; sessions are pinned by
+  /// ShardForSession.
+  size_t shards = 1;
+  /// TaskPool workers per shard for intra-request fan-out (0 = serial).
+  /// Ignored when an external `pool` is supplied (single-shard only).
+  size_t threads_per_shard = 0;
+  /// Optional external fan-out pool (not owned; may be null). Honored
+  /// only when shards == 1 — a TaskPool has a single caller slot, so
+  /// independent shard engine threads each need their own pool.
   TaskPool* pool = nullptr;
   ServiceOptions service;
 };
@@ -72,33 +120,49 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept + engine threads.
+  /// Binds, listens, and spawns the accept, shard engine, and shard
+  /// writer threads.
   Status Start();
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
+  /// Number of engine shards.
+  size_t shards() const { return shards_.size(); }
+
   /// Initiates graceful drain: stop accepting, reject new request lines
-  /// with "shutting_down", finish every queued request, stop. Idempotent,
-  /// non-blocking, safe from any thread (the engine thread calls it for
-  /// the `shutdown` op; the signal watcher calls it for SIGTERM).
+  /// with "shutting_down", let every shard finish its queued requests,
+  /// flush the writers, stop. Idempotent, non-blocking, safe from any
+  /// thread (a shard engine thread calls it for the `shutdown` op; the
+  /// signal watcher calls it for SIGTERM).
   void RequestDrain();
 
-  /// Blocks until the drain completes (every queued request answered).
+  /// Blocks until the drain completes (every shard's queued requests
+  /// answered and written).
   void Wait();
 
   /// RequestDrain + Wait + join all threads and close every socket. Called
   /// by the destructor if needed.
   void Stop();
 
-  /// Preloads the default session and primes the cache from a shell-style
-  /// script. Call before Start (it runs on the caller's thread).
-  Result<WarmupSummary> Warmup(const std::string& script) {
-    return service_.Warmup(script);
-  }
+  /// Preloads the default session and primes the owning shard's cache
+  /// from a shell-style script. Call before Start (it runs on the
+  /// caller's thread, against the shard that owns session "default").
+  Result<WarmupSummary> Warmup(const std::string& script);
 
-  EngineContext& context() { return ctx_; }
-  Service& service() { return service_; }
+  /// Shard 0's engine context / service (the whole server's when
+  /// shards == 1). Benches and tests use these; multi-shard callers want
+  /// ShardSummaries().
+  EngineContext& context() { return shards_[0]->ctx; }
+  Service& service() { return *shards_[0]->service; }
+
+  /// Engine context / service of one specific shard.
+  EngineContext& shard_context(size_t i) { return shards_[i]->ctx; }
+  Service& shard_service(size_t i) { return *shards_[i]->service; }
+
+  /// Point-in-time per-shard summaries (see service.h). Safe from any
+  /// thread; also the source of the `stats` op's global scope.
+  std::vector<ShardSummary> ShardSummaries() const;
 
  private:
   struct Connection {
@@ -108,16 +172,72 @@ class Server {
     std::mutex write_mu;
     std::atomic<bool> closed{false};
     std::atomic<bool> reader_done{false};
+
+    // Request lines are stamped 0,1,2,… by the reader (stage 1); the
+    // sequencer releases responses in exactly that order (stage 3).
+    uint64_t next_request_seq = 0;  // reader thread only
+    std::mutex order_mu;
+    uint64_t next_write_seq = 0;
+    std::map<uint64_t, std::string> held_responses;
   };
 
   struct QueueItem {
     std::shared_ptr<Connection> conn;
+    uint64_t seq = 0;
+    Request request;
+  };
+
+  struct ResponseItem {
+    std::shared_ptr<Connection> conn;
+    uint64_t seq = 0;
     std::string line;
+  };
+
+  /// One engine shard: private context + session table + pipeline stages.
+  struct Shard {
+    size_t index = 0;
+    EngineContext ctx;
+    std::unique_ptr<TaskPool> owned_pool;  // null when external/serial
+    std::unique_ptr<Service> service;
+
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<QueueItem> queue;
+
+    std::mutex respond_mu;
+    std::condition_variable respond_cv;       // writer waits for work
+    std::condition_variable respond_space_cv; // engine waits for space
+    std::deque<ResponseItem> respond_queue;
+    bool engine_done = false;
+
+    std::thread engine_thread;
+    std::thread writer_thread;
+
+    std::atomic<uint64_t> executing_conn_id{0};
+
+    // Backpressure accounting, surfaced via ShardSummaries / the `stats`
+    // op / bench_serve. (enqueued + rejected also mirror into the shard
+    // context's serve_* EngineStats counters.)
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> rejected_overloaded{0};
+    std::atomic<uint64_t> queue_depth_peak{0};
   };
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
-  void EngineLoop();
+  void EngineLoop(Shard& shard);
+  void WriterLoop(Shard& shard);
+
+  /// Routes one parsed request to its session's shard; answers
+  /// "overloaded" via the sequencer when that shard's queue is full.
+  void EnqueueRequest(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                      Request request);
+
+  /// Stage-3 entry: releases `line` as response `seq` of `conn`, writing
+  /// it (and any directly following held responses) once every earlier
+  /// response has been written. Always advances the sequence, even when
+  /// the connection is already closed, so later responses never stall.
+  void WriteSequenced(Connection& conn, uint64_t seq, std::string line);
 
   /// Sends `line` on `conn` unless it is already closed; write errors mark
   /// it closed (the reader notices via recv).
@@ -127,29 +247,22 @@ class Server {
   void ReapFinishedConnections();
 
   ServerOptions options_;
-  EngineContext ctx_;
-  Service service_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
 
   std::thread accept_thread_;
-  std::thread engine_thread_;
 
   std::mutex conn_mu_;
   std::map<uint64_t, std::shared_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueueItem> queue_;
-
   std::atomic<bool> draining_{false};
-  std::atomic<uint64_t> executing_conn_id_{0};
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;
-  bool engine_done_ = false;
+  size_t shards_done_ = 0;
   bool stopped_ = false;
 };
 

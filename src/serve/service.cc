@@ -98,25 +98,30 @@ Service::Service(EngineContext& ctx, ServiceOptions options)
 
 std::string Service::Execute(const std::string& line,
                              bool* shutdown_requested) {
-  ++requests_;
-
   Result<JsonValue> json = ParseJson(line);
   if (!json.ok()) {
-    ++request_errors_;
+    CountPreparseError();
     return ErrorResponse(nullptr, ServeErrorCode::kParseError,
                          json.status().message());
   }
   Result<Request> parsed = ParseRequestEnvelope(std::move(json).value());
   if (!parsed.ok()) {
-    ++request_errors_;
+    CountPreparseError();
     return ErrorResponse(nullptr, ServeErrorCode::kInvalidRequest,
                          parsed.status().message());
   }
-  const Request& req = parsed.value();
+  return ExecuteParsed(parsed.value(), shutdown_requested);
+}
+
+std::string Service::ExecuteParsed(const Request& req,
+                                   bool* shutdown_requested) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ++ctx_.stats().serve_requests;
 
   // Per-request deadline: clamp the client's timeout to the server cap and
   // install it as the budget deadline for the duration of the request.
-  // Engine calls are serialized on this thread, so save/restore is safe.
+  // Engine calls are serialized on this shard's engine thread, so
+  // save/restore is safe.
   std::chrono::milliseconds timeout =
       std::min(req.timeout.value_or(options_.default_timeout),
                options_.max_timeout);
@@ -131,16 +136,42 @@ std::string Service::Execute(const std::string& line,
   ctx_.ClearCancel();
 
   bool is_error = IsErrorResponseLine(response);
-  if (is_error) ++request_errors_;
+  if (is_error) request_errors_.fetch_add(1, std::memory_order_relaxed);
   // Attribute the engine work to the session when one exists (ops that need
   // session state create it; pure-compute ops only attribute to sessions
   // already created).
   if (Session* session = sessions_.Find(req.session)) {
-    ++session->stats.requests;
-    if (is_error) ++session->stats.errors;
+    session->stats.requests.fetch_add(1, std::memory_order_relaxed);
+    if (is_error)
+      session->stats.errors.fetch_add(1, std::memory_order_relaxed);
     session->stats.engine += ctx_.stats().Snapshot() - before;
   }
   return response;
+}
+
+ShardSummary Service::Summary() const {
+  ShardSummary s;
+  s.shard = shard_index_;
+  s.requests = requests();
+  s.request_errors = request_errors();
+  s.session_index = sessions_.Index();
+  s.sessions = s.session_index.size();
+  s.cache_bytes = ctx_.cache_bytes();
+  s.cache_entries = ctx_.cache_entries();
+  s.threads = ctx_.parallelism();
+  s.engine = ctx_.stats().Snapshot();
+  return s;
+}
+
+std::string ShardSummary::ToJson() const {
+  return StrCat(
+      "{\"shard\":", shard, ",\"requests\":", requests,
+      ",\"request_errors\":", request_errors, ",\"sessions\":", sessions,
+      ",\"queue_depth\":", queue_depth,
+      ",\"queue_depth_peak\":", queue_depth_peak, ",\"enqueued\":", enqueued,
+      ",\"rejected_overloaded\":", rejected_overloaded,
+      ",\"threads\":", threads, ",\"cache\":{\"bytes\":", cache_bytes,
+      ",\"entries\":", cache_entries, "},\"engine\":", engine.ToJson(), "}");
 }
 
 std::string Service::Dispatch(const Request& req, bool* shutdown_requested) {
@@ -520,10 +551,15 @@ std::string Service::HandleStats(const Request& req) {
     std::string out = BeginResponse(req);
     JsonField(&out, "scope", "\"session\"");
     JsonField(&out, "session", JsonQuote(session->name));
+    JsonField(&out, "shard", StrCat(shard_index_));
     JsonField(&out, "views", StrCat(session->views.size()));
     JsonField(&out, "facts", StrCat(session->store.base().TotalTuples()));
-    JsonField(&out, "requests", StrCat(session->stats.requests));
-    JsonField(&out, "errors", StrCat(session->stats.errors));
+    JsonField(&out, "requests",
+              StrCat(session->stats.requests.load(
+                  std::memory_order_relaxed)));
+    JsonField(
+        &out, "errors",
+        StrCat(session->stats.errors.load(std::memory_order_relaxed)));
     JsonField(&out, "engine", session->stats.engine.ToJson());
     JsonClose(&out);
     return out;
@@ -532,27 +568,55 @@ std::string Service::HandleStats(const Request& req) {
     return ErrorResponse(&req, ServeErrorCode::kInvalidArgument,
                          "field \"scope\" must be \"global\" or \"session\"");
 
-  std::string sessions_json = "[";
-  bool first = true;
-  for (const auto& [name, session] : sessions_.sessions()) {
-    sessions_json +=
-        StrCat(first ? "" : ",", "{\"name\":", JsonQuote(name),
-               ",\"requests\":", session->stats.requests,
-               ",\"errors\":", session->stats.errors, "}");
-    first = false;
+  // Global scope aggregates over every shard. The sharded server installs
+  // a cluster view; a standalone service reports itself as a one-shard
+  // cluster through the same rendering path.
+  std::vector<ShardSummary> shards =
+      cluster_view_ ? cluster_view_() : std::vector<ShardSummary>{Summary()};
+
+  StatsSnapshot engine_total;
+  uint64_t cache_bytes = 0, cache_entries = 0, threads = 0;
+  uint64_t requests = 0, request_errors = 0;
+  std::vector<const SessionIndexEntry*> sessions;
+  for (const ShardSummary& s : shards) {
+    engine_total += s.engine;
+    cache_bytes += s.cache_bytes;
+    cache_entries += s.cache_entries;
+    threads += s.threads;
+    requests += s.requests;
+    request_errors += s.request_errors;
+    for (const SessionIndexEntry& e : s.session_index) sessions.push_back(&e);
   }
+  // Session names are pinned: a name lives on exactly one shard, so the
+  // merged index is duplicate-free; sort for a deterministic rendering.
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionIndexEntry* a, const SessionIndexEntry* b) {
+              return a->name < b->name;
+            });
+  std::string sessions_json = "[";
+  for (size_t i = 0; i < sessions.size(); ++i)
+    sessions_json += StrCat(i ? "," : "", "{\"name\":",
+                            JsonQuote(sessions[i]->name),
+                            ",\"requests\":", sessions[i]->requests,
+                            ",\"errors\":", sessions[i]->errors, "}");
   sessions_json += "]";
+
+  std::string shard_stats_json = "[";
+  for (size_t i = 0; i < shards.size(); ++i)
+    shard_stats_json += StrCat(i ? "," : "", shards[i].ToJson());
+  shard_stats_json += "]";
 
   std::string out = BeginResponse(req);
   JsonField(&out, "scope", "\"global\"");
-  JsonField(&out, "engine", ctx_.stats().Snapshot().ToJson());
-  JsonField(&out, "cache",
-            StrCat("{\"bytes\":", ctx_.cache_bytes(),
-                   ",\"entries\":", ctx_.cache_entries(), "}"));
-  JsonField(&out, "threads", StrCat(ctx_.parallelism()));
-  JsonField(&out, "requests", StrCat(requests_));
-  JsonField(&out, "request_errors", StrCat(request_errors_));
+  JsonField(&out, "shards", StrCat(shards.size()));
+  JsonField(&out, "engine", engine_total.ToJson());
+  JsonField(&out, "cache", StrCat("{\"bytes\":", cache_bytes,
+                                  ",\"entries\":", cache_entries, "}"));
+  JsonField(&out, "threads", StrCat(threads));
+  JsonField(&out, "requests", StrCat(requests));
+  JsonField(&out, "request_errors", StrCat(request_errors));
   JsonField(&out, "sessions", sessions_json);
+  JsonField(&out, "shard_stats", shard_stats_json);
   JsonClose(&out);
   return out;
 }

@@ -1,13 +1,16 @@
-// The serve op layer: executes one parsed request against the shared
-// EngineContext and the session table, producing the response line. This is
-// the transport-free core of cqac_serve — the TCP server (server.h) feeds
-// it lines from the bounded queue, tests and the warm-up loader feed it
-// lines directly.
+// The serve op layer: executes one parsed request against a shard's
+// EngineContext and session table, producing the response line. This is
+// the transport-free core of cqac_serve — the sharded TCP server
+// (server.h) feeds it already-parsed requests from its per-shard queue;
+// tests and the warm-up loader feed it raw lines directly.
 //
-// Threading: Execute is NOT thread-safe; the server calls it from its
-// single engine thread only (see session.h for why that is the design).
-// The engine work *inside* a request still fans out across the context's
-// TaskPool workers.
+// Threading: Execute/ExecuteParsed are NOT thread-safe; the server calls
+// them from the owning shard's single engine thread only (see session.h
+// for why that is the design). The engine work *inside* a request still
+// fans out across the shard context's TaskPool workers. The cross-shard
+// reads the global `stats` scope needs go through Summary() /
+// set_cluster_view(), which touch only internally synchronized state
+// (atomic counters, the mutex-guarded session index).
 //
 // Request semantics implemented here (normative doc: docs/serve.md):
 //   * per-request deadline: `timeout_ms` (clamped to options.max_timeout,
@@ -23,9 +26,12 @@
 #ifndef CQAC_SERVE_SERVICE_H_
 #define CQAC_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "src/engine/context.h"
 #include "src/serve/protocol.h"
@@ -39,6 +45,8 @@ struct ServiceOptions {
   std::chrono::milliseconds default_timeout{2000};
   /// Upper clamp for client-supplied timeout_ms.
   std::chrono::milliseconds max_timeout{30000};
+  /// Per-shard session cap (sessions are pinned, so each shard enforces
+  /// its own bound).
   size_t max_sessions = 256;
 };
 
@@ -52,17 +60,67 @@ struct WarmupSummary {
   std::string ToString() const;
 };
 
+/// A point-in-time summary of one shard, safe to take from any thread.
+/// The transport adds the queue fields; Service::Summary fills the rest.
+/// Source of the `stats` op's global scope and of bench_serve's per-shard
+/// counters.
+struct ShardSummary {
+  size_t shard = 0;
+  uint64_t requests = 0;
+  uint64_t request_errors = 0;
+  size_t sessions = 0;
+  /// Per-session (name, requests, errors) triples, in name order.
+  std::vector<SessionIndexEntry> session_index;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
+  size_t threads = 0;
+  StatsSnapshot engine;
+  // Transport-level backpressure counters (filled by Server).
+  size_t queue_depth = 0;
+  uint64_t queue_depth_peak = 0;
+  uint64_t enqueued = 0;
+  uint64_t rejected_overloaded = 0;
+
+  /// Renders the summary as one JSON object (the element shape of the
+  /// `stats` op's "shard_stats" array).
+  std::string ToJson() const;
+};
+
 class Service {
  public:
-  /// `ctx` is the shared engine context (not owned; outlives the service).
+  /// `ctx` is the shard's engine context (not owned; outlives the
+  /// service).
   Service(EngineContext& ctx, ServiceOptions options);
 
+  /// Identifies this service's shard within a sharded server (default:
+  /// shard 0 of 1, the standalone/test configuration). Surfaced in
+  /// session-scope `stats` responses as the "shard" wire field.
+  void set_shard(size_t index, size_t total) {
+    shard_index_ = index;
+    shard_total_ = total;
+  }
+  size_t shard_index() const { return shard_index_; }
+  size_t shard_total() const { return shard_total_; }
+
+  /// Installs the cross-shard view for the global `stats` scope: a
+  /// callback returning every shard's summary (including this one's).
+  /// Owning on purpose — the server hands in a lambda over itself. Unset,
+  /// global stats reports this service alone — the standalone behaviour.
+  void set_cluster_view(std::function<std::vector<ShardSummary>()> view) {
+    cluster_view_ = std::move(view);
+  }
+
   /// Executes one request line end to end: JSON parse, envelope
-  /// validation, deadline setup, op dispatch, session accounting. Always
-  /// returns a complete single-line response (errors included).
+  /// validation, then ExecuteParsed. Always returns a complete
+  /// single-line response (errors included).
+  std::string Execute(const std::string& line, bool* shutdown_requested);
+
+  /// Executes an already-parsed request: deadline setup, op dispatch,
+  /// session accounting. The sharded server parses in stage 1 (reader
+  /// threads) and calls this from the shard engine thread.
   /// `*shutdown_requested` is set when the request was a valid `shutdown`
   /// op; the transport reacts after writing the response.
-  std::string Execute(const std::string& line, bool* shutdown_requested);
+  std::string ExecuteParsed(const Request& req, bool* shutdown_requested);
 
   /// Preloads the "default" session from a shell-style script: `view`,
   /// `fact`, and `retract` lines are replayed, `query <rule>` sets the
@@ -72,11 +130,26 @@ class Service {
   /// ignored. Fails fast on the first failing line.
   Result<WarmupSummary> Warmup(const std::string& script);
 
+  /// This shard's summary (queue fields left zero; the transport owns
+  /// them). Safe from any thread.
+  ShardSummary Summary() const;
+
   EngineContext& context() { return ctx_; }
   SessionManager& sessions() { return sessions_; }
 
-  uint64_t requests() const { return requests_; }
-  uint64_t request_errors() const { return request_errors_; }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t request_errors() const {
+    return request_errors_.load(std::memory_order_relaxed);
+  }
+  /// Counts a request that failed before reaching any shard (parse or
+  /// envelope error in the transport's stage 1). Keeps the global
+  /// request/request_errors totals exact under pipelined parsing.
+  void CountPreparseError() {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    request_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   /// Dispatches a validated request. Returns the response line.
@@ -98,8 +171,11 @@ class Service {
   EngineContext& ctx_;
   ServiceOptions options_;
   SessionManager sessions_;
-  uint64_t requests_ = 0;
-  uint64_t request_errors_ = 0;
+  size_t shard_index_ = 0;
+  size_t shard_total_ = 1;
+  std::function<std::vector<ShardSummary>()> cluster_view_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> request_errors_{0};
 };
 
 }  // namespace serve

@@ -6,6 +6,7 @@ namespace cqac {
 namespace serve {
 
 Result<Session*> SessionManager::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = sessions_.find(name);
   if (it != sessions_.end()) return it->second.get();
   if (sessions_.size() >= max_sessions_)
@@ -19,12 +20,28 @@ Result<Session*> SessionManager::GetOrCreate(const std::string& name) {
 }
 
 Session* SessionManager::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
 bool SessionManager::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   return sessions_.erase(name) > 0;
+}
+
+std::vector<SessionIndexEntry> SessionManager::Index() const {
+  std::vector<SessionIndexEntry> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) {
+    SessionIndexEntry e;
+    e.name = name;
+    e.requests = session->stats.requests.load(std::memory_order_relaxed);
+    e.errors = session->stats.errors.load(std::memory_order_relaxed);
+    out.push_back(std::move(e));
+  }
+  return out;
 }
 
 }  // namespace serve

@@ -2,18 +2,25 @@
 // requests. A session owns what the shell keeps as mutable state — the view
 // registry (with source spans, for lint) and the fact database — plus
 // accounting: request counts and the engine-stat deltas attributable to the
-// session's requests against the one shared EngineContext.
+// session's requests against the owning shard's EngineContext.
 //
-// Sessions are touched only by the server's single engine thread (requests
-// are executed serially off the bounded queue), so the manager needs no
-// locking; what *is* concurrent — the shared context's cache and stats — is
-// synchronized inside EngineContext itself.
+// Ownership under sharding: every session is pinned to exactly one shard
+// (server.h ShardForSession), and a session's *state* (views, store,
+// engine-stat deltas) is touched only by that shard's single engine
+// thread — requests are executed serially off the shard's bounded queue,
+// so none of it needs locking. What IS read cross-shard is the global
+// `stats` scope's session index (names + request/error counts): the
+// manager guards its map with a mutex for create/drop/enumerate, and the
+// per-session request/error counts are relaxed atomics. The owning shard
+// never takes another shard's mutex — the hot path stays shard-local.
 #ifndef CQAC_SERVE_SESSION_H_
 #define CQAC_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,11 +34,13 @@
 namespace cqac {
 namespace serve {
 
-/// Accounting for one session.
+/// Accounting for one session. `requests`/`errors` are atomics because the
+/// global `stats` scope reads them from another shard's engine thread;
+/// `engine` is only ever touched by the owning shard.
 struct SessionStats {
-  uint64_t requests = 0;        // requests executed (including failed ones)
-  uint64_t errors = 0;          // requests answered with an error
-  StatsSnapshot engine;         // summed engine-stat deltas of this session
+  std::atomic<uint64_t> requests{0};  // requests executed (incl. failed)
+  std::atomic<uint64_t> errors{0};    // requests answered with an error
+  StatsSnapshot engine;  // summed engine-stat deltas of this session
 };
 
 /// One client-visible session.
@@ -50,7 +59,14 @@ struct Session {
   SessionStats stats;
 };
 
-/// Owns every live session. Bounded: GetOrCreate fails with
+/// One row of the cross-shard session index (global `stats` scope).
+struct SessionIndexEntry {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+/// Owns every live session of one shard. Bounded: GetOrCreate fails with
 /// kResourceExhausted once `max_sessions` distinct names exist (a stray
 /// client enumerating session names must not exhaust server memory).
 class SessionManager {
@@ -58,22 +74,31 @@ class SessionManager {
   explicit SessionManager(size_t max_sessions = 256)
       : max_sessions_(max_sessions) {}
 
-  /// The session named `name`, created on first use.
+  /// The session named `name`, created on first use. Owning shard only.
   Result<Session*> GetOrCreate(const std::string& name);
 
   /// The session named `name`, or nullptr when it was never created.
+  /// Owning shard only (the returned state is not cross-shard safe).
   Session* Find(const std::string& name);
 
-  /// Drops the session (views, facts, stats). False when absent.
+  /// Drops the session (views, facts, stats). False when absent. Owning
+  /// shard only.
   bool Drop(const std::string& name);
 
-  size_t size() const { return sessions_.size(); }
-  const std::map<std::string, std::unique_ptr<Session>>& sessions() const {
-    return sessions_;
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return sessions_.size();
   }
+
+  /// Snapshot of (name, requests, errors) in name order. Safe from any
+  /// thread — this is what the global `stats` scope reads cross-shard.
+  std::vector<SessionIndexEntry> Index() const;
 
  private:
   size_t max_sessions_;
+  /// Guards the map shape (insert/erase/iterate), not session contents:
+  /// a Session's state belongs to the owning shard's engine thread.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
 };
 

@@ -2,7 +2,9 @@
 // and error codes over a real loopback connection, graceful drain, in-flight
 // cancellation on client disconnect, and the determinism guarantees — serve
 // responses byte-identical to direct library calls, and concurrent clients
-// byte-identical to a serial replay.
+// byte-identical to a serial replay at every shard count (the shard sweep).
+// Also proves the pinning contract: sessions on different shards cannot
+// observe each other's views or facts.
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
@@ -255,6 +257,138 @@ TEST(ServeTest, ConcurrentClientsMatchSerialReplayByteForByte) {
     for (size_t i = 0; i < baseline.size(); ++i)
       EXPECT_EQ(got[c][i], baseline[i]) << "client " << c << " request " << i;
   }
+}
+
+TEST(ServeTest, ShardSweepMatchesSerialReplayByteForByte) {
+  // The same 8-client program as above, swept across shard counts. The
+  // determinism contract (docs/architecture.md) says every session's
+  // response stream is byte-identical to a serial replay at EVERY shard
+  // and thread count — shard routing, per-shard queues, and the writer
+  // sequencer must never leak into response bytes.
+  auto program = [](const std::string& session) {
+    std::vector<std::string> lines;
+    auto add = [&](const std::string& body) {
+      lines.push_back(
+          StrCat("{\"op\":\"", body, ",\"session\":\"", session, "\"}"));
+    };
+    add("view\",\"rule\":\"v1(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.\"");
+    add("view\",\"rule\":\"v2(Y, Z) :- r(X), s(Y, Z), Y <= X, X < Z.\"");
+    add("classify\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("rewrite\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("fact\",\"facts\":\"r(2). s(2, 2). s(9, 9). s(1, 5).\"");
+    add("answers\",\"query\":\"q1(A) :- r(A), A < 4.\"");
+    add("contain\",\"query\":\"q1(A) :- r(A), A < 4.\","
+        "\"candidate\":\"p(A) :- v1(A, A), A < 4\"");
+    return lines;
+  };
+
+  // Serial baseline from a plain single-shard server.
+  std::vector<std::string> baseline;
+  {
+    Server server(ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    TestClient client(server.port());
+    for (const std::string& line : program("serial"))
+      baseline.push_back(client.RoundTrip(line));
+  }
+  for (const std::string& response : baseline)
+    ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ServerOptions options;
+    options.shards = shards;
+    options.threads_per_shard = 2;  // per-shard owned pools get exercised
+    Server server(std::move(options));
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_EQ(server.shards(), shards);
+
+    constexpr int kClients = 8;
+    std::vector<std::vector<std::string>> got(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        TestClient client(server.port());
+        for (const std::string& line : program(StrCat("client", c)))
+          got[c].push_back(client.RoundTrip(line));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (int c = 0; c < kClients; ++c) {
+      ASSERT_EQ(got[c].size(), baseline.size()) << "shards " << shards;
+      for (size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_EQ(got[c][i], baseline[i])
+            << "shards " << shards << " client " << c << " request " << i;
+    }
+  }
+}
+
+TEST(ServeTest, SessionsPinnedToDifferentShardsAreIsolated) {
+  // Pick two session names that provably land on different shards of a
+  // 2-shard server, then verify neither can observe the other's views or
+  // facts, and that the `stats` op reports the pinning truthfully.
+  const size_t kShards = 2;
+  std::string on0, on1;
+  for (int i = 0; on0.empty() || on1.empty(); ++i) {
+    std::string name = StrCat("tenant", i);
+    (ShardForSession(name, kShards) == 0 ? on0 : on1) = name;
+    ASSERT_LT(i, 64) << "hash should hit both shards quickly";
+  }
+
+  ServerOptions options;
+  options.shards = kShards;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+
+  auto in = [&](const std::string& session, const std::string& body) {
+    return client.RoundTrip(
+        StrCat("{\"op\":\"", body, ",\"session\":\"", session, "\"}"));
+  };
+
+  // Tenant on shard 0 defines a view and facts; its own answers see them.
+  ASSERT_EQ(in(on0, "view\",\"rule\":\"v1(X, Y) :- r(X, Y), X < 5.\"")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  ASSERT_EQ(in(on0, "fact\",\"facts\":\"r(1, 2). r(4, 7).\"")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  std::string answers0 =
+      in(on0, "answers\",\"query\":\"q(X) :- r(X, Y), X < 3.\"");
+  EXPECT_NE(answers0.find("\"count\":1"), std::string::npos) << answers0;
+
+  // The tenant on shard 1 sees an empty view registry: rewriting finds no
+  // usable view.
+  std::string rewrite =
+      in(on1, "rewrite\",\"query\":\"q(X) :- r(X, Y), X < 3.\"");
+  EXPECT_EQ(rewrite.find("v1(X, Y)"), std::string::npos) << rewrite;
+
+  // Even after defining the same view, shard 0's facts stay invisible.
+  ASSERT_EQ(in(on1, "view\",\"rule\":\"v1(X, Y) :- r(X, Y), X < 5.\"")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  std::string answers1 =
+      in(on1, "answers\",\"query\":\"q(X) :- r(X, Y), X < 3.\"");
+  EXPECT_NE(answers1.find("\"count\":0"), std::string::npos) << answers1;
+
+  // Session-scope stats name the shard each session is pinned to.
+  std::string stats0 = in(on0, "stats\",\"scope\":\"session\"");
+  std::string stats1 = in(on1, "stats\",\"scope\":\"session\"");
+  EXPECT_NE(stats0.find("\"shard\":0"), std::string::npos) << stats0;
+  EXPECT_NE(stats1.find("\"shard\":1"), std::string::npos) << stats1;
+
+  // Global-scope stats aggregate across shards: both sessions appear, and
+  // the per-shard breakdown is attached.
+  std::string global =
+      client.RoundTrip("{\"op\":\"stats\",\"scope\":\"global\"}");
+  EXPECT_NE(global.find("\"shards\":2"), std::string::npos) << global;
+  EXPECT_NE(global.find("\"shard_stats\":["), std::string::npos) << global;
+  EXPECT_NE(global.find(StrCat("\"name\":\"", on0, "\"")), std::string::npos)
+      << global;
+  EXPECT_NE(global.find(StrCat("\"name\":\"", on1, "\"")), std::string::npos)
+      << global;
+  EXPECT_NE(global.find("\"rejected_overloaded\":0"), std::string::npos)
+      << global;
 }
 
 TEST(ServeTest, ClientDisconnectCancelsInFlightRequest) {

@@ -1,13 +1,16 @@
 // cqac_serve — a long-lived rewriting server.
 //
 // Speaks the newline-delimited JSON protocol documented in docs/serve.md on
-// a plain TCP socket bound to 127.0.0.1. One shared EngineContext (interner
-// + containment cache) is reused across every request, so repeated queries
-// against the same view set answer from warm state; per-session view
-// registries and databases isolate concurrent clients' definitions.
+// a plain TCP socket bound to 127.0.0.1. The engine is sharded: --shards N
+// runs N independent engine workers, each with its own EngineContext
+// (interner + containment cache), session table, and request queue;
+// sessions are pinned to shards by a stable hash of the session name, so
+// repeated queries against the same view set answer from warm state on the
+// same shard. --threads sets the intra-request fan-out pool *per shard*
+// (shards scale across requests; threads scale within one).
 //
 // Usage:
-//   cqac_serve [--port N] [--threads N] [--warmup FILE]
+//   cqac_serve [--port N] [--shards N] [--threads N] [--warmup FILE]
 //              [--default-timeout-ms N] [--max-timeout-ms N]
 //              [--max-queue N] [--max-request-bytes N] [--max-sessions N]
 //
@@ -27,7 +30,6 @@
 #include <string>
 #include <thread>
 
-#include "src/base/task_pool.h"
 #include "src/serve/server.h"
 
 namespace cqac {
@@ -36,10 +38,13 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cqac_serve [--port N] [--threads N] [--warmup FILE]\n"
+      "usage: cqac_serve [--port N] [--shards N] [--threads N]\n"
+      "                  [--warmup FILE]\n"
       "                  [--default-timeout-ms N] [--max-timeout-ms N]\n"
       "                  [--max-queue N] [--max-request-bytes N]\n"
-      "                  [--max-sessions N]\n");
+      "                  [--max-sessions N]\n"
+      "  --shards N   engine shards (default 1); sessions pin to shards\n"
+      "  --threads N  TaskPool workers per shard (default 0 = serial)\n");
   return 3;
 }
 
@@ -68,6 +73,10 @@ int Run(int argc, char** argv) {
       const char* v = next();
       if (!v || !ParseSize(v, &n) || n > 65535) return Usage();
       options.port = static_cast<uint16_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n) || n == 0) return Usage();
+      options.shards = n;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v || !ParseSize(v, &n)) return Usage();
@@ -110,8 +119,9 @@ int Run(int argc, char** argv) {
   sigaddset(&sigs, SIGINT);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  TaskPool pool(threads);
-  options.pool = &pool;
+  // Each shard engine thread needs its own fan-out pool (a TaskPool has a
+  // single caller slot), so the server owns one pool per shard.
+  options.threads_per_shard = threads;
   serve::Server server(std::move(options));
 
   if (!warmup_file.empty()) {
