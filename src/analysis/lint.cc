@@ -400,7 +400,8 @@ namespace {
 const char* const kShellCommands[] = {
     "view",  "query",    "fact",      "retract",   "classify", "rewrite",
     "er",    "minimize", "eval",      "answers",   "contained", "explain",
-    "intervals", "lint", "verify",    "stats",     "reset",     "help"};
+    "intervals", "lint", "verify",    "audit",     "plan",      "stats",
+    "save",  "load",     "reset",     "help"};
 
 bool IsShellCommandWord(const std::string& word) {
   for (const char* cmd : kShellCommands)

@@ -69,4 +69,43 @@ std::string AdaptiveState::ToString() const {
                 "union-prune fraction ", union_prune.ToString());
 }
 
+void StreamingHistogram::SerializeTo(std::string* out) const {
+  wire::AppendU64(out, count_);
+  for (uint32_t b : buckets_) wire::AppendU32(out, b);
+}
+
+bool StreamingHistogram::RestoreFrom(wire::Cursor* c) {
+  count_ = c->ReadU64();
+  for (uint32_t& b : buckets_) b = c->ReadU32();
+  return c->ok();
+}
+
+void ArmCalibration::SerializeTo(std::string* out) const {
+  wire::AppendDouble(out, factor);
+  wire::AppendU64(out, observations);
+  wire::AppendU64(out, retunes);
+  histogram.SerializeTo(out);
+}
+
+bool ArmCalibration::RestoreFrom(wire::Cursor* c) {
+  factor = c->ReadDouble();
+  observations = c->ReadU64();
+  retunes = c->ReadU64();
+  return histogram.RestoreFrom(c) && c->ok();
+}
+
+void AdaptiveState::SerializeTo(std::string* out) const {
+  ivm_incremental.SerializeTo(out);
+  ivm_rebuild.SerializeTo(out);
+  dred_incremental.SerializeTo(out);
+  dred_rebuild.SerializeTo(out);
+  union_prune.SerializeTo(out);
+}
+
+bool AdaptiveState::RestoreFrom(wire::Cursor* c) {
+  return ivm_incremental.RestoreFrom(c) && ivm_rebuild.RestoreFrom(c) &&
+         dred_incremental.RestoreFrom(c) && dred_rebuild.RestoreFrom(c) &&
+         union_prune.RestoreFrom(c);
+}
+
 }  // namespace cqac

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/wire.h"
+
 namespace cqac {
 
 /// A fixed-size streaming histogram over (0, +inf), destor-style: 256
@@ -40,6 +42,12 @@ class StreamingHistogram {
 
   uint64_t count() const { return count_; }
   void Reset();
+
+  /// Durability snapshot surface (src/store): raw bucket counts, so a
+  /// recovered process retunes from exactly the observation history the
+  /// crashed one had.
+  void SerializeTo(std::string* out) const;
+  bool RestoreFrom(wire::Cursor* c);
 
  private:
   uint32_t buckets_[kBuckets] = {};
@@ -63,6 +71,12 @@ struct ArmCalibration {
 
   std::string ToString() const;  // "1.000 (n obs, k retunes)"
 
+  /// Durability snapshot surface (src/store). The factor is serialized as
+  /// its raw IEEE-754 bits: a restored factor must compare bit-equal, or
+  /// recovered plans could diverge from the pre-crash process.
+  void SerializeTo(std::string* out) const;
+  bool RestoreFrom(wire::Cursor* c);
+
   double factor;
   StreamingHistogram histogram;
   uint64_t observations = 0;
@@ -85,6 +99,12 @@ struct AdaptiveState {
 
   /// Deterministic multi-line rendering (the shell's `plan` command).
   std::string ToString() const;
+
+  /// Durability snapshot surface (src/store): all five arms in declaration
+  /// order. RestoreFrom returns false on malformed input and leaves the
+  /// state partially overwritten (callers restore into a fresh instance).
+  void SerializeTo(std::string* out) const;
+  bool RestoreFrom(wire::Cursor* c);
 };
 
 }  // namespace cqac

@@ -49,7 +49,13 @@ namespace cqac {
   X(audit_wall_ns)                                                          \
   X(serve_requests)                                                         \
   X(serve_overload_rejections)                                              \
-  X(serve_queue_peak)
+  X(serve_queue_peak)                                                       \
+  X(store_records_appended)                                                 \
+  X(store_bytes_logged)                                                     \
+  X(store_fsyncs)                                                           \
+  X(store_snapshots_written)                                                \
+  X(store_recovery_replayed_records)                                        \
+  X(store_recovery_sessions)
 
 StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& o) const {
   StatsSnapshot d;
@@ -149,7 +155,13 @@ std::string EngineStats::ToString() const {
       uint64_t{audit_wall_ns} / 1000000, " ms audit wall time\n",
       "serve: ", uint64_t{serve_requests}, " requests, ",
       uint64_t{serve_overload_rejections}, " overload rejections, ",
-      uint64_t{serve_queue_peak}, " queue-depth peak");
+      uint64_t{serve_queue_peak}, " queue-depth peak\n",
+      "store: ", uint64_t{store_records_appended}, " records appended, ",
+      uint64_t{store_bytes_logged}, " bytes logged, ",
+      uint64_t{store_fsyncs}, " fsyncs, ",
+      uint64_t{store_snapshots_written}, " snapshots, ",
+      uint64_t{store_recovery_replayed_records}, " records replayed, ",
+      uint64_t{store_recovery_sessions}, " sessions recovered");
 }
 
 }  // namespace cqac

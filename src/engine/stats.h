@@ -100,6 +100,12 @@ struct StatsSnapshot {
   uint64_t serve_requests = 0;
   uint64_t serve_overload_rejections = 0;
   uint64_t serve_queue_peak = 0;
+  uint64_t store_records_appended = 0;
+  uint64_t store_bytes_logged = 0;
+  uint64_t store_fsyncs = 0;
+  uint64_t store_snapshots_written = 0;
+  uint64_t store_recovery_replayed_records = 0;
+  uint64_t store_recovery_sessions = 0;
 
   /// Counter-wise difference (`after - before`). Counters only grow, so a
   /// later-minus-earlier snapshot of the same stats block never underflows.
@@ -184,6 +190,14 @@ struct EngineStats {
   StatCounter serve_requests;             // requests this shard executed
   StatCounter serve_overload_rejections;  // lines bounced off a full queue
   StatCounter serve_queue_peak;           // request-queue high-water mark
+
+  // Durable store (src/store; zero without --data-dir).
+  StatCounter store_records_appended;  // commit records appended to the WAL
+  StatCounter store_bytes_logged;      // framed bytes written to the WAL
+  StatCounter store_fsyncs;            // fsyncs issued by the policy
+  StatCounter store_snapshots_written; // compact snapshots written
+  StatCounter store_recovery_replayed_records;  // log-tail records replayed
+  StatCounter store_recovery_sessions;          // sessions recovered
 
   void Reset();
 

@@ -71,6 +71,12 @@ class Database {
   /// deterministic StatsView (the shell `plan` / serve `plan` surface).
   plan::StatsView PlanStats() const;
 
+  /// Replaces the planner sketches wholesale. Durability recovery
+  /// (src/store) restores tuples via Insert — which rebuilds sketches from
+  /// the live tuples only — then overwrites them with the recorded state,
+  /// which still carries retracted tuples' observations.
+  void RestoreStats(plan::RelationStats stats) { stats_ = std::move(stats); }
+
   /// Merges all tuples of `other` into this database.
   Status Merge(const Database& other);
 

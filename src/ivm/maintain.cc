@@ -242,6 +242,40 @@ void MaterializedViewSet::Reset() {
   maintained_ = false;
 }
 
+Status MaterializedViewSet::RestoreSnapshot(Database base,
+                                            std::vector<Query> views,
+                                            std::vector<CountMap> counts,
+                                            Database view_db,
+                                            bool maintained) {
+  if (views.size() != counts.size())
+    return Status::InvalidArgument(
+        StrCat("restore: ", views.size(), " views but ", counts.size(),
+               " count maps"));
+  for (size_t i = 0; i < views.size(); ++i) {
+    CQAC_RETURN_IF_ERROR(views[i].Validate());
+    // Cheap shape check: the materialized relation must hold exactly the
+    // positively counted tuples. Anything else means the snapshot sections
+    // disagree — corrupt despite per-frame CRCs, so refuse to adopt.
+    const Relation& rel = view_db.Get(views[i].head().predicate);
+    if (rel.size() != counts[i].size())
+      return Status::Inconsistent(
+          StrCat("restore: view '", views[i].head().predicate, "' has ",
+                 rel.size(), " tuples but ", counts[i].size(), " counts"));
+    for (const auto& [tuple, count] : counts[i])
+      if (count <= 0 || rel.count(tuple) == 0)
+        return Status::Inconsistent(
+            StrCat("restore: count map of view '", views[i].head().predicate,
+                   "' disagrees with its materialization"));
+  }
+  base_ = std::move(base);
+  views_ = std::move(view_db);
+  view_queries_ = std::move(views);
+  counts_ = std::move(counts);
+  base_index_.clear();
+  maintained_ = maintained;
+  return Status::OK();
+}
+
 Status MaterializedViewSet::RebuildView(EngineContext& ctx, size_t i) {
   const Query& q = view_queries_[i];
   std::vector<const Relation*> rels;

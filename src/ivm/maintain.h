@@ -127,6 +127,11 @@ struct MaintenanceCertificate {
 /// fans out internally over the context's pool).
 class MaterializedViewSet {
  public:
+  /// tuple -> derivation count for one view. Public because durability
+  /// snapshots (src/store) serialize the counts: recovery must restore them
+  /// exactly or later retractions would delete view tuples too early/late.
+  using CountMap = std::map<Tuple, int64_t>;
+
   MaterializedViewSet() = default;
 
   /// Registers `view` and materializes it (with counts) over the current
@@ -163,6 +168,19 @@ class MaterializedViewSet {
 
   const std::vector<Query>& view_queries() const { return view_queries_; }
 
+  /// Per-view derivation counts, parallel to view_queries().
+  const std::vector<CountMap>& counts() const { return counts_; }
+
+  /// Adopts externally recovered state wholesale — the durability snapshot
+  /// loader's O(state-size) path that does NO rematerialization (no joins):
+  /// `view_db` must already equal the materialization implied by `counts`,
+  /// which must be parallel to `views`. The base indexes are left empty and
+  /// rebuilt lazily by the next incremental Apply, exactly as after a
+  /// rebuild fallback.
+  Status RestoreSnapshot(Database base, std::vector<Query> views,
+                         std::vector<CountMap> counts, Database view_db,
+                         bool maintained);
+
   /// True while the state is incrementally maintained: the most recent
   /// Apply (if any) took the incremental path. A fallback rebuild resets
   /// it to false until the next incremental batch.
@@ -172,8 +190,6 @@ class MaterializedViewSet {
   void Reset();
 
  private:
-  using CountMap = std::map<Tuple, int64_t>;
-
   /// Recomputes counts_[i] and views_ entries for view i from base_.
   Status RebuildView(EngineContext& ctx, size_t i);
 

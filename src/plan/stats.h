@@ -43,6 +43,18 @@ class DistinctSketch {
   void Observe(uint64_t hash);
   size_t Estimate() const;
 
+  /// Durability snapshot surface (src/store). Sketches are insert-monotone
+  /// — they remember retracted tuples' observations — so recovery cannot
+  /// rebuild them from the live tuples; the exact internal state is
+  /// serialized and restored instead, keeping post-recovery plans
+  /// byte-identical to the pre-crash process.
+  const std::set<uint64_t>& hashes() const { return smallest_; }
+  bool saturated() const { return saturated_; }
+  void Restore(std::set<uint64_t> hashes, bool saturated) {
+    smallest_ = std::move(hashes);
+    saturated_ = saturated;
+  }
+
  private:
   std::set<uint64_t> smallest_;  // at most kK entries
   bool saturated_ = false;
@@ -62,6 +74,14 @@ class RelationStats {
   size_t DistinctEstimate(const std::string& predicate, size_t column) const;
 
   void Clear() { sketches_.clear(); }
+
+  /// Durability snapshot surface (src/store): the full sketch table.
+  const std::map<std::string, std::vector<DistinctSketch>>& sketches() const {
+    return sketches_;
+  }
+  void RestoreSketches(std::map<std::string, std::vector<DistinctSketch>> s) {
+    sketches_ = std::move(s);
+  }
 
  private:
   std::map<std::string, std::vector<DistinctSketch>> sketches_;

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -70,7 +71,80 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 
 Server::~Server() { Stop(); }
 
+std::string RecoverySummary::ToString() const {
+  return StrCat(sessions, " sessions recovered, ", replayed_records,
+                " log records replayed",
+                any_tail_truncated ? ", torn wal tail truncated" : "");
+}
+
+Status Server::OpenStore(RecoverySummary* summary) {
+  if (options_.data_dir.empty() || store_opened_) return Status::OK();
+  CQAC_RETURN_IF_ERROR(store::InitDataDir(
+      options_.data_dir, static_cast<uint32_t>(shards_.size())));
+
+  // Shard logs are independent files and recovery replays through each
+  // shard's private context, so all shards recover in parallel — startup
+  // latency is the slowest shard, not the sum.
+  std::vector<Status> statuses(shards_.size(), Status::OK());
+  std::vector<store::RecoveredShard> recovered(shards_.size());
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      workers.emplace_back([this, i, &statuses, &recovered] {
+        Result<store::RecoveredShard> r = store::RecoverShard(
+            shards_[i]->ctx,
+            store::ShardDirPath(options_.data_dir,
+                                static_cast<uint32_t>(i)));
+        if (r.ok())
+          recovered[i] = std::move(r).value();
+        else
+          statuses[i] = r.status();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  stores_.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    CQAC_RETURN_IF_ERROR(statuses[i]);
+    for (std::unique_ptr<store::SessionState>& s : recovered[i].sessions) {
+      if (ShardForSession(s->name, shards_.size()) != i)
+        return Status::Inconsistent(
+            StrCat("recovered session '", s->name, "' found in shard ", i,
+                   " but pins to shard ",
+                   ShardForSession(s->name, shards_.size()),
+                   "; was the data dir rearranged by hand?"));
+      auto session = std::make_unique<Session>(s->name);
+      for (const ParsedQuery& pq : s->view_sources)
+        CQAC_RETURN_IF_ERROR(session->views.Add(pq.query));
+      session->view_sources = std::move(s->view_sources);
+      session->view_texts = std::move(s->view_texts);
+      session->store = std::move(s->store);
+      CQAC_RETURN_IF_ERROR(
+          shards_[i]->service->sessions().Adopt(std::move(session)));
+    }
+    Result<std::unique_ptr<store::ShardStore>> st = store::ShardStore::Open(
+        options_.data_dir, static_cast<uint32_t>(i),
+        static_cast<uint32_t>(shards_.size()), options_.store,
+        &shards_[i]->ctx);
+    CQAC_RETURN_IF_ERROR(st.status());
+    stores_[i] = std::move(st).value();
+    shards_[i]->service->set_store(stores_[i].get());
+    if (summary != nullptr) {
+      summary->sessions += recovered[i].sessions.size();
+      summary->replayed_records += recovered[i].replayed_records;
+      summary->snapshot_lsn_max =
+          std::max(summary->snapshot_lsn_max, recovered[i].snapshot_lsn);
+      summary->any_tail_truncated |= recovered[i].wal_tail_truncated;
+    }
+  }
+  store_opened_ = true;
+  return Status::OK();
+}
+
 Status Server::Start() {
+  CQAC_RETURN_IF_ERROR(OpenStore());
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
     return Status::Internal(StrCat("socket: ", std::strerror(errno)));

@@ -110,6 +110,22 @@ struct ServerOptions {
   /// independent shard engine threads each need their own pool.
   TaskPool* pool = nullptr;
   ServiceOptions service;
+  /// When non-empty, sessions are durable: every shard logs its commits to
+  /// `<data_dir>/shard-<i>` and writes compact snapshots, and startup
+  /// recovers all shards before serving (src/store). Empty = in-memory
+  /// only, the historical behaviour.
+  std::string data_dir;
+  store::StoreOptions store;
+};
+
+/// What startup recovery did, for the `cqac_serve` banner.
+struct RecoverySummary {
+  size_t sessions = 0;
+  uint64_t replayed_records = 0;
+  uint64_t snapshot_lsn_max = 0;
+  bool any_tail_truncated = false;
+
+  std::string ToString() const;
 };
 
 class Server {
@@ -119,6 +135,15 @@ class Server {
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  /// Opens the durable store (when options.data_dir is set): pins the
+  /// shard count in the data dir's MANIFEST, recovers every shard in
+  /// parallel — newest snapshot plus O(delta) WAL-tail replay, sessions
+  /// re-adopted on the shard the same FNV-1a pinning assigns them — and
+  /// attaches each shard's store to its service. Idempotent; Start() calls
+  /// it when the caller did not. Call before Warmup so a warm-up script
+  /// layers on top of recovered state. No-op without a data_dir.
+  Status OpenStore(RecoverySummary* summary = nullptr);
 
   /// Binds, listens, and spawns the accept, shard engine, and shard
   /// writer threads.
@@ -248,6 +273,10 @@ class Server {
 
   ServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard durable stores, parallel to shards_ (empty without a
+  /// data_dir). Owned here; each shard's Service holds a raw pointer.
+  std::vector<std::unique_ptr<store::ShardStore>> stores_;
+  bool store_opened_ = false;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -135,6 +136,10 @@ std::string Service::ExecuteParsed(const Request& req,
   ctx_.budget() = saved;
   ctx_.ClearCancel();
 
+  // Snapshot cadence: runs on the engine thread after the request's own
+  // work, so it sees a quiescent, fully committed shard state.
+  MaybeSnapshot();
+
   bool is_error = IsErrorResponseLine(response);
   if (is_error) request_errors_.fetch_add(1, std::memory_order_relaxed);
   // Attribute the engine work to the session when one exists (ops that need
@@ -204,11 +209,43 @@ std::string Service::HandlePing(const Request& req) {
   return out;
 }
 
+Status Service::LogSessionCreate(bool created, const std::string& session) {
+  if (!created || store_ == nullptr) return Status::OK();
+  return store_->Append(store::RecordType::kSessionCreate, session, "");
+}
+
+Status Service::LogRecordOp(store::RecordType type, const std::string& session,
+                            const std::string& text) {
+  if (store_ == nullptr) return Status::OK();
+  return store_->Append(type, session, text);
+}
+
+void Service::MaybeSnapshot() {
+  if (store_ == nullptr || !store_->ShouldSnapshot()) return;
+  std::vector<store::SessionSnapshotRef> refs;
+  std::vector<Session*> sessions = sessions_.Sessions();
+  refs.reserve(sessions.size());
+  for (Session* s : sessions) {
+    store::SessionSnapshotRef ref;
+    ref.name = &s->name;
+    ref.view_texts = &s->view_texts;
+    ref.store = &s->store;
+    refs.push_back(ref);
+  }
+  Status st = store_->WriteSnapshot(ctx_.adaptive(), refs);
+  if (!st.ok())
+    std::fprintf(stderr, "cqac_serve: shard %zu snapshot failed: %s\n",
+                 shard_index_, st.ToString().c_str());
+}
+
 std::string Service::HandleView(const Request& req) {
   Result<std::string> rule = req.GetString("rule");
   if (!rule.ok()) return ErrorResponse(req, rule.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   Result<ParsedQuery> v = ParseQueryWithInfo(rule.value());
   if (!v.ok()) return ErrorResponse(req, v.status());
@@ -219,6 +256,10 @@ std::string Service::HandleView(const Request& req) {
   st = session.value()->store.AddView(ctx_, v.value().query);
   if (!st.ok()) return ErrorResponse(req, st);
   session.value()->view_sources.push_back(std::move(v).value());
+  session.value()->view_texts.push_back(rule.value());
+  // Log the commit before the response is released: acked means logged.
+  logged = LogRecordOp(store::RecordType::kView, req.session, rule.value());
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   const ViewSet& views = session.value()->views;
   std::string out = BeginResponse(req);
@@ -231,8 +272,11 @@ std::string Service::HandleView(const Request& req) {
 std::string Service::HandleFact(const Request& req) {
   Result<std::string> facts = req.GetString("facts");
   if (!facts.ok()) return ErrorResponse(req, facts.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   Result<Database> parsed = Database::FromFacts(facts.value());
   if (!parsed.ok()) return ErrorResponse(req, parsed.status());
@@ -242,6 +286,8 @@ std::string Service::HandleFact(const Request& req) {
   Result<ivm::ApplySummary> summary =
       store.ApplyInsert(ctx_, parsed.value(), {}, certify ? &cert : nullptr);
   if (!summary.ok()) return ErrorResponse(req, summary.status());
+  logged = LogRecordOp(store::RecordType::kFact, req.session, facts.value());
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   std::string out = BeginResponse(req);
   JsonField(&out, "tuples_added", StrCat(summary.value().inserted));
@@ -263,8 +309,11 @@ std::string Service::HandleFact(const Request& req) {
 std::string Service::HandleRetract(const Request& req) {
   Result<std::string> facts = req.GetString("facts");
   if (!facts.ok()) return ErrorResponse(req, facts.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   Result<Database> parsed = Database::FromFacts(facts.value());
   if (!parsed.ok()) return ErrorResponse(req, parsed.status());
@@ -274,6 +323,9 @@ std::string Service::HandleRetract(const Request& req) {
   Result<ivm::ApplySummary> summary =
       store.ApplyRetract(ctx_, parsed.value(), {}, certify ? &cert : nullptr);
   if (!summary.ok()) return ErrorResponse(req, summary.status());
+  logged =
+      LogRecordOp(store::RecordType::kRetract, req.session, facts.value());
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   std::string out = BeginResponse(req);
   JsonField(&out, "tuples_removed", StrCat(summary.value().retracted));
@@ -314,8 +366,11 @@ std::string Service::HandleClassify(const Request& req) {
 std::string Service::HandleRewrite(const Request& req) {
   Result<std::string> text = req.GetString("query");
   if (!text.ok()) return ErrorResponse(req, text.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
   Result<Query> q = ParseQuery(text.value());
   if (!q.ok()) return ErrorResponse(req, q.status());
   Status valid = q.value().Validate();
@@ -377,8 +432,11 @@ std::string Service::HandleContain(const Request& req) {
   if (!qtext.ok()) return ErrorResponse(req, qtext.status());
   Result<std::string> ctext = req.GetString("candidate");
   if (!ctext.ok()) return ErrorResponse(req, ctext.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
 
   Result<Query> q = ParseQuery(qtext.value());
   if (!q.ok()) return ErrorResponse(req, q.status());
@@ -411,8 +469,11 @@ std::string Service::HandleContain(const Request& req) {
 std::string Service::HandleEval(const Request& req) {
   Result<std::string> text = req.GetString("query");
   if (!text.ok()) return ErrorResponse(req, text.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
   Result<Query> q = ParseQuery(text.value());
   if (!q.ok()) return ErrorResponse(req, q.status());
   Status valid = q.value().Validate();
@@ -465,8 +526,11 @@ std::string Service::HandleEval(const Request& req) {
 std::string Service::HandleAnswers(const Request& req) {
   Result<std::string> text = req.GetString("query");
   if (!text.ok()) return ErrorResponse(req, text.status());
-  Result<Session*> session = sessions_.GetOrCreate(req.session);
+  bool created = false;
+  Result<Session*> session = sessions_.GetOrCreate(req.session, &created);
   if (!session.ok()) return ErrorResponse(req, session.status());
+  Status logged = LogSessionCreate(created, req.session);
+  if (!logged.ok()) return ErrorResponse(req, logged);
   Result<Query> q = ParseQuery(text.value());
   if (!q.ok()) return ErrorResponse(req, q.status());
   Status valid = q.value().Validate();
@@ -623,6 +687,11 @@ std::string Service::HandleStats(const Request& req) {
 
 std::string Service::HandleReset(const Request& req) {
   bool existed = sessions_.Drop(req.session);
+  if (existed) {
+    Status logged =
+        LogRecordOp(store::RecordType::kSessionDrop, req.session, "");
+    if (!logged.ok()) return ErrorResponse(req, logged);
+  }
   std::string out = BeginResponse(req);
   JsonField(&out, "existed", existed ? "true" : "false");
   JsonClose(&out);

@@ -36,6 +36,7 @@
 #include "src/engine/context.h"
 #include "src/serve/protocol.h"
 #include "src/serve/session.h"
+#include "src/store/store.h"
 
 namespace cqac {
 namespace serve {
@@ -102,6 +103,15 @@ class Service {
   size_t shard_index() const { return shard_index_; }
   size_t shard_total() const { return shard_total_; }
 
+  /// Installs this shard's durable store (not owned; outlives the
+  /// service). Once set, every state-changing commit (session create/drop,
+  /// view, fact, retract) appends a WAL record from the engine thread
+  /// BEFORE the response is released — acked means logged — and the
+  /// snapshot cadence runs after each request. Unset (no --data-dir), the
+  /// server is in-memory only, exactly as before.
+  void set_store(store::ShardStore* s) { store_ = s; }
+  store::ShardStore* store() const { return store_; }
+
   /// Installs the cross-shard view for the global `stats` scope: a
   /// callback returning every shard's summary (including this one's).
   /// Owning on purpose — the server hands in a lambda over itself. Unset,
@@ -155,6 +165,17 @@ class Service {
   /// Dispatches a validated request. Returns the response line.
   std::string Dispatch(const Request& req, bool* shutdown_requested);
 
+  /// Logs a kSessionCreate record when `created` is true and a store is
+  /// attached. OK when no store is attached.
+  Status LogSessionCreate(bool created, const std::string& session);
+  /// Logs one state-changing record. OK when no store is attached.
+  Status LogRecordOp(store::RecordType type, const std::string& session,
+                     const std::string& text);
+  /// Runs the snapshot cadence: writes a compact snapshot of every session
+  /// on this shard when enough records accumulated. Failures are advisory
+  /// (stderr) — the WAL still holds every commit.
+  void MaybeSnapshot();
+
   std::string HandlePing(const Request& req);
   std::string HandleView(const Request& req);
   std::string HandleFact(const Request& req);
@@ -171,6 +192,7 @@ class Service {
   EngineContext& ctx_;
   ServiceOptions options_;
   SessionManager sessions_;
+  store::ShardStore* store_ = nullptr;  // not owned; may be null
   size_t shard_index_ = 0;
   size_t shard_total_ = 1;
   std::function<std::vector<ShardSummary>()> cluster_view_;

@@ -5,7 +5,9 @@
 namespace cqac {
 namespace serve {
 
-Result<Session*> SessionManager::GetOrCreate(const std::string& name) {
+Result<Session*> SessionManager::GetOrCreate(const std::string& name,
+                                             bool* created) {
+  if (created != nullptr) *created = false;
   std::lock_guard<std::mutex> lk(mu_);
   auto it = sessions_.find(name);
   if (it != sessions_.end()) return it->second.get();
@@ -16,7 +18,30 @@ Result<Session*> SessionManager::GetOrCreate(const std::string& name) {
   auto session = std::make_unique<Session>(name);
   Session* raw = session.get();
   sessions_.emplace(name, std::move(session));
+  if (created != nullptr) *created = true;
   return raw;
+}
+
+Status SessionManager::Adopt(std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sessions_.count(session->name) > 0)
+    return Status::Internal(
+        StrCat("recovered session '", session->name, "' already exists"));
+  if (sessions_.size() >= max_sessions_)
+    return Status::ResourceExhausted(
+        StrCat("session limit reached (", max_sessions_,
+               ") while adopting recovered sessions"));
+  std::string name = session->name;
+  sessions_.emplace(std::move(name), std::move(session));
+  return Status::OK();
+}
+
+std::vector<Session*> SessionManager::Sessions() const {
+  std::vector<Session*> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) out.push_back(session.get());
+  return out;
 }
 
 Session* SessionManager::Find(const std::string& name) {

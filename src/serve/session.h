@@ -50,6 +50,8 @@ struct Session {
   std::string name;
   ViewSet views;
   std::vector<ParsedQuery> view_sources;  // parallel to views, with spans
+  std::vector<std::string> view_texts;    // original rule texts, for the
+                                          // durability snapshots (src/store)
 
   /// Base facts plus incrementally maintained materializations of `views`
   /// (src/ivm): `fact`/`retract` ops pay O(delta), and `answers` reads the
@@ -75,7 +77,18 @@ class SessionManager {
       : max_sessions_(max_sessions) {}
 
   /// The session named `name`, created on first use. Owning shard only.
-  Result<Session*> GetOrCreate(const std::string& name);
+  /// When `created` is non-null it reports whether this call created the
+  /// session (the durable store logs a kSessionCreate record exactly then).
+  Result<Session*> GetOrCreate(const std::string& name,
+                               bool* created = nullptr);
+
+  /// Adopts a recovered session wholesale (startup recovery, before any
+  /// client traffic). Fails on a duplicate name or when full.
+  Status Adopt(std::unique_ptr<Session> session);
+
+  /// Name-ordered pointers to every live session. Owning shard's engine
+  /// thread only (the durable snapshot writer walks these).
+  std::vector<Session*> Sessions() const;
 
   /// The session named `name`, or nullptr when it was never created.
   /// Owning shard only (the returned state is not cross-shard safe).

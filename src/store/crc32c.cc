@@ -1,0 +1,30 @@
+#include "src/store/crc32c.h"
+
+namespace cqac {
+namespace store {
+namespace {
+
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      t[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n) {
+  static const Crc32cTable table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i)
+    crc = table.t[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace store
+}  // namespace cqac

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the frame checksum
+// of the durable store's on-disk formats (docs/durability.md). Software
+// table implementation — no dependency and no SSE4.2 requirement; log
+// appends checksum tens of bytes, so the table walk is nowhere near the
+// fsync on the hot path.
+#ifndef CQAC_STORE_CRC32C_H_
+#define CQAC_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cqac {
+namespace store {
+
+uint32_t Crc32c(const char* data, size_t n);
+
+inline uint32_t Crc32c(const std::string& s) {
+  return Crc32c(s.data(), s.size());
+}
+
+}  // namespace store
+}  // namespace cqac
+
+#endif  // CQAC_STORE_CRC32C_H_

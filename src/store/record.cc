@@ -1,0 +1,55 @@
+#include "src/store/record.h"
+
+#include "src/store/crc32c.h"
+
+namespace cqac {
+namespace store {
+
+const char* RecordTypeName(RecordType t) {
+  switch (t) {
+    case RecordType::kSessionCreate:
+      return "session_create";
+    case RecordType::kSessionDrop:
+      return "session_drop";
+    case RecordType::kView:
+      return "view";
+    case RecordType::kFact:
+      return "fact";
+    case RecordType::kRetract:
+      return "retract";
+    case RecordType::kSnapshotBarrier:
+      return "snapshot_barrier";
+  }
+  return "unknown";
+}
+
+void EncodeRecord(const LogRecord& r, std::string* out) {
+  wire::AppendU8(out, static_cast<uint8_t>(r.type));
+  wire::AppendU64(out, r.lsn);
+  wire::AppendString(out, r.session);
+  wire::AppendString(out, r.text);
+  wire::AppendU64(out, r.barrier_lsn);
+}
+
+bool DecodeRecord(wire::Cursor* c, LogRecord* r) {
+  uint8_t type = c->ReadU8();
+  r->lsn = c->ReadU64();
+  r->session = c->ReadString();
+  r->text = c->ReadString();
+  r->barrier_lsn = c->ReadU64();
+  if (!c->ok()) return false;
+  if (type < static_cast<uint8_t>(RecordType::kSessionCreate) ||
+      type > static_cast<uint8_t>(RecordType::kSnapshotBarrier))
+    return false;
+  r->type = static_cast<RecordType>(type);
+  return true;
+}
+
+void AppendFrame(const std::string& payload, std::string* out) {
+  wire::AppendU32(out, static_cast<uint32_t>(payload.size()));
+  wire::AppendU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+}  // namespace store
+}  // namespace cqac

@@ -1,0 +1,57 @@
+// Log record types and frame encoding for the per-shard durable store.
+//
+// Every commit a shard acknowledges is one record in its WAL, framed as
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+//
+// with payload = u8 type, u64 lsn, string session, string text, u64
+// barrier_lsn (little-endian, u32-length-prefixed strings — src/base/wire.h).
+// `text` carries the client's original rule text (kView) or facts text
+// (kFact/kRetract) verbatim, so replay re-parses exactly what the original
+// handler parsed. kSnapshotBarrier is what log compaction leaves behind: it
+// records the LSN the adjacent snapshot file covers, so a WAL that starts
+// with a barrier whose snapshot is missing is detectably corrupt instead of
+// silently empty.
+#ifndef CQAC_STORE_RECORD_H_
+#define CQAC_STORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/wire.h"
+
+namespace cqac {
+namespace store {
+
+enum class RecordType : uint8_t {
+  kSessionCreate = 1,
+  kSessionDrop = 2,
+  kView = 3,
+  kFact = 4,
+  kRetract = 5,
+  kSnapshotBarrier = 6,
+};
+
+const char* RecordTypeName(RecordType t);
+
+struct LogRecord {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kSessionCreate;
+  std::string session;       // empty for kSnapshotBarrier
+  std::string text;          // rule / facts text; empty otherwise
+  uint64_t barrier_lsn = 0;  // kSnapshotBarrier: LSN the snapshot covers
+};
+
+/// Appends the payload bytes of `r` (no frame) to `out`.
+void EncodeRecord(const LogRecord& r, std::string* out);
+
+/// Decodes one record payload. False on truncation or an unknown type.
+bool DecodeRecord(wire::Cursor* c, LogRecord* r);
+
+/// Appends a complete CRC32C frame around `payload` to `out`.
+void AppendFrame(const std::string& payload, std::string* out);
+
+}  // namespace store
+}  // namespace cqac
+
+#endif  // CQAC_STORE_RECORD_H_

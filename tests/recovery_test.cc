@@ -1,0 +1,507 @@
+// Crash-recovery equivalence: SIGKILL a real cqac_serve process at a
+// randomized point in a seeded insert/retract/view stream, restart it
+// against the same --data-dir, and require every per-session probe response
+// to be byte-identical to an uninterrupted server that processed the same
+// acknowledged prefix. Under --fsync always an acknowledged commit is on
+// disk, so the recovered state must equal the acked prefix — plus at most
+// the one in-flight request the kill raced with (the k-vs-k+1 ambiguity
+// below). Also: a corrupted log must make startup fail loudly, not recover
+// silently wrong state.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cqac {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "cqac_recovery_test_XXXXXX").string();
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- child process management ----------------------------------------------
+
+struct ServerProc {
+  pid_t pid = -1;
+  int port = 0;
+  int out_fd = -1;  // child stdout (the "listening on" line)
+
+  bool ok() const { return pid > 0 && port > 0; }
+};
+
+/// Forks and execs CQAC_SERVE_BIN with `args`, waits for the listening
+/// banner, and returns the bound port. On startup failure (e.g. recovery of
+/// a corrupt dir) `port` stays 0 and `exit_code` receives the child status.
+ServerProc StartServer(const std::vector<std::string>& args,
+                       int* exit_code = nullptr) {
+  ServerProc proc;
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return proc;
+  pid_t pid = ::fork();
+  if (pid < 0) return proc;
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    static const char* kBin = CQAC_SERVE_BIN;
+    argv.push_back(const_cast<char*>(kBin));
+    std::vector<std::string> owned = args;
+    for (std::string& a : owned) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(kBin, argv.data());
+    _exit(127);
+  }
+  ::close(pipefd[1]);
+  proc.pid = pid;
+  proc.out_fd = pipefd[0];
+
+  // Read one line: "cqac_serve listening on 127.0.0.1:PORT\n". EOF without
+  // it means the child exited during startup.
+  std::string line;
+  char ch;
+  while (::read(pipefd[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  size_t colon = line.rfind(':');
+  if (colon != std::string::npos)
+    proc.port = std::atoi(line.c_str() + colon + 1);
+  if (proc.port == 0 && exit_code != nullptr) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    proc.pid = -1;
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return proc;
+}
+
+void KillHard(ServerProc* proc) {
+  if (proc->pid > 0) {
+    ::kill(proc->pid, SIGKILL);
+    int status = 0;
+    ::waitpid(proc->pid, &status, 0);
+    proc->pid = -1;
+  }
+  if (proc->out_fd >= 0) {
+    ::close(proc->out_fd);
+    proc->out_fd = -1;
+  }
+}
+
+void StopGracefully(ServerProc* proc) {
+  if (proc->pid > 0) {
+    ::kill(proc->pid, SIGTERM);
+    int status = 0;
+    ::waitpid(proc->pid, &status, 0);
+    proc->pid = -1;
+  }
+  if (proc->out_fd >= 0) {
+    ::close(proc->out_fd);
+    proc->out_fd = -1;
+  }
+}
+
+// ---- protocol client -------------------------------------------------------
+
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    int one = 1;
+    if (fd_ >= 0)
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(const std::string& line) {
+    std::string data = line + "\n";
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Recv(std::string* line) {
+    size_t pos;
+    while ((pos = acc_.find('\n')) == std::string::npos) {
+      char buf[4096];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      acc_.append(buf, static_cast<size_t>(n));
+    }
+    *line = acc_.substr(0, pos);
+    acc_.erase(0, pos + 1);
+    return true;
+  }
+
+  /// Request/response lockstep; empty string on transport failure.
+  std::string Call(const std::string& line) {
+    std::string response;
+    if (!Send(line) || !Recv(&response)) return "";
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string acc_;
+};
+
+// ---- the seeded workload ---------------------------------------------------
+
+const char* kSessions[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+
+/// View declarations sent first, one response line each.
+std::vector<std::string> ViewRequests() {
+  std::vector<std::string> out;
+  for (const char* s : kSessions) {
+    out.push_back(std::string("{\"op\":\"view\",\"session\":\"") + s +
+                  "\",\"rule\":\"v(X, Y) :- r(X, Y), X <= 50\"}");
+    out.push_back(std::string("{\"op\":\"view\",\"session\":\"") + s +
+                  "\",\"rule\":\"w(X) :- r(X, Y), s(Y), Y < 30\"}");
+  }
+  return out;
+}
+
+/// A seeded mix of fact inserts and retracts of previously inserted facts,
+/// spread across the sessions.
+std::vector<std::string> MutationRequests(uint32_t seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> val(0, 99);
+  std::uniform_int_distribution<size_t> pick_session(
+      0, std::size(kSessions) - 1);
+  std::vector<std::vector<std::string>> inserted(std::size(kSessions));
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    size_t si = pick_session(rng);
+    bool retract = !inserted[si].empty() && val(rng) < 25;
+    if (retract) {
+      std::uniform_int_distribution<size_t> pick_fact(
+          0, inserted[si].size() - 1);
+      size_t fi = pick_fact(rng);
+      out.push_back(std::string("{\"op\":\"retract\",\"session\":\"") +
+                    kSessions[si] + "\",\"facts\":\"" + inserted[si][fi] +
+                    "\"}");
+      inserted[si].erase(inserted[si].begin() +
+                         static_cast<ptrdiff_t>(fi));
+    } else {
+      std::string fact =
+          val(rng) < 70
+              ? "r(" + std::to_string(val(rng)) + ", " +
+                    std::to_string(val(rng)) + ")."
+              : "s(" + std::to_string(val(rng)) + ").";
+      out.push_back(std::string("{\"op\":\"fact\",\"session\":\"") +
+                    kSessions[si] + "\",\"facts\":\"" + fact + "\"}");
+      inserted[si].push_back(fact);
+    }
+  }
+  return out;
+}
+
+/// The read-only-ish probes whose responses must match byte-for-byte.
+/// (`answers` materializes views server-side, but both sides get the same
+/// probe sequence, so any state it builds evolves identically.)
+std::vector<std::string> ProbeRequests() {
+  std::vector<std::string> out;
+  for (const char* s : kSessions) {
+    out.push_back(std::string("{\"op\":\"answers\",\"session\":\"") + s +
+                  "\",\"query\":\"q(X) :- r(X, Y), X <= 20\"}");
+    out.push_back(std::string("{\"op\":\"eval\",\"session\":\"") + s +
+                  "\",\"query\":\"q(X, Y) :- r(X, Y), s(Y)\"}");
+    out.push_back(std::string("{\"op\":\"answers\",\"session\":\"") + s +
+                  "\",\"query\":\"q(Y) :- r(X, Y), Y < 30\"}");
+  }
+  return out;
+}
+
+/// Sends every request, asserting each is acknowledged ok.
+void SendAcked(Client* c, const std::vector<std::string>& requests) {
+  for (const std::string& r : requests) {
+    std::string response = c->Call(r);
+    ASSERT_FALSE(response.empty()) << "connection lost on: " << r;
+    ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << r << " -> "
+                                                     << response;
+  }
+}
+
+/// Collects the probe responses from a fresh in-memory server that
+/// processes views + the given mutation prefix — the uninterrupted oracle.
+std::vector<std::string> OracleProbes(size_t shards, size_t threads,
+                                      const std::vector<std::string>& views,
+                                      const std::vector<std::string>& prefix) {
+  ServerProc oracle = StartServer({"--port", "0", "--shards",
+                                   std::to_string(shards), "--threads",
+                                   std::to_string(threads)});
+  EXPECT_TRUE(oracle.ok());
+  std::vector<std::string> out;
+  {
+    Client c(oracle.port);
+    EXPECT_TRUE(c.ok());
+    SendAcked(&c, views);
+    SendAcked(&c, prefix);
+    for (const std::string& p : ProbeRequests()) out.push_back(c.Call(p));
+  }
+  StopGracefully(&oracle);
+  return out;
+}
+
+uint64_t StatsCounter(const std::string& stats_json, const std::string& key) {
+  size_t pos = stats_json.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << stats_json;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats_json.c_str() + pos + key.size() + 3, nullptr,
+                       10);
+}
+
+/// One full crash/recover/compare cycle. `kill_index` is where in the
+/// mutation stream the SIGKILL lands: mutations [0, kill_index) are sent in
+/// lockstep (acked), mutation kill_index is sent without reading the
+/// response, then the server is killed. Recovery must produce the acked
+/// prefix — or the acked prefix plus that one in-flight mutation.
+void RunCrashCycle(size_t shards, size_t threads, uint32_t seed,
+                   size_t kill_index) {
+  SCOPED_TRACE("shards=" + std::to_string(shards) +
+               " threads=" + std::to_string(threads) +
+               " seed=" + std::to_string(seed) +
+               " kill=" + std::to_string(kill_index));
+  TempDir dir;
+  std::string data_dir = dir.path() + "/data";
+  std::vector<std::string> views = ViewRequests();
+  std::vector<std::string> mutations = MutationRequests(seed, 40);
+  ASSERT_LT(kill_index, mutations.size());
+
+  std::vector<std::string> server_args = {
+      "--port",   "0",      "--shards",         std::to_string(shards),
+      "--threads", std::to_string(threads),     "--data-dir", data_dir,
+      "--fsync",  "always", "--snapshot-every", "7"};
+
+  // Phase 1: run, crash mid-stream.
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok());
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    SendAcked(&c, views);
+    for (size_t i = 0; i < kill_index; ++i) {
+      std::string response = c.Call(mutations[i]);
+      ASSERT_EQ(response.rfind("{\"ok\":true", 0), 0u) << response;
+    }
+    // The in-flight request: sent, never acked — it may or may not have
+    // reached the log before the kill.
+    ASSERT_TRUE(c.Send(mutations[kill_index]));
+    KillHard(&server);
+  }
+
+  // Phase 2: restart on the same data dir and probe.
+  std::vector<std::string> recovered_probes;
+  std::string recovered_stats;
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok()) << "recovery failed to start";
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    recovered_stats = c.Call("{\"op\":\"stats\"}");
+    for (const std::string& p : ProbeRequests())
+      recovered_probes.push_back(c.Call(p));
+    StopGracefully(&server);
+  }
+  for (const std::string& p : recovered_probes) ASSERT_FALSE(p.empty());
+
+  // All five sessions logged records, so all five must come back.
+  EXPECT_EQ(StatsCounter(recovered_stats, "store_recovery_sessions"),
+            std::size(kSessions));
+
+  // Phase 3: byte-identical to the uninterrupted run over the acked prefix
+  // k — or, if the in-flight mutation was logged before the kill, k+1.
+  std::vector<std::string> prefix_k(mutations.begin(),
+                                    mutations.begin() +
+                                        static_cast<ptrdiff_t>(kill_index));
+  std::vector<std::string> oracle_k =
+      OracleProbes(shards, threads, views, prefix_k);
+  if (recovered_probes != oracle_k) {
+    std::vector<std::string> prefix_k1(
+        mutations.begin(),
+        mutations.begin() + static_cast<ptrdiff_t>(kill_index) + 1);
+    std::vector<std::string> oracle_k1 =
+        OracleProbes(shards, threads, views, prefix_k1);
+    ASSERT_EQ(recovered_probes, oracle_k1)
+        << "recovered state matches neither the acked prefix (k="
+        << kill_index << ") nor prefix k+1";
+  }
+}
+
+// ---- tests -----------------------------------------------------------------
+
+TEST(RecoveryTest, KilledServerRecoversByteIdenticallyAcrossShardCounts) {
+  std::mt19937 rng(20260808);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::uniform_int_distribution<size_t> kill_at(15, 38);
+    RunCrashCycle(shards, /*threads=*/0, /*seed=*/7000 + shards, kill_at(rng));
+  }
+}
+
+TEST(RecoveryTest, KilledServerRecoversByteIdenticallyWithThreadPools) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<size_t> kill_at(15, 38);
+  RunCrashCycle(/*shards=*/4, /*threads=*/4, /*seed=*/9001, kill_at(rng));
+}
+
+TEST(RecoveryTest, RecoveryReplaysOnlyTheLogTailAfterSnapshots) {
+  // Single shard, snapshot cadence 7, 10 view + ~31 mutation records: at
+  // least one snapshot must have compacted the WAL, so recovery replays a
+  // bounded tail, never the whole history.
+  TempDir dir;
+  std::string data_dir = dir.path() + "/data";
+  std::vector<std::string> server_args = {
+      "--port",  "0",      "--shards",         "1",
+      "--data-dir", data_dir, "--fsync",       "always",
+      "--snapshot-every", "7"};
+  std::vector<std::string> views = ViewRequests();
+  std::vector<std::string> mutations = MutationRequests(123, 31);
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok());
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    SendAcked(&c, views);
+    SendAcked(&c, mutations);
+    KillHard(&server);
+  }
+  ServerProc server = StartServer(server_args);
+  ASSERT_TRUE(server.ok());
+  Client c(server.port);
+  ASSERT_TRUE(c.ok());
+  std::string stats = c.Call("{\"op\":\"stats\"}");
+  StopGracefully(&server);
+  uint64_t replayed = StatsCounter(stats, "store_recovery_replayed_records");
+  // The cadence bounds the tail: strictly less than the full history, and
+  // no bigger than one cadence window plus the requests that raced the
+  // last MaybeSnapshot check.
+  EXPECT_LT(replayed, views.size() + mutations.size());
+  EXPECT_LE(replayed, 14u);
+}
+
+TEST(RecoveryTest, CorruptLogFailsStartupLoudly) {
+  TempDir dir;
+  std::string data_dir = dir.path() + "/data";
+  std::vector<std::string> server_args = {
+      "--port", "0", "--shards", "1", "--data-dir", data_dir,
+      "--fsync", "always"};
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok());
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    SendAcked(&c, ViewRequests());
+    SendAcked(&c, MutationRequests(5, 10));
+    StopGracefully(&server);
+  }
+  // Flip one payload byte in the middle of the shard's WAL.
+  std::string wal = data_dir + "/shard-0/wal";
+  std::string bytes;
+  {
+    std::ifstream in(wal, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), 60u);
+  bytes[bytes.size() / 2] ^= 0x20;
+  {
+    std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  int exit_code = 0;
+  ServerProc server = StartServer(server_args, &exit_code);
+  EXPECT_FALSE(server.ok()) << "server started on a corrupt log";
+  if (server.ok()) KillHard(&server);
+  EXPECT_EQ(exit_code, 1);
+}
+
+TEST(RecoveryTest, TruncatedTailRecoversTheCompletePrefix) {
+  TempDir dir;
+  std::string data_dir = dir.path() + "/data";
+  std::vector<std::string> server_args = {
+      "--port", "0", "--shards", "1", "--data-dir", data_dir,
+      "--fsync", "always", "--snapshot-every", "0"};
+  std::vector<std::string> views = ViewRequests();
+  std::vector<std::string> mutations = MutationRequests(5, 10);
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok());
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    SendAcked(&c, views);
+    SendAcked(&c, mutations);
+    StopGracefully(&server);
+  }
+  // Tear the last 3 bytes off the WAL — a crash mid-append. The torn frame
+  // is the LAST mutation, so recovery must equal the k-1 prefix.
+  std::string wal = data_dir + "/shard-0/wal";
+  std::string bytes;
+  {
+    std::ifstream in(wal, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 3));
+  }
+  std::vector<std::string> recovered_probes;
+  {
+    ServerProc server = StartServer(server_args);
+    ASSERT_TRUE(server.ok()) << "torn tail must recover, not fail";
+    Client c(server.port);
+    ASSERT_TRUE(c.ok());
+    for (const std::string& p : ProbeRequests())
+      recovered_probes.push_back(c.Call(p));
+    StopGracefully(&server);
+  }
+  std::vector<std::string> prefix(mutations.begin(), mutations.end() - 1);
+  EXPECT_EQ(recovered_probes, OracleProbes(1, 0, views, prefix));
+}
+
+}  // namespace
+}  // namespace cqac

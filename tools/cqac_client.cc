@@ -1,35 +1,58 @@
 // cqac_client — a line-oriented client for cqac_serve.
 //
 // Usage:
-//   cqac_client --port N [--host H] [--check] [file | -]
+//   cqac_client --port N [--host H] [--check] [--retries N] [file | -]
 //
 // Reads request lines (one JSON object per line; blank lines and lines
 // starting with '#' are skipped) from the file or stdin, sends each to the
 // server in strict request/response lockstep, and prints each response line
 // to stdout. With --check, exits 1 if any response carries "ok":false
 // (otherwise the exit status only reflects transport failures).
+//
+// --retries N tolerates a restarting server (e.g. one recovering a
+// --data-dir): a refused connect — and a connection lost mid-stream — is
+// retried up to N times with exponential backoff plus jitter (100ms base,
+// doubling, ±50%) instead of being fatal. After a mid-stream reconnect the
+// in-flight request line is sent again; against a durable server replaying
+// an idempotent request stream this resumes exactly where the stream broke.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 namespace cqac {
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cqac_client --port N [--host H] [--check] [file | -]\n");
+               "usage: cqac_client --port N [--host H] [--check] "
+               "[--retries N] [file | -]\n");
   return 3;
+}
+
+/// Sleeps the exponential-backoff delay for retry `attempt` (0-based):
+/// 100ms * 2^attempt, jittered ±50% so a fleet of retrying clients does not
+/// stampede a recovering server, capped at 5s.
+void BackoffSleep(int attempt, std::mt19937* rng) {
+  double base_ms = 100.0 * static_cast<double>(1u << std::min(attempt, 10));
+  base_ms = std::min(base_ms, 5000.0);
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  auto delay = std::chrono::duration<double, std::milli>(base_ms * jitter(*rng));
+  std::this_thread::sleep_for(delay);
 }
 
 /// Connects to host:port; returns the socket fd or -1.
@@ -88,6 +111,7 @@ int Run(int argc, char** argv) {
   std::string input = "-";
   uint16_t port = 0;
   bool check = false;
+  int retries = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -105,6 +129,12 @@ int Run(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) return Usage();
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n > 1000) return Usage();
+      retries = static_cast<int>(n);
     } else if (arg == "-" || arg[0] != '-') {
       input = arg;
     } else {
@@ -130,7 +160,21 @@ int Run(int argc, char** argv) {
     text = buf.str();
   }
 
-  int fd = Connect(host, port);
+  std::mt19937 rng(std::random_device{}());
+  auto connect_with_retries = [&]() -> int {
+    for (int attempt = 0;; ++attempt) {
+      int fd = Connect(host, port);
+      if (fd >= 0) return fd;
+      if (attempt >= retries) return -1;
+      std::fprintf(stderr,
+                   "cqac_client: connect to %s:%u failed, retry %d/%d\n",
+                   host.c_str(), static_cast<unsigned>(port), attempt + 1,
+                   retries);
+      BackoffSleep(attempt, &rng);
+    }
+  };
+
+  int fd = connect_with_retries();
   if (fd < 0) {
     std::fprintf(stderr, "cqac_client: cannot connect to %s:%u\n",
                  host.c_str(), static_cast<unsigned>(port));
@@ -138,6 +182,7 @@ int Run(int argc, char** argv) {
   }
 
   int rc = 0;
+  int reconnects = 0;  // bounds mid-stream reconnects across the whole run
   std::string acc;
   std::istringstream lines(text);
   std::string line;
@@ -145,10 +190,23 @@ int Run(int argc, char** argv) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::string response;
-    if (!SendAll(fd, line + "\n") || !RecvLine(fd, &acc, &response)) {
-      std::fprintf(stderr, "cqac_client: connection lost\n");
+    while (!SendAll(fd, line + "\n") || !RecvLine(fd, &acc, &response)) {
       ::close(fd);
-      return 2;
+      fd = -1;
+      if (reconnects++ >= retries) {
+        std::fprintf(stderr, "cqac_client: connection lost\n");
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "cqac_client: connection lost, reconnecting to resend "
+                   "the in-flight request\n");
+      acc.clear();  // a partial response from the dead connection is stale
+      fd = connect_with_retries();
+      if (fd < 0) {
+        std::fprintf(stderr, "cqac_client: cannot reconnect to %s:%u\n",
+                     host.c_str(), static_cast<unsigned>(port));
+        return 2;
+      }
     }
     std::printf("%s\n", response.c_str());
     if (check && response.rfind("{\"ok\":false", 0) == 0) rc = 1;

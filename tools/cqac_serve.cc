@@ -9,8 +9,16 @@
 // same shard. --threads sets the intra-request fan-out pool *per shard*
 // (shards scale across requests; threads scale within one).
 //
+// Durability: --data-dir DIR makes sessions durable — every acknowledged
+// view / fact / retract is appended to a per-shard record log and compact
+// snapshots bound recovery to an O(delta) log-tail replay (docs/
+// durability.md). Restarting with the same --data-dir recovers every
+// session before the socket opens. --fsync picks the sync policy
+// (always | interval | never) and --snapshot-every the compaction cadence.
+//
 // Usage:
 //   cqac_serve [--port N] [--shards N] [--threads N] [--warmup FILE]
+//              [--data-dir DIR] [--fsync POLICY] [--snapshot-every N]
 //              [--default-timeout-ms N] [--max-timeout-ms N]
 //              [--max-queue N] [--max-request-bytes N] [--max-sessions N]
 //
@@ -39,12 +47,21 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: cqac_serve [--port N] [--shards N] [--threads N]\n"
-      "                  [--warmup FILE]\n"
+      "                  [--warmup FILE] [--data-dir DIR]\n"
+      "                  [--fsync always|interval|never]\n"
+      "                  [--snapshot-every N]\n"
       "                  [--default-timeout-ms N] [--max-timeout-ms N]\n"
       "                  [--max-queue N] [--max-request-bytes N]\n"
       "                  [--max-sessions N]\n"
-      "  --shards N   engine shards (default 1); sessions pin to shards\n"
-      "  --threads N  TaskPool workers per shard (default 0 = serial)\n");
+      "  --shards N         engine shards (default 1); sessions pin to "
+      "shards\n"
+      "  --threads N        TaskPool workers per shard (default 0 = "
+      "serial)\n"
+      "  --data-dir DIR     durable sessions: per-shard log + snapshots;\n"
+      "                     restart recovers every session (O(delta))\n"
+      "  --fsync POLICY     always | interval (default) | never\n"
+      "  --snapshot-every N compact after N logged records (default 4096,\n"
+      "                     0 disables)\n");
   return 3;
 }
 
@@ -85,6 +102,24 @@ int Run(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       warmup_file = v;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (!v || *v == '\0') return Usage();
+      options.data_dir = v;
+    } else if (arg == "--fsync") {
+      const char* v = next();
+      if (!v) return Usage();
+      Result<store::FsyncPolicy> policy = store::ParseFsyncPolicy(v);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "cqac_serve: %s\n",
+                     policy.status().ToString().c_str());
+        return Usage();
+      }
+      options.store.fsync = policy.value();
+    } else if (arg == "--snapshot-every") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &n)) return Usage();
+      options.store.snapshot_every = n;
     } else if (arg == "--default-timeout-ms") {
       const char* v = next();
       if (!v || !ParseSize(v, &n)) return Usage();
@@ -122,9 +157,29 @@ int Run(int argc, char** argv) {
   // Each shard engine thread needs its own fan-out pool (a TaskPool has a
   // single caller slot), so the server owns one pool per shard.
   options.threads_per_shard = threads;
+  std::string data_dir = options.data_dir;  // survives the move below
   serve::Server server(std::move(options));
 
+  // Recover durable state before any warm-up replay: a warm-up script
+  // layers on top of what the data dir already holds.
+  if (!data_dir.empty()) {
+    serve::RecoverySummary recovery;
+    Status opened = server.OpenStore(&recovery);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cqac_serve: recovery failed: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cqac_serve: recovered %s: %s\n", data_dir.c_str(),
+                 recovery.ToString().c_str());
+  }
+
   if (!warmup_file.empty()) {
+    // Deprecated: --data-dir restarts warm from durable state with no
+    // replay script; --warmup remains for in-memory servers.
+    std::fprintf(stderr,
+                 "cqac_serve: note: --warmup is deprecated; use --data-dir "
+                 "to restart warm from durable state\n");
     std::ifstream in(warmup_file);
     if (!in) {
       std::fprintf(stderr, "cqac_serve: cannot open warmup file %s\n",

@@ -28,13 +28,22 @@
 //                          atom order over the base facts, union-eval
 //                          strategy, and the adaptive calibration state
 //   stats                  print engine counters (cache hits, budgets, ...)
+//   save <dir>             write the session (views, facts, materialized
+//                          views, calibration) as a durable snapshot file
+//   load <dir>             restore a session saved with `save` — no
+//                          rematerialization, the snapshot carries the
+//                          maintained state (src/store)
 //   reset                  clear all state
 //   help                   print this summary
 //
 // Exit status is nonzero if any command failed (parse error, engine error),
 // making scripts usable as smoke tests.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -60,6 +69,7 @@
 #include "src/rewriting/er_search.h"
 #include "src/rewriting/rewrite_lsi.h"
 #include "src/rewriting/si_mcr.h"
+#include "src/store/snapshot.h"
 
 namespace cqac {
 namespace {
@@ -117,6 +127,8 @@ class Shell {
     if (cmd == "plan") return PlanCmd();
     if (cmd == "intervals") return Intervals();
     if (cmd == "stats" || cmd == "\\stats") return Stats();
+    if (cmd == "save") return Save(rest);
+    if (cmd == "load") return Load(rest);
     return Fail("unknown command '" + cmd + "' (try: help)");
   }
 
@@ -126,7 +138,7 @@ class Shell {
         "          retract <atom> | classify | rewrite | er | minimize |\n"
         "          eval | answers | contained <rule> | explain <rule> |\n"
         "          intervals | lint | verify | audit | plan | stats |\n"
-        "          reset | help\n");
+        "          save <dir> | load <dir> | reset | help\n");
     return true;
   }
 
@@ -145,6 +157,7 @@ class Shell {
     st = store_.AddView(*ctx_, v.value().query);
     if (!st.ok()) return Fail(st.ToString());
     view_sources_.push_back(std::move(v).value());
+    view_texts_.push_back(text);
     std::printf("ok: view %s\n",
                 views_[views_.size() - 1].ToString().c_str());
     return true;
@@ -425,6 +438,49 @@ class Shell {
     return true;
   }
 
+  bool Save(const std::string& dir) {
+    if (dir.empty()) return Fail("usage: save <dir>");
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+      return Fail(StrCat("mkdir ", dir, ": ", std::strerror(errno)));
+    const std::string name = "shell";
+    store::SessionSnapshotRef ref;
+    ref.name = &name;
+    ref.view_texts = &view_texts_;
+    ref.store = &store_;
+    Status st = store::WriteSnapshotFile(dir + "/shell.cqs", 0,
+                                         ctx_->adaptive(), {ref});
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("ok: saved %zu views, %zu base tuples to %s/shell.cqs\n",
+                views_.size(), store_.base().TotalTuples(), dir.c_str());
+    return true;
+  }
+
+  bool Load(const std::string& dir) {
+    if (dir.empty()) return Fail("usage: load <dir>");
+    Result<store::SnapshotData> snap =
+        store::ReadSnapshotFile(dir + "/shell.cqs");
+    if (!snap.ok()) return Fail(snap.status().ToString());
+    if (snap.value().sessions.size() != 1)
+      return Fail(StrCat("expected one session in ", dir,
+                         "/shell.cqs, found ",
+                         snap.value().sessions.size()));
+    store::SessionState& s = *snap.value().sessions[0];
+    ViewSet views;
+    for (const ParsedQuery& pq : s.view_sources) {
+      Status st = views.Add(pq.query);
+      if (!st.ok()) return Fail(st.ToString());
+    }
+    views_ = std::move(views);
+    view_sources_ = std::move(s.view_sources);
+    view_texts_ = std::move(s.view_texts);
+    store_ = std::move(s.store);
+    if (snap.value().has_adaptive)
+      ctx_->adaptive() = snap.value().adaptive;
+    std::printf("ok: loaded %zu views, %zu base tuples from %s/shell.cqs\n",
+                views_.size(), store_.base().TotalTuples(), dir.c_str());
+    return true;
+  }
+
   static void PrintRelation(const Relation& r) {
     std::printf("answers (%zu):", r.size());
     for (const Tuple& t : r) std::printf(" %s", TupleToString(t).c_str());
@@ -439,6 +495,7 @@ class Shell {
   TaskPool* pool_ = nullptr;
   ViewSet views_;
   std::vector<ParsedQuery> view_sources_;  // parallel to views_, with spans
+  std::vector<std::string> view_texts_;    // original rule texts (save/load)
   Query query_;
   ParsedQuery query_source_;
   bool have_query_ = false;
